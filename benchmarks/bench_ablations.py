@@ -1,0 +1,118 @@
+"""Ablations A1/A2 — design choices the paper argues for qualitatively.
+
+A1 (§III-C): Pieri *tree* vs *poset* memory behaviour — the tree releases a
+node after at most p+1 jobs touch it; poset nodes stay live per level.
+
+A2 (§II-A): overlapping communication with computation via non-blocking
+MPI — simulated by toggling ``ClusterSpec.overlap_comm``.
+
+A3: static chunking policy — contiguous blocks (PHCpack's layout, hurt by
+clustered divergent paths) vs round-robin dealing.
+
+Run: pytest benchmarks/bench_ablations.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.schubert import PieriProblem, memory_profile
+from repro.simcluster import (
+    ClusterSpec,
+    cyclic10_workload,
+    simulate_dynamic,
+    simulate_static,
+    uniform_workload,
+)
+
+
+def bench_ablation_memory_tree_vs_poset(benchmark):
+    """A1: high-water active solutions, tree vs poset schedule."""
+
+    def run():
+        return memory_profile(PieriProblem(3, 2, 1))
+
+    prof = benchmark(run)
+    assert prof["tree_high_water"] < prof["poset_high_water"]
+    ratio = prof["poset_high_water"] / prof["tree_high_water"]
+    print()
+    print(
+        f"A1 (3,2,1): tree high-water {prof['tree_high_water']} vs poset "
+        f"{prof['poset_high_water']} ({ratio:.1f}x more memory)"
+    )
+
+
+def bench_ablation_memory_growth(benchmark):
+    """A1 at growing problem size: the poset/tree gap widens."""
+
+    def run():
+        return [
+            memory_profile(PieriProblem(2, 2, q))["poset_high_water"]
+            / memory_profile(PieriProblem(2, 2, q))["tree_high_water"]
+            for q in (0, 1)
+        ]
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ratios[1] > ratios[0]
+
+
+def bench_ablation_comm_overlap(benchmark):
+    """A2: non-blocking overlap matters most when the network round trip
+    is comparable to the job size (and the master is not saturated)."""
+    wl = uniform_workload(2000, 0.02)  # 20 ms jobs
+    spec_kw = dict(latency_seconds=5e-3, master_service_seconds=1e-4)
+
+    def run():
+        on = simulate_dynamic(wl, 32, ClusterSpec(overlap_comm=True, **spec_kw))
+        off = simulate_dynamic(wl, 32, ClusterSpec(overlap_comm=False, **spec_kw))
+        return on, off
+
+    on, off = benchmark(run)
+    assert on.wall_seconds < off.wall_seconds
+    gain = 100 * (off.wall_seconds - on.wall_seconds) / off.wall_seconds
+    assert gain > 10  # the round trip is ~half a job: overlap must pay off
+    print()
+    print(
+        f"A2: overlap saves {gain:.1f}% wall time "
+        "(32 CPUs, 20ms jobs, 5ms one-way latency)"
+    )
+
+
+def bench_ablation_master_saturation(benchmark):
+    """A2b: with an expensive master, *neither* mode scales — the serial
+    master service floor dominates and overlap cannot help."""
+    wl = uniform_workload(2000, 0.02)
+    heavy = dict(latency_seconds=1e-3, master_service_seconds=2e-3)
+
+    def run():
+        on = simulate_dynamic(wl, 32, ClusterSpec(overlap_comm=True, **heavy))
+        off = simulate_dynamic(wl, 32, ClusterSpec(overlap_comm=False, **heavy))
+        return on, off
+
+    on, off = benchmark(run)
+    floor = 2000 * 2e-3  # 4s of serialized master service
+    assert on.wall_seconds >= floor * 0.95
+    gap = abs(off.wall_seconds - on.wall_seconds) / off.wall_seconds
+    assert gap < 0.05
+    print()
+    print(
+        f"A2b: master-bound regime: overlap gap only {100*gap:.1f}% "
+        f"(wall {on.wall_seconds:.1f}s vs {floor:.1f}s service floor)"
+    )
+
+
+def bench_ablation_static_chunking(benchmark):
+    """A3: contiguous blocks vs round-robin under clustered divergence."""
+    wl = cyclic10_workload(np.random.default_rng(50))
+
+    def run():
+        block = simulate_static(wl, 64, chunking="block")
+        rr = simulate_static(wl, 64, chunking="round_robin")
+        return block, rr
+
+    block, rr = benchmark(run)
+    assert rr.load_imbalance <= block.load_imbalance
+    print()
+    print(
+        f"A3: 64-CPU imbalance block {block.load_imbalance:.2f} vs "
+        f"round-robin {rr.load_imbalance:.2f}"
+    )

@@ -1,0 +1,79 @@
+"""Microbenchmarks of the numerical kernels behind every experiment.
+
+Not a paper table; used to track performance of the inner loops the
+optimization guide says to profile first: system evaluation, determinant
+gradients, one Newton step, one Pieri edge.
+
+Run: pytest benchmarks/bench_kernels.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.linalg import det_and_cofactors, random_complex_matrix
+from repro.schubert import PieriInstance, PieriSolver, trivial_solution_matrix
+from repro.systems import cyclic_roots_system
+from repro.tracker import newton_correct
+
+
+@pytest.fixture(scope="module")
+def cyclic7():
+    return cyclic_roots_system(7)
+
+
+def bench_system_evaluation(benchmark, cyclic7, rng):
+    pt = rng.standard_normal(7) + 1j * rng.standard_normal(7)
+
+    def run():
+        return cyclic7.evaluate(pt)
+
+    res = benchmark(run)
+    assert res.shape == (7,)
+
+
+def bench_system_jacobian(benchmark, cyclic7, rng):
+    pt = rng.standard_normal(7) + 1j * rng.standard_normal(7)
+
+    def run():
+        return cyclic7.evaluate_and_jacobian(pt)
+
+    res, jac = benchmark(run)
+    assert jac.shape == (7, 7)
+
+
+def bench_cofactor_matrix_5x5(benchmark, rng):
+    m = random_complex_matrix(5, 5, rng)
+
+    def run():
+        return det_and_cofactors(m)
+
+    det, cof = benchmark(run)
+    assert cof.shape == (5, 5)
+
+
+def bench_pieri_edge_newton_step(benchmark):
+    """One Newton correction on a level-1 Pieri edge system."""
+    instance = PieriInstance.random(2, 2, 1, np.random.default_rng(60))
+    solver = PieriSolver(instance, seed=61)
+    job = solver.initial_jobs()[0]
+    homotopy = solver.make_homotopy(job.node)
+    x0 = homotopy.start_vector(trivial_solution_matrix(instance.problem))
+
+    def run():
+        return newton_correct(homotopy, x0, 0.0)
+
+    res = benchmark(run)
+    assert res.converged
+
+
+def bench_pieri_single_edge_track(benchmark):
+    """Track one full Pieri edge (the parallel job unit)."""
+    instance = PieriInstance.random(2, 2, 0, np.random.default_rng(62))
+    solver = PieriSolver(instance, seed=63)
+    job = solver.initial_jobs()[0]
+
+    def run():
+        return solver.run_job(job)
+
+    result = benchmark(run)
+    assert result.success

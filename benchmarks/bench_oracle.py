@@ -1,0 +1,67 @@
+"""Extension benchmark — offline tree solve vs online parameter continuation.
+
+Not a paper table; quantifies the deployment mode the paper's framework
+enables: the tree tracks sum-of-level-counts paths once, each further
+instance costs only d(m, p, q) paths.
+
+Run: pytest benchmarks/bench_oracle.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.control import PolePlacementOracle, random_plant
+from repro.schubert import (
+    PieriInstance,
+    PieriSolver,
+    continue_to_instance,
+    pieri_root_count,
+    verify_solutions,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_221():
+    return PolePlacementOracle.train(2, 2, 1, seed=1)
+
+
+def bench_offline_tree_solve(benchmark):
+    """The offline cost: full tree on a (2,2,1) general instance."""
+    instance = PieriInstance.random(2, 2, 1, np.random.default_rng(70))
+
+    def run():
+        return PieriSolver(instance, seed=71).solve()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.n_solutions == 8
+
+
+def bench_online_continuation(benchmark, trained_221):
+    """The online cost: 8 paths from the oracle to a fresh instance."""
+    target = PieriInstance.random(2, 2, 1, np.random.default_rng(72))
+
+    def run():
+        sols, _ = continue_to_instance(
+            trained_221.base_instance,
+            trained_221.base_solutions,
+            target,
+            rng=np.random.default_rng(73),
+        )
+        return sols
+
+    sols = benchmark(run)
+    assert verify_solutions(target, sols).ok
+
+
+def bench_oracle_online_vs_tree(benchmark, trained_221):
+    """End-to-end query including plane construction and extraction."""
+    plant = random_plant(2, 2, 1, np.random.default_rng(74))
+    poles = [complex(-1.3 - 0.21 * k, 0.77 * (-1) ** k) for k in range(8)]
+
+    def run():
+        return trained_221.place(plant, poles, seed=75)
+
+    result = benchmark(run)
+    assert result.n_laws >= 7
+    # the online step tracks d(2,2,1)=8 paths vs the tree's 37
+    assert pieri_root_count(2, 2, 1) == 8

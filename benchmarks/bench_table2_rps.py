@@ -1,0 +1,96 @@
+"""Experiment T2/F2 — Table II and Fig 2: the RPS mechanism workload.
+
+The paper's point: with >8000 of 9216 paths divergent at near-constant
+cost, the workload variance is small, so dynamic load balancing barely
+improves on static (and communication overhead can even flip the sign).
+
+Real layer: the deficient RPS surrogate (DESIGN.md substitution) whose
+total-degree homotopy sends most paths to infinity with near-equal cost.
+Simulated layer: the full 9,216-path Table II rows.
+
+Run: pytest benchmarks/bench_table2_rps.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import measure_rps_costs, resample_workload, table2
+from repro.homotopy import make_homotopy_and_starts, solve
+from repro.simcluster import rps_workload, simulate_dynamic, simulate_static, speedup_table
+from repro.systems import rps_surrogate_system
+from repro.tracker import PathTracker
+
+
+def bench_real_rps_surrogate_solve(benchmark):
+    """Track all 32 paths of the n=5 surrogate (30 divergent)."""
+    target = rps_surrogate_system(5, rng=np.random.default_rng(20))
+    homotopy, starts = make_homotopy_and_starts(
+        target, rng=np.random.default_rng(21)
+    )
+    tracker = PathTracker()
+
+    def run():
+        return tracker.track_many(homotopy, starts)
+
+    results = benchmark(run)
+    diverged = sum(1 for r in results if r.status.value == "diverged")
+    assert diverged >= len(results) // 2
+
+
+def bench_divergent_cost_variance(benchmark):
+    """Verify the low-variance property the whole Table II story rests on."""
+    target = rps_surrogate_system(5, rng=np.random.default_rng(22))
+
+    def run():
+        return solve(target, rng=np.random.default_rng(23))
+
+    report = benchmark(run)
+    secs = np.array(
+        [r.stats.seconds for r in report.results if not r.success]
+    )
+    assert secs.size >= 16
+    assert secs.std() / secs.mean() < 1.0
+
+
+def bench_simulated_table2(benchmark):
+    """Regenerate all Table II rows; improvements must be small."""
+
+    def run():
+        return table2()
+
+    text, rows = benchmark(run)
+    assert len(rows) == 5
+    # shape: improvement never exceeds ~10% (paper: -1.5% .. 12.4%)
+    assert all(abs(r["improvement_pct"]) < 12 for r in rows)
+    # and is much smaller than cyclic's at 128 CPUs
+    print()
+    print(text)
+
+
+def bench_simulated_table2_calibrated(benchmark):
+    """Table II with costs measured from the real surrogate run."""
+    measured = measure_rps_costs(n=5, seed=24)
+
+    def run():
+        wl = resample_workload(
+            measured, 9_216, 3_111.2, np.random.default_rng(25)
+        )
+        return speedup_table(wl, [8, 16, 32, 64, 128])
+
+    rows = benchmark(run)
+    assert all(abs(r["improvement_pct"]) < 25 for r in rows)
+
+
+def bench_rps_vs_cyclic_improvement_contrast(benchmark):
+    """The cross-table claim: dynamic's edge is much larger on cyclic."""
+    from repro.simcluster import cyclic10_workload
+
+    def run():
+        cy = cyclic10_workload(np.random.default_rng(26))
+        rp = rps_workload(np.random.default_rng(27))
+        cy128 = speedup_table(cy, [128])[0]["improvement_pct"]
+        rp128 = speedup_table(rp, [128])[0]["improvement_pct"]
+        return cy128, rp128
+
+    cy128, rp128 = benchmark(run)
+    assert cy128 > 3 * rp128

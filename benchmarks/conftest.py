@@ -1,0 +1,9 @@
+"""Shared fixtures for the benchmark suite (pytest-benchmark)."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2004)  # the paper's year

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Parallel path tracking on cyclic n-roots: static vs dynamic (paper §II).
+
+Tracks all Bezout paths of cyclic-5 (120 paths, 70 finite roots, 50
+divergent) serially, with static pre-assignment, and with the dynamic
+master/slave executor, then prints the speedup/imbalance contrast the
+paper's Table I makes at cluster scale.
+
+Run:  python examples/cyclic_parallel.py [n_workers]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.homotopy import distinct_solutions, make_homotopy_and_starts
+from repro.parallel import track_paths_parallel
+from repro.systems import CYCLIC_FINITE_ROOTS, cyclic_roots_system
+from repro.tracker import summarize_results
+
+n_workers = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+
+target = cyclic_roots_system(5)
+homotopy, starts = make_homotopy_and_starts(
+    target, rng=np.random.default_rng(0)
+)
+print(f"cyclic-5: {len(starts)} paths "
+      f"(expected finite roots: {CYCLIC_FINITE_ROOTS[5]})")
+
+serial = track_paths_parallel(homotopy, starts, mode="serial")
+summary = summarize_results(serial.results)
+print(f"\nserial:  wall {serial.wall_seconds:6.2f}s  "
+      f"success {summary['success']}, diverged {summary['diverged']}")
+
+static = track_paths_parallel(
+    homotopy, starts, n_workers=n_workers, schedule="static", mode="thread"
+)
+print(f"static:  wall {static.wall_seconds:6.2f}s  "
+      f"imbalance {static.load_imbalance:.2f} on {n_workers} workers")
+
+dynamic = track_paths_parallel(
+    homotopy, starts, n_workers=n_workers, schedule="dynamic", mode="thread"
+)
+print(f"dynamic: wall {dynamic.wall_seconds:6.2f}s  "
+      f"imbalance {dynamic.load_imbalance:.2f} on {n_workers} workers")
+
+roots = distinct_solutions(serial.results)
+print(f"\ndistinct finite roots found: {len(roots)}")
+worst = max(target.residual_norm(r) for r in roots)
+print(f"worst residual over all roots: {worst:.2e}")
+
+# all three schedules saw the same paths
+assert len(static.results) == len(dynamic.results) == len(serial.results)
+print("OK: static, dynamic and serial agree on the path set.")

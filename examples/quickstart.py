@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: compute all feedback laws placing prescribed poles.
+
+The paper's headline application in ~30 lines: a machine with m=2 inputs,
+p=2 outputs and 4 internal states has d(2,2,0) = 2 static output feedback
+laws placing any 4 generic closed-loop poles.  We compute both with the
+Pieri homotopy and verify them by eigenvalue computation.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.control import place_poles, random_plant
+from repro.schubert import pieri_root_count
+
+rng = np.random.default_rng(2004)
+
+# a random well-posed plant: 2 inputs, 2 outputs, m*p = 4 states
+plant = random_plant(m=2, p=2, q=0, rng=rng)
+print(f"plant: {plant}")
+print(f"open-loop poles: {np.round(plant.open_loop_poles(), 3)}")
+
+# prescribe 4 closed-loop poles (stable half-plane, self-chosen)
+poles = [-1 + 1j, -1 - 1j, -2 + 0.5j, -2 - 0.5j]
+print(f"prescribed poles: {poles}")
+print(f"expected number of feedback laws: {pieri_root_count(2, 2, 0)}")
+
+result = place_poles(plant, poles, q=0, seed=1)
+print(f"\nfound {result.n_laws} feedback laws "
+      f"in {result.total_seconds:.2f}s; worst pole error "
+      f"{result.max_pole_error():.2e}")
+
+for i, law in enumerate(result.laws):
+    print(f"\nfeedback law #{i}: u = F y with F =")
+    print(np.round(law.f, 4))
+    achieved = np.sort_complex(law.closed_loop_poles(plant))
+    print(f"eigenvalues of A + BFC: {np.round(achieved, 6)}")
+
+assert result.max_pole_error() < 1e-6, "verification failed"
+print("\nOK: every law places the poles exactly (up to roundoff).")

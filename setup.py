@@ -1,0 +1,7 @@
+"""Legacy setup shim so `pip install -e . --no-build-isolation` works offline
+(the sandbox has setuptools but no `wheel`, which PEP 517 editable installs
+require)."""
+
+from setuptools import setup
+
+setup()

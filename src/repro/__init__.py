@@ -1,0 +1,40 @@
+"""repro — parallel Pieri homotopies for feedback laws of linear systems.
+
+Reproduction of Verschelde & Wang, *Computing Feedback Laws for Linear
+Systems with a Parallel Pieri Homotopy*, ICPP 2004.
+
+Layered architecture (bottom up):
+
+- :mod:`repro.polynomials` — multivariate complex polynomials and systems.
+- :mod:`repro.linalg` — cofactors/adjugates, random planes, polynomial matrices.
+- :mod:`repro.tracker` — predictor-corrector path tracking.
+- :mod:`repro.homotopy` — start systems and the gamma-trick homotopy.
+- :mod:`repro.systems` — benchmark polynomial systems (cyclic n-roots, ...).
+- :mod:`repro.schubert` — the paper's core: localization patterns, posets,
+  Pieri trees and Pieri homotopies (numerical Schubert calculus).
+- :mod:`repro.control` — pole placement for linear systems; feedback laws.
+- :mod:`repro.parallel` — real master/slave parallel execution.
+- :mod:`repro.simcluster` — discrete-event cluster simulation (MPI stand-in).
+- :mod:`repro.experiments` — regenerates every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from .polynomials import (
+    Polynomial,
+    PolynomialSystem,
+    constant,
+    parse_polynomial,
+    parse_system,
+    variables,
+)
+
+__all__ = [
+    "Polynomial",
+    "PolynomialSystem",
+    "constant",
+    "variables",
+    "parse_polynomial",
+    "parse_system",
+    "__version__",
+]

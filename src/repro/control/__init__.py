@@ -1,0 +1,39 @@
+"""Control of linear systems: pole placement by output feedback."""
+
+from .feedback import (
+    DynamicCompensator,
+    StaticFeedbackLaw,
+    extract_feedback,
+    split_map_matrix,
+)
+from .pole_placement import (
+    PolePlacementResult,
+    place_poles,
+    pole_planes,
+    verify_law,
+)
+from .oracle import PolePlacementOracle
+from .realization import (
+    CompensatorRealization,
+    closed_loop_matrix,
+    realize_compensator,
+)
+from .statespace import StateSpace, random_plant, required_state_dimension
+
+__all__ = [
+    "PolePlacementOracle",
+    "CompensatorRealization",
+    "closed_loop_matrix",
+    "realize_compensator",
+    "DynamicCompensator",
+    "StaticFeedbackLaw",
+    "extract_feedback",
+    "split_map_matrix",
+    "PolePlacementResult",
+    "place_poles",
+    "pole_planes",
+    "verify_law",
+    "StateSpace",
+    "random_plant",
+    "required_state_dimension",
+]

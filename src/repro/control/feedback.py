@@ -1,0 +1,159 @@
+"""Feedback laws extracted from Pieri solution matrices.
+
+A Pieri solution for the pole placement problem is a concatenated
+coefficient matrix ``X`` fitting the root localization pattern.  Splitting
+each ambient block into its top ``p`` and bottom ``m`` rows gives the right
+matrix-fraction description of the compensator:
+
+    X(s) = [ Y(s) ]   p x p        compensator transfer  C(s) = Z(s) Y(s)^{-1}
+           [ Z(s) ]   m x p
+
+For q = 0 the map is constant and the static output feedback law is
+``F = Z Y^{-1}`` (an m x p gain for u = F y).  For q > 0 the compensator is
+dynamic with McMillan degree q; it is represented here by its MFD and
+verified through the determinant identity (see
+:mod:`repro.control.pole_placement`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..linalg import PolyMatrix
+from ..schubert.patterns import LocalizationPattern
+from .statespace import StateSpace
+
+__all__ = [
+    "StaticFeedbackLaw",
+    "DynamicCompensator",
+    "extract_feedback",
+    "split_map_matrix",
+]
+
+
+def split_map_matrix(
+    x: np.ndarray, pattern: LocalizationPattern
+) -> tuple[PolyMatrix, PolyMatrix]:
+    """Split a concatenated solution into (Y(s), Z(s)) polynomial matrices."""
+    problem = pattern.problem
+    amb, p, m = problem.ambient, problem.p, problem.m
+    max_deg = max(pattern.column_degrees())
+    y_coeffs = [np.zeros((p, p), dtype=complex) for _ in range(max_deg + 1)]
+    z_coeffs = [np.zeros((m, p), dtype=complex) for _ in range(max_deg + 1)]
+    for l in range(max_deg + 1):
+        block = x[l * amb : (l + 1) * amb, :]
+        if block.shape[0] == 0:
+            continue
+        pad = np.zeros((amb, p), dtype=complex)
+        pad[: block.shape[0]] = block
+        y_coeffs[l] = pad[:p, :]
+        z_coeffs[l] = pad[p:, :]
+    return PolyMatrix(y_coeffs), PolyMatrix(z_coeffs)
+
+
+@dataclass(frozen=True)
+class StaticFeedbackLaw:
+    """u = F y output feedback (the q = 0 case)."""
+
+    f: np.ndarray
+
+    def closed_loop_poles(self, plant: StateSpace) -> np.ndarray:
+        return np.linalg.eigvals(plant.closed_loop_matrix(self.f))
+
+    def pole_error(self, plant: StateSpace, poles) -> float:
+        """Max distance between achieved and prescribed pole multisets."""
+        achieved = np.sort_complex(self.closed_loop_poles(plant))
+        target = np.sort_complex(np.asarray(poles, dtype=complex))
+        if achieved.shape != target.shape:
+            raise ValueError("pole count mismatch")
+        # greedy matching is enough for generic (well separated) pole sets
+        err = 0.0
+        remaining = list(achieved)
+        for t in target:
+            dists = [abs(t - a) for a in remaining]
+            k = int(np.argmin(dists))
+            err = max(err, dists[k])
+            remaining.pop(k)
+        return err
+
+    def __repr__(self) -> str:
+        return f"StaticFeedbackLaw(shape={self.f.shape})"
+
+
+@dataclass(frozen=True)
+class DynamicCompensator:
+    """A degree-q compensator as a right MFD  C(s) = Z(s) Y(s)^{-1}."""
+
+    y: PolyMatrix
+    z: PolyMatrix
+    q: int
+
+    def transfer(self, s: complex) -> np.ndarray:
+        """C(s) = Z(s) Y(s)^{-1} (raises if Y(s) is singular)."""
+        return self.z(s) @ np.linalg.inv(self.y(s))
+
+    def denominator_det(self, s: complex) -> complex:
+        return complex(np.linalg.det(self.y(s)))
+
+    def is_proper_at(self, s: complex = 1e6) -> bool:
+        """Heuristic properness check: bounded transfer far from poles."""
+        try:
+            val = self.transfer(complex(s))
+        except np.linalg.LinAlgError:
+            return False
+        return bool(np.all(np.isfinite(val)) and np.max(np.abs(val)) < 1e6)
+
+    def is_degenerate(self, poles, tol: float = 1e-8) -> bool:
+        """True when Y(s) is (nearly) singular at a prescribed pole.
+
+        Such solutions lie on the boundary of the compactified solution
+        space: they satisfy the intersection conditions via a compensator
+        pole/zero cancellation at ``s_i`` instead of a genuine closed-loop
+        pole, so they are not usable feedback laws.  Generic inputs have
+        none; structured pole sets occasionally produce one.
+        """
+        for s in poles:
+            ys = self.y(complex(s))
+            largest = float(np.max(np.abs(ys)))
+            if largest < 1e-150:
+                return True  # Y(s) is (numerically) the zero matrix
+            if abs(np.linalg.det(ys)) < tol * largest**ys.shape[0]:
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"DynamicCompensator(q={self.q}, shape={self.z.shape})"
+
+
+def extract_feedback(
+    x: np.ndarray, pattern: LocalizationPattern
+) -> StaticFeedbackLaw | DynamicCompensator:
+    """Convert a root-pattern Pieri solution into a feedback law.
+
+    Columns of the map matrix are rescaled to unit max-norm first: the
+    feedback law ``Z Y^{-1}`` is invariant under column scaling of the
+    stacked ``[Y; Z]``, and the Pieri chart (bottom pivot = 1) can leave
+    other coefficients huge, which would poison the inversions downstream.
+    """
+    problem = pattern.problem
+    x = np.asarray(x, dtype=complex).copy()
+    for j in range(x.shape[1]):
+        scale = np.max(np.abs(x[:, j]))
+        if scale > 0:
+            x[:, j] /= scale
+    y, z = split_map_matrix(x, pattern)
+    if problem.q == 0:
+        y0 = y.coefficient(0)
+        z0 = z.coefficient(0)
+        try:
+            f = z0 @ np.linalg.inv(y0)
+        except np.linalg.LinAlgError as exc:
+            raise ValueError(
+                "solution map is not in the affine feedback chart "
+                "(Y block singular); the input was non-generic"
+            ) from exc
+        return StaticFeedbackLaw(f)
+    return DynamicCompensator(y, z, problem.q)

@@ -1,0 +1,192 @@
+"""Pole placement via Pieri homotopies (the paper's application, §III-A).
+
+The geometric dictionary (Brockett-Byrnes [2], Huber-Verschelde [9]):
+``s`` is a closed-loop pole of the plant ``(A, B, C)`` under the compensator
+``C(s) = Z(s) Y(s)^{-1}`` if and only if the p-plane map ``X(s) = [Y; Z](s)``
+meets the m-plane
+
+    K(s) = column span [ G(s) ]     with  G(s) = C (sI - A)^{-1} B,
+                       [ I_m  ]
+
+because  det [X | K] = det(Y - G Z)  (Schur complement), and
+
+    chi_closed(s)  ∝  chi_A(s) * det( Y(s) - G(s) Z(s) ).
+
+So prescribing the N = m*p + q*(m+p) closed-loop poles s_1..s_N turns pole
+placement into exactly the Pieri problem: find all maps meeting the N
+planes ``K(s_i)`` at the ``s_i``.  This module builds that
+:class:`~repro.schubert.solver.PieriInstance`, runs the solver, extracts
+feedback laws, and verifies them (eigenvalue check for q = 0; determinant
+identity for every q).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..linalg import orth_basis
+from ..schubert import PieriInstance, PieriProblem, PieriSolver, PieriPoset
+from ..tracker import TrackerOptions
+from .feedback import DynamicCompensator, StaticFeedbackLaw, extract_feedback
+from .statespace import StateSpace, required_state_dimension
+
+__all__ = [
+    "pole_planes",
+    "PolePlacementResult",
+    "place_poles",
+    "verify_law",
+]
+
+
+def pole_planes(
+    plant: StateSpace, poles: Sequence[complex]
+) -> List[np.ndarray]:
+    """The m-planes K(s_i) = span [G(s_i); I_m], orthonormalized.
+
+    Orthonormalizing does not change the span (hence not the intersection
+    conditions) but keeps the determinant equations well scaled.
+    """
+    m = plant.n_inputs
+    planes = []
+    for s in poles:
+        if plant.is_pole(s):
+            raise ValueError(
+                f"prescribed pole {s} is an open-loop pole; the transfer "
+                "function is undefined there"
+            )
+        g = plant.transfer(complex(s))
+        k = np.vstack([g, np.eye(m, dtype=complex)])
+        planes.append(orth_basis(k))
+    return planes
+
+
+@dataclass
+class PolePlacementResult:
+    """All feedback laws placing the prescribed poles, with diagnostics."""
+
+    plant: StateSpace
+    poles: List[complex]
+    q: int
+    laws: List[StaticFeedbackLaw | DynamicCompensator] = field(
+        default_factory=list
+    )
+    failures: int = 0
+    expected_count: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def n_laws(self) -> int:
+        return len(self.laws)
+
+    def proper_laws(self) -> List[StaticFeedbackLaw | DynamicCompensator]:
+        """Laws usable as actual compensators (degenerate ones filtered).
+
+        A dynamic solution is *degenerate* when its denominator Y(s) is
+        singular at a prescribed pole (a boundary point of the compactified
+        solution space); see DynamicCompensator.is_degenerate.
+        """
+        out = []
+        for law in self.laws:
+            if isinstance(law, DynamicCompensator) and law.is_degenerate(
+                self.poles
+            ):
+                continue
+            out.append(law)
+        return out
+
+    def max_pole_error(self, proper_only: bool = True) -> float:
+        """Worst pole placement error over the (proper) laws."""
+        laws = self.proper_laws() if proper_only else self.laws
+        if not laws:
+            return float("inf")
+        return max(verify_law(self.plant, law, self.poles) for law in laws)
+
+
+def verify_law(
+    plant: StateSpace,
+    law: StaticFeedbackLaw | DynamicCompensator,
+    poles: Sequence[complex],
+) -> float:
+    """Verification metric for one feedback law.
+
+    - static: max distance between the eigenvalues of ``A + B F C`` and the
+      prescribed pole multiset (the definitive end-to-end check);
+    - dynamic: max over prescribed poles of the normalized determinant
+      residual ``|det[X(s_i) | K(s_i)]|`` (zero iff s_i is a closed-loop
+      pole, given ``det Y(s_i) != 0`` which is also checked).
+    """
+    if isinstance(law, StaticFeedbackLaw):
+        return law.pole_error(plant, poles)
+    m = plant.n_inputs
+    worst = 0.0
+    for s in poles:
+        g = plant.transfer(complex(s))
+        k = np.vstack([g, np.eye(m, dtype=complex)])
+        x_s = np.vstack([law.y(complex(s)), law.z(complex(s))])
+        mat = np.hstack([x_s, k])
+        scale = np.prod(
+            [max(np.linalg.norm(mat[:, j]), 1e-300) for j in range(mat.shape[1])]
+        )
+        worst = max(worst, abs(np.linalg.det(mat)) / scale)
+        if abs(law.denominator_det(complex(s))) < 1e-12:
+            worst = max(worst, float("inf"))
+    return worst
+
+
+def place_poles(
+    plant: StateSpace,
+    poles: Sequence[complex],
+    q: int = 0,
+    options: TrackerOptions | None = None,
+    seed: int = 0,
+) -> PolePlacementResult:
+    """Compute **all** output feedback laws placing the given poles.
+
+    Parameters
+    ----------
+    plant:
+        The (A, B, C) machine; its state dimension must be the well-posed
+        ``m*p + q*(m+p) - q``.
+    poles:
+        The N = m*p + q*(m+p) prescribed closed-loop poles, distinct and
+        disjoint from the open-loop spectrum.
+    q:
+        Number of internal states of the compensator (0 = static gain).
+    """
+    m, p = plant.n_inputs, plant.n_outputs
+    problem = PieriProblem(m, p, q)
+    n_required = required_state_dimension(m, p, q)
+    if plant.n_states != n_required:
+        raise ValueError(
+            f"plant has {plant.n_states} states; a well-posed ({m},{p},{q}) "
+            f"problem needs {n_required}"
+        )
+    poles = [complex(s) for s in poles]
+    if len(poles) != problem.num_conditions:
+        raise ValueError(
+            f"need exactly {problem.num_conditions} poles, got {len(poles)}"
+        )
+    planes = pole_planes(plant, poles)
+    instance = PieriInstance(problem, planes, poles)
+    solver = PieriSolver(instance, options=options, seed=seed)
+    report = solver.solve()
+    root = PieriPoset.build(problem).root()
+    laws: List[StaticFeedbackLaw | DynamicCompensator] = []
+    failures = report.failures
+    for sol in report.solutions:
+        try:
+            laws.append(extract_feedback(sol, root))
+        except ValueError:
+            failures += 1
+    return PolePlacementResult(
+        plant=plant,
+        poles=poles,
+        q=q,
+        laws=laws,
+        failures=failures,
+        expected_count=report.expected_count(),
+        total_seconds=report.total_seconds,
+    )

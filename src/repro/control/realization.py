@@ -1,0 +1,138 @@
+"""State-space realization of dynamic compensators (right-MFD controller form).
+
+A Pieri solution for q > 0 is a compensator transfer matrix given as a
+right matrix-fraction description C(s) = Z(s) Y(s)^{-1} whose column
+degrees mu_j sum to q.  The classical controller-form construction
+(Kailath, *Linear Systems*, §6.4) turns it into a q-state realization
+(A_c, B_c, C_c, D_c):
+
+    Y(s) = Y_hc S(s) + Y_lc Psi(s),      S(s)   = diag(s^{mu_j})
+    Z(s) = Z_hc S(s) + Z_lc Psi(s),      Psi(s) = block-diag [1, s, ..]^T
+
+    D_c = Z_hc Y_hc^{-1}                       (direct feedthrough)
+    A_c = A_0 - B_0 Y_hc^{-1} Y_lc,  B_c = B_0 Y_hc^{-1}
+    C_c = Z_lc - D_c Y_lc
+
+with (A_0, B_0) the Brunovsky shift pair satisfying
+``(sI - A_0)^{-1} B_0 = Psi(s) S(s)^{-1}``.  Columns with mu_j = 0
+contribute no states.  Y_hc must be invertible (column-reducedness) —
+generic for Pieri solutions; a singular Y_hc raises.
+
+This closes the verification loop for dynamic feedback: interconnecting
+the realized compensator with the plant gives a (n + q)-state closed loop
+whose *eigenvalues* must equal the N prescribed poles exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..linalg import PolyMatrix
+from .feedback import DynamicCompensator
+from .statespace import StateSpace
+
+__all__ = ["CompensatorRealization", "realize_compensator", "closed_loop_matrix"]
+
+
+@dataclass(frozen=True)
+class CompensatorRealization:
+    """A state-space compensator  x_c' = A_c x_c + B_c y,  u = C_c x_c + D_c y."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    d: np.ndarray
+
+    @property
+    def n_states(self) -> int:
+        return self.a.shape[0]
+
+    def transfer(self, s: complex) -> np.ndarray:
+        if self.n_states == 0:
+            return self.d
+        n = self.n_states
+        return self.c @ np.linalg.solve(
+            s * np.eye(n, dtype=complex) - self.a, self.b
+        ) + self.d
+
+
+def _column_degree(pm: PolyMatrix, j: int) -> int:
+    for k in range(pm.degree, -1, -1):
+        if np.any(np.abs(pm.coefficient(k)[:, j]) > 0):
+            return k
+    return 0
+
+
+def realize_compensator(comp: DynamicCompensator) -> CompensatorRealization:
+    """Controller-form realization of ``C(s) = Z(s) Y(s)^{-1}``."""
+    y, z = comp.y, comp.z
+    p = y.shape[1]
+    m = z.shape[0]
+    mus = [_column_degree(y, j) for j in range(p)]
+    n_states = sum(mus)
+
+    # highest-column-degree and low-order coefficient matrices
+    y_hc = np.zeros((p, p), dtype=complex)
+    z_hc = np.zeros((m, p), dtype=complex)
+    for j, mu in enumerate(mus):
+        y_hc[:, j] = y.coefficient(mu)[:, j]
+        z_hc[:, j] = z.coefficient(mu)[:, j]
+    try:
+        y_hc_inv = np.linalg.inv(y_hc)
+    except np.linalg.LinAlgError as exc:
+        raise ValueError(
+            "Y(s) is not column-reduced (highest-column-degree matrix "
+            "singular); the MFD needs a preliminary column reduction"
+        ) from exc
+    d_c = z_hc @ y_hc_inv
+
+    if n_states == 0:
+        return CompensatorRealization(
+            np.zeros((0, 0), dtype=complex),
+            np.zeros((0, p), dtype=complex),
+            np.zeros((m, 0), dtype=complex),
+            d_c,
+        )
+
+    # low-order parts: Y_lc[:, state_cols], column block j holds the
+    # coefficients of 1, s, ..., s^{mu_j - 1} of Y's column j
+    y_lc = np.zeros((p, n_states), dtype=complex)
+    z_lc = np.zeros((m, n_states), dtype=complex)
+    offsets = np.cumsum([0] + mus[:-1])
+    for j, mu in enumerate(mus):
+        for k in range(mu):
+            y_lc[:, offsets[j] + k] = y.coefficient(k)[:, j]
+            z_lc[:, offsets[j] + k] = z.coefficient(k)[:, j]
+
+    # Brunovsky pair: per-column chain z_i' = z_{i+1}, z_mu' = input_j
+    a0 = np.zeros((n_states, n_states), dtype=complex)
+    b0 = np.zeros((n_states, p), dtype=complex)
+    for j, mu in enumerate(mus):
+        off = offsets[j]
+        for k in range(mu - 1):
+            a0[off + k, off + k + 1] = 1.0
+        if mu > 0:
+            b0[off + mu - 1, j] = 1.0
+
+    a_c = a0 - b0 @ y_hc_inv @ y_lc
+    b_c = b0 @ y_hc_inv
+    c_c = z_lc - d_c @ y_lc
+    return CompensatorRealization(a_c, b_c, c_c, d_c)
+
+
+def closed_loop_matrix(
+    plant: StateSpace, comp: CompensatorRealization
+) -> np.ndarray:
+    """System matrix of the plant/compensator interconnection.
+
+    Plant  x' = A x + B u, y = C x; compensator x_c' = A_c x_c + B_c y,
+    u = C_c x_c + D_c y.  The closed loop has n + q states and its
+    eigenvalues are the closed-loop poles — the definitive verification
+    for dynamic output feedback.
+    """
+    a, b, c = plant.a, plant.b, plant.c
+    top = np.hstack([a + b @ comp.d @ c, b @ comp.c])
+    bottom = np.hstack([comp.b @ c, comp.a])
+    return np.vstack([top, bottom])

@@ -1,0 +1,119 @@
+"""Linear time-invariant plants (A, B, C) and transfer-function evaluation.
+
+The machine of the paper's introduction: m inputs, p outputs, evolving by
+x' = Ax + Bu, y = Cx.  Only what pole placement needs lives here —
+transfer-function evaluation, open-loop poles, and random well-posed plant
+generation (the state dimension must equal ``m*p + q*(m+p) - q`` for the
+output-feedback problem with a q-state compensator to be square).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..linalg import random_complex_matrix
+
+__all__ = ["StateSpace", "random_plant", "required_state_dimension"]
+
+
+def required_state_dimension(m: int, p: int, q: int = 0) -> int:
+    """Plant states n so that #closed-loop poles == #conditions.
+
+    The closed loop of an n-state plant and a q-state compensator has
+    ``n + q`` poles while the Pieri problem imposes ``N = m*p + q*(m+p)``
+    interpolation conditions, so well-posedness needs ``n = N - q``.
+    """
+    return m * p + q * (m + p) - q
+
+
+@dataclass(frozen=True)
+class StateSpace:
+    """An LTI plant x' = Ax + Bu, y = Cx (D = 0)."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+
+    def __post_init__(self) -> None:
+        a = np.asarray(self.a, dtype=complex)
+        b = np.asarray(self.b, dtype=complex)
+        c = np.asarray(self.c, dtype=complex)
+        n = a.shape[0]
+        if a.shape != (n, n):
+            raise ValueError("A must be square")
+        if b.ndim != 2 or b.shape[0] != n:
+            raise ValueError("B must be n x m")
+        if c.ndim != 2 or c.shape[1] != n:
+            raise ValueError("C must be p x n")
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        object.__setattr__(self, "c", c)
+
+    @property
+    def n_states(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.b.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.c.shape[0]
+
+    def transfer(self, s: complex) -> np.ndarray:
+        """G(s) = C (sI - A)^{-1} B, the p x m transfer matrix."""
+        n = self.n_states
+        return self.c @ np.linalg.solve(
+            s * np.eye(n, dtype=complex) - self.a, self.b
+        )
+
+    def open_loop_poles(self) -> np.ndarray:
+        return np.linalg.eigvals(self.a)
+
+    def is_pole(self, s: complex, tol: float = 1e-8) -> bool:
+        return bool(np.min(np.abs(self.open_loop_poles() - s)) < tol)
+
+    def closed_loop_matrix(self, f: np.ndarray) -> np.ndarray:
+        """A + B F C for static output feedback u = F y."""
+        f = np.asarray(f, dtype=complex)
+        if f.shape != (self.n_inputs, self.n_outputs):
+            raise ValueError(
+                f"F must be {self.n_inputs} x {self.n_outputs}"
+            )
+        return self.a + self.b @ f @ self.c
+
+    def __repr__(self) -> str:
+        return (
+            f"StateSpace(n={self.n_states}, inputs={self.n_inputs}, "
+            f"outputs={self.n_outputs})"
+        )
+
+
+def random_plant(
+    m: int,
+    p: int,
+    q: int = 0,
+    rng: np.random.Generator | None = None,
+    real: bool = False,
+) -> StateSpace:
+    """A random generic plant with the well-posed state dimension.
+
+    With ``real=True`` the matrices are real Gaussian (the physically
+    meaningful case); feedback laws then come in conjugate pairs when the
+    prescribed pole set is self-conjugate.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    n = required_state_dimension(m, p, q)
+    if real:
+        a = rng.standard_normal((n, n)).astype(complex)
+        b = rng.standard_normal((n, m)).astype(complex)
+        c = rng.standard_normal((p, n)).astype(complex)
+    else:
+        a = random_complex_matrix(n, n, rng)
+        b = random_complex_matrix(n, m, rng)
+        c = random_complex_matrix(p, n, rng)
+    return StateSpace(a, b, c)

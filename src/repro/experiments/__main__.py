@@ -1,0 +1,46 @@
+"""Print every regenerated table and figure: ``python -m repro.experiments``.
+
+Options:
+    --fast      skip the timed solver runs (combinatorics + simulator only)
+    --full      also time the bigger Table IV cells (minutes of runtime)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .tables import fig1, fig2, figures345, table1, table2, table3, table4
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    fast = "--fast" in argv
+    full = "--full" in argv
+
+    print(table1()[0])
+    print()
+    print(fig1()[0])
+    print()
+    print(table2()[0])
+    print()
+    print(fig2()[0])
+    print()
+    if fast:
+        print(table3(run_solver=False)[0])
+    else:
+        print(table3(m=2, p=2, q=1)[0])
+        print()
+        print("Table III at the paper's size (m=3 p=2 q=1, 252 paths):")
+        print(table3(m=3, p=2, q=1)[0])
+    print()
+    cells = [(2, 2, 0), (3, 2, 0), (2, 2, 1)]
+    if full:
+        cells += [(3, 3, 0), (3, 2, 1), (2, 2, 2)]
+    print(table4(solve_cells=() if fast else tuple(cells))[0])
+    print()
+    print(figures345())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Calibration of the cluster simulator against this repository's tracker.
+
+The paper's absolute times come from 1 GHz Platinum CPUs running Ada; ours
+come from the Python tracker on local hardware.  What must carry over is
+the *distribution shape* of per-path costs, so the calibration runs a real
+(small) instance of each workload family, builds the empirical cost
+distribution, and resamples it to the paper's path counts — giving the
+simulator a measured, not assumed, variance profile.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..homotopy import make_homotopy_and_starts
+from ..simcluster import Workload, workload_from_results
+from ..systems import cyclic_roots_system, rps_surrogate_system
+from ..tracker import PathTracker, TrackerOptions
+
+__all__ = ["measure_cyclic_costs", "measure_rps_costs", "resample_workload"]
+
+
+def measure_cyclic_costs(
+    n: int = 5, seed: int = 0, options: TrackerOptions | None = None
+) -> Workload:
+    """Track all cyclic-``n`` paths for real and return the measured costs."""
+    target = cyclic_roots_system(n)
+    homotopy, starts = make_homotopy_and_starts(
+        target, rng=np.random.default_rng(seed)
+    )
+    tracker = PathTracker(options or TrackerOptions())
+    results = tracker.track_many(homotopy, starts)
+    return workload_from_results(results, name=f"cyclic{n}-measured")
+
+
+def measure_rps_costs(
+    n: int = 5, seed: int = 0, options: TrackerOptions | None = None
+) -> Workload:
+    """Track the RPS surrogate (2^n paths, ~all divergent) for real."""
+    target = rps_surrogate_system(n, rng=np.random.default_rng(seed))
+    homotopy, starts = make_homotopy_and_starts(
+        target, rng=np.random.default_rng(seed + 1)
+    )
+    tracker = PathTracker(options or TrackerOptions())
+    results = tracker.track_many(homotopy, starts)
+    return workload_from_results(results, name=f"rps{n}-measured")
+
+
+def resample_workload(
+    measured: Workload,
+    n_paths: int,
+    total_cpu_minutes: float,
+    rng: np.random.Generator | None = None,
+) -> Workload:
+    """Bootstrap the measured distribution up to the paper's path count."""
+    rng = np.random.default_rng(0) if rng is None else rng
+    sample = rng.choice(measured.costs, size=n_paths, replace=True)
+    return Workload(f"{measured.name}-x{n_paths}", sample).scaled_to_total_minutes(
+        total_cpu_minutes
+    )

@@ -1,0 +1,38 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Fixed-width text table (the harness's output format)."""
+    cells = [[str(h) for h in headers]] + [
+        [f"{v:.2f}" if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence, series: dict[str, Sequence[float]]
+) -> str:
+    """Figure data as aligned columns: x then one column per curve."""
+    headers = ["x"] + list(series.keys())
+    rows = [
+        [x] + [series[k][i] for k in series] for i, x in enumerate(xs)
+    ]
+    return render_table(headers, rows, title=name)

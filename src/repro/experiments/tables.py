@@ -1,0 +1,305 @@
+"""Regeneration of every table and figure of the paper.
+
+Each ``table*``/``fig*`` function returns ``(text, rows)`` where ``text``
+prints the same rows the paper reports (with the paper's own numbers
+alongside for comparison) and ``rows`` is the raw data for benchmarks and
+EXPERIMENTS.md.  ``python -m repro.experiments`` prints everything.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..schubert import (
+    LocalizationPattern,
+    PieriInstance,
+    PieriPoset,
+    PieriProblem,
+    PieriSolver,
+    PieriTree,
+    level_job_counts,
+    pieri_root_count,
+)
+from ..simcluster import (
+    ClusterSpec,
+    cyclic10_workload,
+    rps_workload,
+    simulate_dynamic,
+    simulate_static,
+    speedup_table,
+)
+from .formatting import render_series, render_table
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4_COUNTS",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig1",
+    "fig2",
+    "figures345",
+]
+
+#: Paper Table I: cyclic 10-roots on the Platinum cluster (user CPU minutes).
+PAPER_TABLE1 = {
+    1: (480.0, 1.0, 480.0, 1.0),
+    8: (75.5, 6.4, 66.6, 7.2),
+    16: (36.4, 13.2, 31.7, 15.2),
+    32: (19.0, 25.3, 15.7, 30.7),
+    64: (10.2, 46.9, 7.9, 60.5),
+    128: (6.6, 73.3, 4.3, 112.9),
+}
+
+#: Paper Table II: the RPS mechanism-design system (user CPU minutes).
+PAPER_TABLE2 = {
+    8: (417.5, 7.5, 388.9, 8.0),
+    16: (195.1, 15.9, 183.7, 16.9),
+    32: (94.7, 32.9, 96.1, 32.4),
+    64: (49.8, 62.5, 47.5, 65.5),
+    128: (25.1, 124.0, 22.0, 141.4),
+}
+
+#: Paper Table III: #paths per level for m=3, p=2, q=1 (total 252).
+PAPER_TABLE3 = [1, 2, 3, 5, 8, 13, 21, 34, 55, 55, 55]
+
+#: Paper Table IV: solution counts per (m, p, q) *as printed in the paper*.
+#: The (3,3,2) cell prints 17462; the DP (verified against the q-analogue
+#: recurrences: d(2,2,q) = 2*4^q and d(3,2,q) = Fib(5q+5)) gives 174762 —
+#: a dropped digit in the paper, flagged "paper typo" by table4().
+PAPER_TABLE4_COUNTS = {
+    (2, 2, 0): 2, (2, 2, 1): 8, (2, 2, 2): 32, (2, 2, 3): 128,
+    (3, 2, 0): 5, (3, 2, 1): 55, (3, 2, 2): 610, (3, 2, 3): 6765,
+    (3, 3, 0): 42, (3, 3, 1): 2730, (3, 3, 2): 17462,
+    (4, 3, 0): 462, (4, 3, 1): 135660,
+    (4, 4, 0): 24024,
+}
+
+
+def table1(
+    cpu_counts: Sequence[int] = (1, 8, 16, 32, 64, 128),
+    seed: int = 3,
+    spec: ClusterSpec | None = None,
+) -> Tuple[str, List[dict]]:
+    """Table I: static vs dynamic on the simulated cyclic 10-roots run."""
+    wl = cyclic10_workload(np.random.default_rng(seed))
+    rows = speedup_table(wl, list(cpu_counts), spec)
+    out = []
+    for r in rows:
+        paper = PAPER_TABLE1.get(r["cpus"])
+        out.append(
+            [
+                r["cpus"],
+                round(r["static_minutes"], 1),
+                round(r["static_speedup"], 1),
+                round(r["dynamic_minutes"], 1),
+                round(r["dynamic_speedup"], 1),
+                f"{r['improvement_pct']:.2f}%",
+                f"{paper[0]}/{paper[2]}" if paper else "-",
+                f"{paper[1]}/{paper[3]}" if paper else "-",
+            ]
+        )
+    text = render_table(
+        [
+            "#CPUs",
+            "static min",
+            "static x",
+            "dynamic min",
+            "dynamic x",
+            "improv",
+            "paper st/dy min",
+            "paper st/dy x",
+        ],
+        out,
+        title="Table I - cyclic 10-roots, 35940 paths, static vs dynamic "
+        "(simulated cluster, calibrated to 480 CPU-min at 1 GHz)",
+    )
+    return text, rows
+
+
+def table2(
+    cpu_counts: Sequence[int] = (8, 16, 32, 64, 128),
+    seed: int = 1,
+    spec: ClusterSpec | None = None,
+) -> Tuple[str, List[dict]]:
+    """Table II: the RPS run — low variance, dynamic barely wins."""
+    wl = rps_workload(np.random.default_rng(seed))
+    rows = speedup_table(wl, list(cpu_counts), spec)
+    out = []
+    for r in rows:
+        paper = PAPER_TABLE2.get(r["cpus"])
+        out.append(
+            [
+                r["cpus"],
+                round(r["static_minutes"], 1),
+                round(r["static_speedup"], 1),
+                round(r["dynamic_minutes"], 1),
+                round(r["dynamic_speedup"], 1),
+                f"{r['improvement_pct']:.2f}%",
+                f"{paper[0]}/{paper[2]}" if paper else "-",
+            ]
+        )
+    text = render_table(
+        [
+            "#CPUs",
+            "static min",
+            "static x",
+            "dynamic min",
+            "dynamic x",
+            "improv",
+            "paper st/dy min",
+        ],
+        out,
+        title="Table II - RPS mechanism design, 9216 paths, >8000 divergent "
+        "with near-constant cost (simulated cluster, 3111.2 CPU-min)",
+    )
+    return text, rows
+
+
+def table3(
+    m: int = 3,
+    p: int = 2,
+    q: int = 1,
+    seed: int = 5,
+    run_solver: bool = True,
+) -> Tuple[str, Dict]:
+    """Table III: #paths and time per level of the Pieri tree.
+
+    With ``run_solver`` the real tracker is timed per level (the paper's
+    'user CPU time' column); otherwise only the combinatorial counts are
+    printed (instant).
+    """
+    counts = level_job_counts(m, p, q)
+    seconds = {}
+    if run_solver:
+        instance = PieriInstance.random(m, p, q, np.random.default_rng(seed))
+        report = PieriSolver(instance, seed=seed).solve()
+        seconds = report.seconds_per_level
+        assert [report.jobs_per_level[i + 1] for i in range(len(counts))] == counts
+    rows = []
+    for n, c in enumerate(counts, start=1):
+        paper = PAPER_TABLE3[n - 1] if n - 1 < len(PAPER_TABLE3) else "-"
+        rows.append(
+            [
+                n,
+                c,
+                f"{seconds.get(n, float('nan')):.3f}s" if run_solver else "-",
+                paper,
+            ]
+        )
+    rows.append(
+        [
+            "total",
+            sum(counts),
+            f"{sum(seconds.values()):.3f}s" if run_solver else "-",
+            sum(PAPER_TABLE3),
+        ]
+    )
+    text = render_table(
+        ["level n", "#paths", "time", "paper #paths"],
+        rows,
+        title=f"Table III - paths and time per level, m={m} p={p} q={q}",
+    )
+    return text, {"counts": counts, "seconds": seconds}
+
+
+def table4(
+    solve_cells: Sequence[Tuple[int, int, int]] = (
+        (2, 2, 0),
+        (3, 2, 0),
+        (2, 2, 1),
+    ),
+    seed: int = 7,
+) -> Tuple[str, Dict]:
+    """Table IV: root counts for every paper cell; timed solves for the
+    tractable ones (the upper-left of the paper's triangle)."""
+    timings: Dict[Tuple[int, int, int], float] = {}
+    solved: Dict[Tuple[int, int, int], int] = {}
+    for m, p, q in solve_cells:
+        instance = PieriInstance.random(m, p, q, np.random.default_rng(seed))
+        t0 = time.perf_counter()
+        report = PieriSolver(instance, seed=seed).solve()
+        timings[(m, p, q)] = time.perf_counter() - t0
+        solved[(m, p, q)] = report.n_solutions
+    rows = []
+    for (m, p, q), paper_count in sorted(PAPER_TABLE4_COUNTS.items()):
+        ours = pieri_root_count(m, p, q)
+        cell = (m, p, q)
+        rows.append(
+            [
+                f"({m},{p})",
+                q,
+                ours,
+                paper_count,
+                "OK" if ours == paper_count else "paper typo",
+                f"{timings[cell]:.2f}s" if cell in timings else "-",
+                solved.get(cell, "-"),
+            ]
+        )
+    text = render_table(
+        ["(m,p)", "q", "#solutions", "paper", "check", "solve time", "#found"],
+        rows,
+        title="Table IV - root counts d(m,p,q) and solve times",
+    )
+    return text, {"timings": timings, "solved": solved}
+
+
+def fig1(
+    cpu_counts: Sequence[int] = (1, 8, 16, 32, 64, 128), seed: int = 3
+) -> Tuple[str, Dict]:
+    """Fig 1: speedup curves (static, dynamic, optimal) for cyclic 10."""
+    _, rows = table1(cpu_counts, seed)
+    xs = [r["cpus"] for r in rows]
+    series = {
+        "static": [round(r["static_speedup"], 1) for r in rows],
+        "dynamic": [round(r["dynamic_speedup"], 1) for r in rows],
+        "optimal": [float(x) for x in xs],
+    }
+    return (
+        render_series("Fig 1 - speedup comparison, cyclic 10-roots", xs, series),
+        {"x": xs, **series},
+    )
+
+
+def fig2(
+    cpu_counts: Sequence[int] = (8, 16, 32, 64, 128), seed: int = 1
+) -> Tuple[str, Dict]:
+    """Fig 2: speedup curves for the RPS run."""
+    _, rows = table2(cpu_counts, seed)
+    xs = [r["cpus"] for r in rows]
+    series = {
+        "static": [round(r["static_speedup"], 1) for r in rows],
+        "dynamic": [round(r["dynamic_speedup"], 1) for r in rows],
+        "optimal": [float(x) for x in xs],
+    }
+    return (
+        render_series("Fig 2 - speedup comparison, RPS application", xs, series),
+        {"x": xs, **series},
+    )
+
+
+def figures345() -> str:
+    """Figs 3-5: the localization pattern, poset and Pieri tree for
+    m=2, p=2, q=1, rendered as ASCII."""
+    prob = PieriProblem(2, 2, 1)
+    pattern = LocalizationPattern(prob, (4, 7))
+    poset = PieriPoset.build(prob)
+    tree = PieriTree(prob)
+    parts = [
+        "Fig 3 - localization pattern [4 7] for m=2, p=2, q=1 "
+        "(concatenated form, stars = free coefficients):",
+        pattern.ascii_art(),
+        "",
+        "Fig 4 - Pieri poset with chain counts (root count at the bottom):",
+        poset.ascii_art(),
+        "",
+        "Fig 5 - Pieri tree (indentation = depth; 8 leaves = 8 solutions):",
+        tree.ascii_art(max_depth=8),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,33 @@
+"""Homotopy construction: gamma trick, start systems, blackbox solve."""
+
+from .bezout import (
+    best_partition,
+    block_degree,
+    multihomogeneous_bezout,
+    set_partitions,
+)
+from .convex import ConvexHomotopy, random_gamma
+from .solve import SolveReport, distinct_solutions, make_homotopy_and_starts, solve
+from .start import (
+    LinearProductStart,
+    linear_product_start_system,
+    total_degree_start_solutions,
+    total_degree_start_system,
+)
+
+__all__ = [
+    "best_partition",
+    "block_degree",
+    "multihomogeneous_bezout",
+    "set_partitions",
+    "ConvexHomotopy",
+    "random_gamma",
+    "SolveReport",
+    "distinct_solutions",
+    "make_homotopy_and_starts",
+    "solve",
+    "LinearProductStart",
+    "linear_product_start_system",
+    "total_degree_start_solutions",
+    "total_degree_start_system",
+]

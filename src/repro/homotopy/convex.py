@@ -1,0 +1,72 @@
+"""The convex-combination homotopy with the gamma trick (paper eq. (1)).
+
+    H(x, t) = gamma * (1 - t) * G(x) + t * F(x)
+
+For all but finitely many complex ``gamma`` on the unit circle, every
+solution path of ``H`` is regular and bounded for t in [0, 1) — the
+probability-one guarantee that makes homotopy continuation reliable.
+"""
+
+from __future__ import annotations
+
+import cmath
+
+import numpy as np
+
+from ..polynomials import PolynomialSystem
+from ..tracker import HomotopyFunction
+
+__all__ = ["ConvexHomotopy", "random_gamma"]
+
+
+def random_gamma(rng: np.random.Generator | None = None) -> complex:
+    """A uniformly random point on the unit circle (the gamma trick)."""
+    rng = np.random.default_rng() if rng is None else rng
+    return cmath.exp(2j * cmath.pi * rng.random())
+
+
+class ConvexHomotopy(HomotopyFunction):
+    """H(x,t) = gamma (1-t) G(x) + t F(x) between polynomial systems."""
+
+    def __init__(
+        self,
+        start: PolynomialSystem,
+        target: PolynomialSystem,
+        gamma: complex | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if start.nvars != target.nvars or start.neqs != target.neqs:
+            raise ValueError("start and target systems must have equal shape")
+        if not target.is_square():
+            raise ValueError("homotopy continuation needs a square system")
+        self.start = start
+        self.target = target
+        self.gamma = random_gamma(rng) if gamma is None else complex(gamma)
+        if self.gamma == 0:
+            raise ValueError("gamma must be nonzero")
+
+    @property
+    def dim(self) -> int:
+        return self.target.nvars
+
+    def evaluate(self, x: np.ndarray, t: float) -> np.ndarray:
+        g = self.start.evaluate(x)
+        f = self.target.evaluate(x)
+        return self.gamma * (1.0 - t) * g + t * f
+
+    def jacobian_x(self, x: np.ndarray, t: float) -> np.ndarray:
+        jg = self.start.jacobian_at(x)
+        jf = self.target.jacobian_at(x)
+        return self.gamma * (1.0 - t) * jg + t * jf
+
+    def jacobian_t(self, x: np.ndarray, t: float) -> np.ndarray:
+        return self.target.evaluate(x) - self.gamma * self.start.evaluate(x)
+
+    def evaluate_and_jacobian_x(self, x, t):
+        g, jg = self.start.evaluate_and_jacobian(x)
+        f, jf = self.target.evaluate_and_jacobian(x)
+        w = self.gamma * (1.0 - t)
+        return w * g + t * f, w * jg + t * jf
+
+    def __repr__(self) -> str:
+        return f"ConvexHomotopy(dim={self.dim}, gamma={self.gamma:.4f})"

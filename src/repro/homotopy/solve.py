@@ -1,0 +1,154 @@
+"""Blackbox sequential solver: start system + homotopy + tracker.
+
+``solve`` is the one-call driver matching PHCpack's blackbox mode for the
+systems in this reproduction: build a start system with known roots, form
+the gamma-trick homotopy, track every path, and return classified results
+plus the list of distinct finite solutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Literal
+
+import numpy as np
+
+from ..polynomials import PolynomialSystem
+from ..tracker import (
+    PathResult,
+    PathTracker,
+    TrackerOptions,
+    newton_refine_system,
+    summarize_results,
+)
+from .convex import ConvexHomotopy
+from .start import (
+    LinearProductStart,
+    total_degree_start_solutions,
+    total_degree_start_system,
+)
+
+__all__ = ["SolveReport", "solve", "make_homotopy_and_starts", "distinct_solutions"]
+
+
+@dataclass
+class SolveReport:
+    """Everything the blackbox solver learned about a system."""
+
+    results: List[PathResult]
+    solutions: List[np.ndarray] = field(default_factory=list)
+    summary: dict = field(default_factory=dict)
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_solutions(self) -> int:
+        return len(self.solutions)
+
+
+def distinct_solutions(
+    results: Iterable[PathResult], tol: float = 1e-6
+) -> List[np.ndarray]:
+    """Cluster SUCCESS endpoints into distinct solutions (max-norm ``tol``)."""
+    out: List[np.ndarray] = []
+    for r in results:
+        if not r.success:
+            continue
+        x = r.solution
+        if not any(np.max(np.abs(x - y)) < tol for y in out):
+            out.append(x)
+    return out
+
+
+def make_homotopy_and_starts(
+    target: PolynomialSystem,
+    start_kind: Literal["total_degree", "linear_product"] = "total_degree",
+    rng: np.random.Generator | None = None,
+    gamma: complex | None = None,
+):
+    """Build the gamma-trick homotopy plus the list of start solutions."""
+    rng = np.random.default_rng() if rng is None else rng
+    if start_kind == "total_degree":
+        start_sys, consts = total_degree_start_system(target, rng)
+        starts = list(total_degree_start_solutions(target.degrees(), consts))
+    elif start_kind == "linear_product":
+        lp = LinearProductStart(target, rng)
+        start_sys = lp.system()
+        starts = list(lp.solutions())
+    else:
+        raise ValueError(f"unknown start system kind {start_kind!r}")
+    homotopy = ConvexHomotopy(start_sys, target, gamma=gamma, rng=rng)
+    return homotopy, starts
+
+
+def _duplicate_path_ids(results: List[PathResult], tol: float = 1e-6):
+    """Path ids whose successful endpoint collides with an earlier path's.
+
+    Two paths of a proper homotopy cannot share an endpoint at a regular
+    root, so collisions indicate a predictor jump between close paths; the
+    colliding paths are candidates for conservative re-tracking.
+    """
+    seen: List[np.ndarray] = []
+    dups: List[int] = []
+    for r in results:
+        if not r.success:
+            continue
+        if any(np.max(np.abs(r.solution - s)) < tol for s in seen):
+            dups.append(r.path_id)
+        else:
+            seen.append(r.solution)
+    return dups
+
+
+def _tightened(options: TrackerOptions) -> TrackerOptions:
+    return TrackerOptions(
+        initial_step=max(options.initial_step / 4, options.min_step),
+        min_step=options.min_step / 4,
+        max_step=max(options.max_step / 4, options.min_step),
+        expand=options.expand,
+        shrink=options.shrink,
+        expand_after=options.expand_after + 2,
+        corrector_tol=options.corrector_tol,
+        corrector_iterations=max(3, options.corrector_iterations - 1),
+        endgame_tol=options.endgame_tol,
+        endgame_iterations=options.endgame_iterations,
+        divergence_bound=options.divergence_bound,
+        max_steps=options.max_steps * 4,
+    )
+
+
+def solve(
+    target: PolynomialSystem,
+    start_kind: Literal["total_degree", "linear_product"] = "total_degree",
+    options: TrackerOptions | None = None,
+    rng: np.random.Generator | None = None,
+    refine: bool = True,
+    rerun_duplicates: bool = True,
+) -> SolveReport:
+    """Track all paths of a homotopy to ``target`` and classify endpoints.
+
+    With ``rerun_duplicates`` (default), paths whose endpoints collide —
+    the signature of a predictor jumping between close paths — are
+    re-tracked with conservatively small steps, PHCpack-style.
+    """
+    homotopy, starts = make_homotopy_and_starts(target, start_kind, rng)
+    base_options = options or TrackerOptions()
+    tracker = PathTracker(base_options)
+    results = tracker.track_many(homotopy, starts)
+    if rerun_duplicates:
+        dups = _duplicate_path_ids(results)
+        if dups:
+            tight = PathTracker(_tightened(base_options))
+            for pid in dups:
+                results[pid] = tight.track(homotopy, starts[pid], path_id=pid)
+    if refine:
+        for r in results:
+            if r.success:
+                nr = newton_refine_system(target, r.solution)
+                if nr.converged:
+                    r.solution = nr.x
+                    r.residual = nr.residual
+    sols = distinct_solutions(results)
+    return SolveReport(results=results, solutions=sols, summary=summarize_results(results))

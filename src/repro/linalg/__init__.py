@@ -1,0 +1,31 @@
+"""Dense complex linear-algebra helpers shared by the Schubert and control layers."""
+
+from .dets import adjugate, cofactor_matrix, det_and_cofactors
+from .planes import (
+    orth_basis,
+    plane_distance,
+    random_complex_matrix,
+    random_plane,
+    random_unitary,
+    subspace_angle,
+)
+from .polymat import (
+    PolyMatrix,
+    charpoly_coefficients,
+    resolvent_numerator,
+)
+
+__all__ = [
+    "adjugate",
+    "cofactor_matrix",
+    "det_and_cofactors",
+    "orth_basis",
+    "plane_distance",
+    "random_complex_matrix",
+    "random_plane",
+    "random_unitary",
+    "subspace_angle",
+    "PolyMatrix",
+    "charpoly_coefficients",
+    "resolvent_numerator",
+]

@@ -1,0 +1,69 @@
+"""Determinants, cofactors and adjugates of small complex matrices.
+
+The Pieri intersection conditions are determinants ``det[X(s) | K]`` of
+matrices of size ``m+p`` (at most 8 in the paper's experiments).  Newton's
+method needs the *gradient* of a determinant:
+
+    d det(M) / d M[i, j] = cofactor(M)[i, j]
+
+Jacobi's formula ``det(M) * trace(M^{-1} dM)`` degenerates exactly where we
+need it most (at solutions, where ``det(M) -> 0``), so the cofactor matrix is
+computed directly from stacked minors in one vectorized ``numpy.linalg.det``
+call — numerically stable for nearly singular ``M`` and fast because numpy
+batches the LU factorizations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cofactor_matrix", "adjugate", "det_and_cofactors"]
+
+
+def _minor_stack(matrix: np.ndarray) -> np.ndarray:
+    """All (n^2) minors of an n x n matrix, stacked as (n, n, n-1, n-1)."""
+    n = matrix.shape[0]
+    if n == 1:
+        return np.ones((1, 1, 0, 0), dtype=matrix.dtype)
+    # index helpers: rows_without[i] = the n-1 row indices skipping i
+    idx = np.arange(n)
+    keep = np.array([np.delete(idx, i) for i in range(n)])  # (n, n-1)
+    # minors[i, j] = matrix with row i and column j removed
+    rows = keep[:, None, :, None]  # (n, 1, n-1, 1)
+    cols = keep[None, :, None, :]  # (1, n, 1, n-1)
+    return matrix[rows, cols]
+
+
+def cofactor_matrix(matrix: np.ndarray) -> np.ndarray:
+    """The cofactor matrix C with C[i, j] = (-1)^(i+j) * minor(i, j).
+
+    ``d det(M)/d M[i, j] = C[i, j]`` and ``adj(M) = C.T``.
+    """
+    m = np.asarray(matrix, dtype=complex)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError("cofactor_matrix expects a square matrix")
+    n = m.shape[0]
+    if n == 1:
+        return np.ones((1, 1), dtype=complex)
+    minors = _minor_stack(m)
+    dets = np.linalg.det(minors.reshape(n * n, n - 1, n - 1)).reshape(n, n)
+    signs = (-1.0) ** (np.add.outer(np.arange(n), np.arange(n)))
+    return signs * dets
+
+
+def adjugate(matrix: np.ndarray) -> np.ndarray:
+    """The adjugate (classical adjoint): ``adj(M) @ M = det(M) * I``."""
+    return cofactor_matrix(matrix).T
+
+
+def det_and_cofactors(matrix: np.ndarray) -> tuple[complex, np.ndarray]:
+    """Determinant together with the full cofactor matrix.
+
+    The determinant is recovered from the cofactor expansion along the first
+    row, which reuses the minors already computed and keeps the two values
+    exactly consistent (important for Newton residual/gradient pairs).
+    """
+    cof = cofactor_matrix(matrix)
+    m = np.asarray(matrix, dtype=complex)
+    det = complex(np.dot(m[0, :], cof[0, :]))
+    return det, cof

@@ -1,0 +1,77 @@
+"""Random planes, unitaries and subspace geometry in complex space.
+
+The pole placement problem takes *general* m-planes in C^{m+p} as input;
+"general" means drawn from a continuous distribution so that all Schubert
+intersections are transversal with probability one.  These helpers generate
+such planes and measure distances between subspaces for verification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "random_complex_matrix",
+    "random_unitary",
+    "random_plane",
+    "orth_basis",
+    "plane_distance",
+    "subspace_angle",
+]
+
+
+def random_complex_matrix(
+    rows: int, cols: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Gaussian complex matrix with unit-variance entries."""
+    rng = np.random.default_rng() if rng is None else rng
+    return (rng.standard_normal((rows, cols)) + 1j * rng.standard_normal((rows, cols))) / np.sqrt(2)
+
+
+def random_unitary(n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Haar-distributed unitary via QR of a complex Gaussian matrix."""
+    z = random_complex_matrix(n, n, rng)
+    q, r = np.linalg.qr(z)
+    # fix the phase ambiguity so the distribution is exactly Haar
+    d = np.diagonal(r)
+    ph = d / np.abs(d)
+    return q * ph[None, :]
+
+
+def random_plane(
+    ambient: int, dim: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """A random ``dim``-plane in C^ambient as an (ambient, dim) basis matrix."""
+    if not 0 < dim <= ambient:
+        raise ValueError("need 0 < dim <= ambient")
+    return random_unitary(ambient, rng)[:, :dim]
+
+
+def orth_basis(matrix: np.ndarray) -> np.ndarray:
+    """Orthonormal basis of the column span (QR with rank check)."""
+    m = np.asarray(matrix, dtype=complex)
+    q, r = np.linalg.qr(m)
+    diag = np.abs(np.diagonal(r))
+    tol = max(m.shape) * np.finfo(float).eps * (diag.max() if diag.size else 0.0)
+    rank = int(np.sum(diag > tol))
+    if rank < m.shape[1]:
+        raise ValueError(f"matrix has rank {rank} < {m.shape[1]} columns")
+    return q
+
+
+def plane_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Gap metric between two subspaces: ``||P_A - P_B||_2`` in [0, 1]."""
+    qa = orth_basis(np.asarray(a, dtype=complex))
+    qb = orth_basis(np.asarray(b, dtype=complex))
+    pa = qa @ qa.conj().T
+    pb = qb @ qb.conj().T
+    return float(np.linalg.norm(pa - pb, ord=2))
+
+
+def subspace_angle(a: np.ndarray, b: np.ndarray) -> float:
+    """Largest principal angle between the column spans, in radians."""
+    qa = orth_basis(np.asarray(a, dtype=complex))
+    qb = orth_basis(np.asarray(b, dtype=complex))
+    sv = np.linalg.svd(qa.conj().T @ qb, compute_uv=False)
+    sv = np.clip(sv, 0.0, 1.0)
+    return float(np.arccos(sv.min() if sv.size else 1.0))

@@ -1,0 +1,11 @@
+"""Real master/slave parallel execution on local workers (MPI stand-in)."""
+
+from .executors import ParallelTrackReport, track_paths_parallel
+from .pieri_scheduler import ParallelPieriReport, solve_pieri_parallel
+
+__all__ = [
+    "ParallelTrackReport",
+    "track_paths_parallel",
+    "ParallelPieriReport",
+    "solve_pieri_parallel",
+]

@@ -1,0 +1,167 @@
+"""Parallel Pieri homotopy: the master/slave tree scheduler (paper §III-D, Fig 6).
+
+The master owns a queue of *ready* jobs (tree edges whose start solution is
+known).  At startup it enqueues the at-most-p jobs out of the tree root;
+whenever a worker returns a result, the master generates the (at most p)
+jobs the result enables and hands the next queued job to the first idle
+worker — first-come-first-served, exactly the paper's protocol, including
+its termination rule: workers that returned a leaf and found the queue
+empty are parked on an idle list and *re-activated* when new jobs appear;
+the run ends when every job is done and all workers are parked.
+
+Workers execute :meth:`repro.schubert.solver.PieriSolver.run_job`, the same
+routine the sequential DFS uses, with the same per-poset-node homotopies —
+so the parallel solve returns exactly the same solution set (tested).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional
+
+import numpy as np
+
+from ..schubert.solver import (
+    PieriInstance,
+    PieriJob,
+    PieriReport,
+    PieriSolver,
+)
+from ..tracker import TrackerOptions
+
+__all__ = ["ParallelPieriReport", "solve_pieri_parallel"]
+
+_WORKER_SOLVER: PieriSolver | None = None
+
+
+def _init_pieri_worker(
+    instance: PieriInstance, options: Optional[TrackerOptions], seed: int
+) -> None:
+    global _WORKER_SOLVER
+    _WORKER_SOLVER = PieriSolver(instance, options=options, seed=seed)
+
+
+def _run_pieri_job(args):
+    node_columns, start_matrix = args
+    from ..schubert.tree import PieriTreeNode
+
+    node = PieriTreeNode(_WORKER_SOLVER.problem, tuple(node_columns))
+    t0 = time.perf_counter()
+    result = _WORKER_SOLVER.run_job(PieriJob(node, start_matrix))
+    dt = time.perf_counter() - t0
+    return node_columns, result.matrix, result.path_result.status.value, dt
+
+
+@dataclass
+class ParallelPieriReport(PieriReport):
+    """Sequential report fields plus scheduler telemetry."""
+
+    n_workers: int = 1
+    wall_seconds: float = 0.0
+    max_queue_length: int = 0
+    max_active_jobs: int = 0
+    worker_crashes: int = 0
+
+    @property
+    def speedup_vs_cpu_time(self) -> float:
+        """Total busy time / wall time: achieved parallelism."""
+        busy = sum(self.seconds_per_level.values())
+        return busy / self.wall_seconds if self.wall_seconds > 0 else 1.0
+
+
+def solve_pieri_parallel(
+    instance: PieriInstance,
+    n_workers: int | None = None,
+    mode: Literal["process", "thread"] = "process",
+    options: TrackerOptions | None = None,
+    seed: int = 0,
+    max_job_retries: int = 2,
+) -> ParallelPieriReport:
+    """Solve a Pieri problem with the master/slave tree scheduler.
+
+    Fault tolerance: a job whose worker *crashes* (raises, as opposed to
+    returning a failed path) is re-enqueued up to ``max_job_retries``
+    times; the job's whole subtree would otherwise be silently lost.
+    Crashes are counted in ``worker_crashes``.
+    """
+    if n_workers is None:
+        n_workers = max(1, (os.cpu_count() or 2) - 1)
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    # the local solver mirrors the workers: used for job expansion only
+    master = PieriSolver(instance, options=options, seed=seed)
+
+    if mode == "process":
+        pool = ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_pieri_worker,
+            initargs=(instance, options, seed),
+        )
+    elif mode == "thread":
+        _init_pieri_worker(instance, options, seed)
+        pool = ThreadPoolExecutor(max_workers=n_workers)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+
+    report = ParallelPieriReport(instance, n_workers=n_workers)
+    t_wall = time.perf_counter()
+    queue: deque[PieriJob] = deque(master.initial_jobs())
+    active: Dict[Future, PieriJob] = {}
+    attempts: Dict[tuple, int] = {}
+    try:
+        while queue or active:
+            # hand queued jobs to idle workers (first-come-first-served)
+            while queue and len(active) < n_workers:
+                job = queue.popleft()
+                fut = pool.submit(
+                    _run_pieri_job, (list(job.node.columns), job.start_matrix)
+                )
+                active[fut] = job
+            report.max_queue_length = max(report.max_queue_length, len(queue))
+            report.max_active_jobs = max(report.max_active_jobs, len(active))
+            done, _ = wait(list(active), return_when=FIRST_COMPLETED)
+            for fut in done:
+                job = active.pop(fut)
+                try:
+                    _cols, matrix, _status, dt = fut.result()
+                except Exception:
+                    # worker crash: re-enqueue unless the retry budget is
+                    # spent (then record the subtree as failed)
+                    report.worker_crashes += 1
+                    key = job.node.columns
+                    attempts[key] = attempts.get(key, 0) + 1
+                    if attempts[key] <= max_job_retries:
+                        queue.append(job)
+                    else:
+                        report.failures += 1
+                    continue
+                lvl = job.level
+                report.jobs_per_level[lvl] = (
+                    report.jobs_per_level.get(lvl, 0) + 1
+                )
+                report.seconds_per_level[lvl] = (
+                    report.seconds_per_level.get(lvl, 0.0) + dt
+                )
+                if matrix is None:
+                    report.failures += 1
+                    continue
+                if job.node.is_leaf():
+                    report.solutions.append(matrix)
+                else:
+                    for child in job.node.children():
+                        queue.append(PieriJob(child, matrix))
+    finally:
+        pool.shutdown(wait=True)
+    report.wall_seconds = time.perf_counter() - t_wall
+    report.total_seconds = report.wall_seconds
+    return report

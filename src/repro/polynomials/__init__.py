@@ -1,0 +1,14 @@
+"""Multivariate complex polynomials and systems (PHCpack-like substrate)."""
+
+from .poly import Polynomial, constant, variables
+from .system import PolynomialSystem
+from .parse import parse_polynomial, parse_system
+
+__all__ = [
+    "Polynomial",
+    "PolynomialSystem",
+    "constant",
+    "variables",
+    "parse_polynomial",
+    "parse_system",
+]

@@ -1,0 +1,154 @@
+"""A small recursive-descent parser for polynomial strings.
+
+Accepts the obvious infix syntax used by PHCpack-style input files::
+
+    parse_polynomial("x**2*y - 3*y + 1.5", ["x", "y"])
+    parse_polynomial("(x + i*y)^2 - 2", ["x", "y"])   # ^ works too, i == 1j
+
+Grammar (no division by variables, exponents are non-negative integers)::
+
+    expr   := term (("+" | "-") term)*
+    term   := factor (("*" factor) | factor_juxt)*
+    factor := base ("**" | "^") integer | base
+    base   := number | name | "i" | "j" | "(" expr ")" | "-" factor
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence, Tuple
+
+from .poly import Polynomial, constant, variables
+
+__all__ = ["parse_polynomial", "parse_system"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>\*\*|\^|[-+*/()]))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            if text[pos:].strip() == "":
+                break
+            raise ValueError(f"cannot tokenize {text[pos:]!r}")
+        pos = m.end()
+        for kind in ("num", "name", "op"):
+            val = m.group(kind)
+            if val is not None:
+                tokens.append((kind, val))
+                break
+    tokens.append(("end", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]], names: Sequence[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.names = list(names)
+        self.nvars = len(names)
+        self.vars = {n: v for n, v in zip(names, variables(self.nvars, names))}
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Tuple[str, str]:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, value: str) -> None:
+        kind, val = self.advance()
+        if val != value:
+            raise ValueError(f"expected {value!r}, got {val!r}")
+
+    # expr := term (('+'|'-') term)*
+    def expr(self) -> Polynomial:
+        result = self.term()
+        while self.peek() == ("op", "+") or self.peek() == ("op", "-"):
+            _, op = self.advance()
+            rhs = self.term()
+            result = result + rhs if op == "+" else result - rhs
+        return result
+
+    # term := factor (('*'|'/') factor | juxtaposed-factor)*
+    def term(self) -> Polynomial:
+        result = self.factor()
+        while True:
+            kind, val = self.peek()
+            if (kind, val) in (("op", "*"), ("op", "/")):
+                self.advance()
+                rhs = self.factor()
+                if val == "*":
+                    result = result * rhs
+                else:
+                    if not rhs.is_constant():
+                        raise ValueError("division by a non-constant polynomial")
+                    result = result / rhs.constant_term()
+            elif kind in ("num", "name") or (kind, val) == ("op", "("):
+                result = result * self.factor()  # implicit multiplication
+            else:
+                return result
+
+    # factor := base (('**'|'^') integer)?
+    def factor(self) -> Polynomial:
+        base = self.base()
+        kind, val = self.peek()
+        if (kind, val) in (("op", "**"), ("op", "^")):
+            self.advance()
+            nkind, nval = self.advance()
+            neg = False
+            if (nkind, nval) == ("op", "-"):
+                neg = True
+                nkind, nval = self.advance()
+            if nkind != "num" or "." in nval or "e" in nval.lower():
+                raise ValueError("exponent must be a non-negative integer")
+            if neg:
+                raise ValueError("negative exponents are not allowed")
+            return base ** int(nval)
+        return base
+
+    def base(self) -> Polynomial:
+        kind, val = self.advance()
+        if kind == "num":
+            return constant(float(val), self.nvars, self.names)
+        if kind == "name":
+            if val in ("i", "j", "I") and val not in self.vars:
+                return constant(1j, self.nvars, self.names)
+            if val not in self.vars:
+                raise ValueError(f"unknown variable {val!r}")
+            return self.vars[val]
+        if (kind, val) == ("op", "("):
+            inner = self.expr()
+            self.expect(")")
+            return inner
+        if (kind, val) == ("op", "-"):
+            return -self.factor()
+        if (kind, val) == ("op", "+"):
+            return self.factor()
+        raise ValueError(f"unexpected token {val!r}")
+
+
+def parse_polynomial(text: str, names: Sequence[str]) -> Polynomial:
+    """Parse ``text`` into a :class:`Polynomial` over variables ``names``."""
+    parser = _Parser(_tokenize(text), names)
+    result = parser.expr()
+    if parser.peek()[0] != "end":
+        raise ValueError(f"trailing input near {parser.peek()[1]!r}")
+    return result
+
+
+def parse_system(lines: Sequence[str] | str, names: Sequence[str]):
+    """Parse several polynomial strings (or a ';'-separated blob)."""
+    from .system import PolynomialSystem
+
+    if isinstance(lines, str):
+        lines = [chunk for chunk in lines.split(";") if chunk.strip()]
+    return PolynomialSystem([parse_polynomial(line, names) for line in lines])

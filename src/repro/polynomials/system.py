@@ -1,0 +1,237 @@
+"""Polynomial systems with a compiled, vectorized evaluator.
+
+A :class:`PolynomialSystem` bundles ``neqs`` polynomials in ``nvars``
+variables and precompiles them into flat numpy tables so that evaluating the
+residual and the Jacobian — the inner loop of every path tracker — costs a
+handful of vectorized operations instead of Python-level term iteration.
+
+Compilation layout
+------------------
+All distinct monomials of the system are collected into one exponent matrix
+``E`` of shape ``(nmono, nvars)``.  Evaluating the monomial vector at a point
+``x`` is ``prod(x**E, axis=1)``.  Each equation is then a sparse linear
+combination of monomial values, stored as (row, column, coefficient)
+triplets.  The Jacobian reuses the same table: the derivative of a monomial
+with respect to variable ``v`` is ``e_v * monomial / x_v``, handled by a
+second set of triplets built at compile time (with exponent reduced by one,
+so there is no division at evaluation time and no trouble at ``x_v == 0``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .poly import Polynomial
+
+__all__ = ["PolynomialSystem"]
+
+
+class _CompiledTables:
+    """Flat tables for vectorized residual/Jacobian evaluation."""
+
+    __slots__ = (
+        "expos",
+        "res_rows",
+        "res_cols",
+        "res_coefs",
+        "jac_rows",
+        "jac_vars",
+        "jac_cols",
+        "jac_coefs",
+    )
+
+    def __init__(self, polys: Sequence[Polynomial], nvars: int) -> None:
+        mono_index: dict[Tuple[int, ...], int] = {}
+
+        def intern(expo: Tuple[int, ...]) -> int:
+            idx = mono_index.get(expo)
+            if idx is None:
+                idx = len(mono_index)
+                mono_index[expo] = idx
+            return idx
+
+        res_rows: List[int] = []
+        res_cols: List[int] = []
+        res_coefs: List[complex] = []
+        jac_rows: List[int] = []
+        jac_vars: List[int] = []
+        jac_cols: List[int] = []
+        jac_coefs: List[complex] = []
+
+        for i, poly in enumerate(polys):
+            for expo, c in poly.terms():
+                res_rows.append(i)
+                res_cols.append(intern(expo))
+                res_coefs.append(c)
+                for v, e in enumerate(expo):
+                    if e == 0:
+                        continue
+                    reduced = list(expo)
+                    reduced[v] = e - 1
+                    jac_rows.append(i)
+                    jac_vars.append(v)
+                    jac_cols.append(intern(tuple(reduced)))
+                    jac_coefs.append(e * c)
+
+        nmono = max(1, len(mono_index))
+        expos = np.zeros((nmono, nvars), dtype=np.int64)
+        for expo, idx in mono_index.items():
+            expos[idx] = expo
+        self.expos = expos
+        self.res_rows = np.asarray(res_rows, dtype=np.int64)
+        self.res_cols = np.asarray(res_cols, dtype=np.int64)
+        self.res_coefs = np.asarray(res_coefs, dtype=complex)
+        self.jac_rows = np.asarray(jac_rows, dtype=np.int64)
+        self.jac_vars = np.asarray(jac_vars, dtype=np.int64)
+        self.jac_cols = np.asarray(jac_cols, dtype=np.int64)
+        self.jac_coefs = np.asarray(jac_coefs, dtype=complex)
+
+    def monomial_values(self, x: np.ndarray) -> np.ndarray:
+        # x: (nvars,) complex -> (nmono,) complex
+        with np.errstate(invalid="ignore"):
+            return np.prod(x[None, :] ** self.expos, axis=1)
+
+
+class PolynomialSystem:
+    """A square-or-rectangular system of complex multivariate polynomials."""
+
+    def __init__(self, polys: Sequence[Polynomial]) -> None:
+        polys = list(polys)
+        if not polys:
+            raise ValueError("a system needs at least one polynomial")
+        nvars = polys[0].nvars
+        for p in polys:
+            if p.nvars != nvars:
+                raise ValueError("all polynomials must share the same variables")
+        self._polys: Tuple[Polynomial, ...] = tuple(polys)
+        self._nvars = nvars
+        self._tables: _CompiledTables | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def polynomials(self) -> Tuple[Polynomial, ...]:
+        return self._polys
+
+    @property
+    def neqs(self) -> int:
+        return len(self._polys)
+
+    @property
+    def nvars(self) -> int:
+        return self._nvars
+
+    def is_square(self) -> bool:
+        return self.neqs == self.nvars
+
+    def __len__(self) -> int:
+        return self.neqs
+
+    def __getitem__(self, i: int) -> Polynomial:
+        return self._polys[i]
+
+    def __iter__(self):
+        return iter(self._polys)
+
+    def degrees(self) -> Tuple[int, ...]:
+        return tuple(p.total_degree() for p in self._polys)
+
+    def total_degree_bound(self) -> int:
+        """The Bezout number: the product of the equation degrees."""
+        out = 1
+        for d in self.degrees():
+            out *= max(d, 0)
+        return out
+
+    # ------------------------------------------------------------------
+    def _compiled(self) -> _CompiledTables:
+        if self._tables is None:
+            self._tables = _CompiledTables(self._polys, self._nvars)
+        return self._tables
+
+    def evaluate(self, point: Sequence[complex]) -> np.ndarray:
+        """Residual vector F(x), shape ``(neqs,)``."""
+        x = np.asarray(point, dtype=complex)
+        if x.shape != (self._nvars,):
+            raise ValueError(f"expected point of length {self._nvars}")
+        t = self._compiled()
+        mono = t.monomial_values(x)
+        out = np.zeros(self.neqs, dtype=complex)
+        np.add.at(out, t.res_rows, t.res_coefs * mono[t.res_cols])
+        return out
+
+    def jacobian_at(self, point: Sequence[complex]) -> np.ndarray:
+        """Jacobian matrix J(x), shape ``(neqs, nvars)``."""
+        x = np.asarray(point, dtype=complex)
+        if x.shape != (self._nvars,):
+            raise ValueError(f"expected point of length {self._nvars}")
+        t = self._compiled()
+        mono = t.monomial_values(x)
+        out = np.zeros((self.neqs, self._nvars), dtype=complex)
+        if len(t.jac_rows):
+            np.add.at(
+                out,
+                (t.jac_rows, t.jac_vars),
+                t.jac_coefs * mono[t.jac_cols],
+            )
+        return out
+
+    def evaluate_and_jacobian(
+        self, point: Sequence[complex]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Residual and Jacobian sharing one monomial-table evaluation."""
+        x = np.asarray(point, dtype=complex)
+        if x.shape != (self._nvars,):
+            raise ValueError(f"expected point of length {self._nvars}")
+        t = self._compiled()
+        mono = t.monomial_values(x)
+        res = np.zeros(self.neqs, dtype=complex)
+        np.add.at(res, t.res_rows, t.res_coefs * mono[t.res_cols])
+        jac = np.zeros((self.neqs, self._nvars), dtype=complex)
+        if len(t.jac_rows):
+            np.add.at(
+                jac,
+                (t.jac_rows, t.jac_vars),
+                t.jac_coefs * mono[t.jac_cols],
+            )
+        return res, jac
+
+    def evaluate_many(self, points: np.ndarray) -> np.ndarray:
+        """Residuals at many points; returns shape ``(npts, neqs)``."""
+        pts = np.asarray(points, dtype=complex)
+        if pts.ndim != 2 or pts.shape[1] != self._nvars:
+            raise ValueError(f"expected array of shape (npts, {self._nvars})")
+        t = self._compiled()
+        with np.errstate(invalid="ignore"):
+            mono = np.prod(pts[:, None, :] ** t.expos[None, :, :], axis=2)
+        out = np.zeros((pts.shape[0], self.neqs), dtype=complex)
+        contrib = t.res_coefs[None, :] * mono[:, t.res_cols]
+        for k in range(len(t.res_rows)):  # small loop over terms, bulk over pts
+            out[:, t.res_rows[k]] += contrib[:, k]
+        return out
+
+    def residual_norm(self, point: Sequence[complex]) -> float:
+        """Max-norm of the residual at ``point``."""
+        return float(np.max(np.abs(self.evaluate(point))))
+
+    # ------------------------------------------------------------------
+    def jacobian_system(self) -> List[List[Polynomial]]:
+        """Symbolic Jacobian as a matrix of polynomials (mostly for tests)."""
+        return [[p.diff(v) for v in range(self._nvars)] for p in self._polys]
+
+    def map(self, func) -> "PolynomialSystem":
+        return PolynomialSystem([func(p) for p in self._polys])
+
+    def scale_equations(self, factors: Sequence[complex]) -> "PolynomialSystem":
+        if len(factors) != self.neqs:
+            raise ValueError("need one factor per equation")
+        return PolynomialSystem(
+            [f * p for f, p in zip(factors, self._polys)]
+        )
+
+    def __str__(self) -> str:
+        return "\n".join(str(p) for p in self._polys)
+
+    def __repr__(self) -> str:
+        return f"PolynomialSystem(neqs={self.neqs}, nvars={self.nvars})"

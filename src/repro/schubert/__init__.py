@@ -1,0 +1,54 @@
+"""Numerical Schubert calculus: Pieri homotopies over posets and trees.
+
+This package is the paper's primary contribution: computing *all* maps of
+p-planes of degree q meeting N = m*p + q*(m+p) general m-planes at
+prescribed interpolation points, by nested Pieri homotopies organized along
+a tree so that path-tracking jobs parallelize.
+"""
+
+from .patterns import LocalizationPattern, PieriProblem
+from .poset import PieriPoset, level_job_counts, pieri_root_count
+from .tree import PieriTree, PieriTreeNode, memory_profile
+from .homotopy import (
+    PieriEdgeHomotopy,
+    evaluate_map,
+    intersection_residuals,
+    normalize_to_standard_chart,
+    special_plane,
+    trivial_solution_matrix,
+)
+from .solver import (
+    PieriInstance,
+    PieriJob,
+    PieriJobResult,
+    PieriReport,
+    PieriSolver,
+)
+from .parameter import PieriParameterHomotopy, continue_to_instance
+from .verify import VerificationReport, verify_solutions
+
+__all__ = [
+    "LocalizationPattern",
+    "PieriProblem",
+    "PieriPoset",
+    "level_job_counts",
+    "pieri_root_count",
+    "PieriTree",
+    "PieriTreeNode",
+    "memory_profile",
+    "PieriEdgeHomotopy",
+    "evaluate_map",
+    "intersection_residuals",
+    "normalize_to_standard_chart",
+    "special_plane",
+    "trivial_solution_matrix",
+    "PieriInstance",
+    "PieriJob",
+    "PieriJobResult",
+    "PieriReport",
+    "PieriSolver",
+    "VerificationReport",
+    "verify_solutions",
+    "PieriParameterHomotopy",
+    "continue_to_instance",
+]

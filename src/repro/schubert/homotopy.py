@@ -1,0 +1,403 @@
+"""The Pieri homotopy: determinant intersection conditions and the moving
+special plane (paper §III-B, equation (3)).
+
+Solutions are stored as *concatenated coefficient matrices*: a complex
+matrix ``C`` of shape ``(nrows, p)`` whose row ``r`` (0-based) holds the
+coefficient of ``s**(r // (m+p))`` for ambient coordinate ``r % (m+p)`` of a
+column.  A matrix *fits* a localization pattern when it vanishes outside the
+pattern's support; the **standard chart** normalizes every bottom-pivot
+entry to 1.
+
+The map is evaluated with per-column homogenization: column ``j`` of
+
+    X(s, s0)[i, j] = sum_l C[l*(m+p) + i, j] * s**l * s0**(L_j - l)
+
+has degree ``L_j = floor((b_j - 1)/(m+p))``, and the intersection condition
+"X meets the m-plane K at s" is the single equation ``det [X(s,1) | K] = 0``.
+
+**The special plane.**  For a pattern with bottom pivots ``b``, the corner
+rows ``i_j = ((b_j - 1) mod (m+p)) + 1`` are pairwise distinct, and
+``special_plane`` spans the standard basis vectors of the *other* m ambient
+rows.  Expanding the determinant then gives the identity
+
+    det [X(s, 0) | K_b]  =  +/- s**(sum L_j) * prod_j C[b_j, j],
+
+i.e. the map meets ``K_b`` at infinity iff one of its bottommost entries is
+zero (the paper's key lemma) — so a child solution, embedded with its new
+star equal to zero, is an *exact and regular* start point.
+
+**The homotopy per tree edge** (equation (3)): with the first ``n-1``
+conditions held fixed, move the interpolation point from infinity to
+``s_n`` and the plane from ``K_b`` to ``K_n`` along gamma-twisted paths
+
+    s(t) = (1-t) gamma_s + t s_n,   s0(t) = t,
+    K(t) = (1-t) gamma_k K_b + t K_n,
+
+and track the n free coefficients (the chart pins the child's pivot, not
+the parent's, because the new star starts at zero).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..linalg import cofactor_matrix
+from ..tracker import HomotopyFunction
+from .patterns import LocalizationPattern
+
+__all__ = [
+    "special_plane",
+    "trivial_solution_matrix",
+    "evaluate_map",
+    "intersection_residuals",
+    "normalize_to_standard_chart",
+    "PieriEdgeHomotopy",
+]
+
+
+def trivial_solution_matrix(pattern_or_problem) -> np.ndarray:
+    """The unique matrix fitting the trivial pattern (identity top block)."""
+    problem = getattr(pattern_or_problem, "problem", pattern_or_problem)
+    c = np.zeros((problem.nrows, problem.p), dtype=complex)
+    for j in range(problem.p):
+        c[j, j] = 1.0
+    return c
+
+
+def special_plane(pattern: LocalizationPattern) -> np.ndarray:
+    """K_b: the span of the m standard basis vectors avoiding the corners."""
+    amb = pattern.problem.ambient
+    corners = {r - 1 for r in pattern.corner_rows()}  # 0-based
+    rows = [r for r in range(amb) if r not in corners]
+    k = np.zeros((amb, pattern.problem.m), dtype=complex)
+    for col, r in enumerate(rows):
+        k[r, col] = 1.0
+    return k
+
+
+def evaluate_map(
+    c: np.ndarray,
+    pattern: LocalizationPattern,
+    s: complex,
+    s0: complex = 1.0,
+) -> np.ndarray:
+    """X(s, s0): the (m+p) x p matrix of the homogenized map."""
+    amb = pattern.problem.ambient
+    p = pattern.problem.p
+    x = np.zeros((amb, p), dtype=complex)
+    for j in range(p):
+        lj = pattern.column_degree(j)
+        for l in range(lj + 1):
+            weight = (s**l) * (s0 ** (lj - l))
+            block = c[l * amb : (l + 1) * amb, j]
+            x[:, j] += block * weight
+    return x
+
+
+def intersection_residuals(
+    c: np.ndarray,
+    pattern: LocalizationPattern,
+    planes: Sequence[np.ndarray],
+    points: Sequence[complex],
+) -> np.ndarray:
+    """det [X(s_i, 1) | K_i] for every given condition (verification)."""
+    out = np.empty(len(planes), dtype=complex)
+    for i, (k, s) in enumerate(zip(planes, points)):
+        m = np.hstack([evaluate_map(c, pattern, s, 1.0), k])
+        out[i] = np.linalg.det(m)
+    return out
+
+
+def normalize_to_standard_chart(
+    c: np.ndarray, pattern: LocalizationPattern
+) -> np.ndarray:
+    """Scale each column so its bottom-pivot entry equals 1."""
+    amb = pattern.problem.ambient
+    out = c.copy()
+    for j, b in enumerate(pattern.bottom_pivots):
+        pivot = out[b - 1, j]
+        if pivot == 0:
+            raise ZeroDivisionError(
+                f"bottom pivot of column {j} is zero; solution fits a child "
+                "pattern (non-generic input)"
+            )
+        out[:, j] /= pivot
+    return out
+
+
+class PieriEdgeHomotopy(HomotopyFunction):
+    """The square homotopy tracked along one Pieri-tree edge.
+
+    Parameters
+    ----------
+    pattern:
+        The *parent* pattern (level n) whose solutions are computed.
+    jstar:
+        The column (0-based) whose bottom pivot was incremented; the new
+        star starts at zero and the chart pins the child's pivot instead.
+    planes, points:
+        The first ``n`` intersection conditions; the last one is the moving
+        condition, the first ``n - 1`` are held fixed.
+    gamma_s, gamma_k:
+        Random nonzero complex twists for the point and plane paths (the
+        gamma trick).  Supply explicitly for reproducible runs.
+    pin_row:
+        0-based concatenated row of column ``jstar`` pinned to 1 by the
+        chart.  Defaults to the child's pivot row (the only entry known to
+        be nonzero at t = 0).  Because the determinant conditions are
+        invariant under column scaling, re-pinning tracks the *same*
+        geometric path in different coordinates — used to continue paths
+        that leave the default chart (apparent divergence).
+    """
+
+    def __init__(
+        self,
+        pattern: LocalizationPattern,
+        jstar: int,
+        planes: Sequence[np.ndarray],
+        points: Sequence[complex],
+        gamma_s: complex | None = None,
+        gamma_k: complex | None = None,
+        rng: np.random.Generator | None = None,
+        pin_row: int | None = None,
+    ) -> None:
+        problem = pattern.problem
+        n = pattern.level
+        if len(planes) != n or len(points) != n:
+            raise ValueError(f"level-{n} pattern needs exactly {n} conditions")
+        if not 0 <= jstar < problem.p:
+            raise ValueError("jstar out of range")
+        rng = np.random.default_rng() if rng is None else rng
+        if gamma_s is None:
+            gamma_s = np.exp(2j * np.pi * rng.random())
+        if gamma_k is None:
+            gamma_k = np.exp(2j * np.pi * rng.random())
+        if gamma_s == 0 or gamma_k == 0:
+            raise ValueError("gamma twists must be nonzero")
+
+        self.pattern = pattern
+        self.problem = problem
+        self.jstar = int(jstar)
+        self.planes = [np.asarray(k, dtype=complex) for k in planes]
+        self.points = [complex(s) for s in points]
+        self.gamma_s = complex(gamma_s)
+        self.gamma_k = complex(gamma_k)
+        self.k_special = special_plane(pattern)
+
+        amb = problem.ambient
+        b = pattern.bottom_pivots
+        # chart: pin pivots of all columns except jstar at the parent's
+        # bottom pivot; for jstar pin the *child's* pivot (one row up) by
+        # default, or the caller-supplied pin_row after a chart switch.
+        if pin_row is None:
+            pin_row = b[self.jstar] - 2  # child pivot, 0-based
+        else:
+            support_rows = {
+                r - 1 for r, j in pattern.support() if j - 1 == self.jstar
+            }
+            if pin_row not in support_rows:
+                raise ValueError(
+                    f"pin_row {pin_row} outside column {self.jstar} support"
+                )
+        self.pin_row = int(pin_row)
+        fixed: List[Tuple[int, int]] = []
+        for j in range(problem.p):
+            row = self.pin_row if j == self.jstar else b[j] - 1  # 0-based
+            fixed.append((row, j))
+        self._fixed = set(fixed)
+        free: List[Tuple[int, int]] = []
+        for r1, j1 in pattern.support():
+            pos = (r1 - 1, j1 - 1)
+            if pos not in self._fixed:
+                free.append(pos)
+        free.sort()
+        self._free = free
+        if len(free) != n:
+            raise AssertionError(
+                f"chart has {len(free)} free entries, expected {n}"
+            )
+        self._col_degrees = pattern.column_degrees()
+        self._amb = amb
+
+        # --- precomputed tables for the batched evaluator -------------
+        # free-variable decomposition: concatenated row r = l*amb + i_amb
+        self._free_l = np.array([r // amb for r, _ in free], dtype=np.int64)
+        self._free_i = np.array([r % amb for r, _ in free], dtype=np.int64)
+        self._free_j = np.array([j for _, j in free], dtype=np.int64)
+        self._free_lj = np.array(
+            [self._col_degrees[j] for _, j in free], dtype=np.int64
+        )
+        # static condition weights: d det_i / d x_k = cof_i[i_amb, j] * w
+        # with w = s_i^l * 1^(L_j - l), independent of x and t
+        n = len(free)
+        self._static_weights = np.empty((max(n - 1, 0), n), dtype=complex)
+        for i in range(n - 1):
+            self._static_weights[i] = np.asarray(self.points[i]) ** self._free_l
+        # batched-minor index tables for the cofactor stack
+        idx = np.arange(amb)
+        keep = np.array([np.delete(idx, i) for i in range(amb)])
+        self._minor_rows = keep[:, None, :, None]  # (amb, 1, amb-1, 1)
+        self._minor_cols = keep[None, :, None, :]  # (1, amb, 1, amb-1)
+        self._minor_signs = (-1.0) ** np.add.outer(idx, idx)
+        # static X(s_i, 1) assembly: X_i = sum_l s_i^l * C_block_l, valid
+        # because coefficients above a column's degree are zero by pattern
+        self._n_blocks = problem.nrows // amb
+        if n > 1:
+            self._spow = np.empty((n - 1, self._n_blocks), dtype=complex)
+            for i in range(n - 1):
+                self._spow[i] = np.asarray(self.points[i]) ** np.arange(
+                    self._n_blocks
+                )
+            self._k_stack = np.stack(self.planes[: n - 1])
+        else:
+            self._spow = np.empty((0, self._n_blocks), dtype=complex)
+            self._k_stack = np.empty((0, amb, problem.m), dtype=complex)
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return len(self._free)
+
+    def to_matrix(self, x: np.ndarray) -> np.ndarray:
+        """Scatter the unknown vector into a concatenated matrix."""
+        c = np.zeros((self.problem.nrows, self.problem.p), dtype=complex)
+        for row, j in self._fixed:
+            c[row, j] = 1.0
+        for val, (row, j) in zip(x, self._free):
+            c[row, j] = val
+        return c
+
+    def from_matrix(self, c: np.ndarray) -> np.ndarray:
+        """Gather the unknown vector from a matrix in this chart."""
+        for row, j in self._fixed:
+            if abs(c[row, j] - 1.0) > 1e-8:
+                raise ValueError("matrix is not in this homotopy's chart")
+        return np.array([c[row, j] for row, j in self._free], dtype=complex)
+
+    def start_vector(self, child_matrix: np.ndarray) -> np.ndarray:
+        """Embed a child solution (standard chart) as the start unknowns.
+
+        The child matrix vanishes at the new star position, so gathering
+        the parent chart's free entries automatically sets it to zero.
+        """
+        return np.array(
+            [child_matrix[row, j] for row, j in self._free], dtype=complex
+        )
+
+    # ------------------------------------------------------------------
+    def _moving_paths(self, t: float) -> Tuple[complex, complex, np.ndarray]:
+        s = (1.0 - t) * self.gamma_s + t * self.points[-1]
+        s0 = complex(t)
+        k = (1.0 - t) * self.gamma_k * self.k_special + t * self.planes[-1]
+        return s, s0, k
+
+    def _condition_matrix(
+        self, c: np.ndarray, s: complex, s0: complex, k: np.ndarray
+    ) -> np.ndarray:
+        return np.hstack([evaluate_map(c, self.pattern, s, s0), k])
+
+    def _all_condition_matrices(self, c: np.ndarray, t: float):
+        """All n condition matrices stacked (n, amb, amb) plus (s, s0).
+
+        Static rows are assembled in one einsum over the degree blocks of
+        the concatenated matrix (entries above a column's degree vanish by
+        the pattern, so no per-column masking is needed at s0 = 1).
+        """
+        n = self.dim
+        amb = self._amb
+        p = self.problem.p
+        mats = np.empty((n, amb, amb), dtype=complex)
+        if n > 1:
+            blocks = c.reshape(self._n_blocks, amb, p)
+            mats[: n - 1, :, :p] = np.einsum(
+                "il,lap->iap", self._spow, blocks
+            )
+            mats[: n - 1, :, p:] = self._k_stack
+        s, s0, k = self._moving_paths(t)
+        mats[n - 1] = self._condition_matrix(c, s, s0, k)
+        return mats, s, s0
+
+    def _batched_cofactors(self, mats: np.ndarray) -> np.ndarray:
+        """Cofactor matrices of a stack, one vectorized det call.
+
+        mats: (n, amb, amb) -> cofs: (n, amb, amb).  For amb = 1 the
+        cofactor is 1 by convention.
+        """
+        n, amb, _ = mats.shape
+        if amb == 1:
+            return np.ones((n, 1, 1), dtype=complex)
+        minors = mats[:, self._minor_rows, self._minor_cols]
+        dets = np.linalg.det(minors.reshape(n * amb * amb, amb - 1, amb - 1))
+        return self._minor_signs[None, :, :] * dets.reshape(n, amb, amb)
+
+    def evaluate(self, x: np.ndarray, t: float) -> np.ndarray:
+        c = self.to_matrix(x)
+        mats, _, _ = self._all_condition_matrices(c, t)
+        return np.linalg.det(mats)
+
+    def jacobian_x(self, x: np.ndarray, t: float) -> np.ndarray:
+        return self.evaluate_and_jacobian_x(x, t)[1]
+
+    def evaluate_and_jacobian_x(self, x, t):
+        """Residual and Jacobian in three batched numpy calls.
+
+        Row i of the Jacobian is d det(M_i)/d x_k = cof_i[i_amb(k), j(k)]
+        times the homogenization weight s^l * s0^(L_j - l); static rows'
+        weights were precomputed at construction, the moving row's depend
+        on t only.  Residuals reuse the cofactors via first-row expansion,
+        keeping value and gradient exactly consistent.
+        """
+        c = self.to_matrix(x)
+        n = self.dim
+        mats, s, s0 = self._all_condition_matrices(c, t)
+        cofs = self._batched_cofactors(mats)
+        # residuals: expansion along the first row of each matrix
+        res = np.einsum("ej,ej->e", mats[:, 0, :], cofs[:, 0, :])
+        # gradient gather: cofactor entry of each free variable's position
+        gathered = cofs[:, self._free_i, self._free_j]  # (n, nfree)
+        jac = np.empty((n, n), dtype=complex)
+        if n > 1:
+            jac[: n - 1] = gathered[: n - 1] * self._static_weights
+        moving_w = (s**self._free_l) * (
+            s0 ** (self._free_lj - self._free_l)
+        )
+        jac[n - 1] = gathered[n - 1] * moving_w
+        return res, jac
+
+    def jacobian_t(self, x: np.ndarray, t: float) -> np.ndarray:
+        """Only the moving condition depends on t."""
+        c = self.to_matrix(x)
+        n = self.dim
+        out = np.zeros(n, dtype=complex)
+        s, s0, k = self._moving_paths(t)
+        m = self._condition_matrix(c, s, s0, k)
+        cof = cofactor_matrix(m)
+        amb = self._amb
+        p = self.problem.p
+        ds = self.points[-1] - self.gamma_s
+        ds0 = 1.0
+        dm = np.zeros_like(m)
+        # X block: chain rule through s(t), s0(t) per coefficient
+        for j in range(p):
+            lj = self._col_degrees[j]
+            for l in range(lj + 1):
+                dw = 0j
+                if l > 0:
+                    dw += l * (s ** (l - 1)) * (s0 ** (lj - l)) * ds
+                if lj - l > 0:
+                    dw += (lj - l) * (s0 ** (lj - l - 1)) * (s**l) * ds0
+                if dw != 0:
+                    block = c[l * amb : (l + 1) * amb, j]
+                    dm[:, j] += block * dw
+        # K block: d/dt [(1-t) gamma_k K_b + t K_n]
+        dm[:, p:] = self.planes[-1] - self.gamma_k * self.k_special
+        out[n - 1] = np.sum(cof * dm)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"PieriEdgeHomotopy(pattern={self.pattern.shorthand()}, "
+            f"jstar={self.jstar}, dim={self.dim})"
+        )

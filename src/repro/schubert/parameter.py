@@ -1,0 +1,187 @@
+"""Coefficient-parameter continuation between Pieri instances (cheater's
+homotopy).
+
+The Pieri tree solves one *general* instance from scratch with
+``sum(level counts)`` paths (252 for the paper's (3,2,1) cell).  But once
+any general instance is solved, every further instance of the same
+(m, p, q) costs only ``d(m, p, q)`` paths (55 for that cell): deform the
+planes and interpolation points along
+
+    K_i(t) = (1-t) gamma_i K_i^start + t K_i^target
+    s_i(t) = (1-t) s_i^start + t s_i^target + t (1-t) delta_i
+
+and track each known solution.  Scaling a plane's basis by ``gamma_i``
+does not change the plane, so the start conditions are untouched; the
+points take a bent complex detour ``delta_i`` (vanishing at both ends)
+because scaling *would* move them.  This is how the paper's framework serves
+pole placement in practice — the expensive tree solve happens offline on
+general data; placing poles for a *specific* machine is the cheap online
+step ("A target root is used as the start root for the next iteration",
+Fig 6).
+
+The start solutions must be the full solution set of the start instance
+(otherwise endpoints may be missed); with the gamma twists the deformation
+avoids the discriminant with probability one and endpoints remain distinct.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..tracker import PathResult, PathTracker, TrackerOptions
+from .homotopy import evaluate_map, normalize_to_standard_chart
+from .patterns import LocalizationPattern
+from .poset import PieriPoset
+from .solver import PieriInstance
+from ..tracker import HomotopyFunction
+
+__all__ = ["PieriParameterHomotopy", "continue_to_instance"]
+
+
+class PieriParameterHomotopy(HomotopyFunction):
+    """H(x, t): root-pattern solutions deformed between two instances.
+
+    Unknowns are the free coefficients of the *root* localization pattern
+    in the standard chart (bottom pivots pinned to 1); all N conditions
+    move simultaneously.
+    """
+
+    def __init__(
+        self,
+        start: PieriInstance,
+        target: PieriInstance,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if start.problem != target.problem:
+            raise ValueError("instances must share the same (m, p, q)")
+        self.problem = start.problem
+        self.start = start
+        self.target = target
+        rng = np.random.default_rng() if rng is None else rng
+        n = self.problem.num_conditions
+        self.gamma_k = np.exp(2j * np.pi * rng.random(n))
+        # complex detour for the points, zero at t = 0 and t = 1
+        self.delta_s = 0.5 * (
+            rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        )
+
+        self.pattern: LocalizationPattern = PieriPoset.build(
+            self.problem
+        ).root()
+        amb = self.problem.ambient
+        # chart: all bottom pivots pinned to 1; the rest of the support free
+        pinned = {
+            (b - 1, j) for j, b in enumerate(self.pattern.bottom_pivots)
+        }
+        self._free = sorted(
+            (r - 1, j - 1)
+            for r, j in self.pattern.support()
+            if (r - 1, j - 1) not in pinned
+        )
+        self._amb = amb
+        self._pinned = pinned
+        # precomputed gather tables (as in PieriEdgeHomotopy)
+        self._free_l = np.array([r // amb for r, _ in self._free])
+        self._free_i = np.array([r % amb for r, _ in self._free])
+        self._free_j = np.array([j for _, j in self._free])
+        idx = np.arange(amb)
+        keep = np.array([np.delete(idx, i) for i in range(amb)])
+        self._minor_rows = keep[:, None, :, None]
+        self._minor_cols = keep[None, :, None, :]
+        self._minor_signs = (-1.0) ** np.add.outer(idx, idx)
+
+    @property
+    def dim(self) -> int:
+        return len(self._free)
+
+    # ------------------------------------------------------------------
+    def to_matrix(self, x: np.ndarray) -> np.ndarray:
+        c = np.zeros((self.problem.nrows, self.problem.p), dtype=complex)
+        for row, j in self._pinned:
+            c[row, j] = 1.0
+        for val, (row, j) in zip(x, self._free):
+            c[row, j] = val
+        return c
+
+    def from_matrix(self, c: np.ndarray) -> np.ndarray:
+        return np.array([c[row, j] for row, j in self._free], dtype=complex)
+
+    def _paths_at(self, t: float):
+        ks, ss = [], []
+        for i in range(self.problem.num_conditions):
+            ks.append(
+                (1.0 - t) * self.gamma_k[i] * self.start.planes[i]
+                + t * self.target.planes[i]
+            )
+            ss.append(
+                (1.0 - t) * self.start.points[i]
+                + t * self.target.points[i]
+                + t * (1.0 - t) * self.delta_s[i]
+            )
+        return ks, ss
+
+    def _matrices(self, c: np.ndarray, t: float) -> np.ndarray:
+        ks, ss = self._paths_at(t)
+        n = self.problem.num_conditions
+        amb = self._amb
+        mats = np.empty((n, amb, amb), dtype=complex)
+        for i in range(n):
+            x_si = evaluate_map(c, self.pattern, ss[i], 1.0)
+            mats[i] = np.hstack([x_si, ks[i]])
+        return mats, ss
+
+    def evaluate(self, x: np.ndarray, t: float) -> np.ndarray:
+        mats, _ = self._matrices(self.to_matrix(x), t)
+        return np.linalg.det(mats)
+
+    def jacobian_x(self, x: np.ndarray, t: float) -> np.ndarray:
+        return self.evaluate_and_jacobian_x(x, t)[1]
+
+    def evaluate_and_jacobian_x(self, x, t):
+        c = self.to_matrix(x)
+        mats, ss = self._matrices(c, t)
+        n, amb, _ = mats.shape
+        minors = mats[:, self._minor_rows, self._minor_cols]
+        dets = np.linalg.det(minors.reshape(n * amb * amb, amb - 1, amb - 1))
+        cofs = self._minor_signs[None] * dets.reshape(n, amb, amb)
+        res = np.einsum("ej,ej->e", mats[:, 0, :], cofs[:, 0, :])
+        gathered = cofs[:, self._free_i, self._free_j]
+        spow = np.power(
+            np.asarray(ss)[:, None], self._free_l[None, :]
+        )  # (n, nfree): s_i(t)^l, s0 = 1 throughout
+        return res, gathered * spow
+
+
+def continue_to_instance(
+    start: PieriInstance,
+    start_solutions: Sequence[np.ndarray],
+    target: PieriInstance,
+    options: TrackerOptions | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[List[np.ndarray], List[PathResult]]:
+    """Track a solved instance's solutions to a new instance.
+
+    Returns ``(solutions, path_results)``; solutions are renormalized to
+    the standard chart.  Only ``d(m, p, q)`` paths are tracked — compare
+    with the full tree's job count for the offline/online cost split.
+    """
+    homotopy = PieriParameterHomotopy(start, target, rng)
+    tracker = PathTracker(options or TrackerOptions(
+        initial_step=0.02, max_step=0.08, corrector_tol=1e-10
+    ))
+    solutions: List[np.ndarray] = []
+    results: List[PathResult] = []
+    for k, sol in enumerate(start_solutions):
+        x0 = homotopy.from_matrix(np.asarray(sol, dtype=complex))
+        result = tracker.track(homotopy, x0, path_id=k)
+        results.append(result)
+        if result.success:
+            matrix = homotopy.to_matrix(result.solution)
+            try:
+                matrix = normalize_to_standard_chart(matrix, homotopy.pattern)
+            except ZeroDivisionError:
+                continue
+            solutions.append(matrix)
+    return solutions, results

@@ -1,0 +1,334 @@
+"""Sequential Pieri homotopy solver: drive jobs over the Pieri tree.
+
+One *job* tracks one solution path along a tree edge (paper §III-C/D): given
+the solution at a node's parent, it produces the solution at the node.  The
+solver exposes the job machinery (``initial_jobs`` / ``run_job`` /
+``expand``) so the sequential DFS here and the parallel master/slave
+scheduler in :mod:`repro.parallel` drive *exactly the same computation* —
+only the order differs, which is what makes the sequential/parallel
+agreement tests meaningful.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..linalg import random_plane
+from ..tracker import PathResult, PathStatus, PathTracker, TrackerOptions
+from .homotopy import (
+    PieriEdgeHomotopy,
+    intersection_residuals,
+    normalize_to_standard_chart,
+    trivial_solution_matrix,
+)
+from .patterns import PieriProblem
+from .poset import PieriPoset
+from .tree import PieriTreeNode
+
+__all__ = [
+    "PieriInstance",
+    "PieriJob",
+    "PieriJobResult",
+    "PieriReport",
+    "PieriSolver",
+]
+
+
+@dataclass
+class PieriInstance:
+    """A concrete pole-placement-shaped input: N planes and N points."""
+
+    problem: PieriProblem
+    planes: List[np.ndarray]
+    points: List[complex]
+
+    def __post_init__(self) -> None:
+        n = self.problem.num_conditions
+        if len(self.planes) != n or len(self.points) != n:
+            raise ValueError(f"need exactly {n} planes and points")
+        amb = self.problem.ambient
+        for k in self.planes:
+            if k.shape != (amb, self.problem.m):
+                raise ValueError(
+                    f"planes must be {amb} x {self.problem.m} matrices"
+                )
+        if len(set(self.points)) != len(self.points):
+            raise ValueError("interpolation points must be distinct")
+
+    @classmethod
+    def random(
+        cls,
+        m: int,
+        p: int,
+        q: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> "PieriInstance":
+        """General-position input: Haar planes, unit-circle-ish points."""
+        rng = np.random.default_rng() if rng is None else rng
+        problem = PieriProblem(m, p, q)
+        n = problem.num_conditions
+        planes = [random_plane(problem.ambient, m, rng) for _ in range(n)]
+        points = [
+            complex(np.exp(2j * np.pi * rng.random()) * (0.5 + rng.random()))
+            for _ in range(n)
+        ]
+        return cls(problem, planes, points)
+
+
+@dataclass
+class PieriJob:
+    """Track the edge into ``node`` starting from its parent's solution."""
+
+    node: PieriTreeNode
+    start_matrix: np.ndarray
+
+    @property
+    def level(self) -> int:
+        return self.node.level
+
+
+@dataclass
+class PieriJobResult:
+    """Outcome of one job: the node's solution matrix, or a failure."""
+
+    job: PieriJob
+    path_result: PathResult
+    matrix: Optional[np.ndarray] = None
+
+    @property
+    def success(self) -> bool:
+        return self.matrix is not None
+
+
+@dataclass
+class PieriReport:
+    """Aggregate of a full solve."""
+
+    instance: PieriInstance
+    solutions: List[np.ndarray] = field(default_factory=list)
+    failures: int = 0
+    jobs_per_level: Dict[int, int] = field(default_factory=dict)
+    seconds_per_level: Dict[int, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+
+    @property
+    def n_solutions(self) -> int:
+        return len(self.solutions)
+
+    def expected_count(self) -> int:
+        return PieriPoset.build(self.instance.problem).root_count()
+
+    def max_residual(self) -> float:
+        """Largest |det| residual over all solutions and all N conditions."""
+        root = PieriPoset.build(self.instance.problem).root()
+        worst = 0.0
+        for sol in self.solutions:
+            res = intersection_residuals(
+                sol, root, self.instance.planes, self.instance.points
+            )
+            worst = max(worst, float(np.max(np.abs(res))))
+        return worst
+
+    def all_distinct(self, tol: float = 1e-6) -> bool:
+        for i in range(len(self.solutions)):
+            for j in range(i + 1, len(self.solutions)):
+                if np.max(np.abs(self.solutions[i] - self.solutions[j])) < tol:
+                    return False
+        return True
+
+
+class PieriSolver:
+    """Runs Pieri jobs; sequential driver plus hooks for the parallel one."""
+
+    #: Default tracking parameters for Pieri edges: conservative steps and a
+    #: strict corrector so that close sibling paths are not jumped (a jump
+    #: merges two endpoints and silently loses a feedback law).
+    DEFAULT_OPTIONS = TrackerOptions(
+        initial_step=0.02,
+        max_step=0.08,
+        corrector_tol=1e-10,
+        corrector_iterations=4,
+        expand_after=4,
+    )
+
+    def __init__(
+        self,
+        instance: PieriInstance,
+        options: TrackerOptions | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.instance = instance
+        self.problem = instance.problem
+        self.tracker = PathTracker(options or self.DEFAULT_OPTIONS)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    def _edge_rng(self, node: PieriTreeNode, attempt: int = 0) -> np.random.Generator:
+        """Deterministic randomness keyed on the *poset* node.
+
+        All tree edges into the same pattern at the same level must share
+        one homotopy (identical gamma twists): the Pieri induction gives a
+        bijection between the start branches (one per child solution) and
+        the endpoints, so distinct chains stay distinct.  Keying on the
+        chain history instead would give each edge its own homotopy and
+        let endpoints collide.  This also makes parallel == sequential.
+
+        ``attempt`` is accepted for interface stability but deliberately
+        ignored: retrying a *single* edge with fresh gammas would break the
+        per-node bijection (its endpoint could collide with a sibling's).
+        Failed paths are retried with tighter tracking of the *same*
+        homotopy instead (see :meth:`run_job`).
+        """
+        del attempt
+        pattern = node.pattern()
+        return np.random.default_rng(
+            [self.seed, node.level, *pattern.bottom_pivots]
+        )
+
+    def make_homotopy(
+        self,
+        node: PieriTreeNode,
+        attempt: int = 0,
+        pin_row: int | None = None,
+    ) -> PieriEdgeHomotopy:
+        if node.level == 0:
+            raise ValueError("the root node has no incoming edge")
+        n = node.level
+        pattern = node.pattern()
+        jstar = node.columns[-1]
+        return PieriEdgeHomotopy(
+            pattern,
+            jstar,
+            self.instance.planes[:n],
+            self.instance.points[:n],
+            rng=self._edge_rng(node, attempt),
+            pin_row=pin_row,
+        )
+
+    def initial_jobs(self) -> List[PieriJob]:
+        """Jobs out of the tree root (at most p of them)."""
+        root = PieriTreeNode(self.problem)
+        start = trivial_solution_matrix(self.problem)
+        return [PieriJob(child, start) for child in root.children()]
+
+    #: How many times a failed path is re-tracked with tighter steps.
+    MAX_RETRIES = 2
+
+    def _retry_tracker(self, attempt: int) -> PathTracker:
+        """Progressively conservative tracking for retries of hard paths."""
+        base = self.tracker.options
+        factor = 0.25**attempt
+        opts = TrackerOptions(
+            initial_step=max(base.initial_step * factor, base.min_step),
+            min_step=base.min_step * factor,
+            max_step=max(base.max_step * factor, base.min_step),
+            expand=base.expand,
+            shrink=base.shrink,
+            expand_after=base.expand_after + attempt,
+            corrector_tol=base.corrector_tol,
+            corrector_iterations=base.corrector_iterations,
+            endgame_tol=base.endgame_tol,
+            endgame_iterations=base.endgame_iterations,
+            divergence_bound=base.divergence_bound,
+            max_steps=base.max_steps * (attempt + 1),
+        )
+        return PathTracker(opts)
+
+    def run_job(self, job: PieriJob) -> PieriJobResult:
+        """Track one edge and normalize the endpoint to the standard chart.
+
+        Failures are retried with tighter tracking of the *same* homotopy
+        (same gamma twists) so the per-node start/endpoint bijection that
+        guarantees distinct solutions is never violated.
+        """
+        homotopy = self.make_homotopy(job.node)
+        x0 = homotopy.start_vector(job.start_matrix)
+        result = self.tracker.track(homotopy, x0)
+        if result.status is PathStatus.DIVERGED:
+            result, homotopy = self._chart_switch_continue(job, homotopy, result)
+        for attempt in range(1, self.MAX_RETRIES + 1):
+            if result.success:
+                break
+            result = self._retry_tracker(attempt).track(homotopy, x0)
+        if not result.success:
+            return PieriJobResult(job, result, None)
+        matrix = homotopy.to_matrix(result.solution)
+        try:
+            matrix = normalize_to_standard_chart(matrix, job.node.pattern())
+        except ZeroDivisionError:
+            return PieriJobResult(job, result, None)
+        return PieriJobResult(job, result, matrix)
+
+    def _chart_switch_continue(
+        self,
+        job: PieriJob,
+        homotopy: PieriEdgeHomotopy,
+        diverged: PathResult,
+    ):
+        """Continue an apparently divergent path in a rescaled chart.
+
+        Large coordinates usually mean the path left the affine chart (the
+        pinned entry of the moving column tends to zero), not that the
+        solution is at infinity: the determinant conditions are invariant
+        under column scaling, so re-pinning the currently largest entry of
+        column jstar and resuming from the reached ``t`` follows the same
+        geometric path in well-scaled coordinates.
+        """
+        t_reached = diverged.stats.t_reached
+        if t_reached <= 0.0 or t_reached >= 1.0:
+            return diverged, homotopy
+        pattern = job.node.pattern()
+        jstar = job.node.columns[-1]
+        c = homotopy.to_matrix(diverged.solution)
+        col_rows = [r - 1 for r, j in pattern.support() if j - 1 == jstar]
+        values = np.abs(c[col_rows, jstar])
+        pin_row = col_rows[int(np.argmax(values))]
+        if pin_row == homotopy.pin_row or c[pin_row, jstar] == 0:
+            return diverged, homotopy
+        c = c.copy()
+        c[:, jstar] /= c[pin_row, jstar]
+        new_hom = self.make_homotopy(job.node, pin_row=pin_row)
+        x1 = new_hom.from_matrix(c)
+        resumed = self.tracker.track(new_hom, x1, t_start=t_reached)
+        if resumed.success:
+            return resumed, new_hom
+        return diverged, homotopy
+
+    def expand(self, result: PieriJobResult) -> List[PieriJob]:
+        """New jobs enabled by a finished one (the master's generate step)."""
+        if not result.success:
+            return []
+        return [
+            PieriJob(child, result.matrix)
+            for child in result.job.node.children()
+        ]
+
+    # ------------------------------------------------------------------
+    def solve(self) -> PieriReport:
+        """Depth-first sequential solve of the whole tree."""
+        t_start = time.perf_counter()
+        report = PieriReport(self.instance)
+        stack = self.initial_jobs()
+        while stack:
+            job = stack.pop()
+            t0 = time.perf_counter()
+            result = self.run_job(job)
+            dt = time.perf_counter() - t0
+            lvl = job.level
+            report.jobs_per_level[lvl] = report.jobs_per_level.get(lvl, 0) + 1
+            report.seconds_per_level[lvl] = (
+                report.seconds_per_level.get(lvl, 0.0) + dt
+            )
+            if not result.success:
+                report.failures += 1
+                continue
+            if job.node.is_leaf():
+                report.solutions.append(result.matrix)
+            else:
+                stack.extend(self.expand(result))
+        report.total_seconds = time.perf_counter() - t_start
+        return report

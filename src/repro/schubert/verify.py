@@ -1,0 +1,122 @@
+"""Independent verification of Pieri solution sets.
+
+Everything the solver claims is re-checked here from first principles,
+without reusing the solver's internal state: pattern fit, chart
+normalization, intersection-condition residuals, pairwise distinctness and
+the combinatorial count.  Tests and benchmarks call this instead of
+trusting the solver's own bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from .homotopy import intersection_residuals
+from .patterns import LocalizationPattern
+from .poset import PieriPoset
+from .solver import PieriInstance
+
+__all__ = ["VerificationReport", "verify_solutions"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one solution set against its instance."""
+
+    n_solutions: int
+    expected_count: int
+    max_residual: float
+    min_pairwise_distance: float
+    pattern_violations: int
+    chart_violations: int
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else "FAILED: " + "; ".join(self.issues)
+        return (
+            f"{self.n_solutions}/{self.expected_count} solutions, "
+            f"max residual {self.max_residual:.2e}, "
+            f"min distance {self.min_pairwise_distance:.2e} -> {status}"
+        )
+
+
+def verify_solutions(
+    instance: PieriInstance,
+    solutions: Sequence[np.ndarray],
+    residual_tol: float = 1e-8,
+    distinct_tol: float = 1e-6,
+) -> VerificationReport:
+    """Re-check a claimed solution set of a Pieri instance.
+
+    Checks, in order: the count matches d(m, p, q); every matrix fits the
+    root localization pattern in the standard chart (support + unit
+    pivots); all N determinant residuals are below ``residual_tol``; and
+    solutions are pairwise distinct beyond ``distinct_tol``.
+    """
+    problem = instance.problem
+    poset = PieriPoset.build(problem)
+    root: LocalizationPattern = poset.root()
+    expected = poset.root_count()
+    issues: List[str] = []
+
+    support = {(r - 1, j - 1) for r, j in root.support()}
+    pattern_violations = 0
+    chart_violations = 0
+    worst_residual = 0.0
+
+    for k, sol in enumerate(solutions):
+        sol = np.asarray(sol, dtype=complex)
+        if sol.shape != (problem.nrows, problem.p):
+            issues.append(f"solution {k} has shape {sol.shape}")
+            continue
+        nz = {tuple(idx) for idx in np.argwhere(np.abs(sol) > 1e-10)}
+        if not nz <= support:
+            pattern_violations += 1
+        for j, b in enumerate(root.bottom_pivots):
+            if abs(sol[b - 1, j] - 1.0) > 1e-8:
+                chart_violations += 1
+                break
+        res = intersection_residuals(
+            sol, root, instance.planes, instance.points
+        )
+        worst_residual = max(worst_residual, float(np.max(np.abs(res))))
+
+    min_dist = float("inf")
+    sols = [
+        np.asarray(s, dtype=complex)
+        for s in solutions
+        if np.asarray(s).shape == (problem.nrows, problem.p)
+    ]
+    for i in range(len(sols)):
+        for j in range(i + 1, len(sols)):
+            min_dist = min(
+                min_dist, float(np.max(np.abs(sols[i] - sols[j])))
+            )
+
+    if len(solutions) != expected:
+        issues.append(f"count {len(solutions)} != d(m,p,q) = {expected}")
+    if pattern_violations:
+        issues.append(f"{pattern_violations} solutions leave the pattern")
+    if chart_violations:
+        issues.append(f"{chart_violations} solutions not in standard chart")
+    if worst_residual > residual_tol:
+        issues.append(f"residual {worst_residual:.2e} > {residual_tol:.0e}")
+    if len(solutions) > 1 and min_dist < distinct_tol:
+        issues.append(f"solutions collide (distance {min_dist:.2e})")
+
+    return VerificationReport(
+        n_solutions=len(solutions),
+        expected_count=expected,
+        max_residual=worst_residual,
+        min_pairwise_distance=min_dist,
+        pattern_violations=pattern_violations,
+        chart_violations=chart_violations,
+        issues=issues,
+    )

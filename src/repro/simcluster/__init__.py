@@ -1,0 +1,35 @@
+"""Discrete-event cluster simulator: the MPI/Platinum-cluster stand-in."""
+
+from .engine import EventQueue
+from .workload import (
+    Workload,
+    cyclic10_workload,
+    rps_workload,
+    uniform_workload,
+    workload_from_results,
+)
+from .cluster import (
+    ClusterSpec,
+    SimResult,
+    simulate_dynamic,
+    simulate_static,
+    speedup_table,
+)
+from .pieri_sim import PieriSimResult, default_level_cost, simulate_pieri_tree
+
+__all__ = [
+    "EventQueue",
+    "Workload",
+    "cyclic10_workload",
+    "rps_workload",
+    "uniform_workload",
+    "workload_from_results",
+    "ClusterSpec",
+    "SimResult",
+    "simulate_dynamic",
+    "simulate_static",
+    "speedup_table",
+    "PieriSimResult",
+    "default_level_cost",
+    "simulate_pieri_tree",
+]

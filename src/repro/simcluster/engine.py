@@ -1,0 +1,55 @@
+"""A minimal discrete-event simulation engine.
+
+Priority-queue of timestamped events with deterministic tie-breaking; the
+cluster models in :mod:`repro.simcluster.cluster` schedule closures on it.
+Times are seconds of simulated wall clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+__all__ = ["EventQueue"]
+
+
+@dataclass
+class EventQueue:
+    """Timestamped callback queue (the simulation's only clock)."""
+
+    now: float = 0.0
+    _heap: List[Tuple[float, int, Callable[[], None]]] = field(
+        default_factory=list
+    )
+    _counter: itertools.count = field(default_factory=itertools.count)
+    events_processed: int = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay`` (delay >= 0)."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._counter), callback)
+        )
+
+    def at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute time ``when >= now``."""
+        self.schedule(when - self.now, callback)
+
+    def run(self, max_events: int = 100_000_000) -> float:
+        """Process events until the queue drains; returns the final time."""
+        processed = 0
+        while self._heap:
+            when, _, callback = heapq.heappop(self._heap)
+            self.now = when
+            callback()
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError("event limit exceeded (runaway simulation)")
+        self.events_processed += processed
+        return self.now
+
+    def empty(self) -> bool:
+        return not self._heap

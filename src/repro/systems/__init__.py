@@ -1,0 +1,16 @@
+"""Benchmark polynomial systems used in the paper's evaluation."""
+
+from .cyclic import CYCLIC_FINITE_ROOTS, cyclic_roots_system
+from .katsura import katsura_system
+from .noon import noon_system
+from .rps import rps_surrogate_system
+from .misc import random_dense_system
+
+__all__ = [
+    "CYCLIC_FINITE_ROOTS",
+    "cyclic_roots_system",
+    "katsura_system",
+    "noon_system",
+    "rps_surrogate_system",
+    "random_dense_system",
+]

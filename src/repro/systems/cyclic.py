@@ -1,0 +1,46 @@
+"""The cyclic n-roots benchmark family.
+
+The paper's Table I / Fig 1 workload: for dimension ``n`` the system is
+
+    e_k(x) = sum_{i=0}^{n-1} prod_{j=i}^{i+k-1} x_{j mod n} = 0,  k = 1..n-1
+    e_n(x) = x_0 x_1 ... x_{n-1} - 1 = 0
+
+Total degree is n!; the number of finite roots is far smaller (70 for n=5,
+156 for n=6, 924 for n=7), so a total-degree homotopy sends many paths to
+infinity — exactly the high-variance workload that separates static from
+dynamic load balancing.  The paper traces 35,940 paths for n=10; this
+reproduction tracks n <= 7 for real and feeds the n=10 counts to the
+cluster simulator (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from ..polynomials import Polynomial, PolynomialSystem, constant, variables
+
+__all__ = ["cyclic_roots_system", "CYCLIC_FINITE_ROOTS"]
+
+#: Known numbers of isolated solutions of cyclic n-roots from the literature
+#: (Bjorck; Dai-Kim-Kojima [4]).  For n=10 the paper traces 35,940 paths of
+#: which about one thousand diverge.
+CYCLIC_FINITE_ROOTS = {3: 6, 5: 70, 6: 156, 7: 924}
+
+
+def cyclic_roots_system(n: int) -> PolynomialSystem:
+    """Build the cyclic ``n``-roots system in ``n`` variables."""
+    if n < 2:
+        raise ValueError("cyclic n-roots needs n >= 2")
+    xs = variables(n, [f"x{i}" for i in range(n)])
+    polys = []
+    for k in range(1, n):
+        acc: Polynomial = constant(0, n)
+        for i in range(n):
+            term: Polynomial = constant(1, n)
+            for j in range(i, i + k):
+                term = term * xs[j % n]
+            acc = acc + term
+        polys.append(acc)
+    prod: Polynomial = constant(1, n)
+    for x in xs:
+        prod = prod * x
+    polys.append(prod - 1)
+    return PolynomialSystem(polys)

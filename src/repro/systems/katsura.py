@@ -1,0 +1,37 @@
+"""The katsura-n benchmark (magnetism model), a standard test system.
+
+katsura(n) has n+1 variables u_0..u_n and n+1 equations: n convolution
+identities plus one normalization.  All 2^n Bezout paths of a total-degree
+homotopy converge generically, which makes it the *low-variance* foil to
+cyclic n-roots in the load-balancing experiments.
+"""
+
+from __future__ import annotations
+
+from ..polynomials import Polynomial, PolynomialSystem, constant, variables
+
+__all__ = ["katsura_system"]
+
+
+def katsura_system(n: int) -> PolynomialSystem:
+    """Build katsura-``n``: n+1 equations in the n+1 variables u_0..u_n."""
+    if n < 1:
+        raise ValueError("katsura needs n >= 1")
+    nv = n + 1
+    u = variables(nv, [f"u{i}" for i in range(nv)])
+
+    def uu(idx: int) -> Polynomial:
+        idx = abs(idx)
+        return u[idx] if idx <= n else constant(0, nv)
+
+    polys = []
+    for m in range(n):
+        acc: Polynomial = constant(0, nv)
+        for l in range(-n, n + 1):
+            acc = acc + uu(l) * uu(m - l)
+        polys.append(acc - u[m])
+    norm: Polynomial = u[0] - 1
+    for l in range(1, n + 1):
+        norm = norm + 2 * u[l]
+    polys.append(norm)
+    return PolynomialSystem(polys)

@@ -1,0 +1,43 @@
+"""Generic random dense systems (every Bezout path converges)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..polynomials import Polynomial, PolynomialSystem, constant, variables
+
+__all__ = ["random_dense_system"]
+
+
+def random_dense_system(
+    n: int,
+    degree: int = 2,
+    rng: np.random.Generator | None = None,
+) -> PolynomialSystem:
+    """A dense random system: n equations of the given total degree.
+
+    Dense generic systems attain their Bezout number with all solutions
+    finite, so a total-degree homotopy has zero divergent paths — the
+    control case for workload experiments and a strong tracker test
+    (#distinct endpoints must equal degree**n).
+    """
+    if n < 1 or degree < 1:
+        raise ValueError("need n >= 1 and degree >= 1")
+    rng = np.random.default_rng() if rng is None else rng
+    xs = variables(n)
+    polys = []
+    for _ in range(n):
+        acc: Polynomial = constant(0, n)
+        for expo in itertools.product(range(degree + 1), repeat=n):
+            if sum(expo) > degree:
+                continue
+            coef = complex(rng.standard_normal() + 1j * rng.standard_normal())
+            term: Polynomial = constant(coef, n)
+            for v, e in enumerate(expo):
+                if e:
+                    term = term * xs[v] ** e
+            acc = acc + term
+        polys.append(acc)
+    return PolynomialSystem(polys)

@@ -1,0 +1,27 @@
+"""The Noonburg neural-network benchmark system.
+
+noon(n): x_i * sum_{j != i} x_j^2 - 1.1 x_i + 1 = 0 for i = 1..n.  Degree 3
+per equation; mildly deficient, well-conditioned — a medium-variance
+workload between katsura and cyclic.
+"""
+
+from __future__ import annotations
+
+from ..polynomials import Polynomial, PolynomialSystem, constant, variables
+
+__all__ = ["noon_system"]
+
+
+def noon_system(n: int, c: float = 1.1) -> PolynomialSystem:
+    """Build noon-``n`` with threshold parameter ``c`` (paper value 1.1)."""
+    if n < 2:
+        raise ValueError("noon needs n >= 2")
+    xs = variables(n, [f"x{i}" for i in range(n)])
+    polys = []
+    for i in range(n):
+        acc: Polynomial = constant(0, n)
+        for j in range(n):
+            if j != i:
+                acc = acc + xs[j] ** 2
+        polys.append(xs[i] * acc - c * xs[i] + 1)
+    return PolynomialSystem(polys)

@@ -1,0 +1,96 @@
+"""A surrogate for the RPS serial-chain mechanism design system.
+
+The paper's Table II / Fig 2 workload is the geometric design of an RPS
+(revolute-prismatic-spherical) robot [16-18]: ten polynomial equations in
+ten unknowns whose linear-product homotopy has 9,216 paths, of which more
+than 8,000 diverge — and, crucially, every divergent path costs about the
+same, so the workload variance is *small* and dynamic load balancing barely
+beats static (the paper's point).
+
+The original equations come from proprietary kinematics task data we do not
+have, so per the substitution rule we build a synthetic system with the same
+*workload law*: a massively deficient square system.  All equations share
+one random quadratic form
+
+    f_i(x) = q(x) + l_i(x),   i = 1..n
+
+with independent random affine forms ``l_i``.  Differences ``f_i - f_n``
+are affine, so the finite-solution count is exactly 2 while the total
+degree is 2^n: a total-degree homotopy sends ``2^n - 2`` paths to infinity,
+all along the same kind of ray (near-constant cost).  For n=10 that is
+1,022 of 1,024 paths divergent (99.8%); the paper's RPS has 87% divergent.
+The ``shared_groups`` knob interpolates: with ``g`` groups of equations,
+each group sharing its own quadratic, the finite count rises to 2^g.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..polynomials import Polynomial, PolynomialSystem, constant, variables
+
+__all__ = ["rps_surrogate_system", "rps_finite_root_count"]
+
+
+def _random_quadratic(n: int, rng: np.random.Generator) -> Polynomial:
+    xs = variables(n)
+    acc: Polynomial = constant(0, n)
+    for i in range(n):
+        for j in range(i, n):
+            coef = complex(rng.standard_normal() + 1j * rng.standard_normal())
+            acc = acc + coef * xs[i] * xs[j]
+    return acc
+
+
+def _random_affine(n: int, rng: np.random.Generator) -> Polynomial:
+    xs = variables(n)
+    acc: Polynomial = constant(
+        complex(rng.standard_normal() + 1j * rng.standard_normal()), n
+    )
+    for i in range(n):
+        coef = complex(rng.standard_normal() + 1j * rng.standard_normal())
+        acc = acc + coef * xs[i]
+    return acc
+
+
+def rps_surrogate_system(
+    n: int = 10,
+    shared_groups: int = 1,
+    rng: np.random.Generator | None = None,
+) -> PolynomialSystem:
+    """Build the deficient RPS-like surrogate (see module docstring).
+
+    Parameters
+    ----------
+    n:
+        Number of equations and unknowns (paper: 10).
+    shared_groups:
+        Number of groups of equations, each sharing one quadratic form.
+        ``1`` gives maximal deficiency (2 finite roots); ``n`` makes every
+        equation generic (no forced deficiency).
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    if not 1 <= shared_groups <= n:
+        raise ValueError("need 1 <= shared_groups <= n")
+    rng = np.random.default_rng() if rng is None else rng
+    quadratics = [_random_quadratic(n, rng) for _ in range(shared_groups)]
+    polys = []
+    for i in range(n):
+        q = quadratics[i % shared_groups]
+        polys.append(q + _random_affine(n, rng))
+    return PolynomialSystem(polys)
+
+
+def rps_finite_root_count(n: int, shared_groups: int = 1) -> int:
+    """Generic finite-root count of the surrogate.
+
+    With one shared quadratic the n-1 affine differences cut the solution
+    set to a line and the remaining quadratic leaves 2 points.  With ``g``
+    groups, Bezout on the reduced system of ``g`` independent quadratics
+    (after eliminating the ``n - g`` affine differences) gives ``2^g``,
+    provided ``g`` quadratics in ``g`` surviving unknowns stay generic.
+    """
+    if not 1 <= shared_groups <= n:
+        raise ValueError("need 1 <= shared_groups <= n")
+    return 2**shared_groups

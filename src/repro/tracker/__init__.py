@@ -1,0 +1,20 @@
+"""Predictor-corrector path tracking (PHCpack's continuation, in Python)."""
+
+from .interface import HomotopyFunction
+from .newton import NewtonResult, newton_correct, newton_refine_system
+from .result import PathResult, PathStatus, TrackStats, summarize_results
+from .tracker import PathTracker, TrackerOptions, refine_solutions
+
+__all__ = [
+    "HomotopyFunction",
+    "NewtonResult",
+    "newton_correct",
+    "newton_refine_system",
+    "PathResult",
+    "PathStatus",
+    "TrackStats",
+    "summarize_results",
+    "PathTracker",
+    "TrackerOptions",
+    "refine_solutions",
+]

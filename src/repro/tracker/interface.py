@@ -1,0 +1,53 @@
+"""The homotopy-function interface consumed by the path tracker.
+
+A homotopy is any object H(x, t) with x in C^n and t in [0, 1] that can
+produce its residual and both partial Jacobians.  Keeping this as a tiny
+structural interface (rather than importing concrete homotopy classes) lets
+the tracker serve three very different clients without modification:
+
+- polynomial convex-combination homotopies (:mod:`repro.homotopy`),
+- determinant-based Pieri homotopies (:mod:`repro.schubert.homotopy`),
+- synthetic test homotopies used by the unit tests.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["HomotopyFunction"]
+
+
+class HomotopyFunction(abc.ABC):
+    """Abstract H : C^n x [0,1] -> C^n with Jacobians."""
+
+    @property
+    @abc.abstractmethod
+    def dim(self) -> int:
+        """Number of variables (and equations); the system is square."""
+
+    @abc.abstractmethod
+    def evaluate(self, x: np.ndarray, t: float) -> np.ndarray:
+        """Residual H(x, t), shape ``(dim,)``."""
+
+    @abc.abstractmethod
+    def jacobian_x(self, x: np.ndarray, t: float) -> np.ndarray:
+        """Jacobian dH/dx, shape ``(dim, dim)``."""
+
+    def jacobian_t(self, x: np.ndarray, t: float) -> np.ndarray:
+        """Jacobian dH/dt, shape ``(dim,)``.
+
+        Default: central finite difference; concrete homotopies override
+        with the analytic derivative when it is cheap.
+        """
+        h = 1e-7
+        lo = max(0.0, t - h)
+        hi = min(1.0, t + h)
+        return (self.evaluate(x, hi) - self.evaluate(x, lo)) / (hi - lo)
+
+    def evaluate_and_jacobian_x(
+        self, x: np.ndarray, t: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Residual and dH/dx together (override to share work)."""
+        return self.evaluate(x, t), self.jacobian_x(x, t)

@@ -1,0 +1,97 @@
+"""Newton correctors.
+
+Two flavours: a corrector against a :class:`HomotopyFunction` at fixed t
+(the inner loop of the path tracker) and a root refiner for plain
+:class:`~repro.polynomials.PolynomialSystem` objects (used by endgames and
+by tests to sharpen solutions to near machine precision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .interface import HomotopyFunction
+
+__all__ = ["NewtonResult", "newton_correct", "newton_refine_system"]
+
+
+@dataclass
+class NewtonResult:
+    """Outcome of a Newton iteration."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual: float
+    singular: bool = False
+
+
+def _solve(jac: np.ndarray, res: np.ndarray) -> np.ndarray | None:
+    """Solve J dx = -res, returning None when J is numerically singular."""
+    try:
+        dx = np.linalg.solve(jac, -res)
+    except np.linalg.LinAlgError:
+        return None
+    if not np.all(np.isfinite(dx)):
+        return None
+    return dx
+
+
+def newton_correct(
+    homotopy: HomotopyFunction,
+    x: np.ndarray,
+    t: float,
+    tol: float = 1e-10,
+    max_iterations: int = 6,
+) -> NewtonResult:
+    """Newton's method on ``H(., t) = 0`` starting from ``x``.
+
+    Convergence is declared on the max-norm of the *residual*; the corrector
+    also stops early if the update underflows (quadratic convergence hit the
+    noise floor).
+    """
+    x = np.asarray(x, dtype=complex).copy()
+    residual = float("inf")
+    for it in range(1, max_iterations + 1):
+        res, jac = homotopy.evaluate_and_jacobian_x(x, t)
+        residual = float(np.max(np.abs(res)))
+        if residual <= tol:
+            return NewtonResult(x, True, it - 1, residual)
+        dx = _solve(jac, res)
+        if dx is None:
+            return NewtonResult(x, False, it - 1, residual, singular=True)
+        x = x + dx
+        if np.max(np.abs(dx)) <= 1e-15 * max(1.0, np.max(np.abs(x))):
+            res = homotopy.evaluate(x, t)
+            residual = float(np.max(np.abs(res)))
+            return NewtonResult(x, residual <= tol * 1e3, it, residual)
+    res = homotopy.evaluate(x, t)
+    residual = float(np.max(np.abs(res)))
+    return NewtonResult(x, residual <= tol, max_iterations, residual)
+
+
+def newton_refine_system(
+    system,
+    x: np.ndarray,
+    tol: float = 1e-12,
+    max_iterations: int = 20,
+) -> NewtonResult:
+    """Refine an approximate root of a square :class:`PolynomialSystem`."""
+    if not system.is_square():
+        raise ValueError("Newton refinement needs a square system")
+    x = np.asarray(x, dtype=complex).copy()
+    residual = float("inf")
+    for it in range(1, max_iterations + 1):
+        res, jac = system.evaluate_and_jacobian(x)
+        residual = float(np.max(np.abs(res)))
+        if residual <= tol:
+            return NewtonResult(x, True, it - 1, residual)
+        dx = _solve(jac, res)
+        if dx is None:
+            return NewtonResult(x, False, it - 1, residual, singular=True)
+        x = x + dx
+    res = system.evaluate(x)
+    residual = float(np.max(np.abs(res)))
+    return NewtonResult(x, residual <= tol, max_iterations, residual)

@@ -1,0 +1,87 @@
+"""Path-tracking results and statistics records.
+
+These records double as the *workload evidence* for the parallel layer: the
+paper's load-balancing story hinges on the large variance between cheap
+converging paths and expensive diverging ones, so every result carries its
+step/Newton counters and (when measured) wall-clock cost, which the cluster
+simulator consumes to build empirical cost distributions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+__all__ = ["PathStatus", "PathResult", "TrackStats", "summarize_results"]
+
+
+class PathStatus(enum.Enum):
+    """Terminal classification of one tracked path."""
+
+    SUCCESS = "success"          # reached t = 1 with a refined solution
+    DIVERGED = "diverged"        # solution norm exceeded the divergence bound
+    FAILED = "failed"            # step size underflow / Newton stagnation
+    SINGULAR = "singular"        # Jacobian numerically singular at the end
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class TrackStats:
+    """Effort counters for a single path."""
+
+    steps_accepted: int = 0
+    steps_rejected: int = 0
+    newton_iterations: int = 0
+    t_reached: float = 0.0
+    seconds: float = 0.0
+
+    @property
+    def total_steps(self) -> int:
+        return self.steps_accepted + self.steps_rejected
+
+
+@dataclass
+class PathResult:
+    """Outcome of tracking one solution path."""
+
+    status: PathStatus
+    solution: np.ndarray
+    start: np.ndarray
+    residual: float
+    stats: TrackStats = field(default_factory=TrackStats)
+    path_id: int = -1
+
+    @property
+    def success(self) -> bool:
+        return self.status is PathStatus.SUCCESS
+
+    def __repr__(self) -> str:
+        return (
+            f"PathResult(id={self.path_id}, status={self.status.value}, "
+            f"residual={self.residual:.2e}, steps={self.stats.total_steps})"
+        )
+
+
+def summarize_results(results: List[PathResult]) -> dict:
+    """Aggregate counts and effort over a batch of path results."""
+    by_status = {s: 0 for s in PathStatus}
+    for r in results:
+        by_status[r.status] += 1
+    seconds = [r.stats.seconds for r in results]
+    steps = [r.stats.total_steps for r in results]
+    return {
+        "total": len(results),
+        "success": by_status[PathStatus.SUCCESS],
+        "diverged": by_status[PathStatus.DIVERGED],
+        "failed": by_status[PathStatus.FAILED],
+        "singular": by_status[PathStatus.SINGULAR],
+        "seconds_total": float(np.sum(seconds)) if seconds else 0.0,
+        "seconds_mean": float(np.mean(seconds)) if seconds else 0.0,
+        "seconds_std": float(np.std(seconds)) if seconds else 0.0,
+        "steps_mean": float(np.mean(steps)) if steps else 0.0,
+    }

@@ -1,0 +1,204 @@
+"""Adaptive predictor-corrector path tracking.
+
+This is the Python counterpart of PHCpack's increment-and-fix continuation:
+
+- **predictor** — first-order (tangent) prediction ``x + dt * dx/dt`` where
+  the tangent solves ``J_x (dx/dt) = -J_t``; a cheap secant predictor is
+  used as a fallback when the tangent solve fails.
+- **corrector** — a few Newton iterations at the new ``t`` (increment and
+  fix), accepting the step only when the corrector converges.
+- **step control** — multiply the step by ``expand`` after a run of easy
+  steps, shrink by ``shrink`` on failure; abort the path when the step
+  underflows ``min_step``.
+- **divergence** — paths whose solution norm exceeds ``divergence_bound``
+  are classified DIVERGED (the paper's "paths diverging to infinity"), with
+  the time spent recorded — these are exactly the expensive jobs that make
+  static load balancing lose to dynamic balancing in Tables I and II.
+- **endgame** — at ``t = 1`` the solution is sharpened with extra Newton
+  iterations at a tighter tolerance.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .interface import HomotopyFunction
+from .newton import newton_correct, newton_refine_system
+from .result import PathResult, PathStatus, TrackStats
+
+__all__ = ["TrackerOptions", "PathTracker"]
+
+
+@dataclass
+class TrackerOptions:
+    """Tuning knobs for :class:`PathTracker` (defaults follow PHCpack's)."""
+
+    initial_step: float = 0.05
+    min_step: float = 1e-8
+    max_step: float = 0.2
+    expand: float = 1.5
+    shrink: float = 0.5
+    expand_after: int = 3          # consecutive accepted steps before expanding
+    corrector_tol: float = 1e-9
+    corrector_iterations: int = 5
+    endgame_tol: float = 1e-12
+    endgame_iterations: int = 15
+    divergence_bound: float = 1e8
+    max_steps: int = 2000
+
+    def validated(self) -> "TrackerOptions":
+        if not (0 < self.min_step <= self.initial_step <= self.max_step):
+            raise ValueError("need 0 < min_step <= initial_step <= max_step")
+        if not (0 < self.shrink < 1 < self.expand):
+            raise ValueError("need 0 < shrink < 1 < expand")
+        return self
+
+
+class PathTracker:
+    """Tracks solution paths of a :class:`HomotopyFunction` from t=0 to t=1."""
+
+    def __init__(self, options: TrackerOptions | None = None) -> None:
+        self.options = (options or TrackerOptions()).validated()
+
+    # ------------------------------------------------------------------
+    def _tangent(
+        self, homotopy: HomotopyFunction, x: np.ndarray, t: float
+    ) -> np.ndarray | None:
+        """dx/dt from J_x dx/dt = -J_t, or None if J_x is singular."""
+        jac_x = homotopy.jacobian_x(x, t)
+        jac_t = homotopy.jacobian_t(x, t)
+        try:
+            dxdt = np.linalg.solve(jac_x, -jac_t)
+        except np.linalg.LinAlgError:
+            return None
+        if not np.all(np.isfinite(dxdt)):
+            return None
+        return dxdt
+
+    def track(
+        self,
+        homotopy: HomotopyFunction,
+        start: Sequence[complex],
+        path_id: int = -1,
+        t_start: float = 0.0,
+    ) -> PathResult:
+        """Track one path from the start solution at ``t=t_start`` to t=1.
+
+        ``t_start > 0`` resumes a path from a mid-way point (used by chart
+        switching: the same geometric path continued in new coordinates).
+        """
+        opts = self.options
+        t0 = time.perf_counter()
+        stats = TrackStats()
+        x = np.asarray(start, dtype=complex).copy()
+        x_start = x.copy()
+        if not 0.0 <= t_start < 1.0:
+            raise ValueError("t_start must lie in [0, 1)")
+        t = float(t_start)
+        step = opts.initial_step
+        easy_streak = 0
+        x_prev, t_prev = x.copy(), t  # for the secant fallback predictor
+
+        def finish(status: PathStatus, xf: np.ndarray, res: float) -> PathResult:
+            stats.t_reached = t
+            stats.seconds = time.perf_counter() - t0
+            return PathResult(status, xf, x_start, res, stats, path_id)
+
+        # make sure the start point actually solves H(., t_start)
+        check = newton_correct(
+            homotopy, x, t, tol=opts.corrector_tol, max_iterations=opts.corrector_iterations
+        )
+        stats.newton_iterations += check.iterations
+        if not check.converged:
+            return finish(PathStatus.FAILED, x, check.residual)
+        x = check.x
+
+        while t < 1.0:
+            if stats.total_steps >= opts.max_steps:
+                return finish(PathStatus.FAILED, x, float("inf"))
+            dt = min(step, 1.0 - t)
+            t_new = t + dt
+
+            # --- predict
+            tangent = self._tangent(homotopy, x, t)
+            if tangent is not None:
+                x_pred = x + dt * tangent
+            elif t > t_prev:
+                x_pred = x + (x - x_prev) * (dt / (t - t_prev))
+            else:
+                x_pred = x.copy()
+
+            # --- correct
+            corr = newton_correct(
+                homotopy,
+                x_pred,
+                t_new,
+                tol=opts.corrector_tol,
+                max_iterations=opts.corrector_iterations,
+            )
+            stats.newton_iterations += corr.iterations
+
+            if corr.converged:
+                x_prev, t_prev = x, t
+                x, t = corr.x, t_new
+                stats.steps_accepted += 1
+                easy_streak += 1
+                if easy_streak >= opts.expand_after and corr.iterations <= 2:
+                    step = min(step * opts.expand, opts.max_step)
+                    easy_streak = 0
+                norm = float(np.max(np.abs(x)))
+                if norm > opts.divergence_bound:
+                    return finish(PathStatus.DIVERGED, x, corr.residual)
+            else:
+                stats.steps_rejected += 1
+                easy_streak = 0
+                step *= opts.shrink
+                if step < opts.min_step:
+                    status = (
+                        PathStatus.DIVERGED
+                        if float(np.max(np.abs(x))) > 1e3
+                        else PathStatus.FAILED
+                    )
+                    return finish(status, x, corr.residual)
+
+        # --- endgame: sharpen at t = 1
+        final = newton_correct(
+            homotopy,
+            x,
+            1.0,
+            tol=opts.endgame_tol,
+            max_iterations=opts.endgame_iterations,
+        )
+        stats.newton_iterations += final.iterations
+        if final.singular:
+            return finish(PathStatus.SINGULAR, final.x, final.residual)
+        if not final.converged and final.residual > opts.corrector_tol:
+            return finish(PathStatus.FAILED, final.x, final.residual)
+        return finish(PathStatus.SUCCESS, final.x, final.residual)
+
+    # ------------------------------------------------------------------
+    def track_many(
+        self,
+        homotopy: HomotopyFunction,
+        starts: Sequence[Sequence[complex]],
+    ) -> list[PathResult]:
+        """Track a batch of paths sequentially (the 1-CPU baseline)."""
+        return [
+            self.track(homotopy, start, path_id=i) for i, start in enumerate(starts)
+        ]
+
+
+def refine_solutions(system, results, tol: float = 1e-12):
+    """Endgame helper: Newton-refine SUCCESS results against a target system."""
+    out = []
+    for r in results:
+        if r.success:
+            nr = newton_refine_system(system, r.solution, tol=tol)
+            r.solution = nr.x
+            r.residual = nr.residual
+        out.append(r)
+    return out

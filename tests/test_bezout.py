@@ -1,0 +1,158 @@
+"""Tests for multi-homogeneous Bezout numbers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.homotopy import (
+    best_partition,
+    block_degree,
+    multihomogeneous_bezout,
+    set_partitions,
+    solve,
+)
+from repro.polynomials import PolynomialSystem, variables
+from repro.schubert import pieri_root_count
+
+
+class TestBlockDegree:
+    def test_basic(self):
+        x, y, z = variables(3)
+        p = x**2 * y + z**3
+        assert block_degree(p, [0]) == 2
+        assert block_degree(p, [1]) == 1
+        assert block_degree(p, [0, 1]) == 3
+        assert block_degree(p, [2]) == 3
+
+    def test_zero_poly(self):
+        from repro.polynomials import Polynomial
+
+        assert block_degree(Polynomial({}, nvars=2), [0, 1]) == 0
+
+
+class TestSetPartitions:
+    @pytest.mark.parametrize("n,bell", [(1, 1), (2, 2), (3, 5), (4, 15), (5, 52)])
+    def test_bell_numbers(self, n, bell):
+        assert sum(1 for _ in set_partitions(range(n))) == bell
+
+    def test_partitions_are_partitions(self):
+        for part in set_partitions(range(4)):
+            flat = sorted(v for b in part for v in b)
+            assert flat == [0, 1, 2, 3]
+
+
+class TestMultihomogeneousBezout:
+    def test_trivial_partition_is_total_degree(self):
+        x, y = variables(2)
+        sys = PolynomialSystem([x**2 + y - 1, x * y**3 - 2])
+        one_block = [[0, 1]]
+        assert multihomogeneous_bezout(sys, one_block) == 8  # 2 * 4
+
+    def test_classic_bilinear_structure(self):
+        # both equations bilinear in x and y: total degree 2 each
+        x, y = variables(2)
+        sys = PolynomialSystem([x * y + x + 1, x * y + y + 2])
+        assert multihomogeneous_bezout(sys, [[0, 1]]) == 4
+        # 2-homogeneous with blocks {x}, {y}: coefficient of z1 z2 in
+        # (z1 + z2)(z1 + z2) = 2 -> sharper
+        assert multihomogeneous_bezout(sys, [[0], [1]]) == 2
+
+    def test_best_partition_finds_sharper_bound(self):
+        x, y = variables(2)
+        sys = PolynomialSystem([x * y + x + 1, x * y + y + 2])
+        part, count = best_partition(sys)
+        assert count == 2
+        assert sorted(map(sorted, part)) == [[0], [1]]
+
+    def test_bound_is_valid_and_sharp(self):
+        """m-hom Bezout bounds the finite solutions; here it is attained."""
+        rng = np.random.default_rng(0)
+        x, y = variables(2)
+        sys = PolynomialSystem([x * y + x + 1, x * y + y + 2])
+        report = solve(sys, rng=rng)
+        _, count = best_partition(sys)
+        assert report.n_solutions <= count
+        assert report.n_solutions == 2
+
+    def test_partition_validation(self):
+        x, y = variables(2)
+        sys = PolynomialSystem([x, y])
+        with pytest.raises(ValueError):
+            multihomogeneous_bezout(sys, [[0]])  # misses variable 1
+        with pytest.raises(ValueError):
+            multihomogeneous_bezout(sys, [[0, 1], [1]])  # repeats
+
+    def test_non_square_rejected(self):
+        x, y = variables(2)
+        with pytest.raises(ValueError):
+            multihomogeneous_bezout(PolynomialSystem([x + y]), [[0, 1]])
+
+    def test_max_vars_guard(self):
+        xs = variables(11)
+        sys = PolynomialSystem(list(xs))
+        with pytest.raises(ValueError):
+            best_partition(sys)
+
+    def test_linear_system_bezout_one(self):
+        x, y, z = variables(3)
+        sys = PolynomialSystem([x + y, y + z, x + z + 1])
+        _, count = best_partition(sys)
+        assert count == 1
+
+    def test_pieri_count_sharper_than_bezout(self):
+        """The paper's motivation: d(m,p,0) vs the Bezout bound of the
+        static output feedback system det(sI - A - BFC) coefficients.
+
+        For m = p = 2 the coefficient system in the four entries of F has
+        total-degree Bezout 2^4 = 16, the best 2-homogeneous bound is
+        still larger than the true count d(2,2,0) = 2.
+        """
+        rng = np.random.default_rng(1)
+        from repro.control import random_plant
+
+        plant = random_plant(2, 2, 0, rng)
+        # build det(sI - A - BFC) coefficient equations in F symbolically
+        f_vars = variables(5)
+        s = f_vars[4]
+        from repro.polynomials import Polynomial, constant
+
+        fmat = [[f_vars[0], f_vars[1]], [f_vars[2], f_vars[3]]]
+        n = plant.n_states
+        entries = []
+        for i in range(n):
+            row = []
+            for j in range(n):
+                acc = constant(-plant.a[i, j], 5)
+                if i == j:
+                    acc = acc + s
+                for k in range(2):
+                    for l in range(2):
+                        acc = acc - complex(plant.b[i, k] * plant.c[l, j]) * fmat[k][l]
+                row.append(acc)
+            entries.append(row)
+        # char poly via permanent-style expansion (n = 4 is small)
+        from itertools import permutations
+
+        det = constant(0, 5)
+        for perm in permutations(range(n)):
+            inv = sum(
+                1 for i in range(n) for j in range(i + 1, n) if perm[i] > perm[j]
+            )
+            term = constant((-1) ** inv, 5)
+            for i in range(n):
+                term = term * entries[i][perm[i]]
+            det = det + term
+        eqs = []
+        for k in range(n):
+            # prune float noise: BFC has rank <= 2, so terms of F-degree
+            # > 2 cancel in exact arithmetic and survive only as roundoff
+            coeffs = {
+                e[:4]: c
+                for e, c in det.terms()
+                if e[4] == k and abs(c) > 1e-9
+            }
+            eqs.append(Polynomial(coeffs, 4) - 1.0)  # any generic rhs
+        sys4 = PolynomialSystem(eqs)
+        _, bez = best_partition(sys4)
+        assert pieri_root_count(2, 2, 0) == 2 < bez <= 16

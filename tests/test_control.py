@@ -1,0 +1,188 @@
+"""Tests for the control layer: pole placement end to end."""
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    DynamicCompensator,
+    StateSpace,
+    StaticFeedbackLaw,
+    extract_feedback,
+    place_poles,
+    pole_planes,
+    random_plant,
+    required_state_dimension,
+    split_map_matrix,
+    verify_law,
+)
+from repro.schubert import PieriPoset, PieriProblem
+
+
+class TestStateSpace:
+    def test_construction_and_shapes(self):
+        plant = random_plant(2, 2, 0, np.random.default_rng(0))
+        assert plant.n_states == 4
+        assert plant.n_inputs == 2
+        assert plant.n_outputs == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            StateSpace(np.ones((2, 3)), np.ones((2, 1)), np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            StateSpace(np.eye(2), np.ones((3, 1)), np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            StateSpace(np.eye(2), np.ones((2, 1)), np.ones((1, 3)))
+
+    def test_transfer_matches_definition(self):
+        rng = np.random.default_rng(1)
+        plant = random_plant(2, 2, 0, rng)
+        s = 1.3 - 0.7j
+        g = plant.transfer(s)
+        n = plant.n_states
+        expected = plant.c @ np.linalg.inv(s * np.eye(n) - plant.a) @ plant.b
+        assert np.allclose(g, expected)
+
+    def test_required_state_dimension(self):
+        assert required_state_dimension(2, 2, 0) == 4
+        assert required_state_dimension(2, 2, 1) == 7  # 8 - 1
+        assert required_state_dimension(3, 2, 1) == 10  # 11 - 1
+
+    def test_is_pole(self):
+        a = np.diag([1.0, 2.0])
+        plant = StateSpace(a, np.ones((2, 1)), np.ones((1, 2)))
+        assert plant.is_pole(1.0)
+        assert not plant.is_pole(5.0)
+
+    def test_closed_loop_matrix(self):
+        plant = random_plant(2, 2, 0, np.random.default_rng(2))
+        f = np.zeros((2, 2))
+        assert np.allclose(plant.closed_loop_matrix(f), plant.a)
+        with pytest.raises(ValueError):
+            plant.closed_loop_matrix(np.zeros((3, 3)))
+
+    def test_real_plant(self):
+        plant = random_plant(2, 2, 0, np.random.default_rng(3), real=True)
+        assert np.allclose(plant.a.imag, 0)
+
+
+class TestPolePlanes:
+    def test_shape_and_span(self):
+        rng = np.random.default_rng(4)
+        plant = random_plant(2, 2, 0, rng)
+        poles = [-1.0, -2.0, -3.0, -4.0]
+        planes = pole_planes(plant, poles)
+        assert len(planes) == 4
+        for k, s in zip(planes, poles):
+            assert k.shape == (4, 2)
+            # span contains [G(s); I]: residual of projection is zero
+            g = plant.transfer(s)
+            raw = np.vstack([g, np.eye(2)])
+            proj = k @ (k.conj().T @ raw)
+            assert np.allclose(proj, raw, atol=1e-10)
+
+    def test_open_loop_pole_rejected(self):
+        a = np.diag([1.0, 2.0, 3.0, 4.0])
+        plant = StateSpace(a, np.ones((4, 2)), np.ones((2, 4)))
+        with pytest.raises(ValueError):
+            pole_planes(plant, [1.0, -2.0, -3.0, -4.0])
+
+
+class TestStaticPlacement:
+    def test_all_laws_place_poles(self):
+        """Eigenvalues of A + BFC match prescribed poles for every law."""
+        plant = random_plant(2, 2, 0, np.random.default_rng(5))
+        poles = [-1 + 0.5j, -2 - 0.3j, -0.5 + 1j, -3 + 0j]
+        result = place_poles(plant, poles, q=0, seed=6)
+        assert result.n_laws == result.expected_count == 2
+        assert result.max_pole_error() < 1e-6
+        for law in result.laws:
+            assert isinstance(law, StaticFeedbackLaw)
+            assert law.f.shape == (2, 2)
+
+    def test_laws_are_distinct(self):
+        plant = random_plant(2, 2, 0, np.random.default_rng(7))
+        poles = [-1.0, -2.0, -3.0 + 1j, -4.0 - 1j]
+        result = place_poles(plant, poles, q=0, seed=8)
+        f0, f1 = result.laws[0].f, result.laws[1].f
+        assert np.max(np.abs(f0 - f1)) > 1e-6
+
+    def test_wrong_state_dimension_rejected(self):
+        plant = random_plant(2, 2, 1, np.random.default_rng(9))  # 7 states
+        with pytest.raises(ValueError):
+            place_poles(plant, [-1, -2, -3, -4], q=0)
+
+    def test_wrong_pole_count_rejected(self):
+        plant = random_plant(2, 2, 0, np.random.default_rng(10))
+        with pytest.raises(ValueError):
+            place_poles(plant, [-1, -2, -3], q=0)
+
+    def test_real_plant_conjugate_pole_set(self):
+        """Real plant + self-conjugate poles: laws close under conjugation."""
+        plant = random_plant(2, 2, 0, np.random.default_rng(11), real=True)
+        poles = [-1 + 1j, -1 - 1j, -2 + 0.5j, -2 - 0.5j]
+        result = place_poles(plant, poles, q=0, seed=12)
+        assert result.n_laws == 2
+        assert result.max_pole_error() < 1e-6
+        fs = [law.f for law in result.laws]
+        for f in fs:
+            conj_matches = any(np.max(np.abs(f.conj() - g)) < 1e-6 for g in fs)
+            assert conj_matches
+
+
+class TestDynamicPlacement:
+    def test_q1_compensators(self):
+        plant = random_plant(2, 2, 1, np.random.default_rng(13))
+        poles = [complex(-1 - 0.2 * k, 0.3 * (-1) ** k) for k in range(8)]
+        result = place_poles(plant, poles, q=1, seed=14)
+        assert result.n_laws == result.expected_count == 8
+        assert result.max_pole_error() < 1e-6
+        for law in result.laws:
+            assert isinstance(law, DynamicCompensator)
+            assert law.q == 1
+
+    def test_compensator_transfer_well_defined(self):
+        plant = random_plant(2, 2, 1, np.random.default_rng(15))
+        poles = [complex(-2 - 0.3 * k, 0.4 * (-1) ** k) for k in range(8)]
+        result = place_poles(plant, poles, q=1, seed=16)
+        law = result.laws[0]
+        val = law.transfer(0.123 + 0.456j)
+        assert val.shape == (2, 2)
+        assert np.all(np.isfinite(val))
+
+    def test_verify_law_flags_bad_law(self):
+        plant = random_plant(2, 2, 0, np.random.default_rng(17))
+        poles = [-1.0, -2.0, -3.0, -4.0]
+        bad = StaticFeedbackLaw(np.zeros((2, 2), dtype=complex))
+        err = verify_law(plant, bad, poles)
+        assert err > 1e-3
+
+
+class TestExtraction:
+    def test_split_map_matrix_q0(self):
+        prob = PieriProblem(2, 2, 0)
+        root = PieriPoset.build(prob).root()
+        x = np.zeros((4, 2), dtype=complex)
+        x[:2, :] = np.eye(2)
+        x[2:, :] = np.array([[1.0, 2.0], [3.0, 4.0]])
+        y, z = split_map_matrix(x, root)
+        assert np.allclose(y(0.0), np.eye(2))
+        assert np.allclose(z(0.0), [[1, 2], [3, 4]])
+
+    def test_extract_static(self):
+        prob = PieriProblem(2, 2, 0)
+        root = PieriPoset.build(prob).root()
+        x = np.zeros((4, 2), dtype=complex)
+        x[:2, :] = np.eye(2)
+        x[2:, :] = np.array([[1.0, 2.0], [3.0, 4.0]])
+        law = extract_feedback(x, root)
+        assert isinstance(law, StaticFeedbackLaw)
+        assert np.allclose(law.f, [[1, 2], [3, 4]])
+
+    def test_extract_singular_y_raises(self):
+        prob = PieriProblem(2, 2, 0)
+        root = PieriPoset.build(prob).root()
+        x = np.zeros((4, 2), dtype=complex)
+        x[0, 0] = 1.0  # Y = [[1,0],[0,0]] singular
+        x[3, :] = 1.0
+        with pytest.raises(ValueError):
+            extract_feedback(x, root)

@@ -1,0 +1,46 @@
+"""Smoke tests: the fast example scripts must run to completion.
+
+Each example ends with its own assertions, so a zero exit status means the
+demonstrated behaviour actually held.  Only the quick examples run here;
+the longer ones (cyclic_parallel, placement_oracle at q=1) are exercised
+by the benchmarks.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, timeout: float = 300.0) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,expected",
+    [
+        ("quickstart.py", "OK: every law places the poles"),
+        ("pole_placement_satellite.py", "OK: the satellite"),
+        ("cluster_simulation.py", "Reading guide"),
+    ],
+)
+def test_fast_examples(script, expected):
+    proc = _run(script)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert expected in proc.stdout
+
+
+def test_examples_exist_and_are_documented():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 7
+    for p in EXAMPLES.glob("*.py"):
+        head = p.read_text().splitlines()[:5]
+        assert any('"""' in line for line in head), f"{p.name} lacks a docstring"

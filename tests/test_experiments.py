@@ -1,0 +1,121 @@
+"""Tests for the experiment harness (tables/figures regeneration)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE1,
+    PAPER_TABLE3,
+    PAPER_TABLE4_COUNTS,
+    fig1,
+    fig2,
+    figures345,
+    measure_cyclic_costs,
+    render_series,
+    render_table,
+    resample_workload,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+
+class TestFormatting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(l) for l in lines[1:]} ) <= 2  # header/sep/rows aligned
+
+    def test_render_series(self):
+        text = render_series("S", [1, 2], {"y": [3.0, 4.0]})
+        assert "S" in text and "y" in text
+
+
+class TestTable1:
+    def test_shape_and_paper_comparison(self):
+        text, rows = table1(cpu_counts=(1, 8, 128))
+        assert len(rows) == 3
+        assert "Table I" in text
+        # dynamic wins, and more at 128 than at 8 (the paper's trend)
+        assert rows[2]["improvement_pct"] > rows[1]["improvement_pct"] > 0
+        # speedups within the physically possible range
+        for r in rows:
+            assert 0 < r["dynamic_speedup"] <= r["cpus"] + 1e-9
+
+    def test_fig1_series_consistent_with_table(self):
+        text, data = fig1(cpu_counts=(1, 8))
+        assert data["x"] == [1, 8]
+        assert data["optimal"] == [1.0, 8.0]
+        assert "Fig 1" in text
+
+
+class TestTable2:
+    def test_improvements_small(self):
+        text, rows = table2(cpu_counts=(8, 128))
+        assert "Table II" in text
+        for r in rows:
+            assert abs(r["improvement_pct"]) < 12
+
+    def test_fig2(self):
+        _, data = fig2(cpu_counts=(8, 16))
+        assert data["x"] == [8, 16]
+        assert len(data["static"]) == 2
+
+
+class TestTable3:
+    def test_counts_only(self):
+        text, data = table3(run_solver=False)
+        assert data["counts"] == PAPER_TABLE3
+        assert "252" in text
+
+    def test_with_solver_small(self):
+        text, data = table3(m=2, p=2, q=0, run_solver=True, seed=1)
+        assert data["counts"] == [1, 2, 2, 2]
+        assert sum(data["seconds"].values()) > 0
+        assert "Table III" in text
+
+
+class TestTable4:
+    def test_counts_all_match_except_typo(self):
+        text, data = table4(solve_cells=())
+        assert "Table IV" in text
+        assert "paper typo" in text  # the (3,3,2) cell
+        assert text.count("OK") == len(PAPER_TABLE4_COUNTS) - 1
+
+    def test_solved_cell_included(self):
+        text, data = table4(solve_cells=((2, 2, 0),), seed=3)
+        assert data["solved"][(2, 2, 0)] == 2
+        assert data["timings"][(2, 2, 0)] > 0
+
+
+class TestFigures345:
+    def test_content(self):
+        text = figures345()
+        assert "Fig 3" in text and "Fig 4" in text and "Fig 5" in text
+        assert "[4 7]" in text
+        # Fig 3's pattern has 10 stars
+        fig3_block = text.split("Fig 4")[0]
+        assert fig3_block.count("*") == 10
+
+
+class TestCalibration:
+    def test_measure_and_resample(self):
+        measured = measure_cyclic_costs(n=3, seed=4)
+        assert measured.n_paths >= 4
+        wl = resample_workload(measured, 500, 10.0, np.random.default_rng(5))
+        assert wl.n_paths == 500
+        assert abs(wl.total_cpu_minutes - 10.0) < 1e-9
+
+
+class TestMainEntry:
+    def test_fast_mode_runs(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table IV" in out
+        assert "Fig 5" in out

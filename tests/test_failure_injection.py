@@ -1,0 +1,115 @@
+"""Failure injection: worker crashes and simulated job failures.
+
+The master/slave protocol must never silently lose a job (and with the
+Pieri tree, a lost internal job loses its entire subtree of solutions).
+These tests crash workers deliberately and check the schedulers recover.
+"""
+
+import numpy as np
+import pytest
+
+import repro.parallel.pieri_scheduler as scheduler_mod
+from repro.parallel import solve_pieri_parallel
+from repro.schubert import PieriInstance, pieri_root_count, verify_solutions
+from repro.simcluster import (
+    ClusterSpec,
+    simulate_dynamic,
+    simulate_static,
+    uniform_workload,
+)
+
+
+class FlakyWorker:
+    """Wraps the real Pieri worker; crashes on the first k distinct jobs."""
+
+    def __init__(self, real, crash_times: int):
+        self.real = real
+        self.remaining = crash_times
+        self.crashes = 0
+
+    def __call__(self, args):
+        if self.remaining > 0:
+            self.remaining -= 1
+            self.crashes += 1
+            raise RuntimeError("injected worker crash")
+        return self.real(args)
+
+
+class TestPieriSchedulerFaults:
+    def test_recovers_from_crashes(self, monkeypatch):
+        """Crashed jobs are re-enqueued; the full solution set survives."""
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(0))
+        flaky = FlakyWorker(scheduler_mod._run_pieri_job, crash_times=3)
+        monkeypatch.setattr(scheduler_mod, "_run_pieri_job", flaky)
+        report = solve_pieri_parallel(
+            instance, n_workers=2, mode="thread", seed=1, max_job_retries=5
+        )
+        assert flaky.crashes == 3
+        assert report.worker_crashes == 3
+        assert report.n_solutions == pieri_root_count(2, 2, 0)
+        assert verify_solutions(instance, report.solutions).ok
+
+    def test_retry_budget_exhaustion_counts_failures(self, monkeypatch):
+        """A permanently crashing job is eventually abandoned, not hung."""
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(2))
+
+        def always_crash(args):
+            raise RuntimeError("permanent crash")
+
+        monkeypatch.setattr(scheduler_mod, "_run_pieri_job", always_crash)
+        report = solve_pieri_parallel(
+            instance, n_workers=2, mode="thread", seed=3, max_job_retries=1
+        )
+        assert report.n_solutions == 0
+        assert report.failures >= 1
+        assert report.worker_crashes > 0
+
+    def test_no_crashes_zero_counter(self):
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(4))
+        report = solve_pieri_parallel(
+            instance, n_workers=2, mode="thread", seed=5
+        )
+        assert report.worker_crashes == 0
+
+
+class TestSimulatedFailures:
+    def test_failure_rate_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(failure_rate=1.0)
+        with pytest.raises(ValueError):
+            ClusterSpec(failure_rate=-0.1)
+
+    def test_failures_cost_time_but_finish_all_jobs(self):
+        wl = uniform_workload(200, 1.0)
+        clean = ClusterSpec(failure_rate=0.0)
+        faulty = ClusterSpec(failure_rate=0.2, failure_seed=7)
+        for sim in (simulate_static, simulate_dynamic):
+            ok = sim(wl, 8, clean)
+            bad = sim(wl, 8, faulty)
+            assert bad.jobs_done == ok.jobs_done == 200
+            assert bad.failed_attempts > 0
+            assert bad.wall_seconds > ok.wall_seconds
+
+    def test_expected_overhead_matches_geometric_retries(self):
+        """Mean attempts are 1/(1-r); total work scales accordingly."""
+        wl = uniform_workload(5000, 1.0)
+        rate = 0.25
+        res = simulate_dynamic(wl, 4, ClusterSpec(failure_rate=rate, failure_seed=8))
+        expected_factor = 1.0 / (1.0 - rate)
+        measured = res.total_cpu_seconds / wl.total_seconds
+        assert abs(measured - expected_factor) < 0.05 * expected_factor
+
+    def test_zero_rate_identical_to_default(self):
+        wl = uniform_workload(50, 0.5)
+        a = simulate_dynamic(wl, 4, ClusterSpec())
+        b = simulate_dynamic(wl, 4, ClusterSpec(failure_rate=0.0))
+        assert a.wall_seconds == b.wall_seconds
+        assert a.failed_attempts == b.failed_attempts == 0
+
+    def test_deterministic_given_seed(self):
+        wl = uniform_workload(100, 1.0)
+        spec = ClusterSpec(failure_rate=0.3, failure_seed=9)
+        r1 = simulate_static(wl, 4, spec)
+        r2 = simulate_static(wl, 4, spec)
+        assert r1.wall_seconds == r2.wall_seconds
+        assert r1.failed_attempts == r2.failed_attempts

@@ -1,0 +1,151 @@
+"""Tests for the real parallel executors (threads/processes, static/dynamic)."""
+
+import numpy as np
+import pytest
+
+from repro.homotopy import make_homotopy_and_starts
+from repro.parallel import solve_pieri_parallel, track_paths_parallel
+from repro.schubert import PieriInstance, PieriSolver, pieri_root_count
+from repro.systems import cyclic_roots_system
+from repro.tracker import PathStatus
+
+
+@pytest.fixture(scope="module")
+def cyclic4():
+    """cyclic-4 homotopy + its 24 start solutions (shared by the module)."""
+    target = cyclic_roots_system(4)
+    homotopy, starts = make_homotopy_and_starts(
+        target, rng=np.random.default_rng(0)
+    )
+    return homotopy, starts
+
+
+class TestFlatExecutors:
+    def test_serial_baseline(self, cyclic4):
+        homotopy, starts = cyclic4
+        report = track_paths_parallel(homotopy, starts, mode="serial")
+        assert len(report.results) == len(starts)
+        assert report.n_workers == 1
+        assert report.total_cpu_seconds > 0
+
+    def test_dynamic_threads_match_serial(self, cyclic4):
+        homotopy, starts = cyclic4
+        serial = track_paths_parallel(homotopy, starts, mode="serial")
+        threaded = track_paths_parallel(
+            homotopy, starts, n_workers=4, schedule="dynamic", mode="thread"
+        )
+        assert len(threaded.results) == len(serial.results)
+        # same classification and same endpoints per path id
+        for a, b in zip(serial.results, threaded.results):
+            assert a.path_id == b.path_id
+            assert a.status == b.status
+            if a.status is PathStatus.SUCCESS:
+                assert np.allclose(a.solution, b.solution, atol=1e-8)
+
+    def test_static_threads_match_serial(self, cyclic4):
+        homotopy, starts = cyclic4
+        serial = track_paths_parallel(homotopy, starts, mode="serial")
+        static = track_paths_parallel(
+            homotopy, starts, n_workers=3, schedule="static", mode="thread"
+        )
+        for a, b in zip(serial.results, static.results):
+            assert a.status == b.status
+
+    def test_process_mode_runs(self, cyclic4):
+        homotopy, starts = cyclic4
+        report = track_paths_parallel(
+            homotopy,
+            starts[:8],
+            n_workers=2,
+            schedule="dynamic",
+            mode="process",
+        )
+        assert len(report.results) == 8
+        assert report.n_workers == 2
+
+    def test_results_ordered_by_path_id(self, cyclic4):
+        homotopy, starts = cyclic4
+        report = track_paths_parallel(
+            homotopy, starts, n_workers=4, schedule="dynamic", mode="thread"
+        )
+        assert [r.path_id for r in report.results] == list(range(len(starts)))
+
+    def test_invalid_args(self, cyclic4):
+        homotopy, starts = cyclic4
+        with pytest.raises(ValueError):
+            track_paths_parallel(homotopy, starts, n_workers=0)
+        with pytest.raises(ValueError):
+            track_paths_parallel(homotopy, starts, schedule="bogus", n_workers=2)
+        with pytest.raises(ValueError):
+            track_paths_parallel(
+                homotopy, starts, mode="bogus", n_workers=2
+            )
+
+    def test_busy_accounting(self, cyclic4):
+        homotopy, starts = cyclic4
+        report = track_paths_parallel(
+            homotopy, starts, n_workers=2, schedule="static", mode="thread"
+        )
+        assert len(report.worker_busy_seconds) == 2
+        assert report.total_cpu_seconds > 0
+        assert report.load_imbalance >= 1.0
+
+
+class TestParallelPieri:
+    def test_matches_sequential_solutions(self):
+        """The key property: parallel == sequential, path by path."""
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(1))
+        seq = PieriSolver(instance, seed=2).solve()
+        par = solve_pieri_parallel(
+            instance, n_workers=3, mode="thread", seed=2
+        )
+        assert par.n_solutions == seq.n_solutions == pieri_root_count(2, 2, 0)
+        key = lambda c: str(np.round(c.ravel(), 6).tolist())
+        assert sorted(map(key, par.solutions)) == sorted(
+            map(key, seq.solutions)
+        )
+
+    def test_bigger_case_thread(self):
+        instance = PieriInstance.random(3, 2, 0, np.random.default_rng(3))
+        par = solve_pieri_parallel(
+            instance, n_workers=4, mode="thread", seed=4
+        )
+        assert par.n_solutions == 5
+        assert par.failures == 0
+        assert par.max_residual() < 1e-8
+        assert par.all_distinct()
+
+    def test_process_mode(self):
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(5))
+        par = solve_pieri_parallel(
+            instance, n_workers=2, mode="process", seed=6
+        )
+        assert par.n_solutions == 2
+        assert par.failures == 0
+
+    def test_job_counts_match_table3_structure(self):
+        from repro.schubert import level_job_counts
+
+        instance = PieriInstance.random(2, 2, 1, np.random.default_rng(7))
+        par = solve_pieri_parallel(
+            instance, n_workers=4, mode="thread", seed=8
+        )
+        expected = level_job_counts(2, 2, 1)
+        got = [par.jobs_per_level[i + 1] for i in range(len(expected))]
+        assert got == expected
+
+    def test_scheduler_telemetry(self):
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(9))
+        par = solve_pieri_parallel(
+            instance, n_workers=2, mode="thread", seed=10
+        )
+        assert par.wall_seconds > 0
+        assert par.max_active_jobs >= 1
+        assert par.n_workers == 2
+
+    def test_invalid_workers(self):
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(11))
+        with pytest.raises(ValueError):
+            solve_pieri_parallel(instance, n_workers=0)
+        with pytest.raises(ValueError):
+            solve_pieri_parallel(instance, n_workers=2, mode="bogus")

@@ -1,0 +1,91 @@
+"""Unit tests for the polynomial string parser."""
+
+import numpy as np
+import pytest
+
+from repro.polynomials import parse_polynomial, parse_system, variables
+
+
+class TestParsing:
+    def setup_method(self):
+        self.x, self.y = variables(2, ["x", "y"])
+
+    def test_simple(self):
+        assert parse_polynomial("x + y", ["x", "y"]) == self.x + self.y
+
+    def test_powers_both_syntaxes(self):
+        assert parse_polynomial("x**2", ["x", "y"]) == self.x**2
+        assert parse_polynomial("x^2", ["x", "y"]) == self.x**2
+
+    def test_precedence(self):
+        p = parse_polynomial("x + 2*y**2", ["x", "y"])
+        assert p == self.x + 2 * self.y**2
+
+    def test_parentheses(self):
+        p = parse_polynomial("(x + y)^2", ["x", "y"])
+        assert p == (self.x + self.y) ** 2
+
+    def test_unary_minus(self):
+        assert parse_polynomial("-x", ["x", "y"]) == -self.x
+        assert parse_polynomial("-(x + y)", ["x", "y"]) == -(self.x + self.y)
+        assert parse_polynomial("+x", ["x", "y"]) == self.x
+
+    def test_imaginary_unit(self):
+        p = parse_polynomial("i*x + j*y", ["x", "y"])
+        assert p == 1j * self.x + 1j * self.y
+
+    def test_i_as_variable_name_wins(self):
+        (i,) = variables(1, ["i"])
+        assert parse_polynomial("i**2", ["i"]) == i**2
+
+    def test_floats_and_scientific(self):
+        p = parse_polynomial("1.5*x + 2e-3", ["x", "y"])
+        assert p.coefficient((1, 0)) == 1.5
+        assert abs(p.constant_term() - 2e-3) < 1e-18
+
+    def test_implicit_multiplication(self):
+        p = parse_polynomial("2x y", ["x", "y"])
+        assert p == 2 * self.x * self.y
+        q = parse_polynomial("3(x + y)", ["x", "y"])
+        assert q == 3 * (self.x + self.y)
+
+    def test_division_by_constant(self):
+        p = parse_polynomial("x/2", ["x", "y"])
+        assert p == self.x / 2
+
+    def test_division_by_variable_rejected(self):
+        with pytest.raises(ValueError):
+            parse_polynomial("1/x", ["x", "y"])
+
+    def test_unknown_variable(self):
+        with pytest.raises(ValueError):
+            parse_polynomial("z + 1", ["x", "y"])
+
+    def test_bad_exponent(self):
+        with pytest.raises(ValueError):
+            parse_polynomial("x**1.5", ["x", "y"])
+        with pytest.raises(ValueError):
+            parse_polynomial("x**-2", ["x", "y"])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ValueError):
+            parse_polynomial("x + )", ["x", "y"])
+
+    def test_evaluation_consistency(self):
+        text = "(x + i*y)**3 - 4*x*y + 2"
+        p = parse_polynomial(text, ["x", "y"])
+        pt = np.array([0.3 + 0.1j, -0.7 + 0.4j])
+        x, y = pt
+        expected = (x + 1j * y) ** 3 - 4 * x * y + 2
+        assert abs(p.evaluate(pt) - expected) < 1e-12
+
+
+class TestSystemParsing:
+    def test_list_of_strings(self):
+        sys = parse_system(["x + y", "x - y"], ["x", "y"])
+        assert sys.neqs == 2
+
+    def test_semicolon_blob(self):
+        sys = parse_system("x*y - 1; x**2 - y;", ["x", "y"])
+        assert sys.neqs == 2
+        assert sys.degrees() == (2, 2)

@@ -1,0 +1,177 @@
+"""Unit tests for localization patterns (paper §III-B, Fig 3)."""
+
+import pytest
+
+from repro.schubert import LocalizationPattern, PieriProblem
+
+
+class TestPieriProblem:
+    def test_basic_quantities(self):
+        prob = PieriProblem(2, 2, 1)
+        assert prob.ambient == 4
+        assert prob.num_conditions == 8  # mp + q(m+p) = 4 + 4
+
+    def test_column_caps_q0(self):
+        prob = PieriProblem(3, 2, 0)
+        assert prob.column_caps == (5, 5)
+        assert prob.nrows == 5
+
+    def test_column_caps_q1_p2(self):
+        # q = 0*2 + 1: first column one block, second column two blocks
+        prob = PieriProblem(2, 2, 1)
+        assert prob.column_caps == (4, 8)
+
+    def test_column_caps_q2_p2(self):
+        # q = 1*2 + 0: both columns two blocks
+        prob = PieriProblem(2, 2, 2)
+        assert prob.column_caps == (8, 8)
+
+    def test_column_caps_q3_p2(self):
+        # q = 1*2 + 1: caps (2 blocks, 3 blocks)
+        prob = PieriProblem(2, 2, 3)
+        assert prob.column_caps == (8, 12)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            PieriProblem(0, 2)
+        with pytest.raises(ValueError):
+            PieriProblem(2, 0)
+        with pytest.raises(ValueError):
+            PieriProblem(2, 2, -1)
+
+    def test_trivial_pattern(self):
+        pat = PieriProblem(2, 3).trivial_pattern()
+        assert pat.bottom_pivots == (1, 2, 3)
+        assert pat.is_trivial
+        assert pat.level == 0
+
+
+class TestValidity:
+    def test_figure3_pattern(self):
+        # the paper's Fig 3 example: m=2, p=2, q=1, shorthand [4 7]
+        prob = PieriProblem(2, 2, 1)
+        pat = LocalizationPattern(prob, (4, 7))
+        assert pat.level == 8 == prob.num_conditions
+        assert pat.is_root
+        assert pat.star_count() == 10
+
+    def test_strictly_increasing_required(self):
+        prob = PieriProblem(2, 2, 0)
+        with pytest.raises(ValueError):
+            LocalizationPattern(prob, (2, 2))
+
+    def test_top_pivot_bound(self):
+        prob = PieriProblem(2, 2, 0)
+        with pytest.raises(ValueError):
+            LocalizationPattern(prob, (0, 2))
+        with pytest.raises(ValueError):
+            LocalizationPattern(prob, (3, 1))
+
+    def test_cap_bound(self):
+        prob = PieriProblem(2, 2, 1)
+        with pytest.raises(ValueError):
+            LocalizationPattern(prob, (5, 7))  # col-1 cap is 4
+        with pytest.raises(ValueError):
+            LocalizationPattern(prob, (4, 9))  # col-2 cap is 8
+
+    def test_gap_rule(self):
+        # no two bottom pivots differ by m+p or more
+        prob = PieriProblem(2, 2, 1)
+        with pytest.raises(ValueError):
+            LocalizationPattern(prob, (2, 7))  # differ by 5 >= 4
+        LocalizationPattern(prob, (4, 7))  # differ by 3: fine
+
+    def test_is_valid_helper(self):
+        prob = PieriProblem(2, 2, 1)
+        assert LocalizationPattern.is_valid(prob, (4, 7))
+        assert not LocalizationPattern.is_valid(prob, (2, 7))
+
+    def test_wrong_length(self):
+        prob = PieriProblem(2, 2, 0)
+        with pytest.raises(ValueError):
+            LocalizationPattern(prob, (1, 2, 3))
+
+
+class TestDerivedData:
+    def test_level_counts_conditions(self):
+        prob = PieriProblem(3, 2, 0)
+        pat = LocalizationPattern(prob, (3, 5))
+        assert pat.level == (3 - 1) + (5 - 2) == 5
+
+    def test_column_degrees(self):
+        prob = PieriProblem(2, 2, 1)
+        pat = LocalizationPattern(prob, (4, 7))
+        assert pat.column_degrees() == (0, 1)
+        pat2 = LocalizationPattern(prob, (1, 2))
+        assert pat2.column_degrees() == (0, 0)
+
+    def test_corner_rows_distinct(self):
+        prob = PieriProblem(2, 2, 1)
+        for pivots in [(4, 7), (1, 2), (3, 6), (4, 5)]:
+            pat = LocalizationPattern(prob, pivots)
+            rows = pat.corner_rows()
+            assert len(set(rows)) == len(rows)
+            assert all(1 <= r <= prob.ambient for r in rows)
+
+    def test_support_contiguous(self):
+        prob = PieriProblem(2, 2, 1)
+        pat = LocalizationPattern(prob, (4, 7))
+        sup = pat.support()
+        col1 = sorted(r for r, j in sup if j == 1)
+        col2 = sorted(r for r, j in sup if j == 2)
+        assert col1 == list(range(1, 5))
+        assert col2 == list(range(2, 8))
+
+    def test_shorthand(self):
+        prob = PieriProblem(2, 2, 1)
+        assert LocalizationPattern(prob, (4, 7)).shorthand() == "[4 7]"
+
+    def test_ascii_art_star_count(self):
+        prob = PieriProblem(2, 2, 1)
+        art = LocalizationPattern(prob, (4, 7)).ascii_art()
+        assert art.count("*") == 10
+
+
+class TestChildrenParents:
+    def test_trivial_children_match_fig5(self):
+        # Fig 5: the root [1 2] of the (2,2,1) tree has single child [1 3]
+        prob = PieriProblem(2, 2, 1)
+        kids = list(prob.trivial_pattern().children())
+        assert len(kids) == 1
+        assert kids[0][0] == 1  # column index (0-based)
+        assert kids[0][1].bottom_pivots == (1, 3)
+
+    def test_children_parents_inverse(self):
+        prob = PieriProblem(2, 2, 1)
+        pat = LocalizationPattern(prob, (2, 4))
+        for col, child in pat.children():
+            back = dict(child.parents())
+            assert any(
+                par.bottom_pivots == pat.bottom_pivots
+                for par in back.values()
+            )
+
+    def test_child_via(self):
+        prob = PieriProblem(2, 2, 1)
+        pat = LocalizationPattern(prob, (1, 3))
+        child = pat.child_via(0)
+        assert child.bottom_pivots == (2, 3)
+        with pytest.raises(ValueError):
+            pat.child_via(1).child_via(1).child_via(1).child_via(1).child_via(1).child_via(1)
+
+    def test_root_has_no_children(self):
+        prob = PieriProblem(2, 2, 1)
+        root = LocalizationPattern(prob, (4, 7))
+        assert root.is_root
+        assert list(root.children()) == []
+
+    def test_level_increases_by_one(self):
+        prob = PieriProblem(3, 2, 1)
+        pat = prob.trivial_pattern()
+        seen = 0
+        while not pat.is_root:
+            nxt = next(iter(pat.children()))[1]
+            assert nxt.level == pat.level + 1
+            pat = nxt
+            seen += 1
+        assert seen == prob.num_conditions

@@ -1,0 +1,271 @@
+"""Tests for the Pieri homotopy numerics and the sequential solver."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import random_plane
+from repro.schubert import (
+    LocalizationPattern,
+    PieriEdgeHomotopy,
+    PieriInstance,
+    PieriProblem,
+    PieriSolver,
+    PieriTreeNode,
+    evaluate_map,
+    intersection_residuals,
+    normalize_to_standard_chart,
+    pieri_root_count,
+    special_plane,
+    trivial_solution_matrix,
+)
+
+
+class TestMapEvaluation:
+    def test_trivial_solution_shape(self):
+        prob = PieriProblem(2, 2, 1)
+        c = trivial_solution_matrix(prob)
+        assert c.shape == (8, 2)
+        assert c[0, 0] == 1 and c[1, 1] == 1
+        assert np.sum(np.abs(c)) == 2
+
+    def test_evaluate_constant_map(self):
+        prob = PieriProblem(2, 2, 0)
+        c = trivial_solution_matrix(prob)
+        pat = prob.trivial_pattern()
+        x = evaluate_map(c, pat, 3.7 + 2j, 1.0)
+        assert x.shape == (4, 2)
+        assert np.allclose(x[:2, :], np.eye(2))
+
+    def test_degree_one_column_homogenization(self):
+        prob = PieriProblem(2, 2, 1)
+        pat = LocalizationPattern(prob, (4, 7))
+        c = np.zeros((8, 2), dtype=complex)
+        c[0, 0] = 2.0  # column 1, degree 0 (L_1 = 0)
+        c[1, 1] = 3.0  # column 2, degree 0 coefficient (L_2 = 1)
+        c[5, 1] = 5.0  # column 2, degree 1 coefficient of row 2
+        s, s0 = 2.0, 0.5
+        x = evaluate_map(c, pat, s, s0)
+        # column 1 has degree 0: entry = 2 * s^0 * s0^0
+        assert x[0, 0] == 2.0
+        # column 2 has degree 1: 3 * s0 + 5 * s at ambient row 2
+        assert x[1, 1] == 3.0 * s0 + 5.0 * s
+
+    def test_at_infinity_picks_top_coefficients(self):
+        prob = PieriProblem(2, 2, 1)
+        pat = LocalizationPattern(prob, (4, 7))
+        rng = np.random.default_rng(0)
+        c = np.zeros((8, 2), dtype=complex)
+        for r1, j1 in pat.support():
+            c[r1 - 1, j1 - 1] = rng.standard_normal() + 1j * rng.standard_normal()
+        x = evaluate_map(c, pat, 1.0, 0.0)
+        # column 2 at (1, 0): only the degree-1 block (rows 4..7) survives
+        assert np.allclose(x[:, 1], c[4:8, 1])
+
+
+class TestSpecialPlane:
+    def test_shape_and_orthogonality_to_corners(self):
+        prob = PieriProblem(2, 2, 1)
+        pat = LocalizationPattern(prob, (4, 7))
+        k = special_plane(pat)
+        assert k.shape == (4, 2)
+        for r in pat.corner_rows():
+            assert np.allclose(k[r - 1, :], 0)
+
+    def test_key_lemma_det_is_product_of_pivots(self):
+        """det [X(1,0) | K_b] = +/- product of bottom-pivot entries."""
+        rng = np.random.default_rng(1)
+        for m, p, q, pivots in [
+            (2, 2, 0, (3, 4)),
+            (2, 2, 1, (4, 7)),
+            (3, 2, 1, (5, 9)),
+            (2, 3, 0, (3, 4, 5)),
+        ]:
+            prob = PieriProblem(m, p, q)
+            pat = LocalizationPattern(prob, pivots)
+            c = np.zeros((prob.nrows, p), dtype=complex)
+            for r1, j1 in pat.support():
+                c[r1 - 1, j1 - 1] = (
+                    rng.standard_normal() + 1j * rng.standard_normal()
+                )
+            x = evaluate_map(c, pat, 1.0, 0.0)
+            det = np.linalg.det(np.hstack([x, special_plane(pat)]))
+            prod = np.prod([c[b - 1, j] for j, b in enumerate(pivots)])
+            assert abs(abs(det) - abs(prod)) < 1e-10 * max(1.0, abs(prod))
+
+    def test_vanishes_iff_pivot_zero(self):
+        rng = np.random.default_rng(2)
+        prob = PieriProblem(2, 2, 1)
+        pat = LocalizationPattern(prob, (4, 7))
+        c = np.zeros((8, 2), dtype=complex)
+        for r1, j1 in pat.support():
+            c[r1 - 1, j1 - 1] = rng.standard_normal() + 1j
+        c[6, 1] = 0.0  # kill bottom pivot of column 2 (row 7, 1-based)
+        x = evaluate_map(c, pat, 1.0, 0.0)
+        det = np.linalg.det(np.hstack([x, special_plane(pat)]))
+        assert abs(det) < 1e-12
+
+
+class TestNormalization:
+    def test_normalize(self):
+        prob = PieriProblem(2, 2, 0)
+        pat = LocalizationPattern(prob, (3, 4))
+        rng = np.random.default_rng(3)
+        c = np.zeros((4, 2), dtype=complex)
+        for r1, j1 in pat.support():
+            c[r1 - 1, j1 - 1] = rng.standard_normal() + 1j * rng.standard_normal()
+        out = normalize_to_standard_chart(c, pat)
+        assert abs(out[2, 0] - 1) < 1e-14
+        assert abs(out[3, 1] - 1) < 1e-14
+
+    def test_zero_pivot_raises(self):
+        prob = PieriProblem(2, 2, 0)
+        pat = LocalizationPattern(prob, (3, 4))
+        c = np.zeros((4, 2), dtype=complex)
+        c[0, 0] = 1.0
+        c[3, 1] = 1.0  # pivot of column 1 (row 3) left at zero
+        with pytest.raises(ZeroDivisionError):
+            normalize_to_standard_chart(c, pat)
+
+
+class TestEdgeHomotopy:
+    def _first_edge(self, m=2, p=2, q=0, seed=4):
+        rng = np.random.default_rng(seed)
+        prob = PieriProblem(m, p, q)
+        instance = PieriInstance.random(m, p, q, rng)
+        node = next(PieriTreeNode(prob).children())
+        hom = PieriEdgeHomotopy(
+            node.pattern(),
+            node.columns[-1],
+            instance.planes[:1],
+            instance.points[:1],
+            rng=np.random.default_rng(seed + 1),
+        )
+        return prob, instance, node, hom
+
+    def test_dimension_matches_level(self):
+        _, _, node, hom = self._first_edge()
+        assert hom.dim == node.level == 1
+
+    def test_start_is_exact_root(self):
+        prob, _, _, hom = self._first_edge()
+        x0 = hom.start_vector(trivial_solution_matrix(prob))
+        res = hom.evaluate(x0, 0.0)
+        assert np.max(np.abs(res)) < 1e-12
+
+    def test_start_jacobian_nonsingular(self):
+        prob, _, _, hom = self._first_edge()
+        x0 = hom.start_vector(trivial_solution_matrix(prob))
+        jac = hom.jacobian_x(x0, 0.0)
+        assert abs(np.linalg.det(jac)) > 1e-12
+
+    def test_jacobian_x_finite_difference(self):
+        prob, _, _, hom = self._first_edge(m=2, p=2, q=1, seed=5)
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(hom.dim) + 1j * rng.standard_normal(hom.dim)
+        t = 0.37
+        jac = hom.jacobian_x(x, t)
+        h = 1e-7
+        for k in range(hom.dim):
+            xp = x.copy()
+            xp[k] += h
+            fd = (hom.evaluate(xp, t) - hom.evaluate(x, t)) / h
+            assert np.allclose(jac[:, k], fd, atol=1e-5)
+
+    def test_jacobian_t_finite_difference(self):
+        prob, _, _, hom = self._first_edge(m=3, p=2, q=0, seed=7)
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal(hom.dim) + 1j * rng.standard_normal(hom.dim)
+        t = 0.42
+        jt = hom.jacobian_t(x, t)
+        h = 1e-7
+        fd = (hom.evaluate(x, t + h) - hom.evaluate(x, t)) / h
+        assert np.allclose(jt, fd, atol=1e-5)
+
+    def test_condition_count_validation(self):
+        prob = PieriProblem(2, 2, 0)
+        node = next(PieriTreeNode(prob).children())
+        with pytest.raises(ValueError):
+            PieriEdgeHomotopy(node.pattern(), node.columns[-1], [], [])
+
+    def test_chart_roundtrip(self):
+        prob, _, _, hom = self._first_edge(m=2, p=2, q=1, seed=9)
+        rng = np.random.default_rng(10)
+        x = rng.standard_normal(hom.dim) + 1j * rng.standard_normal(hom.dim)
+        c = hom.to_matrix(x)
+        assert np.allclose(hom.from_matrix(c), x)
+
+    def test_from_matrix_rejects_wrong_chart(self):
+        prob, _, _, hom = self._first_edge()
+        c = np.zeros((prob.nrows, prob.p), dtype=complex)
+        with pytest.raises(ValueError):
+            hom.from_matrix(c)
+
+
+class TestSolver:
+    @pytest.mark.parametrize(
+        "m,p,q", [(2, 1, 0), (1, 2, 0), (2, 2, 0), (3, 2, 0), (2, 2, 1)]
+    )
+    def test_finds_all_solutions(self, m, p, q):
+        """The headline invariant: #solutions == d(m,p,q), all verified."""
+        instance = PieriInstance.random(m, p, q, np.random.default_rng(11))
+        report = PieriSolver(instance, seed=12).solve()
+        assert report.n_solutions == pieri_root_count(m, p, q)
+        assert report.failures == 0
+        assert report.max_residual() < 1e-8
+        assert report.all_distinct()
+
+    def test_jobs_per_level_match_poset(self):
+        instance = PieriInstance.random(2, 2, 1, np.random.default_rng(13))
+        report = PieriSolver(instance, seed=14).solve()
+        from repro.schubert import level_job_counts
+
+        expected = level_job_counts(2, 2, 1)
+        got = [report.jobs_per_level[i + 1] for i in range(len(expected))]
+        assert got == expected
+
+    def test_deterministic_given_seed(self):
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(15))
+        r1 = PieriSolver(instance, seed=16).solve()
+        r2 = PieriSolver(instance, seed=16).solve()
+        s1 = sorted(r1.solutions, key=lambda c: abs(c[0, 0]))
+        s2 = sorted(r2.solutions, key=lambda c: abs(c[0, 0]))
+        for a, b in zip(s1, s2):
+            assert np.allclose(a, b, atol=1e-10)
+
+    def test_instance_validation(self):
+        prob = PieriProblem(2, 2, 0)
+        rng = np.random.default_rng(17)
+        planes = [random_plane(4, 2, rng) for _ in range(4)]
+        with pytest.raises(ValueError):
+            PieriInstance(prob, planes[:3], [1, 2, 3])  # too few
+        with pytest.raises(ValueError):
+            PieriInstance(prob, planes, [1, 1, 2, 3])  # repeated point
+        bad = [random_plane(3, 2, rng) for _ in range(4)]
+        with pytest.raises(ValueError):
+            PieriInstance(prob, bad, [1, 2, 3, 4])
+
+    def test_solutions_fit_root_pattern(self):
+        from repro.schubert import PieriPoset
+
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(18))
+        report = PieriSolver(instance, seed=19).solve()
+        root = PieriPoset.build(instance.problem).root()
+        support = {(r - 1, j - 1) for r, j in root.support()}
+        for sol in report.solutions:
+            nz = {tuple(idx) for idx in np.argwhere(np.abs(sol) > 1e-12)}
+            assert nz <= support
+            # standard chart: pivots are exactly 1
+            for j, b in enumerate(root.bottom_pivots):
+                assert abs(sol[b - 1, j] - 1) < 1e-12
+
+    def test_verification_residuals_are_dets(self):
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(20))
+        report = PieriSolver(instance, seed=21).solve()
+        from repro.schubert import PieriPoset
+
+        root = PieriPoset.build(instance.problem).root()
+        res = intersection_residuals(
+            report.solutions[0], root, instance.planes, instance.points
+        )
+        assert res.shape == (4,)
+        assert np.max(np.abs(res)) < 1e-8

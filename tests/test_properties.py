@@ -1,0 +1,252 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These check algebraic laws and structural invariants over randomized
+inputs: the polynomial ring axioms, pattern/poset combinatorics, the
+determinant/cofactor identities, tracker exactness on linear homotopies,
+and simulator conservation laws.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import adjugate, cofactor_matrix, det_and_cofactors
+from repro.polynomials import Polynomial, constant, variables
+from repro.schubert import (
+    LocalizationPattern,
+    PieriPoset,
+    PieriProblem,
+    pieri_root_count,
+)
+from repro.simcluster import (
+    ClusterSpec,
+    Workload,
+    simulate_dynamic,
+    simulate_static,
+)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+small_complex = st.complex_numbers(
+    max_magnitude=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def polynomials(draw, nvars=2, max_terms=6, max_exp=4):
+    n_terms = draw(st.integers(0, max_terms))
+    coeffs = {}
+    for _ in range(n_terms):
+        expo = tuple(
+            draw(st.integers(0, max_exp)) for _ in range(nvars)
+        )
+        coeffs[expo] = draw(small_complex)
+    return Polynomial(coeffs, nvars=nvars)
+
+
+@st.composite
+def mpq(draw):
+    m = draw(st.integers(1, 4))
+    p = draw(st.integers(1, 4))
+    q = draw(st.integers(0, 2))
+    assume(m * p + q * (m + p) <= 16)  # keep posets small
+    return m, p, q
+
+
+# ---------------------------------------------------------------------------
+# polynomial ring axioms
+# ---------------------------------------------------------------------------
+
+
+class TestPolynomialAlgebra:
+    @given(polynomials(), polynomials())
+    def test_addition_commutes(self, f, g):
+        assert f + g == g + f
+
+    @given(polynomials(), polynomials(), polynomials())
+    def test_multiplication_distributes(self, f, g, h):
+        lhs = f * (g + h)
+        rhs = f * g + f * h
+        assert lhs.almost_equal(rhs, tol=1e-6)
+
+    @given(polynomials(), polynomials())
+    def test_multiplication_commutes(self, f, g):
+        assert (f * g).almost_equal(g * f, tol=1e-9)
+
+    @given(polynomials())
+    def test_additive_inverse(self, f):
+        assert (f - f).is_zero()
+
+    @given(polynomials())
+    def test_one_is_identity(self, f):
+        assert (f * constant(1, f.nvars)) == f
+
+    @given(polynomials(), polynomials())
+    def test_degree_of_product(self, f, g):
+        assume(not f.is_zero() and not g.is_zero())
+        prod = f * g
+        # cancellation can only lower the degree
+        assert prod.total_degree() <= f.total_degree() + g.total_degree()
+
+    @given(polynomials(), polynomials())
+    def test_diff_is_linear(self, f, g):
+        # almost_equal: float addition before/after differentiation can
+        # differ in the last ulp
+        assert (f + g).diff(0).almost_equal(f.diff(0) + g.diff(0), tol=1e-6)
+
+    @given(polynomials(), polynomials())
+    def test_diff_product_rule(self, f, g):
+        lhs = (f * g).diff(1)
+        rhs = f.diff(1) * g + f * g.diff(1)
+        assert lhs.almost_equal(rhs, tol=1e-6)
+
+    @given(polynomials())
+    def test_eval_matches_horner_free_sum(self, f):
+        rng = np.random.default_rng(0)
+        pt = rng.standard_normal(2) + 1j * rng.standard_normal(2)
+        direct = sum(
+            c * pt[0] ** e[0] * pt[1] ** e[1] for e, c in f.terms()
+        )
+        assert abs(f.evaluate(pt) - direct) <= 1e-6 * max(1.0, abs(direct))
+
+
+# ---------------------------------------------------------------------------
+# determinant calculus
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminantProperties:
+    @given(st.integers(1, 6), st.integers(0, 2**31 - 1))
+    def test_adjugate_identity(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        det = np.linalg.det(m)
+        assert np.allclose(
+            adjugate(m) @ m, det * np.eye(n), atol=1e-8 * max(1, abs(det))
+        )
+
+    @given(st.integers(2, 6), st.integers(0, 2**31 - 1))
+    def test_det_consistent_with_numpy(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        det, _ = det_and_cofactors(m)
+        assert abs(det - np.linalg.det(m)) < 1e-8 * max(1.0, abs(det))
+
+    @given(st.integers(2, 5), st.integers(0, 2**31 - 1))
+    def test_cofactor_transpose_row_expansion(self, n, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        det, cof = det_and_cofactors(m)
+        # expansion along *every* row gives the same determinant
+        for i in range(n):
+            assert abs(np.dot(m[i], cof[i]) - det) < 1e-8 * max(1, abs(det))
+
+
+# ---------------------------------------------------------------------------
+# localization patterns and posets
+# ---------------------------------------------------------------------------
+
+
+class TestPatternProperties:
+    @given(mpq())
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_poset_reaches_unique_root(self, cell):
+        m, p, q = cell
+        poset = PieriPoset.build(PieriProblem(m, p, q))
+        assert poset.depth == PieriProblem(m, p, q).num_conditions + 1
+        assert poset.root().is_root
+
+    @given(mpq())
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_level_counts_monotone(self, cell):
+        m, p, q = cell
+        counts = PieriPoset.build(PieriProblem(m, p, q)).job_counts()
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+        assert counts[-1] == pieri_root_count(m, p, q)
+
+    @given(mpq())
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_every_pattern_has_distinct_corners(self, cell):
+        m, p, q = cell
+        poset = PieriPoset.build(PieriProblem(m, p, q))
+        for lv in poset.levels:
+            for pat in lv:
+                corners = pat.corner_rows()
+                assert len(set(corners)) == len(corners)
+
+    @given(mpq())
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_children_increase_level_by_one(self, cell):
+        m, p, q = cell
+        prob = PieriProblem(m, p, q)
+        for lv in PieriPoset.build(prob).levels:
+            for pat in lv:
+                for col, child in pat.children():
+                    assert child.level == pat.level + 1
+                    assert child.bottom_pivots[col] == pat.bottom_pivots[col] + 1
+
+    @given(mpq())
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_star_count_is_level_plus_p(self, cell):
+        m, p, q = cell
+        prob = PieriProblem(m, p, q)
+        for lv in PieriPoset.build(prob).levels:
+            for pat in lv:
+                assert pat.star_count() == pat.level + p
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    def test_duality_q0(self, m, p):
+        assume(m * p <= 16)
+        assert pieri_root_count(m, p, 0) == pieri_root_count(p, m, 0)
+
+
+# ---------------------------------------------------------------------------
+# simulator conservation laws
+# ---------------------------------------------------------------------------
+
+
+class TestSimulatorProperties:
+    @given(
+        st.lists(st.floats(0.01, 10.0), min_size=1, max_size=200),
+        st.integers(1, 32),
+        st.booleans(),
+    )
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_work_is_conserved(self, costs, n_cpus, overlap):
+        wl = Workload("prop", np.array(costs))
+        spec = ClusterSpec(overlap_comm=overlap)
+        st_res = simulate_static(wl, n_cpus, spec)
+        dy_res = simulate_dynamic(wl, n_cpus, spec)
+        assert st_res.jobs_done == dy_res.jobs_done == wl.n_paths
+        assert abs(st_res.total_cpu_seconds - wl.total_seconds) < 1e-6
+        assert abs(dy_res.total_cpu_seconds - wl.total_seconds) < 1e-6
+
+    @given(
+        st.lists(st.floats(0.01, 10.0), min_size=1, max_size=100),
+        st.integers(1, 16),
+    )
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_wall_time_bounds(self, costs, n_cpus):
+        """max(cost) <= wall <= total + overheads for any schedule."""
+        wl = Workload("prop", np.array(costs))
+        for result in (simulate_static(wl, n_cpus), simulate_dynamic(wl, n_cpus)):
+            assert result.wall_seconds >= max(costs) - 1e-9
+            overhead = 1.0 + 0.01 * len(costs)
+            assert result.wall_seconds <= wl.total_seconds + overhead
+
+    @given(st.lists(st.floats(0.05, 5.0), min_size=4, max_size=100))
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_graham_bound_dynamic(self, costs):
+        """List scheduling can suffer anomalies (more CPUs occasionally a
+        bit slower — Graham 1969), but never beyond the 2x bound relative
+        to the work/width lower bound."""
+        wl = Workload("prop", np.array(costs))
+        spec = ClusterSpec(latency_seconds=0.0, master_service_seconds=0.0)
+        for n in (1, 2, 4, 8):
+            wall = simulate_dynamic(wl, n, spec).wall_seconds
+            lower = max(max(costs), wl.total_seconds / n)
+            assert wall <= 2.0 * lower + 1e-9
+            assert wall >= lower - 1e-9

@@ -1,0 +1,131 @@
+"""Tests for the compensator state-space realization and closed loops."""
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    DynamicCompensator,
+    place_poles,
+    random_plant,
+)
+from repro.control.realization import (
+    CompensatorRealization,
+    closed_loop_matrix,
+    realize_compensator,
+)
+from repro.linalg import PolyMatrix
+
+
+def _simple_compensator():
+    """C(s) = Z(s) Y(s)^{-1} with Y = [[s+2, 0], [0, 1]], Z = [[1, 0], [0, 3]]."""
+    y = PolyMatrix(
+        [np.array([[2.0, 0.0], [0.0, 1.0]]), np.array([[1.0, 0.0], [0.0, 0.0]])]
+    )
+    z = PolyMatrix([np.array([[1.0, 0.0], [0.0, 3.0]])])
+    return DynamicCompensator(y, z, q=1)
+
+
+class TestRealization:
+    def test_simple_known_case(self):
+        comp = _simple_compensator()
+        real = realize_compensator(comp)
+        assert real.n_states == 1
+        # C(s) = diag(1/(s+2), 3)
+        for s in (0.0, 1.0 + 1j, -0.5j):
+            expected = np.diag([1.0 / (s + 2.0), 3.0])
+            assert np.allclose(real.transfer(s), expected, atol=1e-12)
+
+    def test_transfer_matches_mfd(self):
+        plant = random_plant(2, 2, 1, np.random.default_rng(0))
+        poles = [complex(-1.5 - 0.3 * k, 0.7 * (-1) ** k) for k in range(8)]
+        result = place_poles(plant, poles, q=1, seed=1)
+        for comp in result.proper_laws():
+            real = realize_compensator(comp)
+            assert real.n_states == 1
+            for s in (0.3 + 0.7j, -1.1 + 0.2j, 2.0):
+                assert np.allclose(
+                    real.transfer(s), comp.transfer(s), atol=1e-6
+                )
+
+    def test_closed_loop_eigenvalues_match_poles(self):
+        """The definitive dynamic-feedback verification."""
+        plant = random_plant(2, 2, 1, np.random.default_rng(2))
+        poles = [complex(-2.0 - 0.4 * k, 0.9 * (-1) ** k) for k in range(8)]
+        result = place_poles(plant, poles, q=1, seed=3)
+        target = np.sort_complex(np.array(poles))
+        checked = 0
+        for comp in result.proper_laws():
+            real = realize_compensator(comp)
+            acl = closed_loop_matrix(plant, real)
+            assert acl.shape == (8, 8)  # 7 plant + 1 compensator states
+            eigs = np.sort_complex(np.linalg.eigvals(acl))
+            assert np.max(np.abs(eigs - target)) < 1e-5
+            checked += 1
+        assert checked >= 6  # generically all 8; allow rare degenerates
+
+    def test_degenerate_law_detection(self):
+        """A compensator whose Y(s) vanishes at a pole is flagged."""
+        y = PolyMatrix(
+            [np.array([[1.0, 0.0], [0.0, 1.0]]), np.eye(2)]
+        )  # Y = (s+1) I: singular at s = -1
+        z = PolyMatrix([np.eye(2)])
+        comp = DynamicCompensator(y, z, q=2)
+        assert comp.is_degenerate([-1.0])
+        assert not comp.is_degenerate([-2.0])
+
+    def test_zero_state_realization(self):
+        y = PolyMatrix([np.eye(2)])
+        z = PolyMatrix([np.array([[1.0, 2.0], [3.0, 4.0]])])
+        comp = DynamicCompensator(y, z, q=0)
+        real = realize_compensator(comp)
+        assert real.n_states == 0
+        assert np.allclose(real.transfer(1.23), [[1, 2], [3, 4]])
+
+    def test_non_column_reduced_raises(self):
+        # Y's highest-column-degree matrix is singular
+        y = PolyMatrix(
+            [np.eye(2), np.array([[1.0, 1.0], [1.0, 1.0]])]
+        )
+        z = PolyMatrix([np.eye(2)])
+        comp = DynamicCompensator(y, z, q=2)
+        with pytest.raises(ValueError):
+            realize_compensator(comp)
+
+    def test_brunovsky_identity(self):
+        """(sI - A0)^{-1} B0 = Psi(s) S(s)^{-1} through the realization."""
+        rng = np.random.default_rng(4)
+        # random column-reduced Y with degrees (1, 2), strictly-lower Z
+        y = PolyMatrix(
+            [
+                rng.standard_normal((2, 2)),
+                np.column_stack(
+                    [rng.standard_normal(2), rng.standard_normal(2)]
+                ),
+                np.column_stack([np.zeros(2), rng.standard_normal(2)]),
+            ]
+        )
+        z = PolyMatrix(
+            [rng.standard_normal((2, 2)), np.column_stack([np.zeros(2), rng.standard_normal(2)])]
+        )
+        comp = DynamicCompensator(y, z, q=3)
+        real = realize_compensator(comp)
+        assert real.n_states == 3
+        for s in (0.7, 1.3 - 0.4j):
+            assert np.allclose(
+                real.transfer(s), comp.transfer(s), atol=1e-8
+            )
+
+
+class TestProperLawFiltering:
+    def test_all_proper_for_generic_input(self):
+        plant = random_plant(2, 2, 1, np.random.default_rng(5))
+        poles = [complex(-1.0 - 0.37 * k, 0.83 * (-1) ** k) for k in range(8)]
+        result = place_poles(plant, poles, q=1, seed=6)
+        assert len(result.proper_laws()) >= 7
+        assert result.max_pole_error() < 1e-6
+
+    def test_static_laws_never_filtered(self):
+        plant = random_plant(2, 2, 0, np.random.default_rng(7))
+        poles = [-1.0, -2.0, -3.0 + 1j, -3.0 - 1j]
+        result = place_poles(plant, poles, q=0, seed=8)
+        assert len(result.proper_laws()) == result.n_laws == 2

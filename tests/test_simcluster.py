@@ -1,0 +1,240 @@
+"""Tests for the discrete-event cluster simulator."""
+
+import numpy as np
+import pytest
+
+from repro.schubert import PieriProblem
+from repro.simcluster import (
+    ClusterSpec,
+    EventQueue,
+    Workload,
+    cyclic10_workload,
+    default_level_cost,
+    rps_workload,
+    simulate_dynamic,
+    simulate_pieri_tree,
+    simulate_static,
+    speedup_table,
+    uniform_workload,
+    workload_from_results,
+)
+
+
+class TestEngine:
+    def test_event_ordering(self):
+        q = EventQueue()
+        order = []
+        q.schedule(2.0, lambda: order.append("b"))
+        q.schedule(1.0, lambda: order.append("a"))
+        q.schedule(3.0, lambda: order.append("c"))
+        end = q.run()
+        assert order == ["a", "b", "c"]
+        assert end == 3.0
+
+    def test_ties_fifo(self):
+        q = EventQueue()
+        order = []
+        q.schedule(1.0, lambda: order.append(1))
+        q.schedule(1.0, lambda: order.append(2))
+        q.run()
+        assert order == [1, 2]
+
+    def test_nested_scheduling(self):
+        q = EventQueue()
+        hits = []
+
+        def first():
+            hits.append(q.now)
+            q.schedule(0.5, lambda: hits.append(q.now))
+
+        q.schedule(1.0, first)
+        q.run()
+        assert hits == [1.0, 1.5]
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule(-1.0, lambda: None)
+
+    def test_at_absolute(self):
+        q = EventQueue()
+        seen = []
+        q.at(2.5, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [2.5]
+
+
+class TestWorkloads:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload("x", np.array([]))
+        with pytest.raises(ValueError):
+            Workload("x", np.array([1.0, -1.0]))
+
+    def test_cyclic10_calibration(self):
+        wl = cyclic10_workload(np.random.default_rng(0))
+        assert wl.n_paths == 35_940
+        assert abs(wl.total_cpu_minutes - 480.0) < 1e-6
+        assert wl.variance_ratio > 0.5  # heavy spread
+
+    def test_rps_calibration(self):
+        wl = rps_workload(np.random.default_rng(1))
+        assert wl.n_paths == 9_216
+        assert abs(wl.total_cpu_minutes - 3111.2) < 1e-6
+        # low variance: divergent paths dominate and cost nearly the same
+        assert wl.variance_ratio < 0.5
+
+    def test_uniform(self):
+        wl = uniform_workload(10, 2.0)
+        assert wl.total_seconds == 20.0
+        assert wl.variance_ratio == 0.0
+
+    def test_scaled(self):
+        wl = uniform_workload(10).scaled_to_total_minutes(1.0)
+        assert abs(wl.total_seconds - 60.0) < 1e-9
+
+    def test_from_results(self):
+        from repro.tracker import PathResult, PathStatus, TrackStats
+
+        results = [
+            PathResult(
+                PathStatus.SUCCESS,
+                np.array([0j]),
+                np.array([0j]),
+                0.0,
+                TrackStats(seconds=0.5),
+            )
+        ]
+        wl = workload_from_results(results)
+        assert wl.n_paths == 1
+        with pytest.raises(ValueError):
+            workload_from_results([])
+
+    def test_divergent_bounds(self):
+        with pytest.raises(ValueError):
+            cyclic10_workload(n_paths=10, n_divergent=10)
+
+
+class TestStaticVsDynamic:
+    def test_work_conservation(self):
+        wl = cyclic10_workload(np.random.default_rng(2), n_paths=2000,
+                               n_divergent=100, n_clusters=5)
+        for n in (1, 4, 16):
+            st = simulate_static(wl, n)
+            dy = simulate_dynamic(wl, n)
+            assert abs(st.total_cpu_seconds - wl.total_seconds) < 1e-6
+            assert abs(dy.total_cpu_seconds - wl.total_seconds) < 1e-6
+            assert st.jobs_done == dy.jobs_done == wl.n_paths
+
+    def test_single_cpu_equal(self):
+        wl = uniform_workload(100)
+        st = simulate_static(wl, 1)
+        dy = simulate_dynamic(wl, 1)
+        assert abs(st.wall_seconds - dy.wall_seconds) < 1e-3
+
+    def test_dynamic_beats_static_on_high_variance(self):
+        wl = cyclic10_workload(np.random.default_rng(3), n_paths=5000,
+                               n_divergent=300, n_clusters=4)
+        st = simulate_static(wl, 32)
+        dy = simulate_dynamic(wl, 32)
+        assert dy.wall_seconds < st.wall_seconds
+
+    def test_static_competitive_on_low_variance(self):
+        """The paper's RPS observation: no large dynamic advantage."""
+        wl = rps_workload(np.random.default_rng(4), n_paths=4096,
+                          n_divergent=3600)
+        st = simulate_static(wl, 32)
+        dy = simulate_dynamic(wl, 32)
+        gap = (st.wall_seconds - dy.wall_seconds) / st.wall_seconds
+        assert abs(gap) < 0.10  # within ten percent of each other
+
+    def test_speedup_monotone_in_cpus(self):
+        wl = cyclic10_workload(np.random.default_rng(5), n_paths=3000,
+                               n_divergent=150, n_clusters=3)
+        walls = [simulate_dynamic(wl, n).wall_seconds for n in (1, 4, 16, 64)]
+        assert all(b < a for a, b in zip(walls, walls[1:]))
+
+    def test_dynamic_near_optimal_small_counts(self):
+        """Fig 1: dynamic speedup is near-optimal below 32 CPUs."""
+        wl = cyclic10_workload(np.random.default_rng(6), n_paths=8000,
+                               n_divergent=400)
+        t1 = simulate_static(wl, 1).wall_seconds
+        dy = simulate_dynamic(wl, 16)
+        assert dy.speedup(t1) > 0.9 * 16
+
+    def test_overlap_helps_or_equal(self):
+        wl = uniform_workload(500, 0.01)
+        with_ov = simulate_dynamic(wl, 8, ClusterSpec(overlap_comm=True))
+        without = simulate_dynamic(wl, 8, ClusterSpec(overlap_comm=False))
+        assert with_ov.wall_seconds <= without.wall_seconds
+
+    def test_chunking_modes(self):
+        wl = cyclic10_workload(np.random.default_rng(7), n_paths=1000,
+                               n_divergent=100, n_clusters=2)
+        block = simulate_static(wl, 8, chunking="block")
+        rr = simulate_static(wl, 8, chunking="round_robin")
+        # round robin decorrelates the clusters: at least as balanced
+        assert rr.load_imbalance <= block.load_imbalance + 1e-9
+        with pytest.raises(ValueError):
+            simulate_static(wl, 8, chunking="bogus")
+
+    def test_invalid_cpus(self):
+        wl = uniform_workload(10)
+        with pytest.raises(ValueError):
+            simulate_static(wl, 0)
+        with pytest.raises(ValueError):
+            simulate_dynamic(wl, 0)
+
+    def test_speedup_table_rows(self):
+        wl = uniform_workload(256, 0.05)
+        rows = speedup_table(wl, [1, 4, 8])
+        assert [r["cpus"] for r in rows] == [1, 4, 8]
+        assert rows[0]["static_speedup"] == pytest.approx(1.0, rel=1e-3)
+        for r in rows:
+            assert r["dynamic_minutes"] > 0
+            assert -100 < r["improvement_pct"] < 100
+
+
+class TestPieriTreeSim:
+    def test_job_counts_match_dp(self):
+        res = simulate_pieri_tree(PieriProblem(3, 2, 1), 8)
+        assert sum(res.jobs_per_level.values()) == 252
+
+    def test_last_level_dominates(self):
+        """Paper §III-D: about half the time sits at the last level."""
+        res = simulate_pieri_tree(PieriProblem(3, 2, 1), 8)
+        frac = res.level_work_fraction(11)
+        assert 0.3 < frac < 0.6
+
+    def test_speedup_grows_with_cpus(self):
+        prob = PieriProblem(3, 2, 1)
+        t1 = simulate_pieri_tree(prob, 1).wall_seconds
+        t4 = simulate_pieri_tree(prob, 4).wall_seconds
+        t8 = simulate_pieri_tree(prob, 8).wall_seconds
+        assert t8 < t4 < t1
+
+    def test_concurrency_bounded_by_tree_width(self):
+        res = simulate_pieri_tree(PieriProblem(2, 2, 0), 64)
+        # the (2,2,0) tree is at most 2 wide
+        assert res.max_concurrency <= 2
+
+    def test_ramp_up_positive(self):
+        res = simulate_pieri_tree(PieriProblem(3, 2, 1), 16)
+        assert res.ramp_up_seconds > 0
+
+    def test_work_conservation(self):
+        prob = PieriProblem(2, 2, 1)
+        r1 = simulate_pieri_tree(prob, 1)
+        r8 = simulate_pieri_tree(prob, 8)
+        assert abs(r1.total_cpu_seconds - sum(r1.work_per_level.values())) < 1e-6
+        assert abs(
+            sum(r1.work_per_level.values()) - sum(r8.work_per_level.values())
+        ) < 1e-6
+
+    def test_default_cost_monotone(self):
+        costs = [default_level_cost(n) for n in range(1, 12)]
+        assert all(b > a for a, b in zip(costs, costs[1:]))
+
+    def test_invalid_cpus(self):
+        with pytest.raises(ValueError):
+            simulate_pieri_tree(PieriProblem(2, 2, 0), 0)

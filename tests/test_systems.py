@@ -1,0 +1,146 @@
+"""Tests for the benchmark system generators."""
+
+import numpy as np
+import pytest
+
+from repro.homotopy import solve
+from repro.polynomials import PolynomialSystem
+from repro.systems import (
+    cyclic_roots_system,
+    katsura_system,
+    noon_system,
+    random_dense_system,
+    rps_surrogate_system,
+)
+from repro.systems.rps import rps_finite_root_count
+
+
+class TestCyclic:
+    def test_shapes(self):
+        for n in (3, 4, 5, 7):
+            sys = cyclic_roots_system(n)
+            assert sys.neqs == sys.nvars == n
+            assert sys.degrees() == tuple(range(1, n)) + (n,)
+
+    def test_cyclic3_known_roots(self):
+        # cyclic-3 has 6 solutions: permutations of the cube roots of unity
+        sys = cyclic_roots_system(3)
+        w = np.exp(2j * np.pi / 3)
+        sol = np.array([1, w, w**2])
+        assert sys.residual_norm(sol) < 1e-12
+
+    def test_cyclic3_full_solve(self):
+        report = solve(cyclic_roots_system(3), rng=np.random.default_rng(0))
+        assert report.n_paths == 6  # 1*2*3
+        assert report.n_solutions == 6
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            cyclic_roots_system(1)
+
+    def test_symmetry_cyclic_shift(self):
+        # if x solves cyclic-n, so does any cyclic shift of x
+        sys = cyclic_roots_system(5)
+        report = solve(sys, rng=np.random.default_rng(1))
+        sol = report.solutions[0]
+        shifted = np.roll(sol, 1)
+        assert sys.residual_norm(shifted) < 1e-6
+
+
+class TestKatsura:
+    def test_shape_and_degrees(self):
+        sys = katsura_system(3)
+        assert sys.neqs == sys.nvars == 4
+        assert set(sys.degrees()) == {1, 2}
+
+    def test_solution_count_matches_bezout(self):
+        # katsura-n generically attains 2^n finite solutions
+        report = solve(katsura_system(2), rng=np.random.default_rng(2))
+        assert report.n_paths == 4
+        assert report.n_solutions == 4
+        assert report.summary["diverged"] == 0
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            katsura_system(0)
+
+
+class TestNoon:
+    def test_shape(self):
+        sys = noon_system(3)
+        assert sys.neqs == sys.nvars == 3
+        assert all(d == 3 for d in sys.degrees())
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            noon_system(1)
+
+    def test_solve_noon2(self):
+        report = solve(noon_system(2), rng=np.random.default_rng(3))
+        assert report.n_paths == 9
+        assert report.n_solutions >= 1
+        for s in report.solutions:
+            assert noon_system(2).residual_norm(s) < 1e-7
+
+
+class TestRpsSurrogate:
+    def test_shape_and_degree(self):
+        sys = rps_surrogate_system(5, rng=np.random.default_rng(4))
+        assert sys.neqs == sys.nvars == 5
+        assert all(d == 2 for d in sys.degrees())
+
+    def test_deficiency_two_finite_roots(self):
+        """The headline property: 2 finite roots out of 2^n Bezout paths."""
+        sys = rps_surrogate_system(4, rng=np.random.default_rng(5))
+        report = solve(sys, rng=np.random.default_rng(6))
+        assert report.n_paths == 16
+        assert report.n_solutions == rps_finite_root_count(4) == 2
+        # excess paths either run to infinity or pile onto the two finite
+        # roots with multiplicity; the majority must diverge
+        assert report.summary["diverged"] >= 8
+        assert (
+            report.summary["diverged"]
+            + report.summary["success"]
+            + report.summary["failed"]
+            + report.summary["singular"]
+            == 16
+        )
+
+    def test_divergent_cost_near_constant(self):
+        """Divergent paths cost roughly the same (the paper's RPS point)."""
+        sys = rps_surrogate_system(4, rng=np.random.default_rng(7))
+        report = solve(sys, rng=np.random.default_rng(8))
+        secs = [
+            r.stats.seconds
+            for r in report.results
+            if not r.success and r.stats.seconds > 0
+        ]
+        assert len(secs) >= 5
+        assert np.std(secs) / np.mean(secs) < 1.0  # low relative spread
+
+    def test_shared_groups(self):
+        sys = rps_surrogate_system(4, shared_groups=2, rng=np.random.default_rng(9))
+        report = solve(sys, rng=np.random.default_rng(10))
+        assert report.n_solutions == rps_finite_root_count(4, 2) == 4
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            rps_surrogate_system(1)
+        with pytest.raises(ValueError):
+            rps_surrogate_system(4, shared_groups=9)
+        with pytest.raises(ValueError):
+            rps_finite_root_count(3, 5)
+
+
+class TestRandomDense:
+    def test_bezout_attained(self):
+        sys = random_dense_system(2, 3, rng=np.random.default_rng(11))
+        assert sys.total_degree_bound() == 9
+        report = solve(sys, rng=np.random.default_rng(12))
+        assert report.n_solutions == 9
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            random_dense_system(0)
+        with pytest.raises(ValueError):
+            random_dense_system(2, 0)

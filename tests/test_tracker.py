@@ -1,0 +1,165 @@
+"""Unit tests for the predictor-corrector path tracker and Newton correctors."""
+
+import numpy as np
+import pytest
+
+from repro.polynomials import PolynomialSystem, variables
+from repro.tracker import (
+    HomotopyFunction,
+    PathStatus,
+    PathTracker,
+    TrackerOptions,
+    newton_correct,
+    newton_refine_system,
+    summarize_results,
+)
+
+
+class LinearHomotopy(HomotopyFunction):
+    """H(x, t) = x - (a + t*(b - a)): single path from a to b."""
+
+    def __init__(self, a, b):
+        self.a = np.asarray(a, dtype=complex)
+        self.b = np.asarray(b, dtype=complex)
+
+    @property
+    def dim(self):
+        return len(self.a)
+
+    def evaluate(self, x, t):
+        return x - (self.a + t * (self.b - self.a))
+
+    def jacobian_x(self, x, t):
+        return np.eye(self.dim, dtype=complex)
+
+    def jacobian_t(self, x, t):
+        return -(self.b - self.a)
+
+
+class SqrtHomotopy(HomotopyFunction):
+    """H(x, t) = x^2 - (1 + 3t): path x(t) = sqrt(1 + 3t), from 1 to 2."""
+
+    @property
+    def dim(self):
+        return 1
+
+    def evaluate(self, x, t):
+        return np.array([x[0] ** 2 - (1 + 3 * t)])
+
+    def jacobian_x(self, x, t):
+        return np.array([[2 * x[0]]])
+
+    def jacobian_t(self, x, t):
+        return np.array([-3.0 + 0j])
+
+
+class DivergingHomotopy(HomotopyFunction):
+    """H(x, t) = (1 - t) * x - t: the path x = t/(1-t) blows up at t=1."""
+
+    @property
+    def dim(self):
+        return 1
+
+    def evaluate(self, x, t):
+        return np.array([(1 - t) * x[0] - t])
+
+    def jacobian_x(self, x, t):
+        return np.array([[1 - t + 0j]])
+
+    def jacobian_t(self, x, t):
+        return np.array([-x[0] - 1.0])
+
+
+class TestNewton:
+    def test_converges_quadratically(self):
+        h = SqrtHomotopy()
+        res = newton_correct(h, np.array([1.9 + 0j]), 1.0, tol=1e-12)
+        assert res.converged
+        assert abs(res.x[0] - 2.0) < 1e-10
+
+    def test_reports_singular(self):
+        h = SqrtHomotopy()
+        # x=0 has singular Jacobian for this homotopy
+        res = newton_correct(h, np.array([0.0 + 0j]), 1.0)
+        assert not res.converged
+        assert res.singular
+
+    def test_refine_system(self):
+        x, y = variables(2)
+        sys = PolynomialSystem([x**2 - 2, y - x])
+        res = newton_refine_system(sys, np.array([1.4, 1.4], dtype=complex))
+        assert res.converged
+        assert abs(res.x[0] - np.sqrt(2)) < 1e-12
+
+    def test_refine_requires_square(self):
+        x, y = variables(2)
+        sys = PolynomialSystem([x + y])
+        with pytest.raises(ValueError):
+            newton_refine_system(sys, np.array([0, 0], dtype=complex))
+
+
+class TestTrackerBasic:
+    def test_linear_path(self):
+        h = LinearHomotopy([0, 0], [1, 2j])
+        result = PathTracker().track(h, [0, 0])
+        assert result.status is PathStatus.SUCCESS
+        assert np.allclose(result.solution, [1, 2j], atol=1e-9)
+
+    def test_sqrt_path(self):
+        result = PathTracker().track(SqrtHomotopy(), [1.0])
+        assert result.success
+        assert abs(result.solution[0] - 2.0) < 1e-9
+
+    def test_negative_branch_tracked_separately(self):
+        result = PathTracker().track(SqrtHomotopy(), [-1.0])
+        assert result.success
+        assert abs(result.solution[0] + 2.0) < 1e-9
+
+    def test_divergence_detected(self):
+        opts = TrackerOptions(divergence_bound=1e6)
+        result = PathTracker(opts).track(DivergingHomotopy(), [0.0])
+        assert result.status is PathStatus.DIVERGED
+        assert result.stats.t_reached > 0.5
+
+    def test_bad_start_fails(self):
+        h = SqrtHomotopy()
+        result = PathTracker().track(h, [25.0])  # nowhere near a root at t=0
+        assert result.status in (PathStatus.FAILED, PathStatus.SUCCESS)
+        # Newton from 25 on x^2-1 actually converges; use a singular start
+        result2 = PathTracker().track(h, [0.0])
+        assert result2.status is PathStatus.FAILED
+
+    def test_stats_populated(self):
+        result = PathTracker().track(SqrtHomotopy(), [1.0])
+        assert result.stats.steps_accepted > 0
+        assert result.stats.newton_iterations > 0
+        assert result.stats.seconds >= 0
+        assert result.stats.t_reached == pytest.approx(1.0)
+
+    def test_track_many_ids(self):
+        h = SqrtHomotopy()
+        results = PathTracker().track_many(h, [[1.0], [-1.0]])
+        assert [r.path_id for r in results] == [0, 1]
+        assert all(r.success for r in results)
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            TrackerOptions(min_step=1.0, initial_step=0.1).validated()
+        with pytest.raises(ValueError):
+            TrackerOptions(expand=0.5).validated()
+
+
+class TestSummarize:
+    def test_summary_counts(self):
+        h = SqrtHomotopy()
+        results = PathTracker().track_many(h, [[1.0], [-1.0]])
+        s = summarize_results(results)
+        assert s["total"] == 2
+        assert s["success"] == 2
+        assert s["diverged"] == 0
+        assert s["seconds_total"] >= 0
+
+    def test_summary_empty(self):
+        s = summarize_results([])
+        assert s["total"] == 0
+        assert s["seconds_mean"] == 0.0
