@@ -1,0 +1,119 @@
+"""Throughput microbenchmark: per-path vs batched vs hybrid tracking.
+
+The ISSUE-1 acceptance experiment: on cyclic-7's start points, the
+structure-of-arrays :class:`BatchTracker` must deliver at least 3x the
+single-process throughput of per-path :class:`PathTracker` tracking.  The
+hybrid row shows the two parallel axes composing (processes x batch).
+
+Run:    PYTHONPATH=src python benchmarks/bench_batch_tracking.py
+Smoke:  PYTHONPATH=src python benchmarks/bench_batch_tracking.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import time
+
+import numpy as np
+
+from repro.homotopy import make_homotopy_and_starts
+from repro.parallel import track_paths_parallel
+from repro.systems import cyclic_roots_system
+from repro.tracker import BatchTracker, PathTracker, summarize_results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--paths", type=int, default=343,
+        help="number of cyclic-7 start points to track (default 343)",
+    )
+    parser.add_argument(
+        "--serial-paths", type=int, default=49,
+        help="paths used to time the per-path baseline (default 49)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="workers for the hybrid row"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: 24 paths, 8 serial, 2 workers",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        args.paths, args.serial_paths, args.workers = 24, 8, 2
+    args.paths = max(1, args.paths)
+    args.serial_paths = max(1, min(args.serial_paths, args.paths))
+
+    target = cyclic_roots_system(7)
+    homotopy, all_starts = make_homotopy_and_starts(
+        target, rng=np.random.default_rng(2004)
+    )
+    starts = list(itertools.islice(iter(all_starts), args.paths))
+    print(
+        f"cyclic-7: tracking {len(starts)} of {target.total_degree_bound()} "
+        f"total-degree paths (dim {target.nvars})"
+    )
+
+    t0 = time.perf_counter()
+    serial_results = PathTracker().track_many(homotopy, starts[: args.serial_paths])
+    serial_s = time.perf_counter() - t0
+    serial_ms = serial_s / args.serial_paths * 1e3
+
+    t0 = time.perf_counter()
+    batch_results = BatchTracker().track_batch(homotopy, starts)
+    batch_s = time.perf_counter() - t0
+    batch_ms = batch_s / len(starts) * 1e3
+
+    t0 = time.perf_counter()
+    hybrid = track_paths_parallel(
+        homotopy, starts, n_workers=args.workers, mode="hybrid",
+        schedule="dynamic",
+    )
+    hybrid_s = time.perf_counter() - t0
+    hybrid_ms = hybrid_s / len(starts) * 1e3
+
+    print()
+    print(f"{'mode':<28}{'ms/path':>10}{'speedup':>10}")
+    print(f"{'per-path (PathTracker)':<28}{serial_ms:>10.2f}{1.0:>10.2f}")
+    print(
+        f"{'batch (BatchTracker)':<28}{batch_ms:>10.2f}"
+        f"{serial_ms / batch_ms:>10.2f}"
+    )
+    print(
+        f"{f'hybrid ({args.workers} procs x batch)':<28}{hybrid_ms:>10.2f}"
+        f"{serial_ms / hybrid_ms:>10.2f}"
+    )
+
+    summary = summarize_results(batch_results)
+    print(
+        f"\nbatch statuses: {summary['success']} success, "
+        f"{summary['diverged']} diverged, {summary['failed']} failed, "
+        f"{summary['singular']} singular"
+    )
+
+    # parity spot-check on the jointly tracked prefix
+    mismatches = sum(
+        1
+        for a, b in zip(serial_results, batch_results)
+        if a.status != b.status
+        or (a.success and np.max(np.abs(a.solution - b.solution)) > 1e-8)
+    )
+    print(f"scalar/batch parity on first {args.serial_paths}: "
+          f"{args.serial_paths - mismatches}/{args.serial_paths}")
+
+    speedup = serial_ms / batch_ms
+    threshold = 1.5 if args.quick else 3.0
+    if mismatches:
+        print("FAIL: batch tracking disagrees with per-path tracking")
+        return 1
+    if speedup < threshold:
+        print(f"FAIL: batch speedup {speedup:.2f}x below {threshold}x")
+        return 1
+    print(f"OK: batch speedup {speedup:.2f}x >= {threshold}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,13 @@
 For all but finitely many complex ``gamma`` on the unit circle, every
 solution path of ``H`` is regular and bounded for t in [0, 1) — the
 probability-one guarantee that makes homotopy continuation reliable.
+
+The class implements both tracker protocols: the scalar
+:class:`HomotopyFunction` (one point, one t) and the structure-of-arrays
+:class:`BatchHomotopy` (N points, each at its own t), where residuals and
+Jacobians of both polynomial systems come from one shared monomial-table
+evaluation per batch via
+:meth:`~repro.polynomials.PolynomialSystem.evaluate_and_jacobian_many`.
 """
 
 from __future__ import annotations
@@ -14,7 +21,8 @@ import cmath
 import numpy as np
 
 from ..polynomials import PolynomialSystem
-from ..tracker import HomotopyFunction
+from ..tracker import BatchHomotopy, HomotopyFunction
+from ..tracker.interface import _per_path_t
 
 __all__ = ["ConvexHomotopy", "random_gamma"]
 
@@ -25,7 +33,7 @@ def random_gamma(rng: np.random.Generator | None = None) -> complex:
     return cmath.exp(2j * cmath.pi * rng.random())
 
 
-class ConvexHomotopy(HomotopyFunction):
+class ConvexHomotopy(HomotopyFunction, BatchHomotopy):
     """H(x,t) = gamma (1-t) G(x) + t F(x) between polynomial systems."""
 
     def __init__(
@@ -49,24 +57,76 @@ class ConvexHomotopy(HomotopyFunction):
     def dim(self) -> int:
         return self.target.nvars
 
+    # The scalar methods run through the batched kernels as one-row
+    # batches: elementwise batching does not change rounding, so scalar
+    # and batched tracking see bit-identical arithmetic — which is what
+    # lets BatchTracker reproduce PathTracker's per-path decisions even
+    # on knife-edge diverging paths.
     def evaluate(self, x: np.ndarray, t: float) -> np.ndarray:
-        g = self.start.evaluate(x)
-        f = self.target.evaluate(x)
-        return self.gamma * (1.0 - t) * g + t * f
+        return self.evaluate_batch(np.asarray(x, dtype=complex)[None, :], t)[0]
 
     def jacobian_x(self, x: np.ndarray, t: float) -> np.ndarray:
-        jg = self.start.jacobian_at(x)
-        jf = self.target.jacobian_at(x)
+        x = np.asarray(x, dtype=complex)
+        jg = self.start.evaluate_and_jacobian_many(x[None, :])[1][0]
+        jf = self.target.evaluate_and_jacobian_many(x[None, :])[1][0]
         return self.gamma * (1.0 - t) * jg + t * jf
 
     def jacobian_t(self, x: np.ndarray, t: float) -> np.ndarray:
-        return self.target.evaluate(x) - self.gamma * self.start.evaluate(x)
+        return self.jacobian_t_batch(np.asarray(x, dtype=complex)[None, :], t)[0]
 
     def evaluate_and_jacobian_x(self, x, t):
-        g, jg = self.start.evaluate_and_jacobian(x)
-        f, jf = self.target.evaluate_and_jacobian(x)
-        w = self.gamma * (1.0 - t)
-        return w * g + t * f, w * jg + t * jf
+        x = np.asarray(x, dtype=complex)
+        res, jac = self.evaluate_and_jacobian_batch(x[None, :], t)
+        return res[0], jac[0]
+
+    # ------------------------------------------------------------------
+    # BatchHomotopy: N paths, each at its own t, in one vectorized call
+    # ------------------------------------------------------------------
+    def _batch_parts(self, X: np.ndarray, t):
+        """Shared per-batch intermediates: (tt, w, g, f, jg, jf).
+
+        Both Jacobian-producing methods assemble their outputs from this
+        single evaluation pass, which keeps their arithmetic (and hence
+        the scalar/batch parity guarantee) in one place.
+        """
+        tt = _per_path_t(t, X.shape[0])
+        g, jg = self.start.evaluate_and_jacobian_many(X)
+        f, jf = self.target.evaluate_and_jacobian_many(X)
+        w = self.gamma * (1.0 - tt)
+        return tt, w, g, f, jg, jf
+
+    def evaluate_batch(self, X: np.ndarray, t) -> np.ndarray:
+        X = np.asarray(X, dtype=complex)
+        tt = _per_path_t(t, X.shape[0])
+        g = self.start.evaluate_many(X)
+        f = self.target.evaluate_many(X)
+        w = self.gamma * (1.0 - tt)
+        return w[:, None] * g + tt[:, None] * f
+
+    def jacobian_x_batch(self, X: np.ndarray, t) -> np.ndarray:
+        return self.evaluate_and_jacobian_batch(X, t)[1]
+
+    def jacobian_t_batch(self, X: np.ndarray, t) -> np.ndarray:
+        X = np.asarray(X, dtype=complex)
+        _per_path_t(t, X.shape[0])  # shape check only; dH/dt is t-free
+        g = self.start.evaluate_many(X)
+        f = self.target.evaluate_many(X)
+        return f - self.gamma * g
+
+    def evaluate_and_jacobian_batch(self, X, t):
+        X = np.asarray(X, dtype=complex)
+        tt, w, g, f, jg, jf = self._batch_parts(X, t)
+        res = w[:, None] * g + tt[:, None] * f
+        jac = w[:, None, None] * jg + tt[:, None, None] * jf
+        return res, jac
+
+    def jacobians_batch(self, X, t):
+        """dH/dx and dH/dt from a single pass over each system."""
+        X = np.asarray(X, dtype=complex)
+        tt, w, g, f, jg, jf = self._batch_parts(X, t)
+        jac_x = w[:, None, None] * jg + tt[:, None, None] * jf
+        jac_t = f - self.gamma * g
+        return jac_x, jac_t
 
     def __repr__(self) -> str:
         return f"ConvexHomotopy(dim={self.dim}, gamma={self.gamma:.4f})"

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..polynomials import PolynomialSystem
 from ..tracker import (
+    BatchTracker,
     PathResult,
     PathTracker,
     TrackerOptions,
@@ -126,17 +127,27 @@ def solve(
     rng: np.random.Generator | None = None,
     refine: bool = True,
     rerun_duplicates: bool = True,
+    mode: Literal["per_path", "batch"] = "per_path",
 ) -> SolveReport:
     """Track all paths of a homotopy to ``target`` and classify endpoints.
 
     With ``rerun_duplicates`` (default), paths whose endpoints collide —
     the signature of a predictor jumping between close paths — are
     re-tracked with conservatively small steps, PHCpack-style.
+
+    ``mode="batch"`` tracks every path in one structure-of-arrays front
+    (:class:`BatchTracker`): same per-path decisions, a fraction of the
+    Python dispatch overhead.  Duplicate re-runs always use the scalar
+    tracker (they are few and need the tightened options).
     """
     homotopy, starts = make_homotopy_and_starts(target, start_kind, rng)
     base_options = options or TrackerOptions()
-    tracker = PathTracker(base_options)
-    results = tracker.track_many(homotopy, starts)
+    if mode == "batch":
+        results = BatchTracker(base_options).track_batch(homotopy, starts)
+    elif mode == "per_path":
+        results = PathTracker(base_options).track_many(homotopy, starts)
+    else:
+        raise ValueError(f"unknown tracking mode {mode!r}")
     if rerun_duplicates:
         dups = _duplicate_path_ids(results)
         if dups:

@@ -16,19 +16,44 @@ workload); ``mode="thread"`` runs the same code on threads, useful for
 correctness tests and when the homotopy is cheap relative to process
 startup.  ``mode="serial"`` is the 1-CPU baseline sharing the same code
 path.
+
+Beyond the paper's axis (paths x workers), two modes exploit the
+structure-of-arrays tracker (:class:`~repro.tracker.BatchTracker`):
+
+- **batch** — one process advances *all* paths as a single vectorized
+  front; no inter-process coordination at all, the speedup comes from
+  amortizing numpy dispatch over the batch.
+- **hybrid** — processes x batch: the path list is split into per-worker
+  blocks and every worker tracks its block as one batched front.  With
+  ``schedule="static"`` there is one round-robin block per worker; with
+  ``schedule="dynamic"`` the list is cut into several smaller blocks
+  handed out first-come-first-served, trading some batching efficiency
+  for balance.
+
+Worker busy time is *self-reported*: every job result carries the worker
+identity (process id, thread id) that ran it, and per-worker busy seconds
+are aggregated from those reports — so ``load_imbalance`` reflects the
+real assignment, not a master-side guess.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Literal, Sequence
+from typing import Dict, List, Literal, Sequence, Tuple
 
 import numpy as np
 
-from ..tracker import HomotopyFunction, PathResult, PathTracker, TrackerOptions
+from ..tracker import (
+    BatchTracker,
+    HomotopyFunction,
+    PathResult,
+    PathTracker,
+    TrackerOptions,
+)
 
 __all__ = ["ParallelTrackReport", "track_paths_parallel"]
 
@@ -36,23 +61,46 @@ __all__ = ["ParallelTrackReport", "track_paths_parallel"]
 # so the homotopy is pickled once, not per path.
 _WORKER_HOMOTOPY: HomotopyFunction | None = None
 _WORKER_TRACKER: PathTracker | None = None
+_WORKER_BATCH_TRACKER: BatchTracker | None = None
+
+WorkerKey = Tuple[int, int]
+
+
+def _worker_key() -> WorkerKey:
+    """Identity of the executing worker: (process id, thread id)."""
+    return os.getpid(), threading.get_ident()
 
 
 def _init_worker(homotopy: HomotopyFunction, options: TrackerOptions) -> None:
-    global _WORKER_HOMOTOPY, _WORKER_TRACKER
+    global _WORKER_HOMOTOPY, _WORKER_TRACKER, _WORKER_BATCH_TRACKER
     _WORKER_HOMOTOPY = homotopy
     _WORKER_TRACKER = PathTracker(options)
+    _WORKER_BATCH_TRACKER = BatchTracker(options)
 
 
-def _track_one(args) -> tuple[int, PathResult, float]:
+def _track_one(args) -> tuple[int, PathResult, float, WorkerKey]:
     path_id, start = args
     t0 = time.perf_counter()
     result = _WORKER_TRACKER.track(_WORKER_HOMOTOPY, start, path_id=path_id)
-    return path_id, result, time.perf_counter() - t0
+    return path_id, result, time.perf_counter() - t0, _worker_key()
 
 
-def _track_chunk(args) -> List[tuple[int, PathResult, float]]:
+def _track_chunk(args) -> List[tuple[int, PathResult, float, WorkerKey]]:
     return [_track_one(item) for item in args]
+
+
+def _track_batch_block(
+    args,
+) -> tuple[List[tuple[int, PathResult]], float, WorkerKey]:
+    """Track one block of paths as a single SoA front (hybrid mode)."""
+    path_ids = [pid for pid, _ in args]
+    starts = [start for _, start in args]
+    t0 = time.perf_counter()
+    results = _WORKER_BATCH_TRACKER.track_batch(
+        _WORKER_HOMOTOPY, starts, path_ids=path_ids
+    )
+    busy = time.perf_counter() - t0
+    return [(r.path_id, r) for r in results], busy, _worker_key()
 
 
 @dataclass
@@ -78,12 +126,24 @@ class ParallelTrackReport:
         return float(busy.max() / busy.mean())
 
 
+def _busy_list(per_worker: Dict[WorkerKey, float], n_workers: int) -> List[float]:
+    """Self-reported busy seconds as a list padded to ``n_workers``.
+
+    Idle workers (never handed a job) appear as zeros so the imbalance
+    statistic still reflects the full pool size.
+    """
+    busy = sorted(per_worker.values(), reverse=True)
+    if len(busy) < n_workers:
+        busy += [0.0] * (n_workers - len(busy))
+    return busy
+
+
 def track_paths_parallel(
     homotopy: HomotopyFunction,
     starts: Sequence[Sequence[complex]],
     n_workers: int | None = None,
     schedule: Literal["static", "dynamic"] = "dynamic",
-    mode: Literal["process", "thread", "serial"] = "process",
+    mode: Literal["process", "thread", "serial", "batch", "hybrid"] = "process",
     options: TrackerOptions | None = None,
 ) -> ParallelTrackReport:
     """Track all paths of ``homotopy`` from ``starts`` on local workers."""
@@ -94,55 +154,84 @@ def track_paths_parallel(
         raise ValueError("need at least one worker")
     if schedule not in ("static", "dynamic"):
         raise ValueError(f"unknown schedule {schedule!r}")
+    if mode not in ("process", "thread", "serial", "batch", "hybrid"):
+        raise ValueError(f"unknown mode {mode!r}")
     jobs = [(i, np.asarray(s, dtype=complex)) for i, s in enumerate(starts)]
 
     t_wall = time.perf_counter()
+    if mode == "batch" or (mode == "hybrid" and n_workers == 1):
+        # one vectorized SoA front in this process; "parallelism" across
+        # paths comes from batching, not workers
+        _init_worker(homotopy, options)
+        block, busy, _ = _track_batch_block(jobs)
+        wall = time.perf_counter() - t_wall
+        results = [r for _, r in sorted(block, key=lambda pr: pr[0])]
+        return ParallelTrackReport(results, schedule, 1, wall, [busy])
+
     if mode == "serial" or n_workers == 1:
         _init_worker(homotopy, options)
         triples = [_track_one(job) for job in jobs]
         wall = time.perf_counter() - t_wall
-        results = [r for _, r, _ in sorted(triples, key=lambda t: t[0])]
+        results = [r for _, r, _, _ in sorted(triples, key=lambda t: t[0])]
         return ParallelTrackReport(
-            results, schedule, 1, wall, [sum(dt for _, _, dt in triples)]
+            results, schedule, 1, wall, [sum(dt for _, _, dt, _ in triples)]
         )
 
-    if mode == "process":
+    if mode in ("process", "hybrid"):
         pool_cls = ProcessPoolExecutor
         pool_kwargs = dict(
             max_workers=n_workers,
             initializer=_init_worker,
             initargs=(homotopy, options),
         )
-    elif mode == "thread":
+    else:  # thread
         pool_cls = ThreadPoolExecutor
         _init_worker(homotopy, options)  # threads share module state
         pool_kwargs = dict(max_workers=n_workers)
-    else:
-        raise ValueError(f"unknown mode {mode!r}")
 
-    triples: List[tuple[int, PathResult, float]] = []
-    busy = [0.0] * n_workers
+    per_worker: Dict[WorkerKey, float] = {}
+    if mode == "hybrid":
+        # processes x batch: each block advances as one SoA front
+        if schedule == "static":
+            blocks = [jobs[w::n_workers] for w in range(n_workers)]
+        else:
+            n_blocks = min(len(jobs), 4 * n_workers)
+            blocks = [jobs[b::n_blocks] for b in range(n_blocks)]
+        blocks = [b for b in blocks if b]
+        pairs: List[tuple[int, PathResult]] = []
+        with pool_cls(**pool_kwargs) as pool:
+            for block_out, busy, key in pool.map(
+                _track_batch_block, blocks, chunksize=1
+            ):
+                pairs.extend(block_out)
+                per_worker[key] = per_worker.get(key, 0.0) + busy
+        wall = time.perf_counter() - t_wall
+        results = [r for _, r in sorted(pairs, key=lambda pr: pr[0])]
+        return ParallelTrackReport(
+            results, schedule, n_workers, wall, _busy_list(per_worker, n_workers)
+        )
+
+    triples: List[tuple[int, PathResult, float, WorkerKey]] = []
     with pool_cls(**pool_kwargs) as pool:
         if schedule == "static":
             # one pre-assigned round-robin chunk per worker, as in the paper
             chunks = [jobs[w::n_workers] for w in range(n_workers)]
             futures = [pool.submit(_track_chunk, chunk) for chunk in chunks]
-            for w, fut in enumerate(futures):
+            for fut in futures:
                 chunk_out = fut.result()
                 triples.extend(chunk_out)
-                busy[w] += sum(dt for _, _, dt in chunk_out)
+                for _, _, dt, key in chunk_out:
+                    per_worker[key] = per_worker.get(key, 0.0) + dt
         else:
-            # dynamic: the executor's shared queue is exactly FCFS
-            rotating = 0
-            for path_id, result, dt in pool.map(
+            # dynamic: the executor's shared queue is exactly FCFS; each
+            # worker self-reports its identity alongside the job timing
+            for path_id, result, dt, key in pool.map(
                 _track_one, jobs, chunksize=1
             ):
-                triples.append((path_id, result, dt))
-                # executor does not expose which worker ran a job; charge
-                # round-robin over *completion order*, a faithful proxy for
-                # FCFS assignment when jobs outnumber workers
-                busy[rotating % n_workers] += dt
-                rotating += 1
+                triples.append((path_id, result, dt, key))
+                per_worker[key] = per_worker.get(key, 0.0) + dt
     wall = time.perf_counter() - t_wall
-    results = [r for _, r, _ in sorted(triples, key=lambda t: t[0])]
-    return ParallelTrackReport(results, schedule, n_workers, wall, busy)
+    results = [r for _, r, _, _ in sorted(triples, key=lambda t: t[0])]
+    return ParallelTrackReport(
+        results, schedule, n_workers, wall, _busy_list(per_worker, n_workers)
+    )

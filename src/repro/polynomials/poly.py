@@ -321,17 +321,31 @@ class Polynomial:
     # printing
     # ------------------------------------------------------------------
     def _format_coeff(self, c: complex) -> str:
+        """Format a coefficient compactly for :meth:`__str__`.
+
+        Real and imaginary parts that are exact integers print without a
+        decimal point, and mixed complex coefficients get exactly one set
+        of parentheses:
+
+        >>> from repro.polynomials import variables
+        >>> x, y = variables(2, ["x", "y"])
+        >>> str((1 + 2j) * x * y - 3j * y + 0.5 * x)
+        '(1+2j)*x*y - 3j*y + 0.5*x'
+        >>> str((-1.5 - 1j) * x)
+        '(-1.5-1j)*x'
+        """
+
+        def fmt(v: float) -> str:
+            if math.isfinite(v) and v == int(v) and abs(v) < 1e15:
+                return str(int(v))
+            return repr(v)
+
         if c.imag == 0:
-            r = c.real
-            if r == int(r) and abs(r) < 1e15:
-                return str(int(r))
-            return repr(r)
+            return fmt(c.real)
         if c.real == 0:
-            i = c.imag
-            if i == int(i) and abs(i) < 1e15:
-                return f"{int(i)}j"
-            return f"{i!r}j"
-        return f"({c.real!r}{c.imag:+!r}j)" if False else f"({c})"
+            return f"{fmt(c.imag)}j"
+        sign = "+" if c.imag >= 0 else "-"
+        return f"({fmt(c.real)}{sign}{fmt(abs(c.imag))}j)"
 
     def __str__(self) -> str:
         if not self._coeffs:

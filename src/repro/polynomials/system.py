@@ -33,6 +33,8 @@ class _CompiledTables:
 
     __slots__ = (
         "expos",
+        "maxdeg",
+        "flat_cols",
         "res_rows",
         "res_cols",
         "res_coefs",
@@ -80,6 +82,11 @@ class _CompiledTables:
         for expo, idx in mono_index.items():
             expos[idx] = expo
         self.expos = expos
+        self.maxdeg = int(expos.max()) if expos.size else 0
+        # flat gather indices into a (npts, (maxdeg+1)*nvars) power table:
+        # monomial m needs power expos[m, v] of variable v at column
+        # expos[m, v] * nvars + v of the flattened table
+        self.flat_cols = expos * nvars + np.arange(nvars, dtype=np.int64)
         self.res_rows = np.asarray(res_rows, dtype=np.int64)
         self.res_cols = np.asarray(res_cols, dtype=np.int64)
         self.res_coefs = np.asarray(res_coefs, dtype=complex)
@@ -92,6 +99,31 @@ class _CompiledTables:
         # x: (nvars,) complex -> (nmono,) complex
         with np.errstate(invalid="ignore"):
             return np.prod(x[None, :] ** self.expos, axis=1)
+
+    def monomial_values_many(self, pts: np.ndarray) -> np.ndarray:
+        # pts: (npts, nvars) complex -> (npts, nmono) complex; one shared
+        # monomial table evaluated for the whole batch at once.  Powers are
+        # built by repeated multiplication (cheaper than complex ``**``),
+        # then each monomial is one flat gather plus a product over the
+        # variable axis — two vectorized ops regardless of batch size.
+        # Callers are expected to hold an errstate guard (diverging paths
+        # legitimately push intermediate values past inf).
+        npts, nvars = pts.shape
+        powers = np.empty((npts, self.maxdeg + 1, nvars), dtype=complex)
+        powers[:, 0] = 1.0
+        for k in range(1, self.maxdeg + 1):
+            np.multiply(powers[:, k - 1], pts, out=powers[:, k])
+        flat = powers.reshape(npts, (self.maxdeg + 1) * nvars)
+        gathered = flat[:, self.flat_cols]  # (npts, nmono, nvars)
+        # explicit sequential product over the variable axis: unlike
+        # np.prod, whose reduction kernel rounds differently for
+        # different batch shapes, elementwise multiplies make the result
+        # independent of how points are batched — which is what
+        # guarantees BatchTracker == PathTracker bit for bit
+        out = gathered[:, :, 0].copy()
+        for v in range(1, nvars):
+            np.multiply(out, gathered[:, :, v], out=out)
+        return out
 
 
 class PolynomialSystem:
@@ -203,13 +235,45 @@ class PolynomialSystem:
         if pts.ndim != 2 or pts.shape[1] != self._nvars:
             raise ValueError(f"expected array of shape (npts, {self._nvars})")
         t = self._compiled()
-        with np.errstate(invalid="ignore"):
-            mono = np.prod(pts[:, None, :] ** t.expos[None, :, :], axis=2)
-        out = np.zeros((pts.shape[0], self.neqs), dtype=complex)
-        contrib = t.res_coefs[None, :] * mono[:, t.res_cols]
-        for k in range(len(t.res_rows)):  # small loop over terms, bulk over pts
-            out[:, t.res_rows[k]] += contrib[:, k]
-        return out
+        with np.errstate(invalid="ignore", over="ignore"):
+            mono = t.monomial_values_many(pts)
+            return self._scatter_residuals(t, mono)
+
+    def _scatter_residuals(self, t: _CompiledTables, mono: np.ndarray) -> np.ndarray:
+        # scatter-add term contributions equation-wise; the equation axis
+        # leads so np.add.at accumulates whole (npts,) rows per term
+        out = np.zeros((self.neqs, mono.shape[0]), dtype=complex)
+        np.add.at(out, t.res_rows, t.res_coefs[:, None] * mono[:, t.res_cols].T)
+        return out.T
+
+    def evaluate_and_jacobian_many(
+        self, points: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Residuals and Jacobians for a whole batch of points.
+
+        Returns ``(res, jac)`` with shapes ``(npts, neqs)`` and
+        ``(npts, neqs, nvars)``, sharing one monomial-table evaluation —
+        the batched analogue of :meth:`evaluate_and_jacobian` and the
+        kernel behind :class:`~repro.homotopy.convex.ConvexHomotopy`'s
+        batch interface.
+        """
+        pts = np.asarray(points, dtype=complex)
+        if pts.ndim != 2 or pts.shape[1] != self._nvars:
+            raise ValueError(f"expected array of shape (npts, {self._nvars})")
+        t = self._compiled()
+        with np.errstate(invalid="ignore", over="ignore"):
+            mono = t.monomial_values_many(pts)
+            res = self._scatter_residuals(t, mono)
+            jac_t = np.zeros(
+                (self.neqs, self._nvars, pts.shape[0]), dtype=complex
+            )
+            if len(t.jac_rows):
+                np.add.at(
+                    jac_t,
+                    (t.jac_rows, t.jac_vars),
+                    t.jac_coefs[:, None] * mono[:, t.jac_cols].T,
+                )
+        return res, jac_t.transpose(2, 0, 1)
 
     def residual_norm(self, point: Sequence[complex]) -> float:
         """Max-norm of the residual at ``point``."""

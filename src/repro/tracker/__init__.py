@@ -1,20 +1,45 @@
-"""Predictor-corrector path tracking (PHCpack's continuation, in Python)."""
+"""Predictor-corrector path tracking (PHCpack's continuation, in Python).
 
-from .interface import HomotopyFunction
-from .newton import NewtonResult, newton_correct, newton_refine_system
+Two tracker front-ends share the same options and result records:
+
+- :class:`PathTracker` — one path at a time (the paper's unit of work).
+- :class:`BatchTracker` — N paths as a structure-of-arrays front, one
+  vectorized numpy call per predictor/corrector stage.
+"""
+
+from .batch import BatchTracker
+from .interface import (
+    BatchHomotopy,
+    HomotopyFunction,
+    ScalarBatchAdapter,
+    as_batch,
+)
+from .newton import (
+    BatchNewtonResult,
+    NewtonResult,
+    batch_newton_correct,
+    newton_correct,
+    newton_refine_system,
+)
 from .result import PathResult, PathStatus, TrackStats, summarize_results
 from .tracker import PathTracker, TrackerOptions, refine_solutions
 
 __all__ = [
     "HomotopyFunction",
+    "BatchHomotopy",
+    "ScalarBatchAdapter",
+    "as_batch",
     "NewtonResult",
+    "BatchNewtonResult",
     "newton_correct",
+    "batch_newton_correct",
     "newton_refine_system",
     "PathResult",
     "PathStatus",
     "TrackStats",
     "summarize_results",
     "PathTracker",
+    "BatchTracker",
     "TrackerOptions",
     "refine_solutions",
 ]

@@ -1,4 +1,4 @@
-"""The homotopy-function interface consumed by the path tracker.
+"""The homotopy-function interfaces consumed by the path trackers.
 
 A homotopy is any object H(x, t) with x in C^n and t in [0, 1] that can
 produce its residual and both partial Jacobians.  Keeping this as a tiny
@@ -8,6 +8,21 @@ the tracker serve three very different clients without modification:
 - polynomial convex-combination homotopies (:mod:`repro.homotopy`),
 - determinant-based Pieri homotopies (:mod:`repro.schubert.homotopy`),
 - synthetic test homotopies used by the unit tests.
+
+Two interfaces live here:
+
+- :class:`HomotopyFunction` — the scalar protocol: one point, one t.
+- :class:`BatchHomotopy` — the structure-of-arrays protocol consumed by
+  :class:`~repro.tracker.batch.BatchTracker`: ``npaths`` points evaluated
+  in one call, each at its own ``t`` (paths in a batch advance with
+  independent adaptive step sizes, so ``t`` is a per-path vector).
+
+Any scalar homotopy can serve as a batch homotopy through
+:class:`ScalarBatchAdapter` (a Python loop, correct but slow); homotopies
+with genuinely vectorized evaluators (e.g.
+:class:`~repro.homotopy.convex.ConvexHomotopy`) implement
+:class:`BatchHomotopy` natively and the adapter is skipped by
+:func:`as_batch`.
 """
 
 from __future__ import annotations
@@ -16,7 +31,12 @@ import abc
 
 import numpy as np
 
-__all__ = ["HomotopyFunction"]
+__all__ = [
+    "HomotopyFunction",
+    "BatchHomotopy",
+    "ScalarBatchAdapter",
+    "as_batch",
+]
 
 
 class HomotopyFunction(abc.ABC):
@@ -51,3 +71,133 @@ class HomotopyFunction(abc.ABC):
     ) -> tuple[np.ndarray, np.ndarray]:
         """Residual and dH/dx together (override to share work)."""
         return self.evaluate(x, t), self.jacobian_x(x, t)
+
+
+def _per_path_t(t, npaths: int) -> np.ndarray:
+    """Broadcast a scalar or (npaths,) ``t`` to a float vector."""
+    tt = np.asarray(t, dtype=float)
+    if tt.ndim == 0:
+        return np.full(npaths, float(tt))
+    if tt.shape != (npaths,):
+        raise ValueError(f"expected t scalar or shape ({npaths},), got {tt.shape}")
+    return tt
+
+
+class BatchHomotopy(abc.ABC):
+    """Structure-of-arrays H : C^(N x n) x [0,1]^N -> C^(N x n).
+
+    ``X`` has shape ``(npaths, dim)`` — one row per path — and ``t`` is a
+    scalar or a ``(npaths,)`` vector (each path at its own time).  All
+    methods return arrays whose leading axis is the path axis, so one call
+    advances the whole active front of a batched tracker.
+    """
+
+    @property
+    @abc.abstractmethod
+    def dim(self) -> int:
+        """Number of variables (and equations); the system is square."""
+
+    @abc.abstractmethod
+    def evaluate_batch(self, X: np.ndarray, t) -> np.ndarray:
+        """Residuals H(X_i, t_i), shape ``(npaths, dim)``."""
+
+    @abc.abstractmethod
+    def jacobian_x_batch(self, X: np.ndarray, t) -> np.ndarray:
+        """Jacobians dH/dx per path, shape ``(npaths, dim, dim)``."""
+
+    def jacobian_t_batch(self, X: np.ndarray, t) -> np.ndarray:
+        """dH/dt per path, shape ``(npaths, dim)``.
+
+        Default: central finite difference clipped to [0, 1]; override
+        with the analytic derivative when it is cheap.
+        """
+        tt = _per_path_t(t, X.shape[0])
+        h = 1e-7
+        lo = np.maximum(0.0, tt - h)
+        hi = np.minimum(1.0, tt + h)
+        num = self.evaluate_batch(X, hi) - self.evaluate_batch(X, lo)
+        return num / (hi - lo)[:, None]
+
+    def evaluate_and_jacobian_batch(
+        self, X: np.ndarray, t
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Residuals and dH/dx together (override to share work)."""
+        return self.evaluate_batch(X, t), self.jacobian_x_batch(X, t)
+
+    def jacobians_batch(self, X: np.ndarray, t) -> tuple[np.ndarray, np.ndarray]:
+        """dH/dx and dH/dt together — the tangent predictor's inputs.
+
+        Override when both Jacobians share underlying evaluations (the
+        convex homotopy computes them from one pass over each system).
+        """
+        return self.jacobian_x_batch(X, t), self.jacobian_t_batch(X, t)
+
+
+class ScalarBatchAdapter(BatchHomotopy):
+    """Present any scalar :class:`HomotopyFunction` as a :class:`BatchHomotopy`.
+
+    Evaluation loops over the paths in Python, so this gains nothing in
+    speed — it exists so that :class:`~repro.tracker.batch.BatchTracker`
+    can run (and be parity-tested) against every existing homotopy,
+    including the determinant-based Pieri edges.
+    """
+
+    def __init__(self, homotopy: HomotopyFunction) -> None:
+        self.scalar = homotopy
+
+    @property
+    def dim(self) -> int:
+        return self.scalar.dim
+
+    def _check(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=complex)
+        if X.ndim != 2 or X.shape[1] != self.dim:
+            raise ValueError(f"expected X of shape (npaths, {self.dim})")
+        return X
+
+    def evaluate_batch(self, X: np.ndarray, t) -> np.ndarray:
+        X = self._check(X)
+        tt = _per_path_t(t, X.shape[0])
+        out = np.empty_like(X)
+        for i in range(X.shape[0]):
+            out[i] = self.scalar.evaluate(X[i], tt[i])
+        return out
+
+    def jacobian_x_batch(self, X: np.ndarray, t) -> np.ndarray:
+        X = self._check(X)
+        tt = _per_path_t(t, X.shape[0])
+        out = np.empty((X.shape[0], self.dim, self.dim), dtype=complex)
+        for i in range(X.shape[0]):
+            out[i] = self.scalar.jacobian_x(X[i], tt[i])
+        return out
+
+    def jacobian_t_batch(self, X: np.ndarray, t) -> np.ndarray:
+        X = self._check(X)
+        tt = _per_path_t(t, X.shape[0])
+        out = np.empty_like(X)
+        for i in range(X.shape[0]):
+            out[i] = self.scalar.jacobian_t(X[i], tt[i])
+        return out
+
+    def evaluate_and_jacobian_batch(self, X, t):
+        X = self._check(X)
+        tt = _per_path_t(t, X.shape[0])
+        res = np.empty_like(X)
+        jac = np.empty((X.shape[0], self.dim, self.dim), dtype=complex)
+        for i in range(X.shape[0]):
+            res[i], jac[i] = self.scalar.evaluate_and_jacobian_x(X[i], tt[i])
+        return res, jac
+
+    def __repr__(self) -> str:
+        return f"ScalarBatchAdapter({self.scalar!r})"
+
+
+def as_batch(homotopy) -> BatchHomotopy:
+    """Coerce a scalar or batch homotopy to the batch interface."""
+    if isinstance(homotopy, BatchHomotopy):
+        return homotopy
+    if isinstance(homotopy, HomotopyFunction):
+        return ScalarBatchAdapter(homotopy)
+    raise TypeError(
+        f"expected a HomotopyFunction or BatchHomotopy, got {type(homotopy)!r}"
+    )

@@ -1,9 +1,17 @@
 """Newton correctors.
 
-Two flavours: a corrector against a :class:`HomotopyFunction` at fixed t
-(the inner loop of the path tracker) and a root refiner for plain
-:class:`~repro.polynomials.PolynomialSystem` objects (used by endgames and
-by tests to sharpen solutions to near machine precision).
+Three flavours: a corrector against a :class:`HomotopyFunction` at fixed t
+(the inner loop of the path tracker), a structure-of-arrays corrector
+against a :class:`BatchHomotopy` that runs the same iteration on a whole
+batch of paths with one stacked ``np.linalg.solve`` per sweep, and a root
+refiner for plain :class:`~repro.polynomials.PolynomialSystem` objects
+(used by endgames and by tests to sharpen solutions to near machine
+precision).
+
+The batch corrector is semantically path-by-path identical to the scalar
+one: each path converges, underflows, or goes singular by exactly the same
+criteria, and paths that finish early are masked out of later sweeps so no
+work (or divergence) from one path can perturb another.
 """
 
 from __future__ import annotations
@@ -12,9 +20,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .interface import HomotopyFunction
+from .interface import BatchHomotopy, HomotopyFunction, _per_path_t
 
-__all__ = ["NewtonResult", "newton_correct", "newton_refine_system"]
+__all__ = [
+    "NewtonResult",
+    "BatchNewtonResult",
+    "newton_correct",
+    "batch_newton_correct",
+    "newton_refine_system",
+]
 
 
 @dataclass
@@ -70,6 +84,107 @@ def newton_correct(
     res = homotopy.evaluate(x, t)
     residual = float(np.max(np.abs(res)))
     return NewtonResult(x, residual <= tol, max_iterations, residual)
+
+
+@dataclass
+class BatchNewtonResult:
+    """Outcome of one batched Newton run; leading axis is the path axis."""
+
+    x: np.ndarray           # (npaths, dim) corrected points
+    converged: np.ndarray   # (npaths,) bool
+    iterations: np.ndarray  # (npaths,) int
+    residual: np.ndarray    # (npaths,) float max-norm residuals
+    singular: np.ndarray    # (npaths,) bool
+
+
+def _solve_batch(jac: np.ndarray, res: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Solve J_i dx_i = -res_i over a stack, flagging singular members.
+
+    The stacked LAPACK call raises for the whole batch when any member is
+    exactly singular, so on failure we fall back to per-member solves and
+    mark only the offenders.
+    """
+    k = jac.shape[0]
+    ok = np.ones(k, dtype=bool)
+    dx = np.zeros_like(res)
+    try:
+        dx = np.linalg.solve(jac, -res[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        for i in range(k):
+            try:
+                dx[i] = np.linalg.solve(jac[i], -res[i])
+            except np.linalg.LinAlgError:
+                ok[i] = False
+    ok &= np.all(np.isfinite(dx), axis=1)
+    return dx, ok
+
+
+def batch_newton_correct(
+    homotopy: BatchHomotopy,
+    X: np.ndarray,
+    t,
+    tol: float = 1e-10,
+    max_iterations: int = 6,
+    active: np.ndarray | None = None,
+) -> BatchNewtonResult:
+    """Newton's method on ``H(., t_i) = 0`` for a whole batch of paths.
+
+    ``X`` is ``(npaths, dim)``, ``t`` a scalar or ``(npaths,)`` vector.
+    Paths where ``active`` is False are left untouched (reported as not
+    converged with infinite residual); among active paths, each one
+    converges, underflows, or is flagged singular by exactly the criteria
+    of :func:`newton_correct`, and finished paths drop out of later
+    sweeps.  Each sweep costs one batched evaluation plus one stacked
+    ``np.linalg.solve`` over the still-working paths.
+    """
+    X = np.asarray(X, dtype=complex).copy()
+    if X.ndim != 2:
+        raise ValueError("X must have shape (npaths, dim)")
+    npaths = X.shape[0]
+    tt = _per_path_t(t, npaths)
+    converged = np.zeros(npaths, dtype=bool)
+    singular = np.zeros(npaths, dtype=bool)
+    iterations = np.zeros(npaths, dtype=np.int64)
+    residual = np.full(npaths, np.inf)
+    if active is None:
+        work = np.arange(npaths)
+    else:
+        work = np.flatnonzero(np.asarray(active, dtype=bool))
+    for it in range(1, max_iterations + 1):
+        if work.size == 0:
+            return BatchNewtonResult(X, converged, iterations, residual, singular)
+        res, jac = homotopy.evaluate_and_jacobian_batch(X[work], tt[work])
+        resnorm = np.max(np.abs(res), axis=1)
+        residual[work] = resnorm
+        done = resnorm <= tol
+        converged[work[done]] = True
+        iterations[work[done]] = it - 1
+        work, res, jac = work[~done], res[~done], jac[~done]
+        if work.size == 0:
+            return BatchNewtonResult(X, converged, iterations, residual, singular)
+        dx, ok = _solve_batch(jac, res)
+        singular[work[~ok]] = True
+        iterations[work[~ok]] = it - 1
+        work, dx = work[ok], dx[ok]
+        if work.size == 0:
+            return BatchNewtonResult(X, converged, iterations, residual, singular)
+        X[work] += dx
+        # update underflow: quadratic convergence hit the noise floor
+        xnorm = np.maximum(1.0, np.max(np.abs(X[work]), axis=1))
+        under = np.max(np.abs(dx), axis=1) <= 1e-15 * xnorm
+        if np.any(under):
+            u = work[under]
+            rn = np.max(np.abs(homotopy.evaluate_batch(X[u], tt[u])), axis=1)
+            residual[u] = rn
+            converged[u] = rn <= tol * 1e3
+            iterations[u] = it
+            work = work[~under]
+    if work.size:
+        rn = np.max(np.abs(homotopy.evaluate_batch(X[work], tt[work])), axis=1)
+        residual[work] = rn
+        converged[work] = rn <= tol
+        iterations[work] = max_iterations
+    return BatchNewtonResult(X, converged, iterations, residual, singular)
 
 
 def newton_refine_system(

@@ -1,0 +1,283 @@
+"""Batch tracking layer: masked batch Newton, SoA tracker, scalar parity.
+
+The contract under test: :class:`BatchTracker` is a *drop-in* for
+:class:`PathTracker` — same per-path decisions, same statuses, endpoints
+agreeing to 1e-8 — whether the homotopy implements the batch protocol
+natively (ConvexHomotopy) or is wrapped by :class:`ScalarBatchAdapter`
+(the Pieri determinant homotopy).
+"""
+
+import doctest
+
+import numpy as np
+import pytest
+
+import repro.polynomials.poly as poly_module
+from repro.homotopy import ConvexHomotopy, make_homotopy_and_starts, solve
+from repro.schubert import PieriInstance, PieriSolver, trivial_solution_matrix
+from repro.systems import cyclic_roots_system, katsura_system
+from repro.tracker import (
+    BatchHomotopy,
+    BatchTracker,
+    HomotopyFunction,
+    PathStatus,
+    PathTracker,
+    ScalarBatchAdapter,
+    as_batch,
+    batch_newton_correct,
+    newton_correct,
+)
+
+
+class SqrtHomotopy(HomotopyFunction):
+    """H(x, t) = x^2 - (1 + 3t): paths x(t) = +/- sqrt(1 + 3t)."""
+
+    @property
+    def dim(self):
+        return 1
+
+    def evaluate(self, x, t):
+        return np.array([x[0] ** 2 - (1 + 3 * t)])
+
+    def jacobian_x(self, x, t):
+        return np.array([[2 * x[0]]])
+
+    def jacobian_t(self, x, t):
+        return np.array([-3.0 + 0j])
+
+
+def _assert_parity(serial, batch, tol=1e-8):
+    assert len(serial) == len(batch)
+    for a, b in zip(serial, batch):
+        assert a.path_id == b.path_id
+        assert a.status == b.status, (
+            f"path {a.path_id}: scalar {a.status} vs batch {b.status}"
+        )
+        if a.success:
+            assert np.max(np.abs(a.solution - b.solution)) < tol
+
+
+class TestBatchInterface:
+    def test_as_batch_wraps_scalar(self):
+        h = SqrtHomotopy()
+        bh = as_batch(h)
+        assert isinstance(bh, ScalarBatchAdapter)
+        assert bh.dim == 1
+        # a native batch homotopy passes through untouched
+        assert as_batch(bh) is bh
+
+    def test_as_batch_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_batch(object())
+
+    def test_adapter_matches_scalar_pointwise(self):
+        h = SqrtHomotopy()
+        bh = ScalarBatchAdapter(h)
+        X = np.array([[1.0 + 0j], [-1.5 + 0.5j], [2.0 + 0j]])
+        t = np.array([0.0, 0.3, 1.0])
+        res = bh.evaluate_batch(X, t)
+        jac = bh.jacobian_x_batch(X, t)
+        jt = bh.jacobian_t_batch(X, t)
+        res2, jac2 = bh.evaluate_and_jacobian_batch(X, t)
+        for i in range(3):
+            assert np.allclose(res[i], h.evaluate(X[i], t[i]))
+            assert np.allclose(jac[i], h.jacobian_x(X[i], t[i]))
+            assert np.allclose(jt[i], h.jacobian_t(X[i], t[i]))
+            assert np.allclose(res2[i], res[i]) and np.allclose(jac2[i], jac[i])
+
+    def test_scalar_t_broadcasts(self):
+        bh = ScalarBatchAdapter(SqrtHomotopy())
+        X = np.array([[1.0 + 0j], [-1.0 + 0j]])
+        assert np.allclose(
+            bh.evaluate_batch(X, 0.5), bh.evaluate_batch(X, np.array([0.5, 0.5]))
+        )
+
+    def test_convex_is_native_batch(self):
+        target = cyclic_roots_system(3)
+        homotopy, _ = make_homotopy_and_starts(
+            target, rng=np.random.default_rng(0)
+        )
+        assert isinstance(homotopy, ConvexHomotopy)
+        assert isinstance(homotopy, BatchHomotopy)
+        assert as_batch(homotopy) is homotopy
+
+
+class TestBatchedSystemEvaluation:
+    def test_evaluate_and_jacobian_many_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        sys = katsura_system(4)
+        pts = rng.standard_normal((9, 5)) + 1j * rng.standard_normal((9, 5))
+        res, jac = sys.evaluate_and_jacobian_many(pts)
+        assert res.shape == (9, 5) and jac.shape == (9, 5, 5)
+        for i in range(9):
+            r, j = sys.evaluate_and_jacobian(pts[i])
+            assert np.allclose(res[i], r, atol=1e-10)
+            assert np.allclose(jac[i], j, atol=1e-10)
+
+    def test_evaluate_many_shares_the_scatter_path(self):
+        rng = np.random.default_rng(8)
+        sys = cyclic_roots_system(5)
+        pts = rng.standard_normal((6, 5)) + 1j * rng.standard_normal((6, 5))
+        res, _ = sys.evaluate_and_jacobian_many(pts)
+        np.testing.assert_array_equal(sys.evaluate_many(pts), res)
+
+    def test_shape_validation(self):
+        sys = cyclic_roots_system(3)
+        with pytest.raises(ValueError):
+            sys.evaluate_and_jacobian_many(np.zeros((2, 4), dtype=complex))
+
+
+class TestBatchNewton:
+    def test_converges_like_scalar(self):
+        h = SqrtHomotopy()
+        X = np.array([[1.9 + 0j], [-1.9 + 0j], [2.2 + 0j]])
+        out = batch_newton_correct(as_batch(h), X, 1.0, tol=1e-12)
+        assert out.converged.all()
+        assert np.allclose(np.abs(out.x[:, 0]), 2.0, atol=1e-10)
+        for i, x0 in enumerate(X):
+            scalar = newton_correct(h, x0, 1.0, tol=1e-12)
+            assert np.allclose(out.x[i], scalar.x)
+            assert out.iterations[i] == scalar.iterations
+
+    def test_singular_member_is_masked_not_fatal(self):
+        """One singular path must not poison the rest of the batch."""
+        h = SqrtHomotopy()
+        # x = 0 has a singular Jacobian; its neighbours are fine
+        X = np.array([[1.9 + 0j], [0.0 + 0j], [-2.1 + 0j]])
+        out = batch_newton_correct(as_batch(h), X, 1.0, tol=1e-12)
+        assert out.singular[1] and not out.converged[1]
+        assert not out.singular[0] and not out.singular[2]
+        assert out.converged[0] and out.converged[2]
+        assert abs(out.x[0, 0] - 2.0) < 1e-10
+        assert abs(out.x[2, 0] + 2.0) < 1e-10
+        # the singular path is left where Newton abandoned it
+        assert out.x[1, 0] == 0.0
+
+    def test_active_mask_skips_paths(self):
+        h = SqrtHomotopy()
+        X = np.array([[1.9 + 0j], [1.9 + 0j]])
+        out = batch_newton_correct(
+            as_batch(h), X, 1.0, active=np.array([True, False])
+        )
+        assert out.converged[0] and not out.converged[1]
+        assert out.x[1, 0] == 1.9  # untouched
+        assert np.isinf(out.residual[1])
+
+    def test_matches_scalar_on_polynomial_homotopy(self):
+        target = cyclic_roots_system(4)
+        homotopy, starts = make_homotopy_and_starts(
+            target, rng=np.random.default_rng(3)
+        )
+        X = np.array(starts)
+        out = batch_newton_correct(homotopy, X, 0.0, tol=1e-10)
+        for i, s in enumerate(starts):
+            scalar = newton_correct(homotopy, s, 0.0, tol=1e-10)
+            assert out.converged[i] == scalar.converged
+            assert np.allclose(out.x[i], scalar.x, atol=1e-10)
+
+
+class TestBatchTrackerBasics:
+    def test_empty_batch(self):
+        assert BatchTracker().track_batch(SqrtHomotopy(), []) == []
+
+    def test_two_branches(self):
+        results = BatchTracker().track_batch(SqrtHomotopy(), [[1.0], [-1.0]])
+        assert [r.path_id for r in results] == [0, 1]
+        assert all(r.success for r in results)
+        assert abs(results[0].solution[0] - 2.0) < 1e-9
+        assert abs(results[1].solution[0] + 2.0) < 1e-9
+
+    def test_stats_populated(self):
+        (r,) = BatchTracker().track_batch(SqrtHomotopy(), [[1.0]])
+        assert r.stats.steps_accepted > 0
+        assert r.stats.newton_iterations > 0
+        assert r.stats.seconds >= 0
+        assert r.stats.t_reached == pytest.approx(1.0)
+
+    def test_bad_start_fails_without_stalling_batch(self):
+        results = BatchTracker().track_batch(SqrtHomotopy(), [[0.0], [1.0]])
+        assert results[0].status is PathStatus.FAILED
+        assert results[1].success
+        # like PathTracker, a path failing the initial check reports its
+        # original start point, not a partially-Newton-iterated one
+        assert results[0].solution[0] == 0.0
+
+    def test_failed_initial_check_keeps_start_point(self):
+        """Newton halves x each sweep from a far start but cannot converge
+        within the iteration cap; the FAILED result must still carry the
+        caller's start point, exactly as PathTracker reports it."""
+        far = [1e6]
+        scalar = PathTracker().track(SqrtHomotopy(), far)
+        (batch,) = BatchTracker().track_batch(SqrtHomotopy(), [far])
+        assert scalar.status is PathStatus.FAILED
+        assert batch.status is PathStatus.FAILED
+        assert scalar.solution[0] == 1e6
+        assert batch.solution[0] == 1e6
+
+    def test_t_start_validation(self):
+        with pytest.raises(ValueError):
+            BatchTracker().track_batch(SqrtHomotopy(), [[1.0]], t_start=1.0)
+
+    def test_custom_path_ids(self):
+        results = BatchTracker().track_batch(
+            SqrtHomotopy(), [[1.0], [-1.0]], path_ids=[7, 9]
+        )
+        assert [r.path_id for r in results] == [7, 9]
+
+
+class TestScalarParity:
+    """ISSUE acceptance: statuses and endpoints agree to 1e-8."""
+
+    def test_cyclic5_parity(self):
+        target = cyclic_roots_system(5)
+        homotopy, starts = make_homotopy_and_starts(
+            target, rng=np.random.default_rng(11)
+        )
+        serial = PathTracker().track_many(homotopy, starts)
+        batch = BatchTracker().track_batch(homotopy, starts)
+        _assert_parity(serial, batch)
+        # the workload exercises divergence culling, not just successes
+        assert any(r.status is not PathStatus.SUCCESS for r in serial)
+
+    def test_katsura_parity(self):
+        target = katsura_system(5)
+        homotopy, starts = make_homotopy_and_starts(
+            target, rng=np.random.default_rng(12)
+        )
+        serial = PathTracker().track_many(homotopy, starts)
+        batch = BatchTracker().track_batch(homotopy, starts)
+        _assert_parity(serial, batch)
+        assert sum(r.success for r in batch) == len(starts)
+
+    def test_pieri_edge_parity_via_adapter(self):
+        """A determinant homotopy runs through ScalarBatchAdapter."""
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(21))
+        solver = PieriSolver(instance, seed=22)
+        jobs = solver.initial_jobs()
+        for job in jobs:
+            homotopy = solver.make_homotopy(job.node)
+            start = homotopy.start_vector(
+                trivial_solution_matrix(instance.problem)
+            )
+            serial = [PathTracker().track(homotopy, start, path_id=0)]
+            batch = BatchTracker().track_batch(
+                ScalarBatchAdapter(homotopy), [start]
+            )
+            _assert_parity(serial, batch)
+
+    def test_solve_mode_batch_matches_per_path(self):
+        target = cyclic_roots_system(4)
+        per_path = solve(target, rng=np.random.default_rng(5), mode="per_path")
+        batch = solve(target, rng=np.random.default_rng(5), mode="batch")
+        assert per_path.n_solutions == batch.n_solutions
+        assert per_path.summary["success"] == batch.summary["success"]
+
+    def test_solve_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            solve(cyclic_roots_system(3), mode="bogus")
+
+
+def test_polynomial_doctests():
+    """Run the poly-module doctests (complex coefficient printing etc.)."""
+    failures, _ = doctest.testmod(poly_module)
+    assert failures == 0

@@ -90,6 +90,63 @@ class TestFlatExecutors:
         assert report.total_cpu_seconds > 0
         assert report.load_imbalance >= 1.0
 
+    def test_dynamic_busy_is_self_reported(self, cyclic4):
+        """Busy seconds come from worker self-reports, so they must sum to
+        roughly the serial tracking time (not a round-robin guess)."""
+        homotopy, starts = cyclic4
+        report = track_paths_parallel(
+            homotopy, starts, n_workers=3, schedule="dynamic", mode="thread"
+        )
+        assert len(report.worker_busy_seconds) == 3
+        per_path = sum(r.stats.seconds for r in report.results)
+        assert report.total_cpu_seconds == pytest.approx(per_path, rel=0.5)
+
+
+class TestBatchModes:
+    def test_batch_mode_matches_serial(self, cyclic4):
+        homotopy, starts = cyclic4
+        serial = track_paths_parallel(homotopy, starts, mode="serial")
+        batch = track_paths_parallel(homotopy, starts, mode="batch")
+        assert batch.n_workers == 1
+        assert [r.path_id for r in batch.results] == list(range(len(starts)))
+        for a, b in zip(serial.results, batch.results):
+            assert a.status == b.status
+            if a.status is PathStatus.SUCCESS:
+                assert np.allclose(a.solution, b.solution, atol=1e-8)
+
+    @pytest.mark.parametrize("schedule", ["static", "dynamic"])
+    def test_hybrid_mode_matches_serial(self, cyclic4, schedule):
+        homotopy, starts = cyclic4
+        serial = track_paths_parallel(homotopy, starts, mode="serial")
+        hybrid = track_paths_parallel(
+            homotopy, starts, n_workers=2, schedule=schedule, mode="hybrid"
+        )
+        assert len(hybrid.results) == len(starts)
+        assert [r.path_id for r in hybrid.results] == list(range(len(starts)))
+        for a, b in zip(serial.results, hybrid.results):
+            assert a.status == b.status
+            if a.status is PathStatus.SUCCESS:
+                assert np.allclose(a.solution, b.solution, atol=1e-8)
+        assert len(hybrid.worker_busy_seconds) == 2
+        assert hybrid.total_cpu_seconds > 0
+
+    def test_hybrid_single_worker_still_batches(self, cyclic4):
+        """hybrid with one worker must run the SoA front, not fall back
+        to per-path tracking."""
+        homotopy, starts = cyclic4
+        report = track_paths_parallel(
+            homotopy, starts[:6], n_workers=1, mode="hybrid"
+        )
+        assert report.n_workers == 1
+        assert len(report.results) == 6
+        # batch-tracked paths share wall-clock accounting: per-path
+        # seconds are classification times, so they are non-decreasing
+        # in finish order and bounded by the single busy figure
+        assert len(report.worker_busy_seconds) == 1
+        assert max(r.stats.seconds for r in report.results) <= (
+            report.worker_busy_seconds[0] + 1e-6
+        )
+
 
 class TestParallelPieri:
     def test_matches_sequential_solutions(self):
