@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Sweep engine benchmark: dynamic vs static sharding on a skewed job mix.
+
+The ISSUE-2 acceptance experiment at job granularity, mirroring the
+paper's path-granularity Tables I/II: a sweep whose few heavy Pieri jobs
+are clustered at the front of the job list (the way divergent cyclic
+paths cluster in start-root order) is badly served by static contiguous
+blocks — one worker inherits all the heavy jobs — while the dynamic
+master/worker schedule rebalances automatically.
+
+Two stages, following the repo's standard cluster substitution (see
+``docs/architecture.md``):
+
+1. run the sweep for real on the dynamic process-pool engine, which
+   self-reports per-worker busy seconds and journals the measured cost
+   of every job;
+2. feed those *measured* job costs to the discrete-event cluster
+   simulator and compare static contiguous blocks against the dynamic
+   master/worker protocol at several CPU counts — deterministic and
+   meaningful even on a single-core CI box, where wall-clock cannot
+   distinguish schedules.
+
+Acceptance: simulated dynamic wall-clock beats static at every CPU
+count > 1 on the skewed mix.
+
+Run:    PYTHONPATH=src python benchmarks/bench_sweep.py
+Smoke:  PYTHONPATH=src python benchmarks/bench_sweep.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import time
+
+from repro.simcluster import Workload, simulate_dynamic, simulate_static
+from repro.sweep import JobSpec, SweepSpec, run_sweep
+
+
+def skewed_spec(n_heavy: int, n_fast: int) -> SweepSpec:
+    """Heavy jobs first (clustered), then a long tail of fast jobs."""
+    jobs = [
+        JobSpec("pieri", {"m": 2, "p": 2, "q": 1}, seed=s)
+        for s in range(n_heavy)
+    ]
+    jobs += [JobSpec("katsura", {"n": 2}, seed=s) for s in range(n_fast)]
+    return SweepSpec(name="bench-skewed", jobs=jobs)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--heavy", type=int, default=3,
+        help="number of clustered heavy Pieri jobs (default 3)",
+    )
+    parser.add_argument(
+        "--fast", type=int, default=21,
+        help="number of fast katsura jobs (default 21)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="process-pool size for the real run (default 2)",
+    )
+    parser.add_argument(
+        "--cpus", type=int, nargs="+", default=[2, 4, 8],
+        help="simulated CPU counts (default 2 4 8)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: 2 heavy + 10 fast jobs, [2, 4] simulated CPUs",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        args.heavy, args.fast, args.cpus = 2, 10, [2, 4]
+
+    spec = skewed_spec(args.heavy, args.fast)
+    print(
+        f"skewed sweep: {args.heavy} heavy Pieri jobs (clustered first) "
+        f"+ {args.fast} fast katsura jobs"
+    )
+
+    # stage 1: the real engine, dynamic schedule, self-reported busy time
+    with tempfile.TemporaryDirectory() as checkpoint:
+        t0 = time.perf_counter()
+        report = run_sweep(
+            spec, checkpoint, n_workers=args.workers,
+            schedule="dynamic", mode="process",
+        )
+        wall = time.perf_counter() - t0
+    assert report.complete, "sweep did not complete"
+    busy = " ".join(f"{b:5.2f}" for b in report.worker_busy_seconds)
+    print(
+        f"\nreal dynamic run [{args.workers} workers]: wall {wall:.2f}s, "
+        f"cpu {report.total_cpu_seconds:.2f}s, "
+        f"imbalance {report.load_imbalance:.2f}"
+    )
+    print(f"  self-reported per-worker busy s: [{busy}]")
+
+    # stage 2: measured job costs -> simulated static vs dynamic sharding
+    costs = [report.records[jid]["seconds"] for jid in spec.job_ids()]
+    heavy_share = sum(costs[: args.heavy]) / sum(costs)
+    print(
+        f"\nmeasured job costs: total {sum(costs):.2f}s, "
+        f"heavy {args.heavy}/{len(costs)} jobs carry "
+        f"{100 * heavy_share:.0f}% of the work"
+    )
+    workload = Workload("sweep-measured", costs)
+
+    print(f"\n{'cpus':>5}{'static s':>10}{'dynamic s':>11}"
+          f"{'static imb':>12}{'dyn imb':>9}{'gain':>7}")
+    all_better = True
+    for n in args.cpus:
+        st = simulate_static(workload, n, chunking="block")
+        dy = simulate_dynamic(workload, n)
+        gain = st.wall_seconds / dy.wall_seconds
+        all_better &= dy.wall_seconds < st.wall_seconds
+        print(
+            f"{n:>5}{st.wall_seconds:>10.2f}{dy.wall_seconds:>11.2f}"
+            f"{st.load_imbalance:>12.2f}{dy.load_imbalance:>9.2f}"
+            f"{gain:>6.2f}x"
+        )
+
+    if not all_better:
+        print("\nFAIL: dynamic did not beat static sharding everywhere")
+        return 1
+    print("\nOK: dynamic beats static sharding on the skewed job mix")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,12 @@
 systems in this reproduction: build a start system with known roots, form
 the gamma-trick homotopy, track every path, and return classified results
 plus the list of distinct finite solutions.
+
+>>> import numpy as np
+>>> from repro.systems import katsura_system
+>>> report = solve(katsura_system(2), rng=np.random.default_rng(0))
+>>> report.n_paths, report.n_solutions
+(4, 4)
 """
 
 from __future__ import annotations
@@ -34,7 +40,22 @@ __all__ = ["SolveReport", "solve", "make_homotopy_and_starts", "distinct_solutio
 
 @dataclass
 class SolveReport:
-    """Everything the blackbox solver learned about a system."""
+    """Everything the blackbox solver learned about a system.
+
+    Attributes
+    ----------
+    results:
+        One :class:`~repro.tracker.PathResult` per tracked path, ordered
+        by path id, carrying status, endpoint and effort counters.
+    solutions:
+        The distinct finite solutions clustered from the SUCCESS
+        endpoints (see :func:`distinct_solutions`).
+    summary:
+        Aggregate counts/effort from
+        :func:`~repro.tracker.summarize_results` — keys ``total``,
+        ``success``, ``diverged``, ``failed``, ``singular`` plus
+        timing/step statistics.
+    """
 
     results: List[PathResult]
     solutions: List[np.ndarray] = field(default_factory=list)
@@ -52,7 +73,28 @@ class SolveReport:
 def distinct_solutions(
     results: Iterable[PathResult], tol: float = 1e-6
 ) -> List[np.ndarray]:
-    """Cluster SUCCESS endpoints into distinct solutions (max-norm ``tol``)."""
+    """Cluster SUCCESS endpoints into distinct solutions (max-norm ``tol``).
+
+    Parameters
+    ----------
+    results:
+        Path results to cluster; non-SUCCESS paths are ignored.
+    tol:
+        Two endpoints within ``tol`` in the max norm count as the same
+        solution; the first representative is kept.
+
+    Returns
+    -------
+    The distinct endpoints, in first-seen order.
+
+    >>> import numpy as np
+    >>> from repro.tracker import PathResult, PathStatus
+    >>> def ok(x):
+    ...     x = np.asarray(x, dtype=complex)
+    ...     return PathResult(PathStatus.SUCCESS, x, x, 0.0)
+    >>> len(distinct_solutions([ok([1.0]), ok([1.0 + 1e-9]), ok([2.0])]))
+    2
+    """
     out: List[np.ndarray] = []
     for r in results:
         if not r.success:
@@ -69,7 +111,33 @@ def make_homotopy_and_starts(
     rng: np.random.Generator | None = None,
     gamma: complex | None = None,
 ):
-    """Build the gamma-trick homotopy plus the list of start solutions."""
+    """Build the gamma-trick homotopy plus the list of start solutions.
+
+    Parameters
+    ----------
+    target:
+        The square polynomial system to solve.
+    start_kind:
+        ``"total_degree"`` (one start root per Bezout path) or
+        ``"linear_product"`` (a tighter product start system).
+    rng:
+        Source of the random start-system constants and the gamma twist;
+        pass a seeded generator for reproducible homotopies.
+    gamma:
+        Fix the gamma constant instead of drawing it from ``rng``.
+
+    Returns
+    -------
+    ``(homotopy, starts)`` — a :class:`ConvexHomotopy` and the list of
+    start vectors, one per path.
+
+    >>> import numpy as np
+    >>> from repro.systems import katsura_system
+    >>> homotopy, starts = make_homotopy_and_starts(
+    ...     katsura_system(2), rng=np.random.default_rng(0))
+    >>> len(starts)       # total degree of katsura-2: 2 * 2 * 1
+    4
+    """
     rng = np.random.default_rng() if rng is None else rng
     if start_kind == "total_degree":
         start_sys, consts = total_degree_start_system(target, rng)
@@ -139,6 +207,37 @@ def solve(
     (:class:`BatchTracker`): same per-path decisions, a fraction of the
     Python dispatch overhead.  Duplicate re-runs always use the scalar
     tracker (they are few and need the tightened options).
+
+    Parameters
+    ----------
+    target:
+        Square polynomial system to solve.
+    start_kind, rng:
+        Passed to :func:`make_homotopy_and_starts`; seed ``rng`` for a
+        reproducible run.
+    options:
+        :class:`~repro.tracker.TrackerOptions` for the main tracking
+        pass (defaults are PHCpack-flavoured).
+    refine:
+        Newton-refine every SUCCESS endpoint against ``target``.
+    rerun_duplicates:
+        Re-track colliding endpoints with conservative steps.
+    mode:
+        ``"per_path"`` (scalar tracker) or ``"batch"`` (SoA front).
+
+    Returns
+    -------
+    A :class:`SolveReport` with per-path results, the distinct finite
+    solutions, and a status summary.
+
+    >>> import numpy as np
+    >>> from repro.systems import katsura_system
+    >>> report = solve(katsura_system(2), mode="batch",
+    ...                rng=np.random.default_rng(0))
+    >>> report.summary["success"]
+    4
+    >>> sorted(r.success for r in report.results)
+    [True, True, True, True]
     """
     homotopy, starts = make_homotopy_and_starts(target, start_kind, rng)
     base_options = options or TrackerOptions()

@@ -1,9 +1,13 @@
 """Real master/slave parallel execution on local workers (MPI stand-in)."""
 
+from .dispatcher import DispatchTelemetry, dispatch_jobs, dispatch_with_pool
 from .executors import ParallelTrackReport, track_paths_parallel
 from .pieri_scheduler import ParallelPieriReport, solve_pieri_parallel
 
 __all__ = [
+    "DispatchTelemetry",
+    "dispatch_jobs",
+    "dispatch_with_pool",
     "ParallelTrackReport",
     "track_paths_parallel",
     "ParallelPieriReport",

@@ -1,0 +1,246 @@
+"""Generic dynamic master/worker job dispatcher (the paper's FCFS protocol).
+
+Extracted from the Pieri tree scheduler so that *any* job-shaped workload
+— tree edges, whole solve jobs of a sweep — runs the same master loop:
+
+1. hand queued jobs to idle workers, first-come-first-served;
+2. wait for any worker to finish;
+3. let the caller consume the result and enqueue the jobs it enables
+   (the Pieri ``expand`` step, or nothing for a flat job list);
+4. re-enqueue jobs whose worker *crashed* (raised, as opposed to
+   returning a failure value) up to a retry budget;
+5. terminate when the queue is drained and every worker is parked.
+
+The dispatcher is executor-agnostic: it only sees a ``submit`` callable
+returning :class:`concurrent.futures.Future` objects.  If the underlying
+pool is a :class:`~concurrent.futures.ProcessPoolExecutor` and a worker
+*process* dies (``BrokenExecutor``), every in-flight job is lost at once;
+with a ``rebuild_pool`` factory the dispatcher rebuilds the pool,
+re-enqueues the in-flight jobs, and keeps going — without one, the error
+propagates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Optional
+
+__all__ = ["DispatchTelemetry", "dispatch_jobs", "dispatch_with_pool"]
+
+
+@dataclass
+class DispatchTelemetry:
+    """What the master observed: throughput, backlog, and crash accounting."""
+
+    jobs_done: int = 0
+    max_queue_length: int = 0
+    max_active_jobs: int = 0
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
+    jobs_abandoned: int = 0
+
+
+def dispatch_jobs(
+    initial_jobs: Iterable[Any],
+    submit: Callable[[Any], Future],
+    on_result: Callable[[Any, Any], Optional[Iterable[Any]]],
+    n_workers: int,
+    max_retries: int = 0,
+    retry_key: Callable[[Any], Any] = id,
+    on_abandoned: Optional[Callable[[Any], None]] = None,
+    rebuild_pool: Optional[Callable[[], Callable[[Any], Future]]] = None,
+    telemetry: Optional[DispatchTelemetry] = None,
+) -> DispatchTelemetry:
+    """Run the dynamic master loop until every job is done or abandoned.
+
+    Parameters
+    ----------
+    initial_jobs:
+        Jobs known at startup (the Pieri tree-root jobs, or a sweep's
+        full pending list).
+    submit:
+        ``submit(job) -> Future``; typically wraps ``pool.submit``.
+    on_result:
+        ``on_result(job, result)`` consumes one worker result and returns
+        the newly enabled jobs (or ``None``).  Called from the master
+        thread only, so it may mutate shared state freely.
+    n_workers:
+        Upper bound on concurrently submitted jobs (the pool size).
+    max_retries:
+        How many times a job whose worker crashed is re-enqueued before
+        being abandoned (``on_abandoned`` is then called if given).
+    retry_key:
+        Maps a job to the hashable key its retry budget is tracked under;
+        defaults to object identity, which is correct because the same
+        job object is re-enqueued.
+    rebuild_pool:
+        Optional factory returning a fresh ``submit`` after the executor
+        broke (a worker process died).  A breakage cannot be attributed
+        to one job, so no individual retry budget is charged: results
+        that completed in the breakage race window are harvested, and
+        every other in-flight job is re-enqueued.  Termination is still
+        guaranteed — after ``max_retries + 1`` consecutive breakages
+        (at submit or result time) with no job completing in between,
+        the jobs in flight at the last breakage are collectively
+        abandoned and the rest of the queue continues.
+    telemetry:
+        Pass a :class:`DispatchTelemetry` to have it mutated in place —
+        the caller then keeps the partial counts even when ``on_result``
+        raises to abort the run mid-flight.
+    """
+    queue: deque = deque(initial_jobs)
+    active: Dict[Future, Any] = {}
+    attempts: Dict[Any, int] = {}
+    telemetry = DispatchTelemetry() if telemetry is None else telemetry
+    fruitless_breaks = 0
+    done_at_last_break = 0
+
+    def abandon(job: Any) -> None:
+        telemetry.jobs_abandoned += 1
+        if on_abandoned is not None:
+            on_abandoned(job)
+
+    def crash(job: Any) -> None:
+        telemetry.worker_crashes += 1
+        key = retry_key(job)
+        attempts[key] = attempts.get(key, 0) + 1
+        if attempts[key] <= max_retries:
+            queue.append(job)
+        else:
+            abandon(job)
+
+    def reclaim_active() -> list:
+        """Empty ``active`` after a breakage: harvest results that
+        completed in the race window so their jobs are not executed
+        twice, and return the jobs that were genuinely lost.  A job
+        that *crashed on its own* in the window (any exception other
+        than the breakage itself) still pays its retry budget."""
+        lost = []
+        for fut, job in list(active.items()):
+            if fut.done():
+                try:
+                    result = fut.result()
+                except BrokenExecutor:
+                    lost.append(job)
+                except Exception:
+                    crash(job)
+                else:
+                    telemetry.jobs_done += 1
+                    queue.extend(on_result(job, result) or ())
+            else:
+                fut.cancel()
+                lost.append(job)
+        active.clear()
+        return lost
+
+    def note_breakage(in_flight) -> None:
+        """One pool breakage: re-enqueue the lost jobs (no individual
+        retry charge — blame is unattributable) unless breakage repeats
+        with zero progress, then abandon them together; rebuild."""
+        nonlocal submit, fruitless_breaks, done_at_last_break
+        telemetry.worker_crashes += 1
+        telemetry.pool_rebuilds += 1
+        if telemetry.jobs_done == done_at_last_break:
+            fruitless_breaks += 1
+        else:
+            fruitless_breaks = 1
+        done_at_last_break = telemetry.jobs_done
+        if fruitless_breaks > max_retries:
+            for job in in_flight:
+                abandon(job)
+            fruitless_breaks = 0
+        else:
+            queue.extend(in_flight)
+        submit = rebuild_pool()
+
+    while queue or active:
+        while queue and len(active) < n_workers:
+            job = queue.popleft()
+            try:
+                fut = submit(job)
+            except BrokenExecutor:
+                if rebuild_pool is None:
+                    raise
+                # the dead pool's in-flight futures die with it: reclaim
+                # them now so the same breakage is not processed twice
+                note_breakage([job] + reclaim_active())
+                continue
+            active[fut] = job
+        telemetry.max_queue_length = max(telemetry.max_queue_length, len(queue))
+        telemetry.max_active_jobs = max(telemetry.max_active_jobs, len(active))
+        if not active:
+            continue
+        done, _ = wait(list(active), return_when=FIRST_COMPLETED)
+        broken = False
+        in_flight = []
+        for fut in done:
+            job = active.pop(fut)
+            try:
+                result = fut.result()
+            except BrokenExecutor:
+                if rebuild_pool is None:
+                    raise
+                broken = True
+                in_flight.append(job)
+                continue
+            except Exception:
+                crash(job)
+                continue
+            telemetry.jobs_done += 1
+            queue.extend(on_result(job, result) or ())
+        if broken:
+            note_breakage(in_flight + reclaim_active())
+    return telemetry
+
+
+def dispatch_with_pool(
+    make_pool: Callable[[], Any],
+    submit_job: Callable[[Any, Any], Future],
+    initial_jobs: Iterable[Any],
+    on_result: Callable[[Any, Any], Optional[Iterable[Any]]],
+    n_workers: int,
+    max_retries: int = 0,
+    retry_key: Callable[[Any], Any] = id,
+    on_abandoned: Optional[Callable[[Any], None]] = None,
+    rebuildable: bool = True,
+    cancel_on_exit: bool = False,
+    telemetry: Optional[DispatchTelemetry] = None,
+) -> DispatchTelemetry:
+    """:func:`dispatch_jobs` plus executor lifecycle, in one call.
+
+    Owns the pool: creates it via ``make_pool``, submits through
+    ``submit_job(pool, job)``, transparently replaces a broken pool when
+    ``rebuildable`` (pass ``False`` for thread pools, which cannot
+    break), and always shuts the final pool down — waiting for stragglers
+    by default, or cancelling them when ``cancel_on_exit`` is set (used
+    by callers whose ``on_result`` aborts the run mid-flight).
+    """
+    state = {"pool": make_pool()}
+
+    def submit(job: Any) -> Future:
+        return submit_job(state["pool"], job)
+
+    def rebuild_pool() -> Callable[[Any], Future]:
+        state["pool"].shutdown(wait=False, cancel_futures=True)
+        state["pool"] = make_pool()
+        return submit
+
+    try:
+        return dispatch_jobs(
+            initial_jobs,
+            submit,
+            on_result,
+            n_workers=n_workers,
+            max_retries=max_retries,
+            retry_key=retry_key,
+            on_abandoned=on_abandoned,
+            rebuild_pool=rebuild_pool if rebuildable else None,
+            telemetry=telemetry,
+        )
+    finally:
+        if cancel_on_exit:
+            state["pool"].shutdown(wait=False, cancel_futures=True)
+        else:
+            state["pool"].shutdown(wait=True)

@@ -55,7 +55,21 @@ from ..tracker import (
     TrackerOptions,
 )
 
-__all__ = ["ParallelTrackReport", "track_paths_parallel"]
+__all__ = ["ParallelTrackReport", "load_imbalance", "track_paths_parallel"]
+
+
+def load_imbalance(busy_seconds) -> float:
+    """max busy / mean busy over the *full* pool; 1.0 is perfect balance.
+
+    Idle workers count as zeros (pad with :func:`_busy_list`), so the
+    statistic reflects the pool size actually reserved.  The cluster
+    simulator uses the complementary convention — see
+    :meth:`repro.simcluster.SimResult.load_imbalance`.
+    """
+    busy = np.asarray(list(busy_seconds), dtype=float)
+    if busy.size == 0 or busy.mean() == 0:
+        return 1.0
+    return float(busy.max() / busy.mean())
 
 # Module-level worker state: set once per worker process by the initializer
 # so the homotopy is pickled once, not per path.
@@ -120,10 +134,7 @@ class ParallelTrackReport:
     @property
     def load_imbalance(self) -> float:
         """max busy / mean busy; 1.0 is perfect balance."""
-        busy = np.asarray(self.worker_busy_seconds)
-        if busy.size == 0 or busy.mean() == 0:
-            return 1.0
-        return float(busy.max() / busy.mean())
+        return load_imbalance(self.worker_busy_seconds)
 
 
 def _busy_list(per_worker: Dict[WorkerKey, float], n_workers: int) -> List[float]:
@@ -146,7 +157,46 @@ def track_paths_parallel(
     mode: Literal["process", "thread", "serial", "batch", "hybrid"] = "process",
     options: TrackerOptions | None = None,
 ) -> ParallelTrackReport:
-    """Track all paths of ``homotopy`` from ``starts`` on local workers."""
+    """Track all paths of ``homotopy`` from ``starts`` on local workers.
+
+    Parameters
+    ----------
+    homotopy:
+        Any :class:`~repro.tracker.HomotopyFunction`; it is shipped to
+        each worker once (pickled for process workers).
+    starts:
+        One start vector per path; path ids are their indices here.
+    n_workers:
+        Pool size; defaults to ``cpu_count() - 1`` (min 1).
+    schedule:
+        ``"static"`` pre-assigns one round-robin chunk per worker;
+        ``"dynamic"`` hands out one path (or block, in hybrid mode) at a
+        time, first-come-first-served — the paper's two schemes.
+    mode:
+        ``"process"``/``"thread"``/``"serial"`` track per path;
+        ``"batch"`` advances all paths as one SoA front in this process;
+        ``"hybrid"`` gives each worker a block tracked as one front.
+    options:
+        Tracker options shared by every worker.
+
+    Returns
+    -------
+    A :class:`ParallelTrackReport`: results ordered by path id plus the
+    schedule/busy-time telemetry the paper's tables report.
+
+    >>> import numpy as np
+    >>> from repro.homotopy import make_homotopy_and_starts
+    >>> from repro.systems import katsura_system
+    >>> homotopy, starts = make_homotopy_and_starts(
+    ...     katsura_system(2), rng=np.random.default_rng(0))
+    >>> report = track_paths_parallel(homotopy, starts, mode="serial")
+    >>> report.n_workers, len(report.results)
+    (1, 4)
+    >>> [r.path_id for r in report.results]
+    [0, 1, 2, 3]
+    >>> report.load_imbalance >= 1.0
+    True
+    """
     options = options or TrackerOptions()
     if n_workers is None:
         n_workers = max(1, (os.cpu_count() or 2) - 1)

@@ -18,16 +18,9 @@ from __future__ import annotations
 
 import os
 import time
-from collections import deque
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    Future,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-    wait,
-)
-from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Literal, Optional
 
 import numpy as np
 
@@ -38,6 +31,7 @@ from ..schubert.solver import (
     PieriSolver,
 )
 from ..tracker import TrackerOptions
+from .dispatcher import dispatch_with_pool
 
 __all__ = ["ParallelPieriReport", "solve_pieri_parallel"]
 
@@ -71,6 +65,7 @@ class ParallelPieriReport(PieriReport):
     max_queue_length: int = 0
     max_active_jobs: int = 0
     worker_crashes: int = 0
+    pool_rebuilds: int = 0
 
     @property
     def speedup_vs_cpu_time(self) -> float:
@@ -98,70 +93,65 @@ def solve_pieri_parallel(
         n_workers = max(1, (os.cpu_count() or 2) - 1)
     if n_workers < 1:
         raise ValueError("need at least one worker")
+    if mode not in ("process", "thread"):
+        raise ValueError(f"unknown mode {mode!r}")
     # the local solver mirrors the workers: used for job expansion only
     master = PieriSolver(instance, options=options, seed=seed)
 
-    if mode == "process":
-        pool = ProcessPoolExecutor(
-            max_workers=n_workers,
-            initializer=_init_pieri_worker,
-            initargs=(instance, options, seed),
-        )
-    elif mode == "thread":
+    def make_pool():
+        if mode == "process":
+            return ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_init_pieri_worker,
+                initargs=(instance, options, seed),
+            )
         _init_pieri_worker(instance, options, seed)
-        pool = ThreadPoolExecutor(max_workers=n_workers)
-    else:
-        raise ValueError(f"unknown mode {mode!r}")
+        return ThreadPoolExecutor(max_workers=n_workers)
 
     report = ParallelPieriReport(instance, n_workers=n_workers)
     t_wall = time.perf_counter()
-    queue: deque[PieriJob] = deque(master.initial_jobs())
-    active: Dict[Future, PieriJob] = {}
-    attempts: Dict[tuple, int] = {}
-    try:
-        while queue or active:
-            # hand queued jobs to idle workers (first-come-first-served)
-            while queue and len(active) < n_workers:
-                job = queue.popleft()
-                fut = pool.submit(
-                    _run_pieri_job, (list(job.node.columns), job.start_matrix)
-                )
-                active[fut] = job
-            report.max_queue_length = max(report.max_queue_length, len(queue))
-            report.max_active_jobs = max(report.max_active_jobs, len(active))
-            done, _ = wait(list(active), return_when=FIRST_COMPLETED)
-            for fut in done:
-                job = active.pop(fut)
-                try:
-                    _cols, matrix, _status, dt = fut.result()
-                except Exception:
-                    # worker crash: re-enqueue unless the retry budget is
-                    # spent (then record the subtree as failed)
-                    report.worker_crashes += 1
-                    key = job.node.columns
-                    attempts[key] = attempts.get(key, 0) + 1
-                    if attempts[key] <= max_job_retries:
-                        queue.append(job)
-                    else:
-                        report.failures += 1
-                    continue
-                lvl = job.level
-                report.jobs_per_level[lvl] = (
-                    report.jobs_per_level.get(lvl, 0) + 1
-                )
-                report.seconds_per_level[lvl] = (
-                    report.seconds_per_level.get(lvl, 0.0) + dt
-                )
-                if matrix is None:
-                    report.failures += 1
-                    continue
-                if job.node.is_leaf():
-                    report.solutions.append(matrix)
-                else:
-                    for child in job.node.children():
-                        queue.append(PieriJob(child, matrix))
-    finally:
-        pool.shutdown(wait=True)
+
+    def submit_job(pool, job: PieriJob):
+        # _run_pieri_job is looked up as a module global at call time so
+        # fault-injection tests can monkeypatch it
+        return pool.submit(
+            _run_pieri_job, (list(job.node.columns), job.start_matrix)
+        )
+
+    def on_result(job: PieriJob, result) -> List[PieriJob]:
+        _cols, matrix, _status, dt = result
+        lvl = job.level
+        report.jobs_per_level[lvl] = report.jobs_per_level.get(lvl, 0) + 1
+        report.seconds_per_level[lvl] = (
+            report.seconds_per_level.get(lvl, 0.0) + dt
+        )
+        if matrix is None:
+            report.failures += 1
+            return []
+        if job.node.is_leaf():
+            report.solutions.append(matrix)
+            return []
+        return [PieriJob(child, matrix) for child in job.node.children()]
+
+    def on_abandoned(job: PieriJob) -> None:
+        # retry budget spent: record the lost subtree as a failure
+        report.failures += 1
+
+    telemetry = dispatch_with_pool(
+        make_pool,
+        submit_job,
+        master.initial_jobs(),
+        on_result,
+        n_workers=n_workers,
+        max_retries=max_job_retries,
+        retry_key=lambda job: job.node.columns,
+        on_abandoned=on_abandoned,
+        rebuildable=(mode == "process"),
+    )
+    report.max_queue_length = telemetry.max_queue_length
+    report.max_active_jobs = telemetry.max_active_jobs
+    report.worker_crashes = telemetry.worker_crashes
+    report.pool_rebuilds = telemetry.pool_rebuilds
     report.wall_seconds = time.perf_counter() - t_wall
     report.total_seconds = report.wall_seconds
     return report

@@ -16,6 +16,11 @@ from .cluster import (
     speedup_table,
 )
 from .pieri_sim import PieriSimResult, default_level_cost, simulate_pieri_tree
+from .sweep_replay import (
+    SweepReplayResult,
+    replay_sweep_dynamic,
+    resume_replay,
+)
 
 __all__ = [
     "EventQueue",
@@ -32,4 +37,7 @@ __all__ = [
     "PieriSimResult",
     "default_level_cost",
     "simulate_pieri_tree",
+    "SweepReplayResult",
+    "replay_sweep_dynamic",
+    "resume_replay",
 ]

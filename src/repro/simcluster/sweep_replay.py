@@ -1,0 +1,165 @@
+"""Failure-injection replay of the sweep scheduler on the simulated cluster.
+
+The real engine (:mod:`repro.sweep.engine`) and this replay run the same
+dynamic master/worker protocol; here the jobs are abstract costs on the
+simulated cluster of :mod:`repro.simcluster.cluster`, which makes the
+failure scenarios that are awkward to stage for real — a master killed at
+an exact instant, workers dying mid-job at chosen times — cheap to
+explore at cluster scale.  The invariants the real checkpoint tests pin
+down hold here too and are tested the same way:
+
+- a run killed at time ``T`` has journaled exactly the jobs that finished
+  by ``T``; resuming the remainder completes every job exactly once;
+- a worker death loses only the job in flight on that worker, which is
+  re-queued after a detection latency and finishes elsewhere.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .cluster import ClusterSpec, active_load_imbalance
+from .engine import EventQueue
+
+__all__ = ["SweepReplayResult", "replay_sweep_dynamic", "resume_replay"]
+
+
+@dataclass
+class SweepReplayResult:
+    """Outcome of one replayed (possibly killed) sweep run."""
+
+    n_cpus: int
+    wall_seconds: float
+    busy_seconds: List[float] = field(default_factory=list)
+    #: job index -> simulated finish time, *only* for jobs whose result
+    #: was journaled before the kill (the checkpoint contents)
+    completion_times: Dict[int, float] = field(default_factory=dict)
+    requeues: int = 0
+    worker_deaths: Dict[int, float] = field(default_factory=dict)
+    killed_at: Optional[float] = None
+
+    @property
+    def jobs_done(self) -> int:
+        return len(self.completion_times)
+
+    def done_jobs(self) -> List[int]:
+        return sorted(self.completion_times)
+
+    @property
+    def load_imbalance(self) -> float:
+        return active_load_imbalance(self.busy_seconds)
+
+
+def replay_sweep_dynamic(
+    costs: Sequence[float],
+    n_cpus: int,
+    spec: ClusterSpec | None = None,
+    kill_at: Optional[float] = None,
+    worker_deaths: Optional[Dict[int, float]] = None,
+    skip_jobs: Optional[Sequence[int]] = None,
+) -> SweepReplayResult:
+    """Replay a dynamic sweep of ``costs`` with injected failures.
+
+    ``kill_at`` models a ``SIGKILL`` of the whole run at that simulated
+    time: jobs finishing later are not journaled and no further work is
+    recorded — exactly the checkpoint cut of the real engine.
+    ``worker_deaths`` maps cpu index to its (permanent) death time; a job
+    in flight on a dying cpu is re-queued one message latency later.
+    ``skip_jobs`` are already-journaled jobs a resume does not re-run.
+    """
+    spec = spec or ClusterSpec()
+    if n_cpus < 1:
+        raise ValueError("need at least one CPU")
+    deaths = dict(worker_deaths or {})
+    for cpu, t in deaths.items():
+        if not 0 <= cpu < n_cpus:
+            raise ValueError(f"worker_deaths names cpu {cpu} of {n_cpus}")
+        if t < 0:
+            raise ValueError("death times must be non-negative")
+    if len(deaths) >= n_cpus:
+        raise ValueError("at least one worker must survive")
+    skip = set(skip_jobs or ())
+    per_job_overhead = (
+        0.0
+        if spec.overlap_comm
+        else 2 * spec.latency_seconds + spec.master_service_seconds
+    )
+
+    result = SweepReplayResult(
+        n_cpus=n_cpus,
+        wall_seconds=0.0,
+        busy_seconds=[0.0] * n_cpus,
+        worker_deaths=dict(deaths),
+        killed_at=kill_at,
+    )
+    queue = EventQueue()
+    pending = deque(j for j in range(len(costs)) if j not in skip)
+    alive = [True] * n_cpus
+    idle = [True] * n_cpus
+    in_flight: Dict[int, int] = {}
+
+    def master_alive() -> bool:
+        return kill_at is None or queue.now <= kill_at
+
+    def try_fill() -> None:
+        if not master_alive():
+            return
+        for cpu in range(n_cpus):
+            if not pending:
+                return
+            if alive[cpu] and idle[cpu]:
+                start(cpu, pending.popleft())
+
+    def start(cpu: int, job: int) -> None:
+        idle[cpu] = False
+        in_flight[cpu] = job
+        duration = spec.compute_seconds(float(costs[job])) + per_job_overhead
+        death_t = deaths.get(cpu)
+        if death_t is not None and queue.now < death_t <= queue.now + duration:
+            return  # the death event will reclaim this job
+        queue.schedule(duration, lambda: finish(cpu, job))
+
+    def finish(cpu: int, job: int) -> None:
+        if not alive[cpu] or in_flight.get(cpu) != job:
+            return
+        del in_flight[cpu]
+        idle[cpu] = True
+        if master_alive():
+            # journaled: the master recorded this result before the kill
+            result.completion_times[job] = queue.now
+            result.busy_seconds[cpu] += spec.compute_seconds(float(costs[job]))
+            try_fill()
+
+    def die(cpu: int) -> None:
+        alive[cpu] = False
+        job = in_flight.pop(cpu, None)
+        if job is not None and master_alive():
+            # the master detects the death and re-queues the lost job
+            result.requeues += 1
+            queue.schedule(spec.latency_seconds, lambda: requeue(job))
+
+    def requeue(job: int) -> None:
+        if master_alive():
+            pending.append(job)
+            try_fill()
+
+    for cpu, t in deaths.items():
+        queue.at(t, lambda cpu=cpu: die(cpu))
+    try_fill()
+    end = queue.run()
+    result.wall_seconds = end if kill_at is None else min(end, kill_at)
+    return result
+
+
+def resume_replay(
+    costs: Sequence[float],
+    n_cpus: int,
+    previous: SweepReplayResult,
+    spec: ClusterSpec | None = None,
+) -> SweepReplayResult:
+    """Resume a killed replay: run only the jobs missing from its journal."""
+    return replay_sweep_dynamic(
+        costs, n_cpus, spec=spec, skip_jobs=previous.done_jobs()
+    )

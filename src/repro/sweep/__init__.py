@@ -1,0 +1,28 @@
+"""Checkpointed, dynamically load-balanced sweeps over families of solves.
+
+The job-level counterpart of the path-level parallelism in
+:mod:`repro.parallel`: a declarative spec names many whole solve jobs
+(Pieri instances across ``(m, p, q)``, cyclic-n, katsura-n, noon, RPS),
+the engine shards them over a process pool with the paper's dynamic
+master/worker protocol, and every finished job is journaled to disk so a
+killed sweep resumes with only the unfinished jobs.
+
+See ``docs/sweep_tutorial.md`` for the end-to-end walkthrough and
+``python -m repro.sweep --help`` for the CLI.
+"""
+
+from .engine import SweepReport, run_job, run_sweep, solutions_fingerprint
+from .journal import SweepJournal
+from .spec import JOB_KINDS, JobSpec, SweepSpec, mixed_demo_spec
+
+__all__ = [
+    "JOB_KINDS",
+    "JobSpec",
+    "SweepSpec",
+    "mixed_demo_spec",
+    "SweepJournal",
+    "SweepReport",
+    "run_job",
+    "run_sweep",
+    "solutions_fingerprint",
+]

@@ -1,0 +1,171 @@
+"""Command-line driver: ``python -m repro.sweep``.
+
+Subcommands::
+
+    run SPEC.json --checkpoint DIR   run (or resume) a sweep
+    report DIR                       summarize a checkpoint directory
+    example-spec [--out FILE]        emit the mixed demo spec as JSON
+
+``run --dry-run`` lists the job ids that *would* run (after subtracting
+the journal) without executing anything, and ``run --max-jobs K`` stops
+after K newly journaled jobs — handy for rehearsing the kill/resume
+cycle from the tutorial (``docs/sweep_tutorial.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .engine import run_sweep
+from .journal import SweepJournal
+from .spec import SweepSpec, mixed_demo_spec
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Checkpointed, dynamically load-balanced solve sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run or resume a sweep from a spec file")
+    run_p.add_argument("spec", help="path to the sweep spec (JSON)")
+    run_p.add_argument(
+        "--checkpoint", required=True, help="checkpoint directory (journal lives here)"
+    )
+    run_p.add_argument("--workers", type=int, default=None, help="pool size")
+    run_p.add_argument(
+        "--schedule", choices=["dynamic", "static"], default="dynamic"
+    )
+    run_p.add_argument(
+        "--mode", choices=["process", "thread", "serial"], default="process"
+    )
+    run_p.add_argument(
+        "--max-jobs", type=int, default=None, metavar="K",
+        help="stop after K newly journaled jobs (simulates a kill)",
+    )
+    run_p.add_argument(
+        "--dry-run", action="store_true",
+        help="list pending jobs without running them",
+    )
+
+    report_p = sub.add_parser("report", help="summarize a checkpoint directory")
+    report_p.add_argument("checkpoint", help="checkpoint directory")
+
+    ex_p = sub.add_parser("example-spec", help="emit the mixed demo spec")
+    ex_p.add_argument("--out", default=None, help="write to a file instead of stdout")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    spec = SweepSpec.load(args.spec)
+    if args.dry_run:
+        done = SweepJournal(args.checkpoint).load_records()
+        pending = [j for j in spec.job_ids() if j not in done]
+        print(f"sweep {spec.name!r}: {spec.n_jobs} jobs, "
+              f"{len(done)} already journaled, {len(pending)} pending")
+        for job_id in pending:
+            print(f"  would run {job_id}")
+        return 0
+    report = run_sweep(
+        spec,
+        args.checkpoint,
+        n_workers=args.workers,
+        schedule=args.schedule,
+        mode=args.mode,
+        abort_after=args.max_jobs,
+    )
+    print(f"sweep {spec.name!r} [{report.schedule}/{report.mode}, "
+          f"{report.n_workers} workers]")
+    print(f"  ran {len(report.ran_job_ids)} jobs, skipped {report.skipped} "
+          f"already-journaled; {report.n_done}/{spec.n_jobs} done")
+    print(f"  wall {report.wall_seconds:.2f}s, "
+          f"cpu {report.total_cpu_seconds:.2f}s, "
+          f"imbalance {report.load_imbalance:.2f}")
+    if report.worker_crashes:
+        print(f"  worker crashes: {report.worker_crashes} "
+              f"(pool rebuilds: {report.pool_rebuilds})")
+    if report.aborted:
+        print("  stopped by --max-jobs; resume with the same command")
+        return 3
+    if not report.complete:
+        print(f"  INCOMPLETE: {spec.n_jobs - report.n_done} jobs unfinished")
+        return 1
+    print("  complete")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    journal = SweepJournal(args.checkpoint)
+    records = journal.load_records()
+    manifest = journal.read_manifest()
+    if manifest is None and not records:
+        print(f"no checkpoint at {args.checkpoint}")
+        return 1
+    if manifest:
+        # the journal is the source of truth: a killed run never got to
+        # finalize the manifest, so reconcile the counts — and a
+        # manifest still claiming "running" cannot be trusted from here
+        # (the writer may be dead), so say so either way
+        n_done = len(records)
+        status = manifest["status"]
+        if status == "running":
+            status = (
+                "interrupted" if n_done != manifest["n_done"]
+                else "running (or interrupted before its first record)"
+            )
+        print(f"sweep {manifest.get('name', '?')!r}: "
+              f"{n_done}/{manifest['n_jobs']} jobs, "
+              f"status {status} "
+              f"(manifest updated {manifest.get('updated_at', '?')})")
+    by_kind: dict = {}
+    seconds = 0.0
+    for record in records.values():
+        by_kind[record["kind"]] = by_kind.get(record["kind"], 0) + 1
+        seconds += record.get("seconds", 0.0)
+    for kind in sorted(by_kind):
+        print(f"  {kind:>8}: {by_kind[kind]} jobs done")
+    print(f"  journaled compute time: {seconds:.2f}s")
+    if journal.spec_path.exists():
+        spec = SweepSpec.load(journal.spec_path)
+        pending = [j for j in spec.job_ids() if j not in records]
+        if pending:
+            print(f"  pending ({len(pending)}): "
+                  + ", ".join(pending[:8])
+                  + (" ..." if len(pending) > 8 else ""))
+        else:
+            print("  nothing pending")
+    return 0
+
+
+def _cmd_example_spec(args) -> int:
+    text = json.dumps(mixed_demo_spec().to_dict(), indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        return _cmd_example_spec(args)
+    except BrokenPipeError:
+        # downstream closed the pipe (| head, a pager): not an error,
+        # but Python would print a noisy traceback at shutdown unless
+        # stdout is detached first
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

@@ -1,0 +1,378 @@
+"""The checkpointed, dynamically load-balanced sweep engine.
+
+Runs every job of a :class:`~repro.sweep.spec.SweepSpec` over a pool of
+local workers using the paper's dynamic master/worker protocol (the same
+:func:`~repro.parallel.dispatcher.dispatch_jobs` loop that drives the
+parallel Pieri tree), journaling each finished job to an on-disk
+checkpoint (:class:`~repro.sweep.journal.SweepJournal`) the moment its
+result arrives.  A killed sweep — ``SIGKILL``, power loss, a dead worker
+taking the pool down — restarts with only the unfinished jobs, and the
+per-job seeds make the merged result set identical to an uninterrupted
+run.
+
+Schedules:
+
+- ``dynamic`` (default) — one job at a time, first-come-first-served;
+  per-job journaling, so a kill loses at most the jobs in flight.
+- ``static`` — one contiguous block per worker, pre-assigned; minimal
+  coordination but journaling is per *block*, so checkpoints are coarser
+  and a skewed job mix leaves workers idle (measured by
+  ``benchmarks/bench_sweep.py``).
+
+Polynomial-system jobs route through :func:`repro.homotopy.solve` with
+``mode="batch"`` (the structure-of-arrays tracker); Pieri jobs run the
+sequential tree solver per instance.  Workers self-report busy seconds
+and identity, exactly like :mod:`repro.parallel.executors`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Literal, Optional, Sequence
+
+import numpy as np
+
+from ..parallel.dispatcher import DispatchTelemetry, dispatch_with_pool
+from ..parallel.executors import (
+    WorkerKey,
+    _busy_list,
+    _worker_key,
+    load_imbalance,
+)
+from .journal import SweepJournal
+from .spec import JobSpec, SweepSpec
+
+__all__ = ["SweepReport", "run_sweep", "run_job", "solutions_fingerprint"]
+
+
+def solutions_fingerprint(solutions: Sequence[np.ndarray], digits: int = 6) -> str:
+    """Order-independent hash of a solution set, rounded to ``digits``.
+
+    Two runs of the same seeded job produce the same fingerprint, so the
+    kill/resume identity check can compare whole result sets without
+    storing every coordinate in the journal.
+    """
+    canon = sorted(
+        [
+            [round(float(v.real), digits), round(float(v.imag), digits)]
+            for v in np.asarray(s, dtype=complex).ravel()
+        ]
+        for s in solutions
+    )
+    payload = json.dumps(canon, separators=(",", ":")).encode()
+    return hashlib.sha1(payload).hexdigest()
+
+
+def _build_system(kind: str, params: Dict[str, int], rng: np.random.Generator):
+    from ..systems import (
+        cyclic_roots_system,
+        katsura_system,
+        noon_system,
+        rps_surrogate_system,
+    )
+
+    if kind == "cyclic":
+        return cyclic_roots_system(params["n"])
+    if kind == "katsura":
+        return katsura_system(params["n"])
+    if kind == "noon":
+        return noon_system(params["n"])
+    if kind == "rps":
+        # the surrogate's random coefficients come from the job seed too
+        return rps_surrogate_system(params["n"], rng=rng)
+    raise ValueError(f"not a polynomial-system job kind: {kind!r}")
+
+
+def _maybe_inject_failure(job_id: str) -> None:
+    """Test hook: crash the worker on a named job, exactly once.
+
+    ``REPRO_SWEEP_KILL_JOB`` names the job and ``REPRO_SWEEP_KILL_MARKER``
+    a path used to remember the crash already happened (so the retried
+    job succeeds).  ``KILL`` dies like a segfaulted process
+    (``os._exit``), ``FAIL`` raises like a crashed job.
+    """
+    marker = os.environ.get("REPRO_SWEEP_KILL_MARKER")
+    if os.environ.get("REPRO_SWEEP_KILL_JOB") == job_id:
+        if marker and not os.path.exists(marker):
+            Path(marker).write_text(job_id)
+            os._exit(13)
+    if os.environ.get("REPRO_SWEEP_FAIL_JOB") == job_id:
+        if marker and not os.path.exists(marker):
+            Path(marker).write_text(job_id)
+            raise RuntimeError(f"injected failure for {job_id}")
+
+
+def run_job(job: JobSpec) -> dict:
+    """Execute one sweep job; returns its deterministic result record.
+
+    The ``result`` sub-dict depends only on the job spec (everything is
+    seeded), never on which worker ran it or when.
+    """
+    params = job.param_dict
+    rng = np.random.default_rng(job.seed)
+    if job.kind == "pieri":
+        from ..schubert import PieriInstance, PieriSolver
+
+        instance = PieriInstance.random(
+            params["m"], params["p"], params["q"], rng
+        )
+        report = PieriSolver(instance, seed=job.seed).solve()
+        result = {
+            "n_solutions": report.n_solutions,
+            "expected": report.expected_count(),
+            "failures": report.failures,
+            "max_residual_exp": (
+                None
+                if report.n_solutions == 0
+                else int(np.ceil(np.log10(max(report.max_residual(), 1e-300))))
+            ),
+            "fingerprint": solutions_fingerprint(report.solutions),
+        }
+    else:
+        from ..homotopy import solve
+
+        report = solve(
+            _build_system(job.kind, params, rng), mode="batch", rng=rng
+        )
+        result = {
+            "n_paths": report.n_paths,
+            "n_solutions": report.n_solutions,
+            "success": report.summary["success"],
+            "diverged": report.summary["diverged"],
+            "failed": report.summary["failed"],
+            "singular": report.summary["singular"],
+            "fingerprint": solutions_fingerprint(report.solutions),
+        }
+    return {
+        "job_id": job.job_id,
+        "kind": job.kind,
+        "params": params,
+        "seed": job.seed,
+        "result": result,
+    }
+
+
+def _run_job_timed(job_dict: dict):
+    """Worker entry point: run one job, self-report time and identity."""
+    job = JobSpec.from_dict(job_dict)
+    _maybe_inject_failure(job.job_id)
+    t0 = time.perf_counter()
+    record = run_job(job)
+    busy = time.perf_counter() - t0
+    record["seconds"] = busy
+    record["worker"] = list(_worker_key())
+    return record, busy, _worker_key()
+
+
+def _run_job_block(job_dicts: List[dict]):
+    """Static-schedule worker entry point: run one pre-assigned block."""
+    return [_run_job_timed(d) for d in job_dicts]
+
+
+@dataclass
+class SweepReport:
+    """What one engine invocation did, plus the merged result set."""
+
+    spec: SweepSpec
+    schedule: str
+    mode: str
+    n_workers: int
+    wall_seconds: float = 0.0
+    records: Dict[str, dict] = field(default_factory=dict)
+    ran_job_ids: List[str] = field(default_factory=list)
+    skipped: int = 0
+    worker_busy_seconds: List[float] = field(default_factory=list)
+    worker_crashes: int = 0
+    pool_rebuilds: int = 0
+    jobs_abandoned: int = 0
+    aborted: bool = False
+
+    @property
+    def n_done(self) -> int:
+        return len(self.records)
+
+    @property
+    def complete(self) -> bool:
+        return not self.aborted and self.n_done == self.spec.n_jobs
+
+    @property
+    def total_cpu_seconds(self) -> float:
+        return float(sum(self.worker_busy_seconds))
+
+    @property
+    def load_imbalance(self) -> float:
+        """max busy / mean busy over the pool; 1.0 is perfect balance."""
+        return load_imbalance(self.worker_busy_seconds)
+
+
+class _SweepAborted(Exception):
+    """Internal: the abort_after budget was reached (simulated kill)."""
+
+
+def run_sweep(
+    spec: SweepSpec,
+    checkpoint: str | Path,
+    n_workers: Optional[int] = None,
+    schedule: Literal["dynamic", "static"] = "dynamic",
+    mode: Literal["process", "thread", "serial"] = "process",
+    max_retries: int = 2,
+    abort_after: Optional[int] = None,
+) -> SweepReport:
+    """Run (or resume) a sweep against a checkpoint directory.
+
+    Jobs already present in the journal are skipped; everything else is
+    sharded over ``n_workers`` local workers.  ``abort_after`` stops the
+    run after that many *new* jobs have been journaled — the in-flight
+    remainder is dropped exactly as a ``SIGKILL`` would drop it, which
+    is what the resume tests exercise.
+
+    Fault tolerance is a property of the ``dynamic`` schedule with
+    thread/process workers: worker crashes (raised exceptions *and* dead
+    worker processes) are retried up to ``max_retries`` times per job,
+    and a dead process pool is rebuilt transparently.  The ``static``
+    schedule pre-assigns blocks with no retry, and ``serial`` mode runs
+    jobs inline in the master — in both, a crashed job surfaces as the
+    raised exception.  Either way the journal keeps every completed job
+    and the manifest is finalized on the way out, so a rerun resumes
+    from whatever finished.
+    """
+    if n_workers is None:
+        n_workers = max(1, (os.cpu_count() or 2) - 1)
+    if n_workers < 1:
+        raise ValueError("need at least one worker")
+    if schedule not in ("dynamic", "static"):
+        raise ValueError(f"unknown schedule {schedule!r}")
+    if mode not in ("process", "thread", "serial"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if abort_after is not None and abort_after < 1:
+        raise ValueError("abort_after must be a positive count")
+
+    journal = SweepJournal(checkpoint)
+    journal.initialize(spec.to_dict())
+    done = journal.load_records()
+    pending = [job for job in spec.jobs if job.job_id not in done]
+    report = SweepReport(
+        spec=spec,
+        schedule=schedule,
+        mode=mode,
+        n_workers=n_workers,
+        records=dict(done),
+        skipped=len(done),
+    )
+    journal.write_manifest(
+        spec.n_jobs, len(done), "running", {"name": spec.name}
+    )
+    if not pending:
+        journal.write_manifest(
+            spec.n_jobs, len(done), "complete", {"name": spec.name}
+        )
+        return report
+
+    per_worker: Dict[WorkerKey, float] = {}
+    t_wall = time.perf_counter()
+
+    def journal_record(item) -> None:
+        record, busy, key = item
+        per_worker[key] = per_worker.get(key, 0.0) + busy
+        journal.append(record)
+        report.records[record["job_id"]] = record
+        report.ran_job_ids.append(record["job_id"])
+        if abort_after is not None and len(report.ran_job_ids) >= abort_after:
+            raise _SweepAborted
+
+    try:
+        with journal:
+            if mode == "serial":
+                report.n_workers = 1
+                for job in pending:
+                    journal_record(_run_job_timed(job.to_dict()))
+            elif schedule == "static":
+                _run_static(pending, n_workers, mode, journal_record)
+            else:
+                _run_dynamic(
+                    pending, n_workers, mode, max_retries, journal_record, report
+                )
+    except _SweepAborted:
+        report.aborted = True
+    finally:
+        # even a crashed run leaves an honest manifest behind (the
+        # journal itself is already durable, record by record)
+        report.wall_seconds = time.perf_counter() - t_wall
+        report.worker_busy_seconds = _busy_list(per_worker, report.n_workers)
+        status = "complete" if report.complete else (
+            "aborted" if report.aborted else "incomplete"
+        )
+        journal.write_manifest(
+            spec.n_jobs, report.n_done, status, {"name": spec.name}
+        )
+    return report
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pay the solver-module import cost up front so a
+    worker's first job doesn't bill it as compute time."""
+    import repro.homotopy  # noqa: F401
+    import repro.schubert  # noqa: F401
+    import repro.systems  # noqa: F401
+
+
+def _make_pool(mode: str, n_workers: int):
+    if mode == "process":
+        return ProcessPoolExecutor(max_workers=n_workers, initializer=_warm_worker)
+    return ThreadPoolExecutor(max_workers=n_workers)
+
+
+def _run_static(
+    pending: List[JobSpec], n_workers: int, mode: str, journal_record
+) -> None:
+    """Pre-assigned contiguous blocks, one per worker (coarse checkpoints)."""
+    dicts = [job.to_dict() for job in pending]
+    bounds = np.linspace(0, len(dicts), n_workers + 1).astype(int)
+    blocks = [
+        dicts[bounds[w] : bounds[w + 1]]
+        for w in range(n_workers)
+        if bounds[w] < bounds[w + 1]
+    ]
+    pool = _make_pool(mode, n_workers)
+    try:
+        for block_out in pool.map(_run_job_block, blocks):
+            for item in block_out:
+                journal_record(item)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_dynamic(
+    pending: List[JobSpec],
+    n_workers: int,
+    mode: str,
+    max_retries: int,
+    journal_record,
+    report: SweepReport,
+) -> None:
+    """FCFS master loop via the shared dispatcher; journals per job."""
+    telemetry = DispatchTelemetry()
+    try:
+        dispatch_with_pool(
+            lambda: _make_pool(mode, n_workers),
+            lambda pool, job: pool.submit(_run_job_timed, job.to_dict()),
+            pending,
+            lambda job, item: journal_record(item),
+            n_workers=n_workers,
+            max_retries=max_retries,
+            retry_key=lambda job: job.job_id,
+            rebuildable=(mode == "process"),
+            cancel_on_exit=True,  # an abort drops in-flight work, like a kill
+            telemetry=telemetry,
+        )
+    finally:
+        # keep the partial counts even when journal_record aborts the run
+        report.worker_crashes = telemetry.worker_crashes
+        report.pool_rebuilds = telemetry.pool_rebuilds
+        report.jobs_abandoned = telemetry.jobs_abandoned

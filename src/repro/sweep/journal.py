@@ -1,0 +1,164 @@
+"""On-disk checkpointing for sweeps: JSONL journal + atomic manifest.
+
+A checkpoint directory holds three files:
+
+- ``spec.json`` — the sweep spec the journal belongs to, written once at
+  initialization; a resume against a *different* spec is rejected rather
+  than silently mixing result sets.
+- ``journal.jsonl`` — one JSON record per *completed* job, appended and
+  flushed+fsynced as each job finishes.  Append-only means a ``SIGKILL``
+  at any instant loses at most the record being written; a torn final
+  line is detected and ignored on load.
+- ``manifest.json`` — small summary (job counts, status) replaced
+  atomically (temp file + ``os.replace``) so readers never observe a
+  half-written manifest.
+
+The journal is the whole resume protocol: a restarted sweep loads the
+records, skips every job id present, and runs only the remainder.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["SweepJournal"]
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Make directory-entry changes (create/replace) power-loss durable.
+
+    Best effort: some platforms/filesystems refuse to fsync a directory
+    fd, and losing this sync only degrades to re-running jobs on resume.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class SweepJournal:
+    """Append-only job journal plus atomic manifest in one directory."""
+
+    JOURNAL = "journal.jsonl"
+    MANIFEST = "manifest.json"
+    SPEC = "spec.json"
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.journal_path = self.directory / self.JOURNAL
+        self.manifest_path = self.directory / self.MANIFEST
+        self.spec_path = self.directory / self.SPEC
+        self._fh = None
+
+    # -- lifecycle -----------------------------------------------------
+    def initialize(self, spec_dict: dict) -> None:
+        """Create the directory; write or cross-check ``spec.json``.
+
+        The stored spec must match a resume's spec exactly: the journal
+        keys records by job id, so running a different job family against
+        the same directory would corrupt the result set.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.spec_path.exists():
+            stored = json.loads(self.spec_path.read_text(encoding="utf-8"))
+            if stored != spec_dict:
+                raise ValueError(
+                    f"checkpoint at {self.directory} belongs to a different "
+                    f"sweep ({stored.get('name')!r}); refusing to mix journals"
+                )
+        else:
+            tmp = self.spec_path.with_suffix(".json.tmp")
+            tmp.write_text(
+                json.dumps(spec_dict, indent=2) + "\n", encoding="utf-8"
+            )
+            os.replace(tmp, self.spec_path)
+            _fsync_dir(self.directory)
+
+    def open(self) -> None:
+        """Open the journal for appending (creates it if missing)."""
+        if self._fh is None:
+            existed = self.journal_path.exists()
+            self._fh = open(self.journal_path, "a", encoding="utf-8")
+            if not existed:
+                # make the new directory entry durable, not just the data
+                _fsync_dir(self.directory)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        self.open()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- records -------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Durably append one completed-job record (flush + fsync)."""
+        if self._fh is None:
+            self.open()
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def load_records(self) -> Dict[str, dict]:
+        """All journaled records keyed by job id.
+
+        Tolerates a torn final line (the process died mid-write) and
+        keeps the *last* record for a job id if one was ever duplicated.
+        """
+        records: Dict[str, dict] = {}
+        if not self.journal_path.exists():
+            return records
+        with open(self.journal_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a kill mid-append
+                job_id = record.get("job_id")
+                if job_id:
+                    records[job_id] = record
+        return records
+
+    # -- manifest ------------------------------------------------------
+    def write_manifest(
+        self, n_jobs: int, n_done: int, status: str, extra: Optional[dict] = None
+    ) -> None:
+        """Atomically replace the manifest (readers never see it torn)."""
+        manifest = {
+            "n_jobs": int(n_jobs),
+            "n_done": int(n_done),
+            "status": status,
+            "updated_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        }
+        if extra:
+            manifest.update(extra)
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.manifest_path)
+        _fsync_dir(self.directory)
+
+    def read_manifest(self) -> Optional[dict]:
+        if not self.manifest_path.exists():
+            return None
+        return json.loads(self.manifest_path.read_text(encoding="utf-8"))

@@ -1,0 +1,187 @@
+"""Declarative sweep specifications: which solve jobs to run.
+
+A *sweep* is a family of independent solve jobs — Pieri pole-placement
+instances across ``(m, p, q)``, cyclic/katsura/noon benchmark systems
+across dimension, RPS surrogates — described declaratively so the engine
+(:mod:`repro.sweep.engine`) can shard them over workers, journal them,
+and resume an interrupted run.
+
+A spec is JSON, with explicit jobs and/or cartesian grids::
+
+    {
+      "name": "demo",
+      "jobs":  [{"kind": "cyclic", "params": {"n": 5}, "seed": 0}],
+      "grids": [{"kind": "pieri", "m": [2, 3], "p": [2], "q": [0, 1],
+                 "seeds": [0, 1]}]
+    }
+
+Every job has a deterministic, human-readable :attr:`JobSpec.job_id`
+(e.g. ``pieri-m2-p2-q1-s0``) that keys the checkpoint journal, and a
+``seed`` that makes the job's result reproducible bit-for-bit — the
+property the kill/resume identity test relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["JOB_KINDS", "JobSpec", "SweepSpec", "mixed_demo_spec"]
+
+#: Supported job kinds and the integer parameters each requires.
+JOB_KINDS: Dict[str, tuple] = {
+    "cyclic": ("n",),
+    "katsura": ("n",),
+    "noon": ("n",),
+    "rps": ("n",),
+    "pieri": ("m", "p", "q"),
+}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One solve job: a kind, its integer parameters, and a seed.
+
+    ``params`` is stored as a sorted tuple of ``(name, value)`` pairs so
+    the spec is hashable and its canonical form (and hence ``job_id``)
+    does not depend on insertion order.
+    """
+
+    kind: str
+    params: tuple
+    seed: int = 0
+
+    def __init__(self, kind: str, params: Mapping[str, int], seed: int = 0):
+        if kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {kind!r}; expected one of {sorted(JOB_KINDS)}"
+            )
+        required = JOB_KINDS[kind]
+        given = dict(params)
+        if sorted(given) != sorted(required):
+            raise ValueError(
+                f"{kind} jobs need exactly the parameters {sorted(required)}, "
+                f"got {sorted(given)}"
+            )
+        clean = tuple(sorted((k, int(v)) for k, v in given.items()))
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "params", clean)
+        object.__setattr__(self, "seed", int(seed))
+
+    @property
+    def param_dict(self) -> Dict[str, int]:
+        return dict(self.params)
+
+    @property
+    def job_id(self) -> str:
+        """Deterministic human-readable identity, e.g. ``pieri-m2-p2-q1-s0``."""
+        parts = [self.kind]
+        parts += [f"{k}{v}" for k, v in self.params]
+        parts.append(f"s{self.seed}")
+        return "-".join(parts)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": self.param_dict, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "JobSpec":
+        return cls(d["kind"], d.get("params", {}), d.get("seed", 0))
+
+
+def _expand_grid(grid: Mapping) -> List[JobSpec]:
+    """One grid entry -> the cartesian product of its parameter axes."""
+    grid = dict(grid)
+    kind = grid.pop("kind")
+    if kind not in JOB_KINDS:
+        raise ValueError(f"unknown job kind {kind!r} in grid")
+    seeds = grid.pop("seeds", [0])
+    if isinstance(seeds, int):
+        seeds = [seeds]
+    axes = {}
+    for name in JOB_KINDS[kind]:
+        if name not in grid:
+            raise ValueError(f"grid for {kind!r} is missing axis {name!r}")
+        vals = grid.pop(name)
+        axes[name] = [vals] if isinstance(vals, int) else list(vals)
+    if grid:
+        raise ValueError(f"unknown grid keys for {kind!r}: {sorted(grid)}")
+    names = list(axes)
+    jobs = []
+    for combo in itertools.product(*(axes[n] for n in names)):
+        for seed in seeds:
+            jobs.append(JobSpec(kind, dict(zip(names, combo)), seed=seed))
+    return jobs
+
+
+@dataclass
+class SweepSpec:
+    """A named, ordered family of jobs (duplicate job ids are rejected)."""
+
+    name: str
+    jobs: List[JobSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ValueError("sweep name must be a non-empty path-safe string")
+        seen = set()
+        for job in self.jobs:
+            if job.job_id in seen:
+                raise ValueError(f"duplicate job {job.job_id!r} in sweep")
+            seen.add(job.job_id)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    def job_ids(self) -> List[str]:
+        return [job.job_id for job in self.jobs]
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "jobs": [j.to_dict() for j in self.jobs]}
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "SweepSpec":
+        jobs = [JobSpec.from_dict(j) for j in d.get("jobs", [])]
+        for grid in d.get("grids", []):
+            jobs.extend(_expand_grid(grid))
+        return cls(name=d.get("name", "sweep"), jobs=jobs)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepSpec":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+
+
+def mixed_demo_spec(
+    n_fast: int = 12, n_medium: int = 6, n_heavy: int = 2, name: str = "mixed-demo"
+) -> SweepSpec:
+    """A skewed job mix for demos, tests and the sweep benchmark.
+
+    Fast katsura jobs (tens of milliseconds) padded out with medium
+    cyclic/noon/rps solves and a few heavy Pieri ``q > 0`` instances
+    (around a second each): the cost spread that separates dynamic from
+    static sharding, in miniature.
+    """
+    jobs: List[JobSpec] = []
+    for s in range(n_fast):
+        jobs.append(JobSpec("katsura", {"n": 3}, seed=s))
+    medium_cycle = [
+        JobSpec("cyclic", {"n": 5}, seed=0),
+        JobSpec("noon", {"n": 3}, seed=0),
+        JobSpec("rps", {"n": 5}, seed=0),
+        JobSpec("pieri", {"m": 2, "p": 2, "q": 0}, seed=0),
+    ]
+    for s in range(n_medium):
+        base = medium_cycle[s % len(medium_cycle)]
+        jobs.append(JobSpec(base.kind, base.param_dict, seed=s))
+    for s in range(n_heavy):
+        jobs.append(JobSpec("pieri", {"m": 2, "p": 2, "q": 1}, seed=s))
+    return SweepSpec(name=name, jobs=jobs)

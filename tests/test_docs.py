@@ -1,0 +1,63 @@
+"""The documentation system: required documents exist and links resolve.
+
+The CI docs job runs ``tools/check_md_links.py`` directly; running the
+same checker here keeps broken links a tier-1 failure as well.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+REQUIRED_DOCS = [
+    "architecture.md",
+    "paper_map.md",
+    "release_notes.md",
+    "sweep_tutorial.md",
+]
+
+
+@pytest.mark.parametrize("name", REQUIRED_DOCS)
+def test_required_documents_exist(name):
+    path = DOCS / name
+    assert path.exists(), f"docs/{name} is missing"
+    assert len(path.read_text().splitlines()) > 10, f"docs/{name} is a stub"
+
+
+def test_markdown_links_resolve():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_md_links.py"), str(REPO)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_release_notes_cover_every_pr():
+    """CHANGES.md (one line per PR) and the dated release notes move
+    together: a PR that logs itself must also write its entry."""
+    changes = (REPO / "CHANGES.md").read_text()
+    n_prs = sum(
+        1 for line in changes.splitlines() if line.strip().startswith("- PR")
+    )
+    notes = (DOCS / "release_notes.md").read_text()
+    n_entries = sum(
+        1 for line in notes.splitlines() if line.startswith("### ")
+    )
+    assert n_entries >= n_prs + 1, (
+        f"release_notes.md has {n_entries} dated entries for {n_prs} "
+        "CHANGES.md PRs (+1 for PR 0); add the missing entry"
+    )
+
+
+def test_readme_links_documentation():
+    readme = (REPO / "README.md").read_text()
+    assert "## Documentation" in readme
+    assert "## Contributing" in readme
+    for name in REQUIRED_DOCS:
+        assert f"docs/{name}" in readme, f"README does not link docs/{name}"

@@ -72,6 +72,91 @@ class TestPieriSchedulerFaults:
         assert report.worker_crashes == 0
 
 
+class TestDispatcherPoolBreakage:
+    """The generic dispatcher under a job that kills its worker process."""
+
+    @staticmethod
+    def _fake_submit():
+        from concurrent.futures import BrokenExecutor, Future
+
+        def submit(job):
+            fut = Future()
+            if job == "poison":
+                fut.set_exception(BrokenExecutor("worker died"))
+            else:
+                fut.set_result(job.upper())
+            return fut
+
+        return submit
+
+    def test_poison_job_is_abandoned_but_the_rest_complete(self):
+        from repro.parallel import dispatch_jobs
+
+        done, lost = [], []
+        telemetry = dispatch_jobs(
+            ["poison", "a", "b", "c"],
+            self._fake_submit(),
+            lambda job, result: done.append(result),
+            n_workers=2,
+            max_retries=1,
+            on_abandoned=lost.append,
+            rebuild_pool=self._fake_submit,
+        )
+        # healthy jobs all finish exactly once; their retry budgets are
+        # never charged for breakage they did not cause
+        assert sorted(done) == ["A", "B", "C"]
+        assert lost == ["poison"]
+        assert telemetry.jobs_abandoned == 1
+        assert telemetry.pool_rebuilds >= 2
+        assert telemetry.jobs_done == 3
+
+    def test_poison_submit_raise_terminates(self):
+        """A submit() that raises BrokenExecutor synchronously must hit
+        the same fruitless-breakage cap, not rebuild forever."""
+        from concurrent.futures import BrokenExecutor, Future
+
+        from repro.parallel import dispatch_jobs
+
+        def make_submit():
+            def submit(job):
+                if job == "poison":
+                    raise BrokenExecutor("died at submit")
+                fut = Future()
+                fut.set_result(job.upper())
+                return fut
+
+            return submit
+
+        done, lost = [], []
+        telemetry = dispatch_jobs(
+            ["a", "poison", "b"],
+            make_submit(),
+            lambda job, result: done.append(result),
+            n_workers=2,
+            max_retries=1,
+            on_abandoned=lost.append,
+            rebuild_pool=make_submit,
+        )
+        assert sorted(done) == ["A", "B"]
+        assert lost == ["poison"]
+        assert telemetry.jobs_done == 2
+
+    def test_breakage_without_rebuilder_raises(self):
+        from concurrent.futures import BrokenExecutor
+
+        import pytest as _pytest
+
+        from repro.parallel import dispatch_jobs
+
+        with _pytest.raises(BrokenExecutor):
+            dispatch_jobs(
+                ["poison"],
+                self._fake_submit(),
+                lambda job, result: None,
+                n_workers=1,
+            )
+
+
 class TestSimulatedFailures:
     def test_failure_rate_validation(self):
         with pytest.raises(ValueError):

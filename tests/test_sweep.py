@@ -1,0 +1,407 @@
+"""The sweep engine: specs, journals, checkpoint/resume, failure injection.
+
+The centerpiece is the ISSUE-2 acceptance property: a sweep of >= 20
+mixed jobs killed mid-run (both a simulated kill via ``abort_after`` and
+a real ``SIGKILL`` of the CLI process) resumes from the checkpoint
+journal, re-runs only unfinished jobs, and produces a result set
+identical to an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.simcluster import ClusterSpec, replay_sweep_dynamic, resume_replay
+from repro.sweep import (
+    JobSpec,
+    SweepJournal,
+    SweepSpec,
+    mixed_demo_spec,
+    run_job,
+    run_sweep,
+    solutions_fingerprint,
+)
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def small_mixed_spec(name="mixed-small"):
+    """20 mixed jobs, fast ones first and the heavy ones last (so a kill
+    early in the run always leaves work for the resume to do)."""
+    jobs = [JobSpec("katsura", {"n": 2}, seed=s) for s in range(8)]
+    jobs += [JobSpec("katsura", {"n": 3}, seed=s) for s in range(4)]
+    jobs += [JobSpec("noon", {"n": 3}, seed=s) for s in range(2)]
+    jobs += [JobSpec("pieri", {"m": 2, "p": 2, "q": 0}, seed=s) for s in range(2)]
+    jobs += [JobSpec("cyclic", {"n": 4}, seed=s) for s in range(2)]
+    jobs += [JobSpec("cyclic", {"n": 5}, seed=0), JobSpec("rps", {"n": 5}, seed=0)]
+    return SweepSpec(name=name, jobs=jobs)
+
+
+def results_only(records):
+    """The deterministic part of a record set (drops timing/worker info)."""
+    return {jid: rec["result"] for jid, rec in records.items()}
+
+
+class TestJobSpec:
+    def test_job_id_is_canonical(self):
+        a = JobSpec("pieri", {"q": 1, "m": 2, "p": 2}, seed=3)
+        b = JobSpec("pieri", {"m": 2, "p": 2, "q": 1}, seed=3)
+        assert a.job_id == b.job_id == "pieri-m2-p2-q1-s3"
+        assert JobSpec("cyclic", {"n": 5}).job_id == "cyclic-n5-s0"
+
+    def test_rejects_unknown_kind_and_bad_params(self):
+        with pytest.raises(ValueError):
+            JobSpec("bogus", {"n": 3})
+        with pytest.raises(ValueError):
+            JobSpec("cyclic", {"m": 3})
+        with pytest.raises(ValueError):
+            JobSpec("pieri", {"m": 2, "p": 2})
+
+    def test_roundtrip(self):
+        job = JobSpec("katsura", {"n": 4}, seed=7)
+        assert JobSpec.from_dict(job.to_dict()) == job
+
+
+class TestSweepSpec:
+    def test_grid_expansion(self):
+        spec = SweepSpec.from_dict(
+            {
+                "name": "grid",
+                "grids": [
+                    {"kind": "pieri", "m": [2, 3], "p": [2], "q": [0, 1],
+                     "seeds": [0, 1]},
+                    {"kind": "cyclic", "n": [4, 5]},
+                ],
+            }
+        )
+        assert spec.n_jobs == 2 * 1 * 2 * 2 + 2
+        assert "pieri-m3-p2-q1-s1" in spec.job_ids()
+        assert "cyclic-n4-s0" in spec.job_ids()
+
+    def test_duplicate_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec("dup", [JobSpec("cyclic", {"n": 4})] * 2)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        spec = small_mixed_spec()
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        loaded = SweepSpec.load(path)
+        assert loaded.name == spec.name
+        assert loaded.job_ids() == spec.job_ids()
+
+    def test_demo_spec_has_twenty_mixed_jobs(self):
+        spec = mixed_demo_spec()
+        assert spec.n_jobs >= 20
+        assert len({j.kind for j in spec.jobs}) >= 3
+
+
+class TestJournal:
+    def test_append_and_load(self, tmp_path):
+        journal = SweepJournal(tmp_path / "ck")
+        journal.initialize({"name": "j", "jobs": []})
+        with journal:
+            journal.append({"job_id": "a", "x": 1})
+            journal.append({"job_id": "b", "x": 2})
+        records = journal.load_records()
+        assert set(records) == {"a", "b"}
+        assert records["a"]["x"] == 1
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        journal = SweepJournal(tmp_path / "ck")
+        journal.initialize({"name": "j", "jobs": []})
+        with journal:
+            journal.append({"job_id": "a", "x": 1})
+        # simulate a SIGKILL mid-append: a truncated trailing line
+        with open(journal.journal_path, "a") as fh:
+            fh.write('{"job_id": "b", "x"')
+        records = journal.load_records()
+        assert set(records) == {"a"}
+
+    def test_spec_mismatch_rejected(self, tmp_path):
+        journal = SweepJournal(tmp_path / "ck")
+        journal.initialize({"name": "one", "jobs": []})
+        with pytest.raises(ValueError):
+            SweepJournal(tmp_path / "ck").initialize({"name": "two", "jobs": []})
+
+    def test_manifest_roundtrip(self, tmp_path):
+        journal = SweepJournal(tmp_path / "ck")
+        journal.initialize({"name": "j", "jobs": []})
+        journal.write_manifest(10, 3, "running", {"name": "j"})
+        manifest = journal.read_manifest()
+        assert manifest["n_jobs"] == 10
+        assert manifest["n_done"] == 3
+        assert manifest["status"] == "running"
+        assert not journal.manifest_path.with_suffix(".json.tmp").exists()
+
+
+class TestRunJob:
+    def test_results_are_deterministic(self):
+        job = JobSpec("cyclic", {"n": 4}, seed=5)
+        assert run_job(job)["result"] == run_job(job)["result"]
+
+    def test_pieri_job_finds_expected_solutions(self):
+        record = run_job(JobSpec("pieri", {"m": 2, "p": 2, "q": 0}, seed=0))
+        assert record["result"]["n_solutions"] == record["result"]["expected"] == 2
+        assert record["result"]["failures"] == 0
+
+    def test_fingerprint_order_independent(self):
+        a = np.array([1.0 + 1e-9j, 2.0])
+        b = np.array([3.0, 4.0])
+        assert solutions_fingerprint([a, b]) == solutions_fingerprint([b, a])
+        assert solutions_fingerprint([a]) != solutions_fingerprint([b])
+
+
+class TestEngine:
+    def test_serial_run_and_resume(self, tmp_path):
+        spec = SweepSpec(
+            "tiny",
+            [JobSpec("katsura", {"n": 2}, seed=s) for s in range(3)],
+        )
+        report = run_sweep(spec, tmp_path / "ck", mode="serial")
+        assert report.complete
+        assert len(report.ran_job_ids) == 3
+        again = run_sweep(spec, tmp_path / "ck", mode="serial")
+        assert again.complete
+        assert again.skipped == 3
+        assert again.ran_job_ids == []
+        manifest = SweepJournal(tmp_path / "ck").read_manifest()
+        assert manifest["status"] == "complete"
+
+    def test_schedules_and_modes_agree(self, tmp_path):
+        """Same deterministic results no matter how the sweep is sharded."""
+        spec = SweepSpec(
+            "agree",
+            [
+                JobSpec("katsura", {"n": 2}, seed=0),
+                JobSpec("katsura", {"n": 3}, seed=1),
+                JobSpec("cyclic", {"n": 4}, seed=0),
+                JobSpec("pieri", {"m": 2, "p": 2, "q": 0}, seed=0),
+            ],
+        )
+        reference = run_sweep(spec, tmp_path / "serial", mode="serial")
+        dynamic = run_sweep(
+            spec, tmp_path / "dyn", mode="thread", n_workers=3
+        )
+        static = run_sweep(
+            spec, tmp_path / "st", mode="thread", n_workers=3,
+            schedule="static",
+        )
+        assert results_only(dynamic.records) == results_only(reference.records)
+        assert results_only(static.records) == results_only(reference.records)
+        assert len(dynamic.worker_busy_seconds) == 3
+        assert dynamic.total_cpu_seconds > 0
+
+    def test_invalid_arguments(self, tmp_path):
+        spec = SweepSpec("bad", [JobSpec("katsura", {"n": 2})])
+        with pytest.raises(ValueError):
+            run_sweep(spec, tmp_path / "ck", n_workers=0)
+        with pytest.raises(ValueError):
+            run_sweep(spec, tmp_path / "ck", schedule="bogus")
+        with pytest.raises(ValueError):
+            run_sweep(spec, tmp_path / "ck", mode="bogus")
+        with pytest.raises(ValueError):
+            run_sweep(spec, tmp_path / "ck", abort_after=0)
+
+
+class TestKillResumeIdentity:
+    """The acceptance property, staged two ways."""
+
+    def test_aborted_dynamic_sweep_resumes_identically(self, tmp_path):
+        spec = small_mixed_spec()
+        assert spec.n_jobs >= 20
+        reference = run_sweep(spec, tmp_path / "ref", mode="serial")
+        assert reference.complete
+
+        # "kill" the run after 5 journaled jobs: in-flight work is dropped
+        killed = run_sweep(
+            spec, tmp_path / "ck", mode="thread", n_workers=3, abort_after=5
+        )
+        assert killed.aborted
+        assert len(killed.ran_job_ids) == 5
+        assert SweepJournal(tmp_path / "ck").read_manifest()["status"] == "aborted"
+
+        resumed = run_sweep(spec, tmp_path / "ck", mode="thread", n_workers=3)
+        assert resumed.complete
+        assert resumed.skipped == 5
+        # only unfinished jobs were re-run ...
+        assert set(resumed.ran_job_ids).isdisjoint(killed.ran_job_ids)
+        assert len(resumed.ran_job_ids) == spec.n_jobs - 5
+        # ... and the merged result set is identical to the clean run
+        assert results_only(resumed.records) == results_only(reference.records)
+
+    def test_sigkilled_cli_sweep_resumes_identically(self, tmp_path):
+        """Real SIGKILL of a running CLI sweep; resume completes it."""
+        spec = small_mixed_spec(name="sigkill")
+        spec_path = tmp_path / "spec.json"
+        spec.save(spec_path)
+        checkpoint = tmp_path / "ck"
+        journal_path = checkpoint / "journal.jsonl"
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.sweep", "run", str(spec_path),
+                "--checkpoint", str(checkpoint), "--workers", "2",
+                "--mode", "process",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                if journal_path.exists() and len(
+                    journal_path.read_text().splitlines()
+                ) >= 3:
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.05)
+            assert proc.poll() is None, "sweep finished before it was killed"
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=60)
+
+        killed_records = SweepJournal(checkpoint).load_records()
+        assert 0 < len(killed_records) < spec.n_jobs, (
+            "the kill should land mid-sweep"
+        )
+        resumed = run_sweep(spec, checkpoint, mode="thread", n_workers=3)
+        assert resumed.complete
+        assert resumed.skipped == len(killed_records)
+        assert set(resumed.ran_job_ids).isdisjoint(killed_records)
+
+        reference = run_sweep(spec, tmp_path / "ref", mode="serial")
+        assert results_only(resumed.records) == results_only(reference.records)
+
+
+class TestWorkerFailureInjection:
+    def test_dead_worker_process_is_survived(self, tmp_path, monkeypatch):
+        """A worker that dies mid-job (os._exit) kills the process pool;
+        the engine rebuilds it, retries the job, and loses nothing."""
+        spec = SweepSpec(
+            "death",
+            [JobSpec("katsura", {"n": 2}, seed=s) for s in range(6)],
+        )
+        victim = spec.jobs[3].job_id
+        marker = tmp_path / "crashed.marker"
+        monkeypatch.setenv("REPRO_SWEEP_KILL_JOB", victim)
+        monkeypatch.setenv("REPRO_SWEEP_KILL_MARKER", str(marker))
+        report = run_sweep(
+            spec, tmp_path / "ck", mode="process", n_workers=2
+        )
+        assert marker.exists(), "the injected death must have fired"
+        assert report.complete
+        assert report.worker_crashes >= 1
+        assert report.pool_rebuilds >= 1
+        reference = run_sweep(spec, tmp_path / "ref", mode="serial")
+        assert results_only(report.records) == results_only(reference.records)
+
+    def test_crashing_job_is_retried_in_threads(self, tmp_path, monkeypatch):
+        spec = SweepSpec(
+            "flaky",
+            [JobSpec("katsura", {"n": 2}, seed=s) for s in range(4)],
+        )
+        marker = tmp_path / "raised.marker"
+        monkeypatch.setenv("REPRO_SWEEP_FAIL_JOB", spec.jobs[1].job_id)
+        monkeypatch.setenv("REPRO_SWEEP_KILL_MARKER", str(marker))
+        report = run_sweep(spec, tmp_path / "ck", mode="thread", n_workers=2)
+        assert marker.exists()
+        assert report.complete
+        assert report.worker_crashes == 1
+
+
+class TestCLI:
+    def run_cli(self, *args):
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+        return subprocess.run(
+            [sys.executable, "-m", "repro.sweep", *args],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+
+    def test_help(self):
+        proc = self.run_cli("--help")
+        assert proc.returncode == 0
+        assert "run" in proc.stdout and "report" in proc.stdout
+
+    def test_two_job_dry_run_and_report(self, tmp_path):
+        spec = SweepSpec(
+            "two",
+            [
+                JobSpec("katsura", {"n": 2}, seed=0),
+                JobSpec("katsura", {"n": 2}, seed=1),
+            ],
+        )
+        spec_path = tmp_path / "spec.json"
+        spec.save(spec_path)
+        checkpoint = tmp_path / "ck"
+
+        dry = self.run_cli(
+            "run", str(spec_path), "--checkpoint", str(checkpoint), "--dry-run"
+        )
+        assert dry.returncode == 0
+        assert "2 pending" in dry.stdout
+        assert dry.stdout.count("would run") == 2
+        assert not (checkpoint / "journal.jsonl").exists()
+
+        ran = self.run_cli(
+            "run", str(spec_path), "--checkpoint", str(checkpoint),
+            "--mode", "serial",
+        )
+        assert ran.returncode == 0, ran.stderr
+        assert "complete" in ran.stdout
+
+        rep = self.run_cli("report", str(checkpoint))
+        assert rep.returncode == 0
+        assert "2/2 jobs" in rep.stdout
+        assert "nothing pending" in rep.stdout
+
+    def test_example_spec_is_valid(self, tmp_path):
+        out = tmp_path / "spec.json"
+        proc = self.run_cli("example-spec", "--out", str(out))
+        assert proc.returncode == 0
+        spec = SweepSpec.load(out)
+        assert spec.n_jobs >= 20
+
+
+class TestSimulatedReplay:
+    """The simcluster failure-injection replay of the same scheduler."""
+
+    COSTS = list(np.random.default_rng(42).lognormal(0.0, 1.0, 80) * 5.0)
+
+    def test_kill_and_resume_cover_all_jobs_exactly_once(self):
+        full = replay_sweep_dynamic(self.COSTS, 4)
+        assert full.jobs_done == len(self.COSTS)
+        killed = replay_sweep_dynamic(
+            self.COSTS, 4, kill_at=full.wall_seconds / 3
+        )
+        assert 0 < killed.jobs_done < len(self.COSTS)
+        resumed = resume_replay(self.COSTS, 4, killed)
+        done = killed.done_jobs() + resumed.done_jobs()
+        assert sorted(done) == list(range(len(self.COSTS)))
+
+    def test_worker_death_requeues_and_completes(self):
+        clean = replay_sweep_dynamic(self.COSTS, 4)
+        hurt = replay_sweep_dynamic(
+            self.COSTS, 4, worker_deaths={1: 10.0, 3: 25.0}
+        )
+        assert hurt.jobs_done == len(self.COSTS)
+        assert hurt.requeues >= 1
+        assert hurt.wall_seconds > clean.wall_seconds
+        # dead workers stop accumulating busy time
+        assert hurt.busy_seconds[1] <= 10.0
+        assert hurt.busy_seconds[3] <= 25.0
+
+    def test_all_workers_dead_rejected(self):
+        with pytest.raises(ValueError):
+            replay_sweep_dynamic(self.COSTS, 2, worker_deaths={0: 1.0, 1: 2.0})

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo markdown links (used by the CI docs job).
+
+Checks every tracked ``*.md`` file for inline links/images whose target
+is a relative path: the target must exist relative to the linking file
+(query strings are not allowed; ``#anchors`` are checked against the
+target file's headings).  External links (``http://``, ``https://``,
+``mailto:``) are not fetched.
+
+Run:  python tools/check_md_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+#: archival scraped content (paper dumps with OCR artifacts) — not ours
+#: to fix, so not ours to check
+SKIP_FILES = {"PAPERS.md", "SNIPPETS.md"}
+
+#: inline markdown links/images: [text](target) / ![alt](target)
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: inline code spans, stripped before link scanning (`[x](y)` is prose)
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def heading_anchor(title: str) -> str:
+    """GitHub-style anchor slug for a heading title."""
+    slug = re.sub(r"[`*_~\[\]()!]", "", title.strip().lower())
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if path.name in SKIP_FILES:
+            continue
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def anchors_of(path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(heading_anchor(match.group(1)))
+    return anchors
+
+
+def links_of(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(CODE_SPAN_RE.sub("", line)):
+            yield lineno, match.group(1)
+
+
+def check(root: Path) -> list:
+    problems = []
+    for md in markdown_files(root):
+        for lineno, target in links_of(md):
+            if EXTERNAL_RE.match(target):
+                continue  # external URL
+            where = f"{md.relative_to(root)}:{lineno}"
+            target_path, _, fragment = target.partition("#")
+            if not target_path:  # pure in-file anchor
+                if fragment and heading_anchor(fragment) not in anchors_of(md):
+                    problems.append(f"{where}: no heading for #{fragment}")
+                continue
+            resolved = (md.parent / target_path).resolve()
+            if not resolved.exists():
+                problems.append(f"{where}: missing target {target_path}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if heading_anchor(fragment) not in anchors_of(resolved):
+                    problems.append(
+                        f"{where}: {target_path} has no heading for #{fragment}"
+                    )
+    return problems
+
+
+def main(argv) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    problems = check(root)
+    n_files = len(list(markdown_files(root)))
+    if problems:
+        for p in problems:
+            print(f"BROKEN: {p}")
+        print(f"{len(problems)} broken intra-repo link(s) in {n_files} files")
+        return 1
+    print(f"OK: markdown links intact across {n_files} files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
