@@ -31,3 +31,24 @@ __all__ = [
     "total_degree_start_solutions",
     "total_degree_start_system",
 ]
+
+#: Root-count reports live in :mod:`repro.homotopy.counts`, which doubles
+#: as a ``python -m repro.homotopy.counts`` entry point — importing it
+#: here eagerly would make runpy warn about the duplicate module, so the
+#: names resolve lazily instead (PEP 562).
+_COUNTS_EXPORTS = (
+    "RootCountReport",
+    "format_table",
+    "named_report",
+    "pieri_counts",
+    "root_counts",
+)
+__all__ += list(_COUNTS_EXPORTS)
+
+
+def __getattr__(name):
+    if name in _COUNTS_EXPORTS:
+        from . import counts
+
+        return getattr(counts, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

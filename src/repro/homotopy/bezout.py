@@ -10,8 +10,15 @@ still for the pole placement system, which is the paper's point about
 "the need for parallel computation" being driven by the true root count.
 
 The coefficient is computed by dynamic programming over the remaining
-block capacities; :func:`best_partition` searches all set partitions
-(Bell-number many — fine for the <= 10-variable systems used here).
+block capacities.  :func:`best_partition` searches the set partitions
+(Bell-number many) with branch-and-bound: the DP carries a per-state
+lower bound on the final coefficient — the state's running coefficient
+times a product of row minima over the blocks that still have capacity —
+and a partition's evaluation aborts the moment that bound reaches the
+best count already found.  Block degrees are memoized across partitions
+(the same block shows up in many partitions), which together keeps the
+root-count report interactive on 8-10 variable systems where the naive
+sweep evaluates every one of the ~10^5 partitions in full.
 """
 
 from __future__ import annotations
@@ -37,6 +44,53 @@ def block_degree(poly: Polynomial, block: Sequence[int]) -> int:
     return best
 
 
+def _bezout_coefficient(
+    degrees: Sequence[Sequence[int]],
+    sizes: Sequence[int],
+    cutoff: int | None = None,
+) -> int:
+    """Coefficient of ``prod_j z_j^{sizes_j}`` in ``prod_i sum_j d_ij z_j``.
+
+    DP over the remaining block capacities.  With ``cutoff`` set, the DP
+    aborts (returning ``cutoff``) as soon as a *lower bound* on the final
+    coefficient reaches it: the sum of the states' running coefficients
+    times the product, over the unprocessed rows, of each row's minimum
+    degree across all blocks.  The bound is valid because every
+    completion of every surviving state assigns each remaining row to
+    *some* block, picking up a factor of at least that row's minimum —
+    and at least one completion exists per state (capacities sum to the
+    number of remaining rows).
+    """
+    nrows = len(degrees)
+    if cutoff is not None:
+        # suffix[r] = prod over rows >= r of min_j degrees[r][j]
+        suffix = [1] * (nrows + 1)
+        for r in range(nrows - 1, -1, -1):
+            suffix[r] = suffix[r + 1] * min(degrees[r])
+    states: Dict[Tuple[int, ...], int] = {tuple(sizes): 1}
+    for r, row in enumerate(degrees):
+        nxt: Dict[Tuple[int, ...], int] = {}
+        for caps, coeff in states.items():
+            for j, d in enumerate(row):
+                if d == 0 or caps[j] == 0:
+                    continue
+                new = list(caps)
+                new[j] -= 1
+                key = tuple(new)
+                nxt[key] = nxt.get(key, 0) + coeff * d
+        states = nxt
+        if not states:
+            return 0
+        if (
+            cutoff is not None
+            and suffix[r + 1]
+            and sum(states.values()) * suffix[r + 1] >= cutoff
+        ):
+            return cutoff
+    zero = tuple([0] * len(sizes))
+    return states.get(zero, 0)
+
+
 def multihomogeneous_bezout(
     system: PolynomialSystem, partition: Sequence[Sequence[int]]
 ) -> int:
@@ -51,24 +105,9 @@ def multihomogeneous_bezout(
     degrees = [
         [block_degree(poly, b) for b in blocks] for poly in system
     ]
-    # DP over remaining capacities: coefficient extraction from the product
-    # of the linear forms sum_j d_ij z_j, target monomial prod z_j^{sizes_j}
-    states: Dict[Tuple[int, ...], int] = {tuple(sizes): 1}
-    for row in degrees:
-        nxt: Dict[Tuple[int, ...], int] = {}
-        for caps, coeff in states.items():
-            for j, d in enumerate(row):
-                if d == 0 or caps[j] == 0:
-                    continue
-                new = list(caps)
-                new[j] -= 1
-                key = tuple(new)
-                nxt[key] = nxt.get(key, 0) + coeff * d
-        states = nxt
-        if not states:
-            return 0
-    zero = tuple([0] * len(blocks))
-    return states.get(zero, 0)
+    # coefficient extraction from the product of the linear forms
+    # sum_j d_ij z_j, target monomial prod_j z_j^{sizes_j}
+    return _bezout_coefficient(degrees, sizes)
 
 
 def set_partitions(items: Sequence[int]) -> Iterable[List[List[int]]]:
@@ -91,19 +130,75 @@ def best_partition(
 ) -> Tuple[List[List[int]], int]:
     """The partition minimizing the m-homogeneous Bezout number.
 
-    Exhaustive over all set partitions; guarded by ``max_vars`` because
-    the count grows like the Bell numbers.
+    Branch-and-bound over the set partitions (enumerated as restricted
+    growth strings), guarded by ``max_vars`` because their number grows
+    like the Bell numbers.  Two prunes keep it fast at 8-10 variables:
+    block degrees are memoized across partitions (the same block recurs
+    in many partitions), and each partition's coefficient DP aborts as
+    soon as its running lower bound reaches the best count found so far
+    (see :func:`_bezout_coefficient`) — the cheap extremes (one block =
+    total degree, all singletons) are evaluated first to seed a tight
+    incumbent.
     """
+    if not system.is_square():
+        raise ValueError("Bezout numbers are defined for square systems")
     if system.nvars > max_vars:
         raise ValueError(
             f"{system.nvars} variables exceed max_vars={max_vars}; "
             "pass a partition to multihomogeneous_bezout directly"
         )
+    n = system.nvars
+    polys = list(system)
+    # one degree column per distinct block; blocks grow in variable order
+    # along the DFS, so a sorted tuple is a canonical key and each of the
+    # <= 2^n subsets is evaluated at most once
+    column_cache: Dict[Tuple[int, ...], List[int]] = {}
+
+    def column(block: Tuple[int, ...]) -> List[int]:
+        col = column_cache.get(block)
+        if col is None:
+            col = column_cache[block] = [block_degree(p, block) for p in polys]
+        return col
+
     best_p: List[List[int]] | None = None
     best_count: int | None = None
-    for partition in set_partitions(range(system.nvars)):
-        count = multihomogeneous_bezout(system, partition)
+
+    def consider(blocks: List[Tuple[int, ...]], cols: List[List[int]]) -> None:
+        nonlocal best_p, best_count
+        degrees = list(zip(*cols))
+        sizes = [len(b) for b in blocks]
+        count = _bezout_coefficient(degrees, sizes, cutoff=best_count)
+        # an aborted DP returns the cutoff itself, which never wins here
         if best_count is None or count < best_count:
-            best_p, best_count = partition, count
+            best_p = [list(b) for b in blocks]
+            best_count = count
+
+    one_block = tuple(range(n))
+    consider([one_block], [column(one_block)])
+    if n > 1:
+        singles = [(v,) for v in range(n)]
+        consider(singles, [column(b) for b in singles])
+
+    blocks: List[Tuple[int, ...]] = []
+    cols: List[List[int]] = []
+
+    def dfs(v: int) -> None:
+        if v == n:
+            if 1 < len(blocks) < n:  # both extremes were already seeded
+                consider(blocks, cols)
+            return
+        for j in range(len(blocks)):
+            saved_b, saved_c = blocks[j], cols[j]
+            blocks[j] = saved_b + (v,)
+            cols[j] = column(blocks[j])
+            dfs(v + 1)
+            blocks[j], cols[j] = saved_b, saved_c
+        blocks.append((v,))
+        cols.append(column(blocks[-1]))
+        dfs(v + 1)
+        blocks.pop()
+        cols.pop()
+
+    dfs(0)
     assert best_p is not None and best_count is not None
     return best_p, best_count

@@ -19,12 +19,14 @@ from typing import Iterable, List, Literal
 
 import numpy as np
 
+from ..polyhedral import PolyhedralStart
 from ..polynomials import PolynomialSystem
 from ..tracker import (
     BatchTracker,
     PathResult,
     PathTracker,
     TrackerOptions,
+    duplicate_path_ids,
     newton_refine_system,
     summarize_results,
 )
@@ -107,9 +109,10 @@ def distinct_solutions(
 
 def make_homotopy_and_starts(
     target: PolynomialSystem,
-    start_kind: Literal["total_degree", "linear_product"] = "total_degree",
+    start_kind: Literal["total_degree", "linear_product", "polyhedral"] = "total_degree",
     rng: np.random.Generator | None = None,
     gamma: complex | None = None,
+    options: TrackerOptions | None = None,
 ):
     """Build the gamma-trick homotopy plus the list of start solutions.
 
@@ -118,13 +121,20 @@ def make_homotopy_and_starts(
     target:
         The square polynomial system to solve.
     start_kind:
-        ``"total_degree"`` (one start root per Bezout path) or
-        ``"linear_product"`` (a tighter product start system).
+        ``"total_degree"`` (one start root per Bezout path),
+        ``"linear_product"`` (a tighter product start system), or
+        ``"polyhedral"`` (one start root per unit of mixed volume — the
+        BKK count; the toric roots are produced by tracking the per-cell
+        polyhedral homotopies of :class:`~repro.polyhedral.
+        PolyhedralStart` first, so this choice does real work).
     rng:
         Source of the random start-system constants and the gamma twist;
         pass a seeded generator for reproducible homotopies.
     gamma:
         Fix the gamma constant instead of drawing it from ``rng``.
+    options:
+        Tracker options for the polyhedral phase-1 tracking (ignored by
+        the closed-form start kinds).
 
     Returns
     -------
@@ -146,29 +156,26 @@ def make_homotopy_and_starts(
         lp = LinearProductStart(target, rng)
         start_sys = lp.system()
         starts = list(lp.solutions())
+    elif start_kind == "polyhedral":
+        poly_start, starts = _polyhedral_start(target, rng, options)
+        start_sys = poly_start.generic_system
     else:
         raise ValueError(f"unknown start system kind {start_kind!r}")
     homotopy = ConvexHomotopy(start_sys, target, gamma=gamma, rng=rng)
     return homotopy, starts
 
 
-def _duplicate_path_ids(results: List[PathResult], tol: float = 1e-6):
-    """Path ids whose successful endpoint collides with an earlier path's.
-
-    Two paths of a proper homotopy cannot share an endpoint at a regular
-    root, so collisions indicate a predictor jump between close paths; the
-    colliding paths are candidates for conservative re-tracking.
-    """
-    seen: List[np.ndarray] = []
-    dups: List[int] = []
-    for r in results:
-        if not r.success:
-            continue
-        if any(np.max(np.abs(r.solution - s)) < tol for s in seen):
-            dups.append(r.path_id)
-        else:
-            seen.append(r.solution)
-    return dups
+def _polyhedral_start(
+    target: PolynomialSystem,
+    rng: np.random.Generator,
+    options: TrackerOptions | None,
+):
+    """Phase 1 of the polyhedral route, shared by ``solve`` and
+    :func:`make_homotopy_and_starts`: mixed cells, generic system, and
+    the tracked toric starts."""
+    poly_start = PolyhedralStart(target, rng)
+    toric, _ = poly_start.track_starts(options)
+    return poly_start, list(toric)
 
 
 def _tightened(options: TrackerOptions) -> TrackerOptions:
@@ -190,12 +197,13 @@ def _tightened(options: TrackerOptions) -> TrackerOptions:
 
 def solve(
     target: PolynomialSystem,
-    start_kind: Literal["total_degree", "linear_product"] = "total_degree",
+    start: Literal["total_degree", "linear_product", "polyhedral"] = "total_degree",
     options: TrackerOptions | None = None,
     rng: np.random.Generator | None = None,
     refine: bool = True,
     rerun_duplicates: bool = True,
     mode: Literal["per_path", "batch"] = "per_path",
+    start_kind: str | None = None,
 ) -> SolveReport:
     """Track all paths of a homotopy to ``target`` and classify endpoints.
 
@@ -208,11 +216,18 @@ def solve(
     Python dispatch overhead.  Duplicate re-runs always use the scalar
     tracker (they are few and need the tightened options).
 
+    ``start="polyhedral"`` routes through the polyhedral subsystem: the
+    number of tracked paths is the *mixed volume* (BKK bound) instead of
+    the Bezout number — 924 instead of 5040 paths on cyclic-7 — at the
+    cost of a phase-1 pass tracking the per-cell homotopies to a generic
+    system first.  The report's summary then carries ``mixed_volume``,
+    ``n_cells`` and ``phase1_failures``.
+
     Parameters
     ----------
     target:
         Square polynomial system to solve.
-    start_kind, rng:
+    start, rng:
         Passed to :func:`make_homotopy_and_starts`; seed ``rng`` for a
         reproducible run.
     options:
@@ -224,6 +239,8 @@ def solve(
         Re-track colliding endpoints with conservative steps.
     mode:
         ``"per_path"`` (scalar tracker) or ``"batch"`` (SoA front).
+    start_kind:
+        Deprecated alias for ``start`` (kept for older callers).
 
     Returns
     -------
@@ -239,8 +256,16 @@ def solve(
     >>> sorted(r.success for r in report.results)
     [True, True, True, True]
     """
-    homotopy, starts = make_homotopy_and_starts(target, start_kind, rng)
+    if start_kind is not None:
+        start = start_kind  # legacy spelling
     base_options = options or TrackerOptions()
+    poly_start = None
+    if start == "polyhedral":
+        rng = np.random.default_rng() if rng is None else rng
+        poly_start, starts = _polyhedral_start(target, rng, base_options)
+        homotopy = ConvexHomotopy(poly_start.generic_system, target, rng=rng)
+    else:
+        homotopy, starts = make_homotopy_and_starts(target, start, rng)
     if mode == "batch":
         results = BatchTracker(base_options).track_batch(homotopy, starts)
     elif mode == "per_path":
@@ -248,11 +273,31 @@ def solve(
     else:
         raise ValueError(f"unknown tracking mode {mode!r}")
     if rerun_duplicates:
-        dups = _duplicate_path_ids(results)
-        if dups:
-            tight = PathTracker(_tightened(base_options))
+        tight_options = base_options
+        for _ in range(3):
+            dups = duplicate_path_ids(results)
+            if not dups:
+                break
+            tight_options = _tightened(tight_options)
+            tight = PathTracker(tight_options)
+            moved = False
             for pid in dups:
-                results[pid] = tight.track(homotopy, starts[pid], path_id=pid)
+                retracked = tight.track(homotopy, starts[pid], path_id=pid)
+                old = results[pid]
+                if retracked.success or not old.success:
+                    if not (
+                        retracked.success
+                        and old.success
+                        and np.max(np.abs(retracked.solution - old.solution))
+                        < 1e-6
+                    ):
+                        moved = True
+                    results[pid] = retracked
+            if not moved:
+                # every re-track reproduced its endpoint: the collision
+                # is a genuine multiple root, not a predictor jump, and
+                # tighter steps will never separate it — stop escalating
+                break
     if refine:
         for r in results:
             if r.success:
@@ -261,4 +306,10 @@ def solve(
                     r.solution = nr.x
                     r.residual = nr.residual
     sols = distinct_solutions(results)
-    return SolveReport(results=results, solutions=sols, summary=summarize_results(results))
+    summary = summarize_results(results)
+    summary["start"] = start
+    if poly_start is not None:
+        summary["mixed_volume"] = poly_start.mixed_volume
+        summary["n_cells"] = len(poly_start.cells)
+        summary["phase1_failures"] = poly_start.phase1_failures
+    return SolveReport(results=results, solutions=sols, summary=summary)

@@ -1,0 +1,465 @@
+"""Mixed-cell enumeration by the lower-hull test (the BKK machinery).
+
+Lift every support point ``a`` of equation ``i`` to ``(a, w_i(a))`` with
+the random integer lifting ``w``.  A *mixed cell* is a choice of one
+edge per support such that some vector ``gamma`` makes exactly the two
+chosen points of every lifted support minimal under
+``<., (gamma, 1)>`` — i.e. the Minkowski sum of the chosen edges is a
+lower facet of the lifted Cayley/Minkowski configuration.  The mixed
+volume is the sum of ``|det|`` of the edge-direction matrices over all
+mixed cells, and each cell seeds a binomial start system with that many
+toric roots (:mod:`repro.polyhedral.binomial`).
+
+Enumeration is exhaustive with pruning, which is plenty at this repo's
+sizes (supports of a dozen points, dimension <= 10):
+
+1. per-support *lower-edge* filter — an edge that is not a lower edge
+   of its own lifted support can never enter a cell;
+2. a pairwise *relation table* — LP feasibility for every pair of
+   surviving edges from different supports; a cell's edges must be
+   pairwise compatible, so the table prunes most of the product space
+   before any joint test runs;
+3. depth-first search over supports (fewest edges first) with forward
+   checking against the relation table, an incremental rank test on the
+   edge directions (dependent directions can never reach a nonzero
+   determinant), and a joint LP feasibility test
+   (:func:`repro.polyhedral.lp.lp_feasible`) at every interior node;
+4. exact leaf verification in integer/rational arithmetic: the unique
+   ``gamma`` of a candidate cell solves an integer linear system, so
+   every "every other lifted point lies strictly above" slack is a
+   rational number that is compared to zero *exactly* — a zero slack
+   means the lifting was degenerate and is reported as
+   :class:`DegenerateLiftingError` (the caller re-lifts) instead of
+   being silently mis-counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..polynomials import PolynomialSystem
+from .lp import lp_feasible
+from .supports import augment_with_origin, random_lifting, supports_of
+
+__all__ = [
+    "DegenerateLiftingError",
+    "MixedCell",
+    "MixedSubdivision",
+    "induced_subdivision",
+    "mixed_cells",
+    "mixed_volume",
+]
+
+
+class DegenerateLiftingError(RuntimeError):
+    """The lifting put a support point *on* a cell's supporting hyperplane."""
+
+
+@dataclass(frozen=True)
+class MixedCell:
+    """One mixed cell: an edge per equation plus its lower-hull data.
+
+    Attributes
+    ----------
+    edges:
+        Per equation (original order), the pair of row indices into the
+        equation's support (see :func:`repro.polyhedral.supports.
+        supports_of`) spanning the cell's edge.
+    volume:
+        ``|det|`` of the edge-direction matrix — the number of toric
+        start roots this cell contributes.
+    gamma:
+        The inner normal certifying the cell (float; the exact value is
+        rational and only used internally).
+    etas:
+        Per equation, the nonnegative lifted slacks of every support
+        point relative to the cell (zero exactly on the two edge
+        points).  These become the powers of the continuation parameter
+        in the cell's polyhedral homotopy.
+    """
+
+    edges: Tuple[Tuple[int, int], ...]
+    volume: int
+    gamma: np.ndarray
+    etas: Tuple[np.ndarray, ...]
+
+
+@dataclass
+class MixedSubdivision:
+    """The mixed cells induced by one lifting of one support tuple."""
+
+    supports: List[np.ndarray]
+    lifting: List[np.ndarray]
+    cells: List[MixedCell]
+
+    @property
+    def mixed_volume(self) -> int:
+        return sum(c.volume for c in self.cells)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    def __repr__(self) -> str:
+        return (
+            f"MixedSubdivision(n={len(self.supports)}, "
+            f"cells={self.n_cells}, mixed_volume={self.mixed_volume})"
+        )
+
+
+# ----------------------------------------------------------------------
+# exact integer/rational helpers (leaf verification)
+# ----------------------------------------------------------------------
+
+def _solve_exact(
+    vmat: List[List[int]], rhs: List[int]
+) -> Tuple[int, Optional[List[Fraction]]]:
+    """Solve ``V gamma = r`` over the rationals; returns ``(det, gamma)``.
+
+    ``det`` is the exact integer determinant of ``V``; ``gamma`` is
+    ``None`` when ``det == 0``.
+    """
+    n = len(vmat)
+    aug = [[Fraction(v) for v in row] + [Fraction(rhs[i])] for i, row in enumerate(vmat)]
+    det = Fraction(1)
+    for col in range(n):
+        piv = next((r for r in range(col, n) if aug[r][col] != 0), None)
+        if piv is None:
+            return 0, None
+        if piv != col:
+            aug[col], aug[piv] = aug[piv], aug[col]
+            det = -det
+        det *= aug[col][col]
+        inv = 1 / aug[col][col]
+        aug[col] = [v * inv for v in aug[col]]
+        for r in range(n):
+            if r != col and aug[r][col] != 0:
+                f = aug[r][col]
+                aug[r] = [a - f * b for a, b in zip(aug[r], aug[col])]
+    assert det.denominator == 1
+    return int(det), [aug[r][n] for r in range(n)]
+
+
+# ----------------------------------------------------------------------
+# the enumeration
+# ----------------------------------------------------------------------
+
+class _Enumerator:
+    """One lower-hull sweep over a fixed (supports, lifting) pair."""
+
+    def __init__(self, supports: Sequence[np.ndarray], lifting: Sequence[np.ndarray]):
+        self.n = supports[0].shape[1]
+        if len(supports) != self.n:
+            raise ValueError(
+                f"mixed cells need a square system: {len(supports)} supports "
+                f"in {self.n} variables"
+            )
+        for s, w in zip(supports, lifting):
+            if len(s) != len(w):
+                raise ValueError("lifting must assign one value per support point")
+        # fewest-edges-first ordering shrinks the search tree
+        self.order = sorted(range(self.n), key=lambda i: len(supports[i]))
+        self.supports = [np.asarray(supports[i], dtype=np.int64) for i in self.order]
+        self.lifting = [np.asarray(lifting[i], dtype=np.int64) for i in self.order]
+        self.cells: List[MixedCell] = []
+
+    def run(self) -> List[MixedCell]:
+        if any(len(s) < 2 for s in self.supports):
+            return []  # a point support has zero mixed volume with anything
+        self._build_edge_tables()
+        if any(len(e) == 0 for e in self.edges):
+            return []
+        self._build_relation_table()
+        allowed = [np.ones(len(self.edges[d]), dtype=bool) for d in range(self.n)]
+        self._dfs(0, allowed, [], [])
+        return self.cells
+
+    # -- stage 1: per-support lower edges ------------------------------
+    def _build_edge_tables(self) -> None:
+        n = self.n
+        self.edges: List[List[Tuple[int, int]]] = []
+        self.eq_rows: List[np.ndarray] = []   # per support: (nedges, n) directions
+        self.eq_rhs: List[np.ndarray] = []
+        self.ub_rows: List[List[np.ndarray]] = []  # per support, per edge
+        self.ub_rhs: List[List[np.ndarray]] = []
+        for d in range(n):
+            pts = self.supports[d].astype(float)
+            w = self.lifting[d].astype(float)
+            m = len(pts)
+            keep, eqa, eqb, uba, ubb = [], [], [], [], []
+            for p, q in combinations(range(m), 2):
+                erow = pts[q] - pts[p]
+                erhs = w[p] - w[q]
+                others = [c for c in range(m) if c != p and c != q]
+                # minimality of point p over the rest of the support:
+                # <p - c, gamma> <= w_c - w_p
+                arows = pts[p][None, :] - pts[others]
+                brhs = w[others] - w[p]
+                if lp_feasible(erow[None, :], np.array([erhs]), arows, brhs):
+                    keep.append((p, q))
+                    eqa.append(erow)
+                    eqb.append(erhs)
+                    uba.append(arows)
+                    ubb.append(brhs)
+            self.edges.append(keep)
+            self.eq_rows.append(np.array(eqa) if eqa else np.zeros((0, n)))
+            self.eq_rhs.append(np.array(eqb) if eqb else np.zeros(0))
+            self.ub_rows.append(uba)
+            self.ub_rhs.append(ubb)
+
+    # -- stage 2: pairwise relation table ------------------------------
+    def _build_relation_table(self) -> None:
+        n = self.n
+        self.compat: List[List[Optional[np.ndarray]]] = [
+            [None] * n for _ in range(n)
+        ]
+        for d1 in range(n):
+            for d2 in range(d1 + 1, n):
+                e1, e2 = self.edges[d1], self.edges[d2]
+                table = np.zeros((len(e1), len(e2)), dtype=bool)
+                for i in range(len(e1)):
+                    eq_a1 = self.eq_rows[d1][i]
+                    eq_b1 = self.eq_rhs[d1][i]
+                    ub_a1, ub_b1 = self.ub_rows[d1][i], self.ub_rhs[d1][i]
+                    for j in range(len(e2)):
+                        table[i, j] = lp_feasible(
+                            np.vstack([eq_a1[None, :], self.eq_rows[d2][j][None, :]]),
+                            np.array([eq_b1, self.eq_rhs[d2][j]]),
+                            np.vstack([ub_a1, self.ub_rows[d2][j]]),
+                            np.concatenate([ub_b1, self.ub_rhs[d2][j]]),
+                        )
+                self.compat[d1][d2] = table
+
+    # -- stage 3: depth-first search -----------------------------------
+    def _dfs(
+        self,
+        depth: int,
+        allowed: List[np.ndarray],
+        chosen: List[int],
+        basis: List[np.ndarray],
+    ) -> None:
+        n = self.n
+        for eidx in np.flatnonzero(allowed[depth]):
+            if depth == n - 1:
+                cell = self._verify_leaf(chosen + [int(eidx)])
+                if cell is not None:
+                    self.cells.append(cell)
+                continue
+            # incremental rank: dependent directions can never reach det != 0
+            v = self.eq_rows[depth][eidx].copy()
+            for b in basis:
+                v -= (v @ b) * b
+            norm = float(np.linalg.norm(v))
+            if norm < 1e-9:
+                continue
+            # forward-check the relation table for every future support
+            new_allowed = allowed[: depth + 1] + [
+                allowed[j] & self.compat[depth][j][eidx] for j in range(depth + 1, n)
+            ]
+            if any(not a.any() for a in new_allowed[depth + 1 :]):
+                continue
+            chosen.append(int(eidx))
+            if depth >= 2 and not self._partial_feasible(chosen):
+                chosen.pop()
+                continue
+            basis.append(v / norm)
+            self._dfs(depth + 1, new_allowed, chosen, basis)
+            basis.pop()
+            chosen.pop()
+
+    def _partial_feasible(self, chosen: List[int]) -> bool:
+        eq_a = np.vstack([self.eq_rows[d][e][None, :] for d, e in enumerate(chosen)])
+        eq_b = np.array([self.eq_rhs[d][e] for d, e in enumerate(chosen)])
+        ub_a = np.vstack([self.ub_rows[d][e] for d, e in enumerate(chosen)])
+        ub_b = np.concatenate([self.ub_rhs[d][e] for d, e in enumerate(chosen)])
+        return lp_feasible(eq_a, eq_b, ub_a, ub_b)
+
+    # -- stage 4: exact leaf verification ------------------------------
+    def _verify_leaf(self, chosen: List[int]) -> Optional[MixedCell]:
+        n = self.n
+        pairs = [self.edges[d][e] for d, e in enumerate(chosen)]
+        vmat = [
+            [int(v) for v in (self.supports[d][q] - self.supports[d][p])]
+            for d, (p, q) in enumerate(pairs)
+        ]
+        rhs = [int(self.lifting[d][p] - self.lifting[d][q]) for d, (p, q) in enumerate(pairs)]
+        gamma_f = self._float_gamma(vmat, rhs)
+        if gamma_f is not None:
+            ok, borderline, etas = self._float_slacks(pairs, gamma_f)
+            if ok and not borderline:
+                det = _int_det(vmat)
+                if det == 0:  # float solve lied; fall through to exact
+                    gamma_f = None
+                else:
+                    return self._make_cell(pairs, abs(det), gamma_f, etas)
+            elif not ok and not borderline:
+                return None
+        # exact path: singular/borderline float arithmetic
+        det, gamma = _solve_exact(vmat, rhs)
+        if det == 0:
+            return None
+        etas = []
+        for d, (p, q) in enumerate(pairs):
+            pts, w = self.supports[d], self.lifting[d]
+            base = sum(int(pts[p][k]) * gamma[k] for k in range(n)) + int(w[p])
+            sl = []
+            for c in range(len(pts)):
+                s = sum(int(pts[c][k]) * gamma[k] for k in range(n)) + int(w[c]) - base
+                if s == 0 and c != p and c != q:
+                    raise DegenerateLiftingError(
+                        f"support point {c} of equation {d} ties the cell "
+                        f"hyperplane; re-lift"
+                    )
+                if s < 0:
+                    return None
+                sl.append(float(s))
+            etas.append(np.array(sl))
+        gamma_f = np.array([float(g) for g in gamma])
+        return self._make_cell(pairs, abs(det), gamma_f, etas)
+
+    def _float_gamma(self, vmat, rhs) -> Optional[np.ndarray]:
+        try:
+            g = np.linalg.solve(np.array(vmat, dtype=float), np.array(rhs, dtype=float))
+        except np.linalg.LinAlgError:
+            return None
+        return g if np.all(np.isfinite(g)) else None
+
+    def _float_slacks(self, pairs, gamma):
+        """Per-point slacks; flags any slack too close to zero to trust."""
+        ok, borderline, etas = True, False, []
+        for d, (p, q) in enumerate(pairs):
+            pts = self.supports[d].astype(float)
+            w = self.lifting[d].astype(float)
+            vals = pts @ gamma + w
+            sl = vals - vals[p]
+            sl[p] = 0.0
+            sl[q] = 0.0
+            others = np.ones(len(pts), dtype=bool)
+            others[[p, q]] = False
+            if np.any(np.abs(sl[others]) < 1e-6 * max(1.0, float(np.max(np.abs(vals))))):
+                borderline = True
+            if np.any(sl[others] < 0):
+                ok = False
+            etas.append(np.maximum(sl, 0.0))
+        return ok, borderline, etas
+
+    def _make_cell(self, pairs, volume, gamma, etas) -> MixedCell:
+        # map internal (fewest-edges-first) order back to equation order
+        edges_orig: List[Tuple[int, int]] = [(-1, -1)] * self.n
+        etas_orig: List[np.ndarray] = [np.zeros(0)] * self.n
+        for d, orig in enumerate(self.order):
+            edges_orig[orig] = pairs[d]
+            etas_orig[orig] = etas[d]
+        return MixedCell(
+            edges=tuple(edges_orig),
+            volume=int(volume),
+            gamma=np.asarray(gamma, dtype=float),
+            etas=tuple(etas_orig),
+        )
+
+
+def _int_det(vmat: List[List[int]]) -> int:
+    """Exact determinant of an integer matrix (Bareiss elimination)."""
+    n = len(vmat)
+    m = [row[:] for row in vmat]
+    sign, prev = 1, 1
+    for k in range(n - 1):
+        if m[k][k] == 0:
+            piv = next((i for i in range(k + 1, n) if m[i][k] != 0), None)
+            if piv is None:
+                return 0
+            m[k], m[piv] = m[piv], m[k]
+            sign = -sign
+        for i in range(k + 1, n):
+            for j in range(k + 1, n):
+                m[i][j] = (m[i][j] * m[k][k] - m[i][k] * m[k][j]) // prev
+            m[i][k] = 0
+        prev = m[k][k]
+    return sign * m[n - 1][n - 1]
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+
+def induced_subdivision(
+    supports: Sequence[np.ndarray], lifting: Sequence[np.ndarray]
+) -> MixedSubdivision:
+    """Enumerate the mixed cells induced by one specific lifting.
+
+    Raises :class:`DegenerateLiftingError` when the lifting is not
+    generic (a support point lies exactly on a cell's hyperplane).
+    """
+    supports = [np.asarray(s, dtype=np.int64) for s in supports]
+    lifting = [np.asarray(w, dtype=np.int64) for w in lifting]
+    cells = _Enumerator(supports, lifting).run()
+    return MixedSubdivision(supports=supports, lifting=lifting, cells=cells)
+
+
+def mixed_cells(
+    system_or_supports: PolynomialSystem | Sequence[np.ndarray],
+    rng: np.random.Generator | None = None,
+    affine: bool = True,
+    lifting_bound: int = 4096,
+    max_retries: int = 5,
+) -> MixedSubdivision:
+    """Mixed cells of a system (or raw supports), re-lifting on degeneracy.
+
+    With ``affine=True`` (the default) every support is augmented with
+    the origin first (see :func:`repro.polyhedral.supports.
+    augment_with_origin`), so the cell count bounds *all* isolated
+    affine roots — the bound a blackbox solver wants, and the convention
+    under which katsura's mixed volume equals its Bezout number.
+    ``affine=False`` gives the plain BKK torus count.
+
+    >>> import numpy as np
+    >>> from repro.polynomials import PolynomialSystem, variables
+    >>> x, y = variables(2)
+    >>> sub = mixed_cells(PolynomialSystem([x * y + x + 1, x + y + 1]),
+    ...                   rng=np.random.default_rng(0))
+    >>> sub.mixed_volume
+    2
+    """
+    if isinstance(system_or_supports, PolynomialSystem):
+        supports = supports_of(system_or_supports)
+    else:
+        supports = [np.asarray(s, dtype=np.int64) for s in system_or_supports]
+    if affine:
+        supports = augment_with_origin(supports)
+    rng = np.random.default_rng() if rng is None else rng
+    last: DegenerateLiftingError | None = None
+    for _ in range(max_retries):
+        lifting = random_lifting(supports, rng, bound=lifting_bound)
+        try:
+            return induced_subdivision(supports, lifting)
+        except DegenerateLiftingError as exc:  # pragma: no cover - rare
+            last = exc
+    raise DegenerateLiftingError(
+        f"no generic lifting found in {max_retries} attempts"
+    ) from last  # pragma: no cover
+
+
+def mixed_volume(
+    system_or_supports: PolynomialSystem | Sequence[np.ndarray],
+    rng: np.random.Generator | None = None,
+    affine: bool = True,
+    **kwargs,
+) -> int:
+    """The mixed volume of a square system (BKK root-count bound).
+
+    ``affine=True`` (default) bounds the isolated roots in ``C^n``;
+    ``affine=False`` bounds roots in the torus only.
+
+    >>> import numpy as np
+    >>> from repro.systems import cyclic_roots_system
+    >>> mixed_volume(cyclic_roots_system(3), rng=np.random.default_rng(0))
+    6
+    """
+    return mixed_cells(
+        system_or_supports, rng=rng, affine=affine, **kwargs
+    ).mixed_volume

@@ -1,0 +1,411 @@
+"""Per-cell polyhedral homotopies and the toric start-system driver.
+
+For a mixed cell with inner normal ``gamma``, substituting
+``x = t^gamma z`` into the generic system ``G`` (random coefficients on
+the lifted supports) and clearing the minimal power of ``t`` from each
+equation leaves the *cell homotopy*
+
+    H_i(z, t) = sum_a c_{i,a} t^{eta_{i,a}} z^a
+
+where the lifted slack ``eta_{i,a} >= 0`` vanishes exactly on the
+cell's two edge points.  At ``t = 0`` only the edge monomials survive —
+the binomial system :mod:`repro.polyhedral.binomial` solves in closed
+form — and at ``t = 1`` the homotopy *is* ``G``, so tracking each
+cell's ``|det|`` toric roots across ``t in [0, 1]`` reaches exactly
+``mixed_volume`` solutions of ``G``.  The slacks are normalized per
+cell so the smallest positive exponent is 1, which keeps ``dH/dt``
+regular at ``t = 0`` (no fractional-power singularity).
+
+:class:`CellHomotopy` implements both tracker protocols — the scalar
+:class:`~repro.tracker.HomotopyFunction` and the structure-of-arrays
+:class:`~repro.tracker.BatchHomotopy` — so a cell's whole start batch
+advances through the existing :class:`~repro.tracker.BatchTracker`
+front, and stragglers re-run through the scalar
+:class:`~repro.tracker.PathTracker` with conservative options.
+
+:class:`PolyhedralStart` packages the pipeline end to end: subdivision,
+generic system, per-cell tracking, and the start points that
+``repro.homotopy.solve(start="polyhedral")`` hands to the coefficient
+homotopy ``gamma (1-t) G + t F``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..polynomials import PolynomialSystem
+from ..tracker import (
+    BatchHomotopy,
+    BatchTracker,
+    HomotopyFunction,
+    PathResult,
+    PathTracker,
+    TrackerOptions,
+    duplicate_path_ids,
+)
+from ..tracker.interface import _per_path_t
+from .binomial import solve_binomial_system
+from .cells import MixedCell, MixedSubdivision, mixed_cells
+from .supports import random_coefficient_system
+
+__all__ = ["CellHomotopy", "PolyhedralStart"]
+
+
+class CellHomotopy(HomotopyFunction, BatchHomotopy):
+    """``H_i(z,t) = sum_a c_{i,a} t^{eta_{i,a}} z^a`` for one mixed cell.
+
+    Exponents come pre-normalized (0 on the cell's edges, >= 1 off
+    them), so ``H(., 0)`` is the cell's binomial system, ``H(., 1)`` is
+    the generic system, and ``dH/dt`` stays finite on all of [0, 1].
+    """
+
+    def __init__(
+        self,
+        supports: Sequence[np.ndarray],
+        coefficients: Sequence[np.ndarray],
+        etas: Sequence[np.ndarray],
+    ) -> None:
+        self._nvars = int(supports[0].shape[1])
+        if len(supports) != self._nvars:
+            raise ValueError("cell homotopies need a square system")
+        mono_index: Dict[Tuple[int, ...], int] = {}
+
+        def intern(expo: Tuple[int, ...]) -> int:
+            idx = mono_index.get(expo)
+            if idx is None:
+                idx = len(mono_index)
+                mono_index[expo] = idx
+            return idx
+
+        res_rows, res_cols, res_coefs, res_etas = [], [], [], []
+        jac_rows, jac_vars, jac_cols, jac_coefs, jac_etas = [], [], [], [], []
+        dt_rows, dt_cols, dt_coefs, dt_etas = [], [], [], []
+        for i, (support, coefs, eta) in enumerate(zip(supports, coefficients, etas)):
+            for a, c, e in zip(support, coefs, eta):
+                expo = tuple(int(v) for v in a)
+                c = complex(c)
+                e = float(e)
+                col = intern(expo)
+                res_rows.append(i)
+                res_cols.append(col)
+                res_coefs.append(c)
+                res_etas.append(e)
+                if e > 0.0:
+                    dt_rows.append(i)
+                    dt_cols.append(col)
+                    dt_coefs.append(c * e)
+                    dt_etas.append(e - 1.0)
+                for v, ev in enumerate(expo):
+                    if ev == 0:
+                        continue
+                    reduced = list(expo)
+                    reduced[v] = ev - 1
+                    jac_rows.append(i)
+                    jac_vars.append(v)
+                    jac_cols.append(intern(tuple(reduced)))
+                    jac_coefs.append(ev * c)
+                    jac_etas.append(e)
+        self._expos = np.zeros((max(1, len(mono_index)), self._nvars), dtype=np.int64)
+        for expo, idx in mono_index.items():
+            self._expos[idx] = expo
+        self._res = (
+            np.asarray(res_rows, dtype=np.int64),
+            np.asarray(res_cols, dtype=np.int64),
+            np.asarray(res_coefs, dtype=complex),
+            np.asarray(res_etas, dtype=float),
+        )
+        self._jac = (
+            np.asarray(jac_rows, dtype=np.int64),
+            np.asarray(jac_vars, dtype=np.int64),
+            np.asarray(jac_cols, dtype=np.int64),
+            np.asarray(jac_coefs, dtype=complex),
+            np.asarray(jac_etas, dtype=float),
+        )
+        self._dt = (
+            np.asarray(dt_rows, dtype=np.int64),
+            np.asarray(dt_cols, dtype=np.int64),
+            np.asarray(dt_coefs, dtype=complex),
+            np.asarray(dt_etas, dtype=float),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self._nvars
+
+    def _mono(self, X: np.ndarray) -> np.ndarray:
+        # (npts, nmono); one shared table per call, like the compiled
+        # system evaluators (0**0 == 1 keeps constants right at z = 0)
+        return np.prod(X[:, None, :] ** self._expos[None, :, :], axis=2)
+
+    # ------------------------------------------------------------------
+    # BatchHomotopy protocol (the scalar methods are one-row batches)
+    # ------------------------------------------------------------------
+    def evaluate_batch(self, X: np.ndarray, t) -> np.ndarray:
+        X = np.asarray(X, dtype=complex)
+        tt = _per_path_t(t, X.shape[0])
+        rows, cols, coefs, etas = self._res
+        with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+            mono = self._mono(X)
+            contrib = coefs[None, :] * (tt[:, None] ** etas[None, :]) * mono[:, cols]
+        out = np.zeros((self._nvars, X.shape[0]), dtype=complex)
+        np.add.at(out, rows, contrib.T)
+        return out.T
+
+    def jacobian_x_batch(self, X: np.ndarray, t) -> np.ndarray:
+        return self.evaluate_and_jacobian_batch(X, t)[1]
+
+    def jacobian_t_batch(self, X: np.ndarray, t) -> np.ndarray:
+        X = np.asarray(X, dtype=complex)
+        tt = _per_path_t(t, X.shape[0])
+        rows, cols, coefs, etas = self._dt
+        out = np.zeros((self._nvars, X.shape[0]), dtype=complex)
+        if len(rows):
+            with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+                mono = self._mono(X)
+                contrib = (
+                    coefs[None, :] * (tt[:, None] ** etas[None, :]) * mono[:, cols]
+                )
+            np.add.at(out, rows, contrib.T)
+        return out.T
+
+    def evaluate_and_jacobian_batch(self, X, t):
+        X = np.asarray(X, dtype=complex)
+        tt = _per_path_t(t, X.shape[0])
+        with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+            mono = self._mono(X)
+            rows, cols, coefs, etas = self._res
+            contrib = coefs[None, :] * (tt[:, None] ** etas[None, :]) * mono[:, cols]
+            res = np.zeros((self._nvars, X.shape[0]), dtype=complex)
+            np.add.at(res, rows, contrib.T)
+            jrows, jvars, jcols, jcoefs, jetas = self._jac
+            jac = np.zeros((self._nvars, self._nvars, X.shape[0]), dtype=complex)
+            if len(jrows):
+                jcontrib = (
+                    jcoefs[None, :] * (tt[:, None] ** jetas[None, :]) * mono[:, jcols]
+                )
+                np.add.at(jac, (jrows, jvars), jcontrib.T)
+        return res.T, jac.transpose(2, 0, 1)
+
+    def jacobians_batch(self, X, t):
+        # fused: one shared monomial table for both Jacobians (this is
+        # the predictor's per-step call, the phase-1 hot loop)
+        X = np.asarray(X, dtype=complex)
+        tt = _per_path_t(t, X.shape[0])
+        npts = X.shape[0]
+        with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+            mono = self._mono(X)
+            jrows, jvars, jcols, jcoefs, jetas = self._jac
+            jac = np.zeros((self._nvars, self._nvars, npts), dtype=complex)
+            if len(jrows):
+                jcontrib = (
+                    jcoefs[None, :] * (tt[:, None] ** jetas[None, :]) * mono[:, jcols]
+                )
+                np.add.at(jac, (jrows, jvars), jcontrib.T)
+            drows, dcols, dcoefs, detas = self._dt
+            dt = np.zeros((self._nvars, npts), dtype=complex)
+            if len(drows):
+                dcontrib = (
+                    dcoefs[None, :] * (tt[:, None] ** detas[None, :]) * mono[:, dcols]
+                )
+                np.add.at(dt, drows, dcontrib.T)
+        return jac.transpose(2, 0, 1), dt.T
+
+    # ------------------------------------------------------------------
+    # scalar HomotopyFunction protocol
+    # ------------------------------------------------------------------
+    def evaluate(self, x: np.ndarray, t: float) -> np.ndarray:
+        return self.evaluate_batch(np.asarray(x, dtype=complex)[None, :], t)[0]
+
+    def jacobian_x(self, x: np.ndarray, t: float) -> np.ndarray:
+        return self.evaluate_and_jacobian_batch(
+            np.asarray(x, dtype=complex)[None, :], t
+        )[1][0]
+
+    def jacobian_t(self, x: np.ndarray, t: float) -> np.ndarray:
+        return self.jacobian_t_batch(np.asarray(x, dtype=complex)[None, :], t)[0]
+
+    def evaluate_and_jacobian_x(self, x, t):
+        res, jac = self.evaluate_and_jacobian_batch(
+            np.asarray(x, dtype=complex)[None, :], t
+        )
+        return res[0], jac[0]
+
+    def __repr__(self) -> str:
+        return f"CellHomotopy(dim={self._nvars}, nterms={len(self._res[0])})"
+
+
+def _tightened(options: TrackerOptions) -> TrackerOptions:
+    return TrackerOptions(
+        initial_step=max(options.initial_step / 4, options.min_step / 4),
+        min_step=options.min_step / 4,
+        max_step=max(options.max_step / 4, options.min_step),
+        corrector_tol=options.corrector_tol,
+        endgame_tol=options.endgame_tol,
+        divergence_bound=options.divergence_bound,
+        max_steps=options.max_steps * 4,
+    )
+
+
+
+
+class PolyhedralStart:
+    """Mixed cells, generic system and tracked toric starts for a target.
+
+    The constructor runs the cheap combinatorial work (subdivision +
+    generic system); :meth:`track_starts` runs the per-cell homotopies
+    and returns one start point per unit of mixed volume — the inputs
+    the coefficient homotopy ``gamma (1-t) G + t F`` needs.
+
+    >>> import numpy as np
+    >>> from repro.systems import cyclic_roots_system
+    >>> ps = PolyhedralStart(cyclic_roots_system(3), np.random.default_rng(0))
+    >>> ps.mixed_volume
+    6
+    >>> starts, results = ps.track_starts()
+    >>> len(starts), all(r.success for r in results)
+    (6, True)
+    """
+
+    def __init__(
+        self,
+        target: PolynomialSystem,
+        rng: np.random.Generator | None = None,
+        affine: bool = True,
+        lifting_bound: int = 4096,
+    ) -> None:
+        if not target.is_square():
+            raise ValueError("polyhedral start systems need a square target")
+        rng = np.random.default_rng() if rng is None else rng
+        self.target = target
+        self.subdivision: MixedSubdivision = mixed_cells(
+            target, rng=rng, affine=affine, lifting_bound=lifting_bound
+        )
+        self.generic_system, self.coefficients = random_coefficient_system(
+            self.subdivision.supports, rng
+        )
+        self.phase1_failures = 0
+
+    @property
+    def mixed_volume(self) -> int:
+        return self.subdivision.mixed_volume
+
+    @property
+    def cells(self) -> List[MixedCell]:
+        return self.subdivision.cells
+
+    # ------------------------------------------------------------------
+    def cell_homotopy(self, cell: MixedCell) -> CellHomotopy:
+        """The cell's coefficient homotopy, slacks normalized to min 1."""
+        positive = np.concatenate([e[e > 0] for e in cell.etas] or [np.zeros(0)])
+        scale = 1.0 / float(positive.min()) if positive.size else 1.0
+        # clamp positive slacks to >= 1 exactly: roundoff in the scaling
+        # must not produce an exponent of 1 - eps, whose t-derivative
+        # t**(-eps) blows up at t = 0
+        etas = [
+            np.where(e > 0, np.maximum(e * scale, 1.0), 0.0) for e in cell.etas
+        ]
+        return CellHomotopy(self.subdivision.supports, self.coefficients, etas)
+
+    def cell_starts(self, cell: MixedCell) -> np.ndarray:
+        """The closed-form binomial roots seeding the cell's paths."""
+        vmat = []
+        beta = []
+        for support, coefs, (p, q) in zip(
+            self.subdivision.supports, self.coefficients, cell.edges
+        ):
+            vmat.append([int(v) for v in (support[q] - support[p])])
+            beta.append(-complex(coefs[p]) / complex(coefs[q]))
+        return solve_binomial_system(vmat, beta)
+
+    def track_starts(
+        self, options: TrackerOptions | None = None
+    ) -> Tuple[np.ndarray, List[PathResult]]:
+        """Track every cell's toric roots to the generic system.
+
+        Returns ``(starts, results)``: a ``(mixed_volume, n)`` array of
+        solutions of the generic system (one per path, cells
+        concatenated in order) plus the per-path phase-1 results.
+        Failed paths are retried once with conservative scalar options,
+        and colliding endpoints — a predictor jump between close paths,
+        which would silently lose a root of the generic system — are
+        re-tracked the same way.  A path that still fails keeps its
+        binomial start (it will be reported failed again downstream
+        rather than silently dropped), and is counted in
+        :attr:`phase1_failures`.
+        """
+        opts = options or TrackerOptions()
+        tracker = BatchTracker(opts)
+        all_starts: List[np.ndarray] = []
+        all_results: List[PathResult] = []
+        path_homotopy: List[CellHomotopy] = []
+        path_seed: List[np.ndarray] = []
+        self.phase1_failures = 0
+        offset = 0
+        for cell in self.subdivision.cells:
+            homotopy = self.cell_homotopy(cell)
+            seeds = self.cell_starts(cell)
+            results = tracker.track_batch(
+                homotopy, seeds, path_ids=list(range(offset, offset + len(seeds)))
+            )
+            for k, result in enumerate(results):
+                if not result.success:
+                    retry = PathTracker(_tightened(opts)).track(
+                        homotopy, seeds[k], path_id=result.path_id
+                    )
+                    if retry.success:
+                        results[k] = retry
+            all_results.extend(results)
+            path_homotopy.extend([homotopy] * len(seeds))
+            path_seed.extend(np.asarray(s, dtype=complex) for s in seeds)
+            offset += len(seeds)
+        # endpoint collisions: re-track whole clusters with tighter steps
+        # (all_results is ordered by path id, so ids index the lists);
+        # the generic system has mixed_volume distinct regular roots, so
+        # a collision here is always a predictor jump — but if a
+        # re-track reproduces every endpoint anyway, escalating further
+        # cannot help
+        tight = opts
+        for _ in range(3):
+            dups = duplicate_path_ids(all_results)
+            if not dups:
+                break
+            tight = _tightened(tight)
+            scalar = PathTracker(tight)
+            moved = False
+            for pid in dups:
+                retracked = scalar.track(
+                    path_homotopy[pid], path_seed[pid], path_id=pid
+                )
+                old = all_results[pid]
+                if retracked.success or not old.success:
+                    if not (
+                        retracked.success
+                        and old.success
+                        and np.max(np.abs(retracked.solution - old.solution))
+                        < 1e-6
+                    ):
+                        moved = True
+                    all_results[pid] = retracked
+            if not moved:
+                break
+        for pid, result in enumerate(all_results):
+            if result.success and np.all(np.isfinite(result.solution)):
+                all_starts.append(result.solution)
+            else:
+                self.phase1_failures += 1
+                all_starts.append(path_seed[pid])
+        starts = (
+            np.asarray(all_starts, dtype=complex)
+            if all_starts
+            else np.zeros((0, self.target.nvars), dtype=complex)
+        )
+        return starts, all_results
+
+    def __repr__(self) -> str:
+        return (
+            f"PolyhedralStart(mixed_volume={self.mixed_volume}, "
+            f"cells={len(self.cells)})"
+        )

@@ -1,0 +1,131 @@
+"""A small dual-simplex LP feasibility kernel for the lower-hull test.
+
+Mixed-cell enumeration needs one primitive: *is there a vector gamma
+satisfying these equalities and inequalities?*  (The equalities say the
+chosen edge of each lifted support is level under gamma; the
+inequalities say every other lifted point lies above.)  The systems are
+tiny — at most ``nvars`` equalities and a few dozen inequalities — so a
+dense tableau kernel beats pulling in an external solver, and keeping it
+here makes the enumeration's pruning logic auditable end to end.
+
+The kernel works in two stages:
+
+1. eliminate the equality constraints by parametrizing their solution
+   set (particular solution + nullspace via SVD), leaving a pure
+   inequality system ``A z <= b`` in the nullspace coordinates;
+2. run the dual simplex on the all-slack basis: with a zero objective
+   the basis is dual-feasible from the start, and each pivot repairs one
+   primal infeasibility.  Bland's smallest-index rule on both the
+   leaving and entering choice guarantees termination.
+
+The enumeration uses feasibility answers only to *prune* partial cells,
+and verifies every surviving cell exactly in integer arithmetic
+(:mod:`repro.polyhedral.cells`), so the kernel is allowed to err on the
+side of ``True`` — the iteration-cap fallback — but must never declare
+a feasible system infeasible.  Infeasibility is therefore only reported
+with a certificate row in hand (all tableau entries nonnegative against
+a negative right-hand side).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lp_feasible", "inequalities_feasible"]
+
+#: slack below which a tableau entry counts as "could be negative"; data
+#: entering the kernel is integral with magnitudes ~1e3, so true
+#: violations are orders of magnitude above float noise
+_TOL = 1e-9
+
+
+def inequalities_feasible(
+    A: np.ndarray, b: np.ndarray, tol: float = _TOL
+) -> bool:
+    """Does ``A z <= b`` admit a solution (z free)?  Dual simplex.
+
+    >>> import numpy as np
+    >>> inequalities_feasible(np.array([[1.0], [-1.0]]), np.array([1.0, 1.0]))
+    True
+    >>> inequalities_feasible(np.array([[1.0], [-1.0]]), np.array([-2.0, 3.0]))
+    True
+    >>> inequalities_feasible(np.array([[1.0], [-1.0]]), np.array([-2.0, 1.0]))
+    False
+    """
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    b = np.asarray(b, dtype=float)
+    m, d = A.shape
+    if m == 0:
+        return True
+    if d == 0:
+        return bool(np.all(b >= -tol))
+    # columns: u (d), v (d) with z = u - v, then m slacks; all >= 0
+    ncols = 2 * d + m
+    T = np.hstack([A, -A, np.eye(m), b[:, None]])
+    basis = np.arange(2 * d, ncols)
+    for _ in range(60 * (m + d + 4)):
+        rhs = T[:, -1]
+        bad = np.flatnonzero(rhs < -tol)
+        if bad.size == 0:
+            return True
+        # Bland (dual): leave on the smallest basic-variable index
+        r = bad[np.argmin(basis[bad])]
+        row = T[r, :ncols]
+        elig = np.flatnonzero(row < -tol)
+        if elig.size == 0:
+            # certificate: a nonnegative combination equals a negative rhs
+            return False
+        j = elig[0]  # zero objective: every eligible ratio ties at 0
+        piv = T[r] / T[r, j]
+        T -= np.outer(T[:, j], piv)
+        T[r] = piv
+        basis[r] = j
+    # iteration cap: unresolved, so err on the prune-safe side
+    return True
+
+
+def lp_feasible(
+    A_eq: np.ndarray | None,
+    b_eq: np.ndarray | None,
+    A_ub: np.ndarray | None,
+    b_ub: np.ndarray | None,
+    tol: float = _TOL,
+) -> bool:
+    """Is ``{A_eq x = b_eq, A_ub x <= b_ub}`` feasible (x free)?
+
+    Either constraint block may be ``None``/empty.  Equalities are
+    eliminated first; inconsistent equalities are infeasible outright.
+
+    >>> import numpy as np
+    >>> lp_feasible(np.array([[1.0, 1.0]]), np.array([2.0]),
+    ...             np.array([[1.0, 0.0]]), np.array([5.0]))
+    True
+    >>> lp_feasible(np.array([[1.0, 0.0], [2.0, 0.0]]), np.array([1.0, 3.0]),
+    ...             None, None)
+    False
+    """
+    if A_eq is None or len(A_eq) == 0:
+        if A_ub is None or len(A_ub) == 0:
+            return True
+        return inequalities_feasible(np.asarray(A_ub), np.asarray(b_ub), tol)
+    A_eq = np.atleast_2d(np.asarray(A_eq, dtype=float))
+    b_eq = np.asarray(b_eq, dtype=float)
+    n = A_eq.shape[1]
+    u, s, vt = np.linalg.svd(A_eq, full_matrices=True)
+    rank = int(np.sum(s > max(tol, 1e-12 * (s[0] if s.size else 0.0))))
+    # particular solution by pseudo-inverse; check consistency
+    s_inv = np.zeros_like(s)
+    s_inv[:rank] = 1.0 / s[:rank]
+    x0 = vt[: s.size].T @ (s_inv * (u.T[: s.size] @ b_eq))
+    resid = A_eq @ x0 - b_eq
+    scale = max(1.0, float(np.max(np.abs(b_eq), initial=0.0)))
+    if np.max(np.abs(resid), initial=0.0) > 1e-6 * scale:
+        return False
+    null = vt[rank:].T  # (n, n - rank)
+    if A_ub is None or len(A_ub) == 0:
+        return True
+    A_ub = np.atleast_2d(np.asarray(A_ub, dtype=float))
+    b_red = np.asarray(b_ub, dtype=float) - A_ub @ x0
+    if null.shape[1] == 0:
+        return bool(np.all(b_red >= -1e-6 * max(1.0, float(np.max(np.abs(b_ub))))))
+    return inequalities_feasible(A_ub @ null, b_red, tol)

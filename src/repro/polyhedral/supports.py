@@ -1,0 +1,130 @@
+"""Newton-polytope supports and liftings for the polyhedral homotopy.
+
+The *support* of a polynomial is the set of exponent vectors of its
+monomials; its convex hull is the Newton polytope.  The BKK theorem says
+a square system with generic coefficients has exactly ``mixed_volume``
+isolated solutions with all coordinates nonzero — usually far below both
+the total-degree Bezout bound and the best m-homogeneous count, which is
+what makes the polyhedral homotopy the sharp root-count half of a
+PHCpack-style blackbox solver.
+
+This module extracts supports from a :class:`~repro.polynomials.system.
+PolynomialSystem`, draws the random integer liftings that induce the
+mixed subdivision (:mod:`repro.polyhedral.cells`), and builds the
+generic-coefficient system sharing those supports whose solutions the
+per-cell homotopies produce.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..polynomials import Polynomial, PolynomialSystem
+
+__all__ = [
+    "supports_of",
+    "augment_with_origin",
+    "random_lifting",
+    "random_coefficient_system",
+]
+
+
+def supports_of(system: PolynomialSystem) -> List[np.ndarray]:
+    """The support of each equation as an ``(m_i, nvars)`` int array.
+
+    Rows are sorted lexicographically so the support — and hence every
+    cell index downstream — is deterministic for a given system.
+
+    >>> from repro.polynomials import variables
+    >>> x, y = variables(2)
+    >>> [s.tolist() for s in supports_of(PolynomialSystem([x * y + x, y**2 - 1]))]
+    [[[1, 0], [1, 1]], [[0, 0], [0, 2]]]
+    """
+    out = []
+    for poly in system:
+        expos = sorted(expo for expo, _ in poly.terms())
+        if not expos:
+            raise ValueError("zero polynomial has an empty support")
+        out.append(np.asarray(expos, dtype=np.int64))
+    return out
+
+
+def augment_with_origin(supports: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Add the origin (a constant term) to every support missing it.
+
+    The plain mixed volume counts roots in the *torus* — katsura's
+    ``(1, 0, ..., 0)`` solution, with its zero coordinates, is invisible
+    to it.  Augmenting every Newton polytope with the origin gives the
+    affine root-count bound instead (the number of isolated roots in all
+    of ``C^n``), which is what a blackbox solver needs: for katsura the
+    augmented mixed volume equals the Bezout number, while for cyclic
+    (whose ``x_1 ... x_n = 1`` equation pins every root to the torus)
+    the count is unchanged.
+
+    >>> import numpy as np
+    >>> [a.tolist() for a in augment_with_origin([np.array([[1, 0], [1, 1]])])]
+    [[[0, 0], [1, 0], [1, 1]]]
+    """
+    out = []
+    for support in supports:
+        support = np.asarray(support, dtype=np.int64)
+        rows = {tuple(int(e) for e in row) for row in support}
+        rows.add((0,) * support.shape[1])
+        out.append(np.asarray(sorted(rows), dtype=np.int64))
+    return out
+
+
+def random_lifting(
+    supports: Sequence[np.ndarray],
+    rng: np.random.Generator,
+    bound: int = 4096,
+) -> List[np.ndarray]:
+    """A random integer lifting value for every support point.
+
+    Integer liftings keep the lower-hull test exact: cell normals are
+    rational with bounded denominators, so ties (a point landing *on* a
+    cell's supporting hyperplane — a non-generic lifting) are detected
+    by exact integer arithmetic in :mod:`repro.polyhedral.cells` rather
+    than by floating-point tolerance.  ``bound`` trades tie probability
+    against the spread of the homotopy's t-exponents.
+    """
+    if bound < 2:
+        raise ValueError("lifting bound must be at least 2")
+    return [rng.integers(0, bound, size=len(s)).astype(np.int64) for s in supports]
+
+
+def random_coefficient_system(
+    supports: Sequence[np.ndarray],
+    rng: np.random.Generator,
+) -> tuple[PolynomialSystem, List[np.ndarray]]:
+    """A system with the given supports and random unit-circle coefficients.
+
+    By the BKK theorem this system has exactly ``mixed_volume(supports)``
+    solutions in the torus (probability one), all regular — the generic
+    anchor the per-cell homotopies track to, before the coefficient
+    homotopy moves it to the actual target.  Unit-modulus coefficients
+    keep the binomial start roots (ratios of coefficients) on the unit
+    circle, which is as well-scaled as start solutions get.
+
+    Returns ``(system, coefficients)`` where ``coefficients[i][k]`` is
+    the coefficient of support row ``k`` of equation ``i`` — the
+    row-aligned arrays the per-cell homotopies index by support row.
+    """
+    polys = []
+    coefficients: List[np.ndarray] = []
+    for support in supports:
+        nvars = support.shape[1]
+        coeffs = np.exp(2j * np.pi * rng.random(len(support)))
+        coefficients.append(coeffs)
+        polys.append(
+            Polynomial(
+                {
+                    tuple(int(e) for e in row): complex(c)
+                    for row, c in zip(support, coeffs)
+                },
+                nvars,
+            )
+        )
+    return PolynomialSystem(polys), coefficients

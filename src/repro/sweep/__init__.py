@@ -13,10 +13,11 @@ See ``docs/sweep_tutorial.md`` for the end-to-end walkthrough and
 
 from .engine import SweepReport, run_job, run_sweep, solutions_fingerprint
 from .journal import SweepJournal
-from .spec import JOB_KINDS, JobSpec, SweepSpec, mixed_demo_spec
+from .spec import JOB_KINDS, START_KINDS, JobSpec, SweepSpec, mixed_demo_spec
 
 __all__ = [
     "JOB_KINDS",
+    "START_KINDS",
     "JobSpec",
     "SweepSpec",
     "mixed_demo_spec",

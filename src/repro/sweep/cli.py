@@ -131,6 +131,20 @@ def _cmd_report(args) -> int:
     for kind in sorted(by_kind):
         print(f"  {kind:>8}: {by_kind[kind]} jobs done")
     print(f"  journaled compute time: {seconds:.2f}s")
+    for job_id in sorted(records):
+        result = records[job_id].get("result", {})
+        if "n_paths" in result:
+            # polynomial job: which start system, how many tracked paths
+            start = result.get("start", "total_degree")
+            line = (f"    {job_id}: start={start} paths={result['n_paths']} "
+                    f"solutions={result['n_solutions']}")
+            if "mixed_volume" in result:
+                line += f" mixed_volume={result['mixed_volume']}"
+        else:
+            line = (f"    {job_id}: start=pieri-tree "
+                    f"paths={result.get('expected', '?')} "
+                    f"solutions={result.get('n_solutions', '?')}")
+        print(line)
     if journal.spec_path.exists():
         spec = SweepSpec.load(journal.spec_path)
         pending = [j for j in spec.job_ids() if j not in records]

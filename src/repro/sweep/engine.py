@@ -20,8 +20,10 @@ Schedules:
   ``benchmarks/bench_sweep.py``).
 
 Polynomial-system jobs route through :func:`repro.homotopy.solve` with
-``mode="batch"`` (the structure-of-arrays tracker); Pieri jobs run the
-sequential tree solver per instance.  Workers self-report busy seconds
+``mode="batch"`` (the structure-of-arrays tracker) and the job's
+start-system strategy — ``total_degree``, ``linear_product``, or
+``polyhedral``, which tracks one path per unit of mixed volume; Pieri
+jobs run the sequential tree solver per instance.  Workers self-report busy seconds
 and identity, exactly like :mod:`repro.parallel.executors`.
 """
 
@@ -138,9 +140,13 @@ def run_job(job: JobSpec) -> dict:
         from ..homotopy import solve
 
         report = solve(
-            _build_system(job.kind, params, rng), mode="batch", rng=rng
+            _build_system(job.kind, params, rng),
+            start=job.start,
+            mode="batch",
+            rng=rng,
         )
         result = {
+            "start": job.start,
             "n_paths": report.n_paths,
             "n_solutions": report.n_solutions,
             "success": report.summary["success"],
@@ -149,6 +155,9 @@ def run_job(job: JobSpec) -> dict:
             "singular": report.summary["singular"],
             "fingerprint": solutions_fingerprint(report.solutions),
         }
+        for key in ("mixed_volume", "n_cells", "phase1_failures"):
+            if key in report.summary:
+                result[key] = report.summary[key]
     return {
         "job_id": job.job_id,
         "kind": job.kind,

@@ -10,10 +10,19 @@ A spec is JSON, with explicit jobs and/or cartesian grids::
 
     {
       "name": "demo",
-      "jobs":  [{"kind": "cyclic", "params": {"n": 5}, "seed": 0}],
+      "jobs":  [{"kind": "cyclic", "params": {"n": 5}, "seed": 0,
+                 "start": "polyhedral"}],
       "grids": [{"kind": "pieri", "m": [2, 3], "p": [2], "q": [0, 1],
-                 "seeds": [0, 1]}]
+                 "seeds": [0, 1]},
+                {"kind": "cyclic", "n": [5, 6],
+                 "start": ["total_degree", "polyhedral"]}]
     }
+
+Polynomial-system jobs take an optional ``start`` strategy (and grids an
+optional ``start`` axis) choosing the start system ``repro.homotopy.
+solve`` builds: ``total_degree`` (default), ``linear_product``, or
+``polyhedral`` — the last tracks one path per unit of mixed volume, the
+sharp BKK count, instead of one per Bezout path.
 
 Every job has a deterministic, human-readable :attr:`JobSpec.job_id`
 (e.g. ``pieri-m2-p2-q1-s0``) that keys the checkpoint journal, and a
@@ -29,7 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["JOB_KINDS", "JobSpec", "SweepSpec", "mixed_demo_spec"]
+__all__ = ["JOB_KINDS", "START_KINDS", "JobSpec", "SweepSpec", "mixed_demo_spec"]
 
 #: Supported job kinds and the integer parameters each requires.
 JOB_KINDS: Dict[str, tuple] = {
@@ -40,24 +49,50 @@ JOB_KINDS: Dict[str, tuple] = {
     "pieri": ("m", "p", "q"),
 }
 
+#: Start-system strategies for the polynomial-system job kinds (the
+#: choices :func:`repro.homotopy.solve` accepts); ``total_degree`` is the
+#: default and the only strategy Pieri jobs take (their tree solver has
+#: its own start mechanism).
+START_KINDS = ("total_degree", "linear_product", "polyhedral")
+
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One solve job: a kind, its integer parameters, and a seed.
+    """One solve job: a kind, its parameters, a start strategy, a seed.
 
     ``params`` is stored as a sorted tuple of ``(name, value)`` pairs so
     the spec is hashable and its canonical form (and hence ``job_id``)
-    does not depend on insertion order.
+    does not depend on insertion order.  ``start`` picks the start
+    system :func:`repro.homotopy.solve` builds for polynomial jobs
+    (``"polyhedral"`` tracks one path per unit of mixed volume instead
+    of per Bezout path); the default leaves job ids — and hence old
+    journals — untouched.
     """
 
     kind: str
     params: tuple
     seed: int = 0
+    start: str = "total_degree"
 
-    def __init__(self, kind: str, params: Mapping[str, int], seed: int = 0):
+    def __init__(
+        self,
+        kind: str,
+        params: Mapping[str, int],
+        seed: int = 0,
+        start: str = "total_degree",
+    ):
         if kind not in JOB_KINDS:
             raise ValueError(
                 f"unknown job kind {kind!r}; expected one of {sorted(JOB_KINDS)}"
+            )
+        if start not in START_KINDS:
+            raise ValueError(
+                f"unknown start strategy {start!r}; expected one of "
+                f"{sorted(START_KINDS)}"
+            )
+        if kind == "pieri" and start != "total_degree":
+            raise ValueError(
+                "pieri jobs run the tree solver and take no start strategy"
             )
         required = JOB_KINDS[kind]
         given = dict(params)
@@ -70,6 +105,7 @@ class JobSpec:
         object.__setattr__(self, "kind", kind)
         object.__setattr__(self, "params", clean)
         object.__setattr__(self, "seed", int(seed))
+        object.__setattr__(self, "start", start)
 
     @property
     def param_dict(self) -> Dict[str, int]:
@@ -77,18 +113,34 @@ class JobSpec:
 
     @property
     def job_id(self) -> str:
-        """Deterministic human-readable identity, e.g. ``pieri-m2-p2-q1-s0``."""
+        """Deterministic human-readable identity, e.g. ``pieri-m2-p2-q1-s0``.
+
+        Non-default start strategies join the id (e.g.
+        ``cyclic-n7-polyhedral-s0``), so the same system solved two ways
+        makes two distinct journal entries; default ids match pre-start
+        journals exactly.
+        """
         parts = [self.kind]
         parts += [f"{k}{v}" for k, v in self.params]
+        if self.start != "total_degree":
+            parts.append(self.start)
         parts.append(f"s{self.seed}")
         return "-".join(parts)
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "params": self.param_dict, "seed": self.seed}
+        d = {"kind": self.kind, "params": self.param_dict, "seed": self.seed}
+        if self.start != "total_degree":
+            d["start"] = self.start
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "JobSpec":
-        return cls(d["kind"], d.get("params", {}), d.get("seed", 0))
+        return cls(
+            d["kind"],
+            d.get("params", {}),
+            d.get("seed", 0),
+            d.get("start", "total_degree"),
+        )
 
 
 def _expand_grid(grid: Mapping) -> List[JobSpec]:
@@ -100,6 +152,9 @@ def _expand_grid(grid: Mapping) -> List[JobSpec]:
     seeds = grid.pop("seeds", [0])
     if isinstance(seeds, int):
         seeds = [seeds]
+    starts = grid.pop("start", ["total_degree"])
+    if isinstance(starts, str):
+        starts = [starts]
     axes = {}
     for name in JOB_KINDS[kind]:
         if name not in grid:
@@ -111,8 +166,11 @@ def _expand_grid(grid: Mapping) -> List[JobSpec]:
     names = list(axes)
     jobs = []
     for combo in itertools.product(*(axes[n] for n in names)):
-        for seed in seeds:
-            jobs.append(JobSpec(kind, dict(zip(names, combo)), seed=seed))
+        for start in starts:
+            for seed in seeds:
+                jobs.append(
+                    JobSpec(kind, dict(zip(names, combo)), seed=seed, start=start)
+                )
     return jobs
 
 

@@ -42,7 +42,13 @@ from .newton import (
     newton_correct,
     newton_refine_system,
 )
-from .result import PathResult, PathStatus, TrackStats, summarize_results
+from .result import (
+    PathResult,
+    PathStatus,
+    TrackStats,
+    duplicate_path_ids,
+    summarize_results,
+)
 from .tracker import PathTracker, TrackerOptions, refine_solutions
 
 __all__ = [
@@ -58,6 +64,7 @@ __all__ = [
     "PathResult",
     "PathStatus",
     "TrackStats",
+    "duplicate_path_ids",
     "summarize_results",
     "PathTracker",
     "BatchTracker",

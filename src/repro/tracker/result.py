@@ -15,7 +15,13 @@ from typing import List
 
 import numpy as np
 
-__all__ = ["PathStatus", "PathResult", "TrackStats", "summarize_results"]
+__all__ = [
+    "PathStatus",
+    "PathResult",
+    "TrackStats",
+    "duplicate_path_ids",
+    "summarize_results",
+]
 
 
 class PathStatus(enum.Enum):
@@ -65,6 +71,32 @@ class PathResult:
             f"PathResult(id={self.path_id}, status={self.status.value}, "
             f"residual={self.residual:.2e}, steps={self.stats.total_steps})"
         )
+
+
+def duplicate_path_ids(results, tol: float = 1e-6) -> List[int]:
+    """Path ids of *every* member of an endpoint-collision cluster.
+
+    Two paths of a proper homotopy cannot share an endpoint at a regular
+    root, so collisions indicate a predictor jump between close paths.
+    Either party may be the one that jumped — the first path to arrive
+    is no more trustworthy than the second — so all members of a cluster
+    are candidates for conservative re-tracking, not just the
+    later-arriving ones.  Shared by the blackbox ``solve()`` and the
+    polyhedral phase-1 cell tracking.
+    """
+    reps: List[np.ndarray] = []
+    clusters: List[List[int]] = []
+    for r in results:
+        if not r.success:
+            continue
+        for k, s in enumerate(reps):
+            if np.max(np.abs(r.solution - s)) < tol:
+                clusters[k].append(r.path_id)
+                break
+        else:
+            reps.append(r.solution)
+            clusters.append([r.path_id])
+    return [pid for cluster in clusters if len(cluster) > 1 for pid in cluster]
 
 
 def summarize_results(results: List[PathResult]) -> dict:

@@ -13,9 +13,15 @@ import pytest
 
 DOCUMENTED_MODULES = [
     "repro.homotopy.solve",
+    "repro.homotopy.counts",
     "repro.tracker",
     "repro.parallel.executors",
     "repro.schubert.solver",
+    "repro.polyhedral.supports",
+    "repro.polyhedral.cells",
+    "repro.polyhedral.binomial",
+    "repro.polyhedral.lp",
+    "repro.polyhedral.homotopy",
 ]
 
 

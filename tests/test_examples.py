@@ -32,6 +32,7 @@ EXPECTED_OUTPUT = {
     "cyclic_parallel.py": "OK: static, dynamic and serial agree",
     "placement_oracle.py": "cluster/PC split in miniature",
     "sweep_resume.py": "OK: the resumed sweep re-ran only unfinished jobs",
+    "polyhedral_cyclic.py": "OK: both starts find the same 70 roots",
 }
 
 

@@ -1,0 +1,338 @@
+"""Tests for the polyhedral subsystem: supports, cells, binomials, solve.
+
+Pins the classic mixed volumes (cyclic-5 = 70, cyclic-7 = 924,
+noon-3 = 21, katsura-n = Bezout), property-tests the root-count chain
+``mixed_volume <= best m-homogeneous <= total degree``, exercises the
+Smith-normal-form binomial solver, and runs the parity suite asserting
+``solve(start="polyhedral")`` finds the same distinct finite solutions
+as the total-degree homotopy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.homotopy import best_partition, solve
+from repro.polyhedral import (
+    DegenerateLiftingError,
+    MixedCell,
+    PolyhedralStart,
+    augment_with_origin,
+    induced_subdivision,
+    inequalities_feasible,
+    lp_feasible,
+    mixed_cells,
+    mixed_volume,
+    monomial_map,
+    smith_normal_form,
+    solve_binomial_system,
+    supports_of,
+)
+from repro.polynomials import Polynomial, PolynomialSystem, variables
+from repro.systems import (
+    cyclic_roots_system,
+    katsura_system,
+    noon_system,
+)
+
+
+class TestSupports:
+    def test_supports_sorted_and_exact(self):
+        x, y = variables(2)
+        sys_ = PolynomialSystem([x**2 * y + y - 1, x + y])
+        s = supports_of(sys_)
+        assert s[0].tolist() == [[0, 0], [0, 1], [2, 1]]
+        assert s[1].tolist() == [[0, 1], [1, 0]]
+
+    def test_zero_polynomial_rejected(self):
+        sys_ = PolynomialSystem([Polynomial({}, 2), Polynomial({}, 2)])
+        with pytest.raises(ValueError):
+            supports_of(sys_)
+
+    def test_augment_adds_origin_once(self):
+        a = augment_with_origin([np.array([[1, 0], [1, 1]])])[0]
+        assert a.tolist() == [[0, 0], [1, 0], [1, 1]]
+        again = augment_with_origin([a])[0]
+        assert again.tolist() == a.tolist()
+
+
+class TestLpKernel:
+    def test_box_feasible(self):
+        A = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        assert inequalities_feasible(A, np.array([1.0, 1.0, 1.0, 1.0]))
+
+    def test_contradiction_infeasible(self):
+        A = np.array([[1.0], [-1.0]])
+        assert not inequalities_feasible(A, np.array([-2.0, 1.0]))
+
+    def test_equalities_eliminated(self):
+        # x + y = 2 with x <= 0 and y <= 0 cannot hold
+        assert not lp_feasible(
+            np.array([[1.0, 1.0]]), np.array([2.0]),
+            np.array([[1.0, 0.0], [0.0, 1.0]]), np.array([0.0, 0.0]),
+        )
+
+    def test_inconsistent_equalities(self):
+        assert not lp_feasible(
+            np.array([[1.0, 0.0], [2.0, 0.0]]), np.array([1.0, 3.0]),
+            None, None,
+        )
+
+
+class TestSmithNormalForm:
+    @pytest.mark.parametrize(
+        "mat",
+        [
+            [[2, 4], [6, 8]],
+            [[1, 0], [0, 1]],
+            [[0, 1], [1, 0]],
+            [[3, 5, 7], [2, 0, -4], [1, 1, 1]],
+            [[6, 0], [0, 10]],
+        ],
+    )
+    def test_decomposition_invariants(self, mat):
+        U, S, W = smith_normal_form(mat)
+        m = np.array(mat)
+        assert (U @ m @ W == S).all()
+        # unimodular transforms, diagonal S with divisibility chain
+        assert abs(round(np.linalg.det(U))) == 1
+        assert abs(round(np.linalg.det(W))) == 1
+        n = min(S.shape)
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    assert S[i, j] == 0
+        diag = [int(S[i, i]) for i in range(n)]
+        for a, b in zip(diag, diag[1:]):
+            if a != 0:
+                assert b % a == 0
+
+    def test_binomial_roots_count_and_residual(self):
+        vmat = [[2, 1], [0, 3]]
+        beta = [1.5 + 0.5j, -2.0]
+        sols = solve_binomial_system(vmat, beta)
+        assert len(sols) == 6  # |det| = 6
+        # each solution satisfies x^{v_i} = beta_i
+        for sol in sols:
+            lhs = monomial_map(np.array(vmat), sol)
+            assert np.max(np.abs(lhs - np.array(beta))) < 1e-9
+        # and they are pairwise distinct
+        for i in range(len(sols)):
+            for j in range(i + 1, len(sols)):
+                assert np.max(np.abs(sols[i] - sols[j])) > 1e-8
+
+    def test_singular_exponent_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            solve_binomial_system([[1, 1], [2, 2]], [1.0, 1.0])
+
+
+class TestMixedVolumePins:
+    """The classic counts the subsystem must reproduce exactly."""
+
+    @pytest.mark.parametrize("n,expected", [(3, 6), (5, 70)])
+    def test_cyclic_small(self, n, expected):
+        assert mixed_volume(
+            cyclic_roots_system(n), rng=np.random.default_rng(0)
+        ) == expected
+
+    def test_cyclic_7(self):
+        # the paper-scale pin: 924 mixed cells' worth of volume vs 5040
+        # total-degree paths (a ~6 s enumeration, the suite's largest)
+        assert mixed_volume(
+            cyclic_roots_system(7), rng=np.random.default_rng(0)
+        ) == 924
+
+    def test_noon_3(self):
+        assert mixed_volume(
+            noon_system(3), rng=np.random.default_rng(0)
+        ) == 21
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_katsura_equals_bezout(self, n):
+        sys_ = katsura_system(n)
+        assert mixed_volume(
+            sys_, rng=np.random.default_rng(0)
+        ) == sys_.total_degree_bound()
+
+    def test_lifting_independence(self):
+        """The mixed volume is a property of the supports, not the lifting."""
+        sys_ = cyclic_roots_system(4)
+        vols = {
+            mixed_volume(sys_, rng=np.random.default_rng(seed))
+            for seed in range(5)
+        }
+        assert len(vols) == 1
+
+    def test_torus_vs_affine_convention(self):
+        # katsura's (1, 0, ..., 0) root is invisible to the torus count
+        sys_ = katsura_system(2)
+        affine = mixed_volume(sys_, rng=np.random.default_rng(0), affine=True)
+        torus = mixed_volume(sys_, rng=np.random.default_rng(0), affine=False)
+        assert torus <= affine == sys_.total_degree_bound()
+
+    def test_cell_volumes_sum_and_etas(self):
+        sub = mixed_cells(cyclic_roots_system(3), rng=np.random.default_rng(1))
+        assert sub.mixed_volume == sum(c.volume for c in sub.cells) == 6
+        for cell in sub.cells:
+            assert isinstance(cell, MixedCell)
+            for (p, q), etas in zip(cell.edges, cell.etas):
+                assert etas[p] == 0.0 and etas[q] == 0.0
+                others = np.delete(etas, [p, q])
+                assert np.all(others > 0)  # strict: the lifting was generic
+
+    def test_degenerate_lifting_detected(self):
+        # two identical lifted squares: every point ties the lower hull
+        square = np.array([[0, 0], [1, 0], [0, 1], [1, 1]])
+        flat = [np.zeros(4, dtype=np.int64)] * 2
+        with pytest.raises(DegenerateLiftingError):
+            induced_subdivision([square, square], flat)
+
+    def test_non_square_rejected(self):
+        x, y = variables(2)
+        with pytest.raises(ValueError):
+            mixed_volume(PolynomialSystem([x + y]))
+
+
+# ---------------------------------------------------------------------------
+# property test: the root-count chain
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def small_square_systems(draw):
+    """Random square systems with nonzero equations in 2 variables."""
+    nvars = 2
+    polys = []
+    for _ in range(nvars):
+        n_terms = draw(st.integers(1, 4))
+        coeffs = {}
+        for _ in range(n_terms):
+            expo = tuple(draw(st.integers(0, 3)) for _ in range(nvars))
+            c = draw(
+                st.complex_numbers(
+                    min_magnitude=0.1, max_magnitude=4.0,
+                    allow_nan=False, allow_infinity=False,
+                )
+            )
+            coeffs[expo] = c
+        polys.append(Polynomial(coeffs, nvars))
+    return PolynomialSystem(polys)
+
+
+class TestRootCountChain:
+    @given(small_square_systems())
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_mixed_volume_below_mhom_below_total_degree(self, system):
+        assume(all(poly.total_degree() > 0 for poly in system))
+        td = system.total_degree_bound()
+        _, mhom = best_partition(system)
+        mv = mixed_volume(system, rng=np.random.default_rng(0))
+        assert mv <= mhom <= td
+
+
+# ---------------------------------------------------------------------------
+# phase 1: cell homotopies to the generic system
+# ---------------------------------------------------------------------------
+
+
+class TestPolyhedralStart:
+    def test_tracks_one_start_per_unit_volume(self):
+        ps = PolyhedralStart(cyclic_roots_system(3), np.random.default_rng(0))
+        starts, results = ps.track_starts()
+        assert ps.mixed_volume == 6
+        assert starts.shape == (6, 3)
+        assert all(r.success for r in results)
+        assert ps.phase1_failures == 0
+        # the starts really solve the generic system
+        res = ps.generic_system.evaluate_many(starts)
+        assert np.max(np.abs(res)) < 1e-6
+
+    def test_generic_starts_are_distinct(self):
+        # katsura-5 is the case where phase-1 path collisions were seen;
+        # the duplicate re-track must separate them for every seed here
+        for seed in (1, 7):
+            ps = PolyhedralStart(katsura_system(5), np.random.default_rng(seed))
+            starts, _ = ps.track_starts()
+            for i in range(len(starts)):
+                for j in range(i + 1, len(starts)):
+                    assert np.max(np.abs(starts[i] - starts[j])) > 1e-6
+
+    def test_non_square_rejected(self):
+        x, y = variables(2)
+        with pytest.raises(ValueError):
+            PolyhedralStart(PolynomialSystem([x + y]))
+
+
+# ---------------------------------------------------------------------------
+# parity: polyhedral vs total-degree blackbox solve
+# ---------------------------------------------------------------------------
+
+
+def _solution_sets_match(a, b, tol=1e-8):
+    if len(a) != len(b):
+        return False
+    used = set()
+    for x in a:
+        for i, y in enumerate(b):
+            if i not in used and np.max(np.abs(x - y)) < tol:
+                used.add(i)
+                break
+        else:
+            return False
+    return True
+
+
+class TestPolyhedralSolveParity:
+    @pytest.mark.parametrize(
+        "system,expected",
+        [
+            (cyclic_roots_system(5), 70),
+            (katsura_system(5), 32),
+        ],
+        ids=["cyclic-5", "katsura-5"],
+    )
+    def test_same_distinct_solutions_as_total_degree(self, system, expected):
+        poly = solve(
+            system, start="polyhedral", mode="batch",
+            rng=np.random.default_rng(1),
+        )
+        td = solve(system, mode="batch", rng=np.random.default_rng(2))
+        # tracks exactly the mixed-volume number of paths ...
+        assert poly.n_paths == poly.summary["mixed_volume"] == expected
+        assert poly.summary["start"] == "polyhedral"
+        assert poly.summary["phase1_failures"] == 0
+        # ... and finds the same distinct finite solutions
+        assert _solution_sets_match(poly.solutions, td.solutions)
+
+    def test_polyhedral_tracks_fewer_paths_on_cyclic(self):
+        report = solve(
+            cyclic_roots_system(5), start="polyhedral", mode="batch",
+            rng=np.random.default_rng(0),
+        )
+        assert report.n_paths == 70 < 120  # mixed volume vs total degree
+        assert report.summary["n_cells"] == len(
+            PolyhedralStart(
+                cyclic_roots_system(5), np.random.default_rng(0)
+            ).cells
+        )
+
+    def test_per_path_mode_matches_batch(self):
+        sys_ = cyclic_roots_system(3)
+        a = solve(sys_, start="polyhedral", rng=np.random.default_rng(4))
+        b = solve(
+            sys_, start="polyhedral", mode="batch",
+            rng=np.random.default_rng(4),
+        )
+        assert _solution_sets_match(a.solutions, b.solutions)
+
+    def test_legacy_start_kind_alias(self):
+        report = solve(
+            katsura_system(2), start_kind="polyhedral",
+            rng=np.random.default_rng(0),
+        )
+        assert report.summary["start"] == "polyhedral"
+        assert report.n_solutions == 4

@@ -102,6 +102,52 @@ class TestSweepSpec:
         assert len({j.kind for j in spec.jobs}) >= 3
 
 
+class TestStartStrategies:
+    def test_default_leaves_job_id_and_dict_unchanged(self):
+        job = JobSpec("cyclic", {"n": 5})
+        assert job.start == "total_degree"
+        assert job.job_id == "cyclic-n5-s0"  # pre-start journals still match
+        assert "start" not in job.to_dict()
+
+    def test_start_joins_job_id_and_roundtrips(self):
+        job = JobSpec("cyclic", {"n": 7}, seed=2, start="polyhedral")
+        assert job.job_id == "cyclic-n7-polyhedral-s2"
+        assert JobSpec.from_dict(job.to_dict()) == job
+
+    def test_unknown_start_and_pieri_start_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec("cyclic", {"n": 5}, start="bogus")
+        with pytest.raises(ValueError):
+            JobSpec("pieri", {"m": 2, "p": 2, "q": 0}, start="polyhedral")
+
+    def test_grid_start_axis(self):
+        spec = SweepSpec.from_dict(
+            {
+                "name": "starts",
+                "grids": [
+                    {"kind": "cyclic", "n": [5, 6],
+                     "start": ["total_degree", "polyhedral"]},
+                ],
+            }
+        )
+        assert spec.n_jobs == 4
+        assert "cyclic-n5-s0" in spec.job_ids()
+        assert "cyclic-n5-polyhedral-s0" in spec.job_ids()
+
+    def test_polyhedral_job_tracks_mixed_volume_paths(self):
+        record = run_job(JobSpec("katsura", {"n": 3}, start="polyhedral"))
+        result = record["result"]
+        assert result["start"] == "polyhedral"
+        assert result["n_paths"] == result["mixed_volume"] == 8
+        assert result["n_solutions"] == 8
+        # same solution count as the default strategy (set-level parity
+        # to 1e-8 is pinned in tests/test_polyhedral.py; fingerprints
+        # round at 1e-6 so refinement noise can flip their last digit)
+        default = run_job(JobSpec("katsura", {"n": 3}))["result"]
+        assert default["start"] == "total_degree"
+        assert default["n_solutions"] == result["n_solutions"]
+
+
 class TestJournal:
     def test_append_and_load(self, tmp_path):
         journal = SweepJournal(tmp_path / "ck")
