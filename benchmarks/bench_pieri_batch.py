@@ -1,0 +1,114 @@
+"""Throughput benchmark: level-batched vs per-path Pieri tree tracking.
+
+The ISSUE-4 acceptance experiment: on a Pieri instance with root count
+d(m, p, q) >= 100 — default (2, 2, 3), d = 128, 637 tree edges — solving
+the whole tree with ``PieriSolver.solve(mode="batch")`` (every level
+tracked as one stacked structure-of-arrays front) must deliver at least
+3x the path throughput of the per-path scalar driver
+(``mode="per_path"``), with identical solution sets.
+
+Run:    PYTHONPATH=src python benchmarks/bench_pieri_batch.py
+Smoke:  PYTHONPATH=src python benchmarks/bench_pieri_batch.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.schubert import PieriInstance, PieriSolver, pieri_root_count
+
+
+def _sorted_solutions(report):
+    return sorted(
+        report.solutions,
+        key=lambda s: (float(s.real.sum()), float(s.imag.sum())),
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=2, help="input dimension m")
+    parser.add_argument("--p", type=int, default=2, help="output dimension p")
+    parser.add_argument(
+        "--q", type=int, default=3, help="internal states (map degree) q"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2004, help="instance + solver seed"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: the (2, 2, 1) cell (37 edges) and a 1.5x gate",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        args.m, args.p, args.q = 2, 2, 1
+
+    d = pieri_root_count(args.m, args.p, args.q)
+    if not args.quick and d < 100:
+        print(f"FAIL: instance has d(m,p,q) = {d} < 100; pick a larger cell")
+        return 1
+    rng = np.random.default_rng(args.seed)
+    instance = PieriInstance.random(args.m, args.p, args.q, rng)
+    print(
+        f"pieri ({args.m}, {args.p}, {args.q}): d = {d} solution maps, "
+        f"N = {instance.problem.num_conditions} conditions"
+    )
+
+    t0 = time.perf_counter()
+    per_path = PieriSolver(instance, seed=args.seed).solve(mode="per_path")
+    per_path_s = time.perf_counter() - t0
+    jobs = sum(per_path.jobs_per_level.values())
+
+    t0 = time.perf_counter()
+    batch = PieriSolver(instance, seed=args.seed).solve(mode="batch")
+    batch_s = time.perf_counter() - t0
+
+    per_path_ms = per_path_s / jobs * 1e3
+    batch_ms = batch_s / jobs * 1e3
+    speedup = per_path_ms / batch_ms
+    print()
+    print(f"{'mode':<28}{'paths':>8}{'ms/path':>10}{'speedup':>10}")
+    print(f"{'per-path (scalar driver)':<28}{jobs:>8}{per_path_ms:>10.2f}"
+          f"{1.0:>10.2f}")
+    print(f"{'batch (stacked levels)':<28}{jobs:>8}{batch_ms:>10.2f}"
+          f"{speedup:>10.2f}")
+
+    widest = max(batch.level_batches, key=lambda r: r["n_jobs"])
+    print(
+        f"\nwidest level: {widest['n_jobs']} edges over "
+        f"{widest['n_homotopies']} stacked homotopies at level "
+        f"{widest['level']} ({widest['seconds'] * 1e3:.0f} ms)"
+    )
+    requeues = sum(r["chart_switches"] + r["retries"]
+                   for r in batch.level_batches)
+    print(f"batch requeues (chart switches + retries): {requeues}")
+
+    # parity: identical statuses (failure counts) and endpoints to 1e-8
+    sa, sb = _sorted_solutions(per_path), _sorted_solutions(batch)
+    parity = (
+        per_path.failures == batch.failures
+        and len(sa) == len(sb)
+        and all(np.max(np.abs(x - y)) < 1e-8 for x, y in zip(sa, sb))
+    )
+    print(
+        f"solutions: per-path {per_path.n_solutions}/{d}, "
+        f"batch {batch.n_solutions}/{d}, endpoint parity: "
+        f"{'ok' if parity else 'MISMATCH'}"
+    )
+
+    threshold = 1.5 if args.quick else 3.0
+    if not parity:
+        print("FAIL: batch tracking disagrees with per-path tracking")
+        return 1
+    if speedup < threshold:
+        print(f"FAIL: batch speedup {speedup:.2f}x below {threshold}x")
+        return 1
+    print(f"OK: batch speedup {speedup:.2f}x >= {threshold}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Dense complex linear-algebra helpers shared by the Schubert and control layers."""
 
-from .dets import adjugate, cofactor_matrix, det_and_cofactors
+from .dets import adjugate, batched_det, cofactor_matrix, det_and_cofactors
 from .planes import (
     orth_basis,
     plane_distance,
@@ -17,6 +17,7 @@ from .polymat import (
 
 __all__ = [
     "adjugate",
+    "batched_det",
     "cofactor_matrix",
     "det_and_cofactors",
     "orth_basis",

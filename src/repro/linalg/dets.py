@@ -17,7 +17,62 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["cofactor_matrix", "adjugate", "det_and_cofactors"]
+__all__ = ["batched_det", "cofactor_matrix", "adjugate", "det_and_cofactors"]
+
+
+def batched_det(mats: np.ndarray) -> np.ndarray:
+    """Determinants of a ``(..., k, k)`` stack of small matrices.
+
+    For ``k <= 4`` the determinant is expanded in closed form — pure
+    elementwise arithmetic over the stack, which beats
+    :func:`numpy.linalg.det`'s per-matrix LAPACK dispatch by an order of
+    magnitude on the tiny matrices the Pieri conditions produce (m+p is
+    at most 8 in the paper's experiments, and minors are one smaller).
+    Larger sizes fall back to numpy's batched LU.
+
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> a = rng.standard_normal((5, 4, 4)) + 1j * rng.standard_normal((5, 4, 4))
+    >>> np.allclose(batched_det(a), np.linalg.det(a))
+    True
+    """
+    a = np.asarray(mats)
+    if a.ndim < 2 or a.shape[-2] != a.shape[-1]:
+        raise ValueError("expected a stack of square matrices")
+    k = a.shape[-1]
+    if k == 0:
+        return np.ones(a.shape[:-2], dtype=a.dtype)
+    if k == 1:
+        return a[..., 0, 0]
+    if k == 2:
+        return a[..., 0, 0] * a[..., 1, 1] - a[..., 0, 1] * a[..., 1, 0]
+    if k == 3:
+        return (
+            a[..., 0, 0]
+            * (a[..., 1, 1] * a[..., 2, 2] - a[..., 1, 2] * a[..., 2, 1])
+            - a[..., 0, 1]
+            * (a[..., 1, 0] * a[..., 2, 2] - a[..., 1, 2] * a[..., 2, 0])
+            + a[..., 0, 2]
+            * (a[..., 1, 0] * a[..., 2, 1] - a[..., 1, 1] * a[..., 2, 0])
+        )
+    if k == 4:
+        # Laplace expansion along the first two rows: pair each 2x2 minor
+        # of rows (0, 1) with the complementary minor of rows (2, 3)
+        def top(i, j):
+            return a[..., 0, i] * a[..., 1, j] - a[..., 0, j] * a[..., 1, i]
+
+        def bot(i, j):
+            return a[..., 2, i] * a[..., 3, j] - a[..., 2, j] * a[..., 3, i]
+
+        return (
+            top(0, 1) * bot(2, 3)
+            - top(0, 2) * bot(1, 3)
+            + top(0, 3) * bot(1, 2)
+            + top(1, 2) * bot(0, 3)
+            - top(1, 3) * bot(0, 2)
+            + top(2, 3) * bot(0, 1)
+        )
+    return np.linalg.det(a)
 
 
 def _minor_stack(matrix: np.ndarray) -> np.ndarray:

@@ -9,9 +9,18 @@ its termination rule: workers that returned a leaf and found the queue
 empty are parked on an idle list and *re-activated* when new jobs appear;
 the run ends when every job is done and all workers are parked.
 
-Workers execute :meth:`repro.schubert.solver.PieriSolver.run_job`, the same
-routine the sequential DFS uses, with the same per-poset-node homotopies —
-so the parallel solve returns exactly the same solution set (tested).
+Two job granularities share the loop:
+
+- ``granularity="edge"`` (the paper's): workers execute
+  :meth:`repro.schubert.solver.PieriSolver.run_job`, the same routine the
+  sequential DFS uses, with the same per-poset-node homotopies — so the
+  parallel solve returns exactly the same solution set (tested).
+- ``granularity="level"``: the master runs the tree level-synchronously
+  and dispatches *level batches* — each worker gets a chunk of one
+  level's edges and tracks them as a single stacked SoA front via
+  :meth:`~repro.schubert.solver.PieriSolver.run_jobs_batched`.  The two
+  parallel axes compose: processes across chunks, SIMD-style batching
+  within each chunk.
 """
 
 from __future__ import annotations
@@ -31,7 +40,7 @@ from ..schubert.solver import (
     PieriSolver,
 )
 from ..tracker import TrackerOptions
-from .dispatcher import dispatch_with_pool
+from .dispatcher import DispatchTelemetry, dispatch_jobs, dispatch_with_pool
 
 __all__ = ["ParallelPieriReport", "solve_pieri_parallel"]
 
@@ -54,6 +63,29 @@ def _run_pieri_job(args):
     result = _WORKER_SOLVER.run_job(PieriJob(node, start_matrix))
     dt = time.perf_counter() - t0
     return node_columns, result.matrix, result.path_result.status.value, dt
+
+
+def _run_pieri_level_chunk(args):
+    """Worker entry point for one level chunk: a stacked batch of edges."""
+    from ..schubert.tree import PieriTreeNode
+
+    t0 = time.perf_counter()
+    jobs = [
+        PieriJob(
+            PieriTreeNode(_WORKER_SOLVER.problem, tuple(cols)), start_matrix
+        )
+        for cols, start_matrix in args
+    ]
+    results, stats = _WORKER_SOLVER.run_jobs_batched(jobs)
+    dt = time.perf_counter() - t0
+    return (
+        [
+            (list(r.job.node.columns), r.matrix, r.path_result.status.value)
+            for r in results
+        ],
+        stats,
+        dt,
+    )
 
 
 @dataclass
@@ -81,8 +113,16 @@ def solve_pieri_parallel(
     options: TrackerOptions | None = None,
     seed: int = 0,
     max_job_retries: int = 2,
+    granularity: Literal["edge", "level"] = "edge",
 ) -> ParallelPieriReport:
     """Solve a Pieri problem with the master/slave tree scheduler.
+
+    ``granularity`` picks the unit of work handed to a worker: a single
+    tree ``edge`` (one tracked path, the paper's protocol) or a
+    ``level`` chunk — a contiguous share of one tree level, tracked by
+    the worker as a single stacked SoA batch.  Level granularity
+    composes the two parallel axes (processes x batch) at the price of
+    a synchronization barrier between levels.
 
     Fault tolerance: a job whose worker *crashes* (raises, as opposed to
     returning a failed path) is re-enqueued up to ``max_job_retries``
@@ -95,6 +135,12 @@ def solve_pieri_parallel(
         raise ValueError("need at least one worker")
     if mode not in ("process", "thread"):
         raise ValueError(f"unknown mode {mode!r}")
+    if granularity not in ("edge", "level"):
+        raise ValueError(f"unknown granularity {granularity!r}")
+    if granularity == "level":
+        return _solve_level_batched(
+            instance, n_workers, mode, options, seed, max_job_retries
+        )
     # the local solver mirrors the workers: used for job expansion only
     master = PieriSolver(instance, options=options, seed=seed)
 
@@ -148,6 +194,133 @@ def solve_pieri_parallel(
         on_abandoned=on_abandoned,
         rebuildable=(mode == "process"),
     )
+    report.max_queue_length = telemetry.max_queue_length
+    report.max_active_jobs = telemetry.max_active_jobs
+    report.worker_crashes = telemetry.worker_crashes
+    report.pool_rebuilds = telemetry.pool_rebuilds
+    report.wall_seconds = time.perf_counter() - t_wall
+    report.total_seconds = report.wall_seconds
+    return report
+
+
+def _chunk_jobs(jobs: List[PieriJob], n_chunks: int) -> List[List[PieriJob]]:
+    """Split one level's jobs into up to ``n_chunks`` contiguous chunks."""
+    n_chunks = max(1, min(n_chunks, len(jobs)))
+    bounds = np.linspace(0, len(jobs), n_chunks + 1).astype(int)
+    return [
+        jobs[a:b] for a, b in zip(bounds[:-1], bounds[1:]) if a < b
+    ]
+
+
+def _solve_level_batched(
+    instance: PieriInstance,
+    n_workers: int,
+    mode: str,
+    options: Optional[TrackerOptions],
+    seed: int,
+    max_job_retries: int,
+) -> ParallelPieriReport:
+    """Level-synchronous master: dispatch stacked level chunks to workers.
+
+    Each tree level is split into at most ``n_workers`` contiguous
+    chunks; a worker tracks its chunk as one stacked batch
+    (:meth:`~repro.schubert.solver.PieriSolver.run_jobs_batched`).  The
+    master expands the next level only when the current one has fully
+    returned, so the dispatcher runs once per level over a pool that
+    persists across levels.  A chunk abandoned after its crash-retry
+    budget forfeits its jobs (counted as failures), exactly as an
+    abandoned edge forfeits its subtree in edge granularity.
+    """
+    master = PieriSolver(instance, options=options, seed=seed)
+    report = ParallelPieriReport(instance, n_workers=n_workers)
+    t_wall = time.perf_counter()
+
+    def make_pool():
+        if mode == "process":
+            return ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_init_pieri_worker,
+                initargs=(instance, options, seed),
+            )
+        _init_pieri_worker(instance, options, seed)
+        return ThreadPoolExecutor(max_workers=n_workers)
+
+    state = {"pool": make_pool(), "next_jobs": [], "level_stats": None}
+
+    def submit(chunk: List[PieriJob]):
+        # module-global lookup keeps the fault-injection monkeypatch hook
+        return state["pool"].submit(
+            _run_pieri_level_chunk,
+            [(list(j.node.columns), j.start_matrix) for j in chunk],
+        )
+
+    def rebuild_pool():
+        state["pool"].shutdown(wait=False, cancel_futures=True)
+        state["pool"] = make_pool()
+        return submit
+
+    def on_result(chunk: List[PieriJob], result) -> List[List[PieriJob]]:
+        triples, stats, dt = result
+        lvl = chunk[0].level
+        report.jobs_per_level[lvl] = (
+            report.jobs_per_level.get(lvl, 0) + len(chunk)
+        )
+        report.seconds_per_level[lvl] = (
+            report.seconds_per_level.get(lvl, 0.0) + dt
+        )
+        ls = state["level_stats"]
+        ls["seconds"] += dt
+        ls["n_chunks"] += 1
+        for key in ("n_jobs", "n_homotopies", "chart_switches", "retries"):
+            ls[key] += stats[key]
+        for job, (_cols, matrix, _status) in zip(chunk, triples):
+            if matrix is None:
+                report.failures += 1
+            elif job.node.is_leaf():
+                report.solutions.append(matrix)
+            else:
+                state["next_jobs"].extend(
+                    PieriJob(child, matrix) for child in job.node.children()
+                )
+        return []
+
+    def on_abandoned(chunk: List[PieriJob]) -> None:
+        # retry budget spent: every job in the chunk (and its subtree)
+        # is lost; record them as failures so counts stay honest
+        report.failures += len(chunk)
+
+    telemetry = DispatchTelemetry()
+    try:
+        frontier = master.initial_jobs()
+        while frontier:
+            lvl = frontier[0].level
+            state["next_jobs"] = []
+            state["level_stats"] = {
+                "level": lvl,
+                "seconds": 0.0,
+                "n_chunks": 0,
+                "n_jobs": 0,
+                "n_homotopies": 0,
+                "chart_switches": 0,
+                "retries": 0,
+            }
+            dispatch_jobs(
+                _chunk_jobs(frontier, n_workers),
+                submit,
+                on_result,
+                n_workers=n_workers,
+                max_retries=max_job_retries,
+                retry_key=lambda chunk: tuple(
+                    j.node.columns for j in chunk
+                ),
+                on_abandoned=on_abandoned,
+                rebuild_pool=rebuild_pool if mode == "process" else None,
+                telemetry=telemetry,
+            )
+            report.level_batches.append(state["level_stats"])
+            frontier = state["next_jobs"]
+    finally:
+        state["pool"].shutdown(wait=False, cancel_futures=True)
     report.max_queue_length = telemetry.max_queue_length
     report.max_active_jobs = telemetry.max_active_jobs
     report.worker_crashes = telemetry.worker_crashes

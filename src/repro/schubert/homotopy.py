@@ -43,8 +43,9 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..linalg import cofactor_matrix
-from ..tracker import HomotopyFunction
+from ..linalg import batched_det
+from ..tracker import BatchHomotopy, HomotopyFunction
+from ..tracker.interface import _per_path_t
 from .patterns import LocalizationPattern
 
 __all__ = [
@@ -127,8 +128,19 @@ def normalize_to_standard_chart(
     return out
 
 
-class PieriEdgeHomotopy(HomotopyFunction):
+class PieriEdgeHomotopy(HomotopyFunction, BatchHomotopy):
     """The square homotopy tracked along one Pieri-tree edge.
+
+    Implements *both* tracker protocols: the scalar
+    :class:`~repro.tracker.HomotopyFunction` (one point, one t) and the
+    structure-of-arrays :class:`~repro.tracker.BatchHomotopy` (N points,
+    each at its own t).  All determinant work — condition-matrix
+    assembly, the cofactor stacks behind residuals and Jacobians — is
+    vectorized with a leading *path* axis, and the scalar methods run
+    through the batched kernels as one-row batches, so scalar and
+    batched tracking see bit-identical arithmetic.  Many edges of one
+    tree level (same ``dim``, different patterns and gammas) combine
+    into one front via :class:`~repro.tracker.StackedHomotopy`.
 
     Parameters
     ----------
@@ -221,11 +233,37 @@ class PieriEdgeHomotopy(HomotopyFunction):
         self._col_degrees = pattern.column_degrees()
         self._amb = amb
 
+        # scatter/gather index tables shared by the scalar and batched
+        # chart maps (to_matrix / to_matrix_batch)
+        self._fixed_rows = np.array([r for r, _ in fixed], dtype=np.int64)
+        self._fixed_cols = np.array([j for _, j in fixed], dtype=np.int64)
+        self._free_rows = np.array([r for r, _ in free], dtype=np.int64)
+        self._free_cols = np.array([j for _, j in free], dtype=np.int64)
+
         # --- precomputed tables for the batched evaluator -------------
         # free-variable decomposition: concatenated row r = l*amb + i_amb
         self._free_l = np.array([r // amb for r, _ in free], dtype=np.int64)
         self._free_i = np.array([r % amb for r, _ in free], dtype=np.int64)
         self._free_j = np.array([j for _, j in free], dtype=np.int64)
+        # the Jacobian gather only reads cofactors at the free variables'
+        # (ambient row, column) positions — usually far fewer than amb^2,
+        # so their minors are enumerated explicitly instead of computing
+        # whole cofactor matrices
+        pos = sorted(set(zip(self._free_i.tolist(), self._free_j.tolist())))
+        self._pos_of_free = np.array(
+            [pos.index((r, c)) for r, c in zip(self._free_i, self._free_j)],
+            dtype=np.int64,
+        )
+        idx0 = np.arange(amb)
+        self._pos_rows = np.array(
+            [np.delete(idx0, r) for r, _ in pos], dtype=np.int64
+        )[:, :, None]  # (npos, amb-1, 1)
+        self._pos_cols = np.array(
+            [np.delete(idx0, c) for _, c in pos], dtype=np.int64
+        )[:, None, :]  # (npos, 1, amb-1)
+        self._pos_signs = np.array(
+            [(-1.0) ** (r + c) for r, c in pos]
+        )
         self._free_lj = np.array(
             [self._col_degrees[j] for _, j in free], dtype=np.int64
         )
@@ -262,11 +300,18 @@ class PieriEdgeHomotopy(HomotopyFunction):
 
     def to_matrix(self, x: np.ndarray) -> np.ndarray:
         """Scatter the unknown vector into a concatenated matrix."""
-        c = np.zeros((self.problem.nrows, self.problem.p), dtype=complex)
-        for row, j in self._fixed:
-            c[row, j] = 1.0
-        for val, (row, j) in zip(x, self._free):
-            c[row, j] = val
+        return self.to_matrix_batch(np.asarray(x, dtype=complex)[None, :])[0]
+
+    def to_matrix_batch(self, X: np.ndarray) -> np.ndarray:
+        """Scatter a stack of unknown vectors, shape (npaths, nrows, p)."""
+        X = np.asarray(X, dtype=complex)
+        if X.ndim != 2 or X.shape[1] != self.dim:
+            raise ValueError(f"expected X of shape (npaths, {self.dim})")
+        c = np.zeros(
+            (X.shape[0], self.problem.nrows, self.problem.p), dtype=complex
+        )
+        c[:, self._fixed_rows, self._fixed_cols] = 1.0
+        c[:, self._free_rows, self._free_cols] = X
         return c
 
     def from_matrix(self, c: np.ndarray) -> np.ndarray:
@@ -287,114 +332,217 @@ class PieriEdgeHomotopy(HomotopyFunction):
         )
 
     # ------------------------------------------------------------------
-    def _moving_paths(self, t: float) -> Tuple[complex, complex, np.ndarray]:
-        s = (1.0 - t) * self.gamma_s + t * self.points[-1]
-        s0 = complex(t)
-        k = (1.0 - t) * self.gamma_k * self.k_special + t * self.planes[-1]
+    # Batched kernels: everything carries a leading path axis.  The
+    # scalar HomotopyFunction methods below run through these as one-row
+    # batches, so scalar and batched tracking share every rounding.
+    # ------------------------------------------------------------------
+    def _moving_paths(
+        self, tt: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-path moving point, homogenizer and plane: s(t), s0(t), K(t)."""
+        s = (1.0 - tt) * self.gamma_s + tt * self.points[-1]
+        s0 = tt.astype(complex)
+        k = (1.0 - tt)[:, None, None] * (self.gamma_k * self.k_special) + tt[
+            :, None, None
+        ] * self.planes[-1]
         return s, s0, k
 
-    def _condition_matrix(
-        self, c: np.ndarray, s: complex, s0: complex, k: np.ndarray
+    def _moving_condition_matrix(
+        self, blocks: np.ndarray, s: np.ndarray, s0: np.ndarray, k: np.ndarray
     ) -> np.ndarray:
-        return np.hstack([evaluate_map(c, self.pattern, s, s0), k])
+        """The moving condition matrix [X(s, s0) | K(t)] per path.
 
-    def _all_condition_matrices(self, c: np.ndarray, t: float):
-        """All n condition matrices stacked (n, amb, amb) plus (s, s0).
+        ``blocks`` is the concatenated matrix reshaped to
+        ``(npaths, n_blocks, amb, p)``; each column is homogenized with
+        its own degree, every path with its own (s, s0).
+        """
+        amb, p = self._amb, self.problem.p
+        m = np.empty((blocks.shape[0], amb, amb), dtype=complex)
+        for j in range(p):
+            lj = self._col_degrees[j]
+            ls = np.arange(lj + 1)
+            w = (s[:, None] ** ls) * (s0[:, None] ** (lj - ls))
+            m[:, :, j] = np.einsum("pl,pla->pa", w, blocks[:, : lj + 1, :, j])
+        m[:, :, p:] = k
+        return m
+
+    def _all_condition_matrices(self, c: np.ndarray, tt: np.ndarray):
+        """All n condition matrices per path, (npaths, n, amb, amb).
 
         Static rows are assembled in one einsum over the degree blocks of
-        the concatenated matrix (entries above a column's degree vanish by
-        the pattern, so no per-column masking is needed at s0 = 1).
+        the concatenated matrices (entries above a column's degree vanish
+        by the pattern, so no per-column masking is needed at s0 = 1);
+        the moving row's weights depend on each path's own t.  Also
+        returns the per-path ``(s, s0)`` vectors.
         """
+        npaths = c.shape[0]
         n = self.dim
         amb = self._amb
         p = self.problem.p
-        mats = np.empty((n, amb, amb), dtype=complex)
+        blocks = c.reshape(npaths, self._n_blocks, amb, p)
+        mats = np.empty((npaths, n, amb, amb), dtype=complex)
         if n > 1:
-            blocks = c.reshape(self._n_blocks, amb, p)
-            mats[: n - 1, :, :p] = np.einsum(
-                "il,lap->iap", self._spow, blocks
+            mats[:, : n - 1, :, :p] = np.einsum(
+                "cl,plar->pcar", self._spow, blocks
             )
-            mats[: n - 1, :, p:] = self._k_stack
-        s, s0, k = self._moving_paths(t)
-        mats[n - 1] = self._condition_matrix(c, s, s0, k)
+            mats[:, : n - 1, :, p:] = self._k_stack
+        s, s0, k = self._moving_paths(tt)
+        mats[:, n - 1] = self._moving_condition_matrix(blocks, s, s0, k)
         return mats, s, s0
 
     def _batched_cofactors(self, mats: np.ndarray) -> np.ndarray:
-        """Cofactor matrices of a stack, one vectorized det call.
+        """Cofactor matrices of a ``(..., amb, amb)`` stack, one det call.
 
-        mats: (n, amb, amb) -> cofs: (n, amb, amb).  For amb = 1 the
-        cofactor is 1 by convention.
+        Works for any leading axes — per-condition stacks and per-path ×
+        per-condition stacks alike.  For amb = 1 the cofactor is 1 by
+        convention.
         """
-        n, amb, _ = mats.shape
+        amb = mats.shape[-1]
+        lead = mats.shape[:-2]
         if amb == 1:
-            return np.ones((n, 1, 1), dtype=complex)
-        minors = mats[:, self._minor_rows, self._minor_cols]
-        dets = np.linalg.det(minors.reshape(n * amb * amb, amb - 1, amb - 1))
-        return self._minor_signs[None, :, :] * dets.reshape(n, amb, amb)
+            return np.ones(lead + (1, 1), dtype=complex)
+        minors = mats[..., self._minor_rows, self._minor_cols]
+        dets = batched_det(minors.reshape(-1, amb - 1, amb - 1))
+        return self._minor_signs * dets.reshape(lead + (amb, amb))
 
+    def _free_cofactors(self, mats: np.ndarray) -> np.ndarray:
+        """Cofactor entries at the free variables' positions only.
+
+        The Jacobian gather reads at most ``dim`` distinct cofactor
+        positions per condition matrix, so only those minors are
+        determinant-ed — the dominant cost of the batched evaluator,
+        cut from ``amb**2`` dets per matrix to ``npos <= dim``.
+        Returns ``(..., npos)``; expand to free variables with
+        ``[..., self._pos_of_free]``.
+        """
+        amb = mats.shape[-1]
+        if amb == 1:
+            return np.ones(
+                mats.shape[:-2] + (len(self._pos_signs),), dtype=complex
+            )
+        minors = mats[..., self._pos_rows, self._pos_cols]
+        return self._pos_signs * batched_det(minors)
+
+    def _moving_dmatrix(
+        self, blocks: np.ndarray, s: np.ndarray, s0: np.ndarray
+    ) -> np.ndarray:
+        """d/dt of the moving condition matrix per path (chain rule)."""
+        amb, p = self._amb, self.problem.p
+        npaths = blocks.shape[0]
+        ds = self.points[-1] - self.gamma_s
+        dm = np.zeros((npaths, amb, amb), dtype=complex)
+        # X block: chain rule through s(t), s0(t) per coefficient (ds0 = 1)
+        for j in range(p):
+            lj = self._col_degrees[j]
+            for l in range(lj + 1):
+                dw = np.zeros(npaths, dtype=complex)
+                if l > 0:
+                    dw += l * (s ** (l - 1)) * (s0 ** (lj - l)) * ds
+                if lj - l > 0:
+                    dw += (lj - l) * (s0 ** (lj - l - 1)) * (s**l)
+                dm[:, :, j] += blocks[:, l, :, j] * dw[:, None]
+        # K block: d/dt [(1-t) gamma_k K_b + t K_n]
+        dm[:, :, p:] = self.planes[-1] - self.gamma_k * self.k_special
+        return dm
+
+    # ------------------------------------------------------------------
+    # BatchHomotopy protocol
+    # ------------------------------------------------------------------
+    def evaluate_batch(self, X: np.ndarray, t) -> np.ndarray:
+        X = np.asarray(X, dtype=complex)
+        tt = _per_path_t(t, X.shape[0])
+        mats, _, _ = self._all_condition_matrices(self.to_matrix_batch(X), tt)
+        return batched_det(mats)
+
+    def jacobian_x_batch(self, X: np.ndarray, t) -> np.ndarray:
+        return self.evaluate_and_jacobian_batch(X, t)[1]
+
+    def _jacobian_from(self, gathered, s, s0):
+        """Scale gathered cofactors by the homogenization weights.
+
+        Row i of a path's Jacobian is d det(M_i)/d x_k =
+        cof_i[i_amb(k), j(k)] times the weight s^l * s0^(L_j - l);
+        static rows' weights were precomputed at construction, the
+        moving row's depend on each path's t only.
+        """
+        n = self.dim
+        jac = np.empty(gathered.shape[:1] + (n, n), dtype=complex)
+        if n > 1:
+            jac[:, : n - 1] = gathered[:, : n - 1] * self._static_weights
+        moving_w = (s[:, None] ** self._free_l) * (
+            s0[:, None] ** (self._free_lj - self._free_l)
+        )
+        jac[:, n - 1] = gathered[:, n - 1] * moving_w
+        return jac
+
+    def evaluate_and_jacobian_batch(self, X, t):
+        """Residuals and Jacobians of the whole stack in batched calls.
+
+        Residuals are one batched determinant over every path's
+        condition matrices (exactly :meth:`evaluate_batch`); the
+        gradient gathers only the cofactor entries the free variables
+        sit at (see :meth:`_free_cofactors`).
+        """
+        X = np.asarray(X, dtype=complex)
+        tt = _per_path_t(t, X.shape[0])
+        c = self.to_matrix_batch(X)
+        mats, s, s0 = self._all_condition_matrices(c, tt)
+        res = batched_det(mats)
+        gathered = self._free_cofactors(mats)[..., self._pos_of_free]
+        return res, self._jacobian_from(gathered, s, s0)
+
+    def jacobian_t_batch(self, X: np.ndarray, t) -> np.ndarray:
+        """Only the moving condition depends on t."""
+        X = np.asarray(X, dtype=complex)
+        tt = _per_path_t(t, X.shape[0])
+        c = self.to_matrix_batch(X)
+        blocks = c.reshape(X.shape[0], self._n_blocks, self._amb, self.problem.p)
+        s, s0, k = self._moving_paths(tt)
+        cofs = self._batched_cofactors(
+            self._moving_condition_matrix(blocks, s, s0, k)
+        )
+        out = np.zeros((X.shape[0], self.dim), dtype=complex)
+        out[:, -1] = np.einsum("pab,pab->p", cofs, self._moving_dmatrix(blocks, s, s0))
+        return out
+
+    def jacobians_batch(self, X, t):
+        """dH/dx and dH/dt from one condition-matrix assembly.
+
+        The tangent predictor needs both; only the moving condition
+        depends on t, so its (and only its) full cofactor matrix is
+        computed for the t-derivative.
+        """
+        X = np.asarray(X, dtype=complex)
+        tt = _per_path_t(t, X.shape[0])
+        c = self.to_matrix_batch(X)
+        mats, s, s0 = self._all_condition_matrices(c, tt)
+        gathered = self._free_cofactors(mats)[..., self._pos_of_free]
+        jac = self._jacobian_from(gathered, s, s0)
+        blocks = c.reshape(X.shape[0], self._n_blocks, self._amb, self.problem.p)
+        cofs_mov = self._batched_cofactors(mats[:, -1])
+        jt = np.zeros((X.shape[0], self.dim), dtype=complex)
+        jt[:, -1] = np.einsum(
+            "pab,pab->p", cofs_mov, self._moving_dmatrix(blocks, s, s0)
+        )
+        return jac, jt
+
+    # ------------------------------------------------------------------
+    # Scalar HomotopyFunction protocol: one-row batches, same arithmetic
+    # ------------------------------------------------------------------
     def evaluate(self, x: np.ndarray, t: float) -> np.ndarray:
-        c = self.to_matrix(x)
-        mats, _, _ = self._all_condition_matrices(c, t)
-        return np.linalg.det(mats)
+        return self.evaluate_batch(np.asarray(x, dtype=complex)[None, :], t)[0]
 
     def jacobian_x(self, x: np.ndarray, t: float) -> np.ndarray:
         return self.evaluate_and_jacobian_x(x, t)[1]
 
     def evaluate_and_jacobian_x(self, x, t):
-        """Residual and Jacobian in three batched numpy calls.
-
-        Row i of the Jacobian is d det(M_i)/d x_k = cof_i[i_amb(k), j(k)]
-        times the homogenization weight s^l * s0^(L_j - l); static rows'
-        weights were precomputed at construction, the moving row's depend
-        on t only.  Residuals reuse the cofactors via first-row expansion,
-        keeping value and gradient exactly consistent.
-        """
-        c = self.to_matrix(x)
-        n = self.dim
-        mats, s, s0 = self._all_condition_matrices(c, t)
-        cofs = self._batched_cofactors(mats)
-        # residuals: expansion along the first row of each matrix
-        res = np.einsum("ej,ej->e", mats[:, 0, :], cofs[:, 0, :])
-        # gradient gather: cofactor entry of each free variable's position
-        gathered = cofs[:, self._free_i, self._free_j]  # (n, nfree)
-        jac = np.empty((n, n), dtype=complex)
-        if n > 1:
-            jac[: n - 1] = gathered[: n - 1] * self._static_weights
-        moving_w = (s**self._free_l) * (
-            s0 ** (self._free_lj - self._free_l)
+        res, jac = self.evaluate_and_jacobian_batch(
+            np.asarray(x, dtype=complex)[None, :], t
         )
-        jac[n - 1] = gathered[n - 1] * moving_w
-        return res, jac
+        return res[0], jac[0]
 
     def jacobian_t(self, x: np.ndarray, t: float) -> np.ndarray:
-        """Only the moving condition depends on t."""
-        c = self.to_matrix(x)
-        n = self.dim
-        out = np.zeros(n, dtype=complex)
-        s, s0, k = self._moving_paths(t)
-        m = self._condition_matrix(c, s, s0, k)
-        cof = cofactor_matrix(m)
-        amb = self._amb
-        p = self.problem.p
-        ds = self.points[-1] - self.gamma_s
-        ds0 = 1.0
-        dm = np.zeros_like(m)
-        # X block: chain rule through s(t), s0(t) per coefficient
-        for j in range(p):
-            lj = self._col_degrees[j]
-            for l in range(lj + 1):
-                dw = 0j
-                if l > 0:
-                    dw += l * (s ** (l - 1)) * (s0 ** (lj - l)) * ds
-                if lj - l > 0:
-                    dw += (lj - l) * (s0 ** (lj - l - 1)) * (s**l) * ds0
-                if dw != 0:
-                    block = c[l * amb : (l + 1) * amb, j]
-                    dm[:, j] += block * dw
-        # K block: d/dt [(1-t) gamma_k K_b + t K_n]
-        dm[:, p:] = self.planes[-1] - self.gamma_k * self.k_special
-        out[n - 1] = np.sum(cof * dm)
-        return out
+        return self.jacobian_t_batch(np.asarray(x, dtype=complex)[None, :], t)[0]
 
     def __repr__(self) -> str:
         return (

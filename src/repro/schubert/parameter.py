@@ -26,26 +26,42 @@ avoids the discriminant with probability one and endpoints remain distinct.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import dataclasses
+from typing import List, Literal, Sequence
 
 import numpy as np
 
-from ..tracker import PathResult, PathTracker, TrackerOptions
-from .homotopy import evaluate_map, normalize_to_standard_chart
+from ..tracker import (
+    BatchHomotopy,
+    BatchTracker,
+    HomotopyFunction,
+    PathResult,
+    PathStatus,
+    PathTracker,
+    TrackerOptions,
+)
+from ..linalg import batched_det
+from ..tracker.interface import _per_path_t
+from .homotopy import normalize_to_standard_chart
 from .patterns import LocalizationPattern
 from .poset import PieriPoset
 from .solver import PieriInstance
-from ..tracker import HomotopyFunction
 
 __all__ = ["PieriParameterHomotopy", "continue_to_instance"]
 
 
-class PieriParameterHomotopy(HomotopyFunction):
+class PieriParameterHomotopy(HomotopyFunction, BatchHomotopy):
     """H(x, t): root-pattern solutions deformed between two instances.
 
     Unknowns are the free coefficients of the *root* localization pattern
     in the standard chart (bottom pivots pinned to 1); all N conditions
     move simultaneously.
+
+    Implements both tracker protocols: the online phase tracks all
+    ``d(m, p, q)`` known solutions at once, so the batched methods carry
+    a leading path axis (each path at its own t) and the scalar methods
+    run through them as one-row batches — scalar and batched tracking
+    see bit-identical arithmetic.
     """
 
     def __init__(
@@ -91,6 +107,18 @@ class PieriParameterHomotopy(HomotopyFunction):
         self._minor_rows = keep[:, None, :, None]
         self._minor_cols = keep[None, :, None, :]
         self._minor_signs = (-1.0) ** np.add.outer(idx, idx)
+        # scatter tables and stacked deformation endpoints for the
+        # batched kernels
+        pinned_sorted = sorted(pinned)
+        self._pinned_rows = np.array([r for r, _ in pinned_sorted])
+        self._pinned_cols = np.array([j for _, j in pinned_sorted])
+        self._free_rows = np.array([r for r, _ in self._free])
+        self._free_cols = np.array([j for _, j in self._free])
+        self._n_blocks = self.problem.nrows // amb
+        self._k0 = self.gamma_k[:, None, None] * np.stack(start.planes)
+        self._k1 = np.stack(target.planes).astype(complex)
+        self._s0 = np.array(start.points, dtype=complex)
+        self._s1 = np.array(target.points, dtype=complex)
 
     @property
     def dim(self) -> int:
@@ -98,17 +126,25 @@ class PieriParameterHomotopy(HomotopyFunction):
 
     # ------------------------------------------------------------------
     def to_matrix(self, x: np.ndarray) -> np.ndarray:
-        c = np.zeros((self.problem.nrows, self.problem.p), dtype=complex)
-        for row, j in self._pinned:
-            c[row, j] = 1.0
-        for val, (row, j) in zip(x, self._free):
-            c[row, j] = val
+        return self.to_matrix_batch(np.asarray(x, dtype=complex)[None, :])[0]
+
+    def to_matrix_batch(self, X: np.ndarray) -> np.ndarray:
+        """Scatter a stack of unknown vectors, shape (npaths, nrows, p)."""
+        X = np.asarray(X, dtype=complex)
+        if X.ndim != 2 or X.shape[1] != self.dim:
+            raise ValueError(f"expected X of shape (npaths, {self.dim})")
+        c = np.zeros(
+            (X.shape[0], self.problem.nrows, self.problem.p), dtype=complex
+        )
+        c[:, self._pinned_rows, self._pinned_cols] = 1.0
+        c[:, self._free_rows, self._free_cols] = X
         return c
 
     def from_matrix(self, c: np.ndarray) -> np.ndarray:
         return np.array([c[row, j] for row, j in self._free], dtype=complex)
 
     def _paths_at(self, t: float):
+        """Scalar deformation snapshot (kept for inspection and tests)."""
         ks, ss = [], []
         for i in range(self.problem.num_conditions):
             ks.append(
@@ -122,36 +158,75 @@ class PieriParameterHomotopy(HomotopyFunction):
             )
         return ks, ss
 
-    def _matrices(self, c: np.ndarray, t: float) -> np.ndarray:
-        ks, ss = self._paths_at(t)
+    def _paths_at_batch(self, tt: np.ndarray):
+        """All N deformed conditions for every path's own t."""
+        w0 = (1.0 - tt)[:, None, None, None]
+        w1 = tt[:, None, None, None]
+        ks = w0 * self._k0 + w1 * self._k1  # (npaths, n, amb, m)
+        ss = (
+            (1.0 - tt)[:, None] * self._s0
+            + tt[:, None] * self._s1
+            + (tt * (1.0 - tt))[:, None] * self.delta_s
+        )  # (npaths, n)
+        return ks, ss
+
+    def _matrices(self, c: np.ndarray, tt: np.ndarray):
+        """Condition-matrix stacks (npaths, n, amb, amb) plus s values.
+
+        The map columns are assembled in one einsum over the degree
+        blocks (entries above a column's support vanish by the pattern,
+        so the full-block sum equals the per-degree sum at s0 = 1).
+        """
+        ks, ss = self._paths_at_batch(tt)
+        npaths = c.shape[0]
         n = self.problem.num_conditions
         amb = self._amb
-        mats = np.empty((n, amb, amb), dtype=complex)
-        for i in range(n):
-            x_si = evaluate_map(c, self.pattern, ss[i], 1.0)
-            mats[i] = np.hstack([x_si, ks[i]])
+        p = self.problem.p
+        blocks = c.reshape(npaths, self._n_blocks, amb, p)
+        spow = ss[:, :, None] ** np.arange(self._n_blocks)
+        mats = np.empty((npaths, n, amb, amb), dtype=complex)
+        mats[..., :p] = np.einsum("pcl,plar->pcar", spow, blocks)
+        mats[..., p:] = ks
         return mats, ss
 
+    # ------------------------------------------------------------------
+    # BatchHomotopy protocol (scalar methods run through it, one row)
+    # ------------------------------------------------------------------
+    def evaluate_batch(self, X: np.ndarray, t) -> np.ndarray:
+        X = np.asarray(X, dtype=complex)
+        tt = _per_path_t(t, X.shape[0])
+        mats, _ = self._matrices(self.to_matrix_batch(X), tt)
+        return batched_det(mats)
+
+    def jacobian_x_batch(self, X: np.ndarray, t) -> np.ndarray:
+        return self.evaluate_and_jacobian_batch(X, t)[1]
+
+    def evaluate_and_jacobian_batch(self, X, t):
+        X = np.asarray(X, dtype=complex)
+        tt = _per_path_t(t, X.shape[0])
+        c = self.to_matrix_batch(X)
+        mats, ss = self._matrices(c, tt)
+        amb = self._amb
+        minors = mats[..., self._minor_rows, self._minor_cols]
+        dets = batched_det(minors.reshape(-1, amb - 1, amb - 1))
+        cofs = self._minor_signs * dets.reshape(mats.shape)
+        res = np.einsum("pej,pej->pe", mats[:, :, 0, :], cofs[:, :, 0, :])
+        gathered = cofs[:, :, self._free_i, self._free_j]
+        spow = ss[:, :, None] ** self._free_l  # s_i(t)^l, s0 = 1 throughout
+        return res, gathered * spow
+
+    # ------------------------------------------------------------------
     def evaluate(self, x: np.ndarray, t: float) -> np.ndarray:
-        mats, _ = self._matrices(self.to_matrix(x), t)
-        return np.linalg.det(mats)
+        return self.evaluate_batch(np.asarray(x, dtype=complex)[None, :], t)[0]
 
     def jacobian_x(self, x: np.ndarray, t: float) -> np.ndarray:
         return self.evaluate_and_jacobian_x(x, t)[1]
 
     def evaluate_and_jacobian_x(self, x, t):
-        c = self.to_matrix(x)
-        mats, ss = self._matrices(c, t)
-        n, amb, _ = mats.shape
-        minors = mats[:, self._minor_rows, self._minor_cols]
-        dets = np.linalg.det(minors.reshape(n * amb * amb, amb - 1, amb - 1))
-        cofs = self._minor_signs[None] * dets.reshape(n, amb, amb)
-        res = np.einsum("ej,ej->e", mats[:, 0, :], cofs[:, 0, :])
-        gathered = cofs[:, self._free_i, self._free_j]
-        spow = np.power(
-            np.asarray(ss)[:, None], self._free_l[None, :]
-        )  # (n, nfree): s_i(t)^l, s0 = 1 throughout
-        return res, gathered * spow
+        res, jac = self.evaluate_and_jacobian_batch(
+            np.asarray(x, dtype=complex)[None, :], t
+        )
+        return res[0], jac[0]
 
 
 def continue_to_instance(
@@ -160,28 +235,52 @@ def continue_to_instance(
     target: PieriInstance,
     options: TrackerOptions | None = None,
     rng: np.random.Generator | None = None,
+    mode: Literal["per_path", "batch"] = "per_path",
 ) -> tuple[List[np.ndarray], List[PathResult]]:
     """Track a solved instance's solutions to a new instance.
 
     Returns ``(solutions, path_results)``; solutions are renormalized to
     the standard chart.  Only ``d(m, p, q)`` paths are tracked — compare
     with the full tree's job count for the offline/online cost split.
+
+    ``mode="batch"`` tracks all paths as one structure-of-arrays front
+    (the homotopy's native batch protocol); ``"per_path"`` is the scalar
+    baseline.  Per-path decisions are identical either way.
+
+    An endpoint whose chart normalization hits a zero pivot (the
+    solution fits a child pattern — non-generic target data) is recorded
+    as a FAILED path result rather than silently dropped, so
+    ``len(results)`` always equals the number of start solutions and
+    ``sum(r.success) == len(solutions)``.
     """
+    if mode not in ("per_path", "batch"):
+        raise ValueError(f"unknown mode {mode!r}")
     homotopy = PieriParameterHomotopy(start, target, rng)
-    tracker = PathTracker(options or TrackerOptions(
+    opts = options or TrackerOptions(
         initial_step=0.02, max_step=0.08, corrector_tol=1e-10
-    ))
+    )
+    x0s = [
+        homotopy.from_matrix(np.asarray(sol, dtype=complex))
+        for sol in start_solutions
+    ]
+    if mode == "batch":
+        raw = BatchTracker(opts).track_batch(homotopy, x0s)
+    else:
+        tracker = PathTracker(opts)
+        raw = [
+            tracker.track(homotopy, x0, path_id=k)
+            for k, x0 in enumerate(x0s)
+        ]
     solutions: List[np.ndarray] = []
     results: List[PathResult] = []
-    for k, sol in enumerate(start_solutions):
-        x0 = homotopy.from_matrix(np.asarray(sol, dtype=complex))
-        result = tracker.track(homotopy, x0, path_id=k)
-        results.append(result)
+    for result in raw:
         if result.success:
             matrix = homotopy.to_matrix(result.solution)
             try:
                 matrix = normalize_to_standard_chart(matrix, homotopy.pattern)
             except ZeroDivisionError:
-                continue
-            solutions.append(matrix)
+                result = dataclasses.replace(result, status=PathStatus.FAILED)
+            else:
+                solutions.append(matrix)
+        results.append(result)
     return solutions, results

@@ -7,18 +7,36 @@ solver exposes the job machinery (``initial_jobs`` / ``run_job`` /
 scheduler in :mod:`repro.parallel` drive *exactly the same computation* —
 only the order differs, which is what makes the sequential/parallel
 agreement tests meaningful.
+
+Two tracking modes share those hooks.  ``solve(mode="per_path")`` is the
+paper's unit of work: one scalar tracker call per edge.
+``solve(mode="batch")`` exploits that every edge at tree level ``n`` has
+the same shape (``dim == n``): a whole level's edges are stacked into one
+:class:`~repro.tracker.StackedHomotopy` and advanced by the SoA
+:class:`~repro.tracker.BatchTracker` as a single front
+(:meth:`PieriSolver.run_jobs_batched`), with the retry ladder and
+chart-switch continuation reworked as batch-aware requeues.  Per-path
+decisions are identical in both modes, so the solution sets agree.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..linalg import random_plane
-from ..tracker import PathResult, PathStatus, PathTracker, TrackerOptions
+from ..tracker import (
+    BatchTracker,
+    PathResult,
+    PathStatus,
+    PathTracker,
+    StackedHomotopy,
+    TrackerOptions,
+)
 from .homotopy import (
     PieriEdgeHomotopy,
     intersection_residuals,
@@ -128,6 +146,9 @@ class PieriReport:
     jobs_per_level: Dict[int, int] = field(default_factory=dict)
     seconds_per_level: Dict[int, float] = field(default_factory=dict)
     total_seconds: float = 0.0
+    #: one record per tree level when solved with ``mode="batch"``:
+    #: n_jobs, n_homotopies, chart_switches, retries, seconds
+    level_batches: List[dict] = field(default_factory=list)
 
     @property
     def n_solutions(self) -> int:
@@ -169,6 +190,15 @@ class PieriSolver:
     >>> report.n_solutions, report.expected_count(), report.failures
     (2, 2, 0)
     >>> report.max_residual() < 1e-8 and report.all_distinct()
+    True
+
+    ``mode="batch"`` tracks whole tree levels as stacked SoA fronts and
+    finds the same solutions:
+
+    >>> batch = PieriSolver(instance, seed=2).solve(mode="batch")
+    >>> batch.n_solutions == report.n_solutions
+    True
+    >>> len(batch.level_batches) == instance.problem.num_conditions
     True
     """
 
@@ -246,25 +276,27 @@ class PieriSolver:
     #: How many times a failed path is re-tracked with tighter steps.
     MAX_RETRIES = 2
 
-    def _retry_tracker(self, attempt: int) -> PathTracker:
-        """Progressively conservative tracking for retries of hard paths."""
+    def _retry_options(self, attempt: int) -> TrackerOptions:
+        """Progressively conservative options for retries of hard paths.
+
+        ``dataclasses.replace`` keeps every field not listed here at the
+        *caller's* value, so new :class:`TrackerOptions` fields are never
+        silently reset to their defaults on a retry.
+        """
         base = self.tracker.options
         factor = 0.25**attempt
-        opts = TrackerOptions(
+        return dataclasses.replace(
+            base,
             initial_step=max(base.initial_step * factor, base.min_step),
             min_step=base.min_step * factor,
             max_step=max(base.max_step * factor, base.min_step),
-            expand=base.expand,
-            shrink=base.shrink,
             expand_after=base.expand_after + attempt,
-            corrector_tol=base.corrector_tol,
-            corrector_iterations=base.corrector_iterations,
-            endgame_tol=base.endgame_tol,
-            endgame_iterations=base.endgame_iterations,
-            divergence_bound=base.divergence_bound,
             max_steps=base.max_steps * (attempt + 1),
         )
-        return PathTracker(opts)
+
+    def _retry_tracker(self, attempt: int) -> PathTracker:
+        """A scalar tracker with the attempt's tightened options."""
+        return PathTracker(self._retry_options(attempt))
 
     def run_job(self, job: PieriJob) -> PieriJobResult:
         """Track one edge and normalize the endpoint to the standard chart.
@@ -291,24 +323,26 @@ class PieriSolver:
             return PieriJobResult(job, result, None)
         return PieriJobResult(job, result, matrix)
 
-    def _chart_switch_continue(
+    def _repin_chart(
         self,
         job: PieriJob,
         homotopy: PieriEdgeHomotopy,
         diverged: PathResult,
-    ):
-        """Continue an apparently divergent path in a rescaled chart.
+    ) -> Optional[Tuple[int, np.ndarray]]:
+        """Pick the chart a divergent path should continue in, if any.
 
         Large coordinates usually mean the path left the affine chart (the
         pinned entry of the moving column tends to zero), not that the
         solution is at infinity: the determinant conditions are invariant
-        under column scaling, so re-pinning the currently largest entry of
-        column jstar and resuming from the reached ``t`` follows the same
-        geometric path in well-scaled coordinates.
+        under column scaling, so the currently largest entry of column
+        jstar becomes the new pin.  Returns ``(pin_row, rescaled matrix)``
+        or ``None`` when no switch applies (no progress made, already in
+        the best chart, or a zero candidate pivot).  Shared by the scalar
+        and batched drivers so their decisions cannot drift apart.
         """
         t_reached = diverged.stats.t_reached
         if t_reached <= 0.0 or t_reached >= 1.0:
-            return diverged, homotopy
+            return None
         pattern = job.node.pattern()
         jstar = job.node.columns[-1]
         c = homotopy.to_matrix(diverged.solution)
@@ -316,12 +350,27 @@ class PieriSolver:
         values = np.abs(c[col_rows, jstar])
         pin_row = col_rows[int(np.argmax(values))]
         if pin_row == homotopy.pin_row or c[pin_row, jstar] == 0:
-            return diverged, homotopy
+            return None
         c = c.copy()
         c[:, jstar] /= c[pin_row, jstar]
+        return pin_row, c
+
+    def _chart_switch_continue(
+        self,
+        job: PieriJob,
+        homotopy: PieriEdgeHomotopy,
+        diverged: PathResult,
+    ):
+        """Continue an apparently divergent path in a rescaled chart,
+        resuming from the reached ``t`` — the same geometric path in
+        well-scaled coordinates."""
+        repin = self._repin_chart(job, homotopy, diverged)
+        if repin is None:
+            return diverged, homotopy
+        pin_row, c = repin
         new_hom = self.make_homotopy(job.node, pin_row=pin_row)
         x1 = new_hom.from_matrix(c)
-        resumed = self.tracker.track(new_hom, x1, t_start=t_reached)
+        resumed = self.tracker.track(new_hom, x1, t_start=diverged.stats.t_reached)
         if resumed.success:
             return resumed, new_hom
         return diverged, homotopy
@@ -336,8 +385,161 @@ class PieriSolver:
         ]
 
     # ------------------------------------------------------------------
-    def solve(self) -> PieriReport:
-        """Depth-first sequential solve of the whole tree."""
+    # Batched tracking: a whole tree level as one stacked SoA front
+    # ------------------------------------------------------------------
+    def run_jobs_batched(
+        self, jobs: Sequence[PieriJob]
+    ) -> Tuple[List[PieriJobResult], Dict[str, int]]:
+        """Track many same-level edges as one stacked batch.
+
+        All jobs must share a tree level, so their edge homotopies share
+        a shape (``dim == level``) and stack into one
+        :class:`~repro.tracker.StackedHomotopy` front.  Edges into the
+        same poset node reuse one homotopy object (identical gamma
+        twists), exactly as :meth:`run_job` builds them, so the
+        start/endpoint bijection that keeps solutions distinct is
+        preserved.  The scalar driver's failure handling is reworked as
+        batch-aware requeues:
+
+        - apparently divergent paths are re-pinned and *resumed* in a
+          rescaled chart, each from its own reached ``t`` (the
+          chart-switch continuation, stacked per target chart);
+        - remaining failures are re-tracked from their start points with
+          the progressively tighter retry options, as one stacked batch
+          per attempt, against the *original* homotopies (fresh gammas
+          would break the bijection).
+
+        Returns one :class:`PieriJobResult` per job, in input order,
+        plus a stats dict (``n_jobs``, ``n_homotopies``,
+        ``chart_switches``, ``retries``).
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return [], {
+                "n_jobs": 0,
+                "n_homotopies": 0,
+                "chart_switches": 0,
+                "retries": 0,
+            }
+        if len({job.level for job in jobs}) != 1:
+            raise ValueError("batched Pieri jobs must share one tree level")
+        # one homotopy per (pattern, jstar) class — all chains into the
+        # same poset node share gamma twists (see _edge_rng)
+        members: List[PieriEdgeHomotopy] = []
+        index: Dict[tuple, int] = {}
+        owners: List[int] = []
+        for job in jobs:
+            key = (job.node.pattern().bottom_pivots, job.node.columns[-1])
+            k = index.get(key)
+            if k is None:
+                k = index[key] = len(members)
+                members.append(self.make_homotopy(job.node))
+            owners.append(k)
+        x0 = [
+            members[k].start_vector(job.start_matrix)
+            for k, job in zip(owners, jobs)
+        ]
+        tracker = BatchTracker(self.tracker.options)
+        results = tracker.track_batch(StackedHomotopy(members, owners), x0)
+        homs: List[PieriEdgeHomotopy] = [members[k] for k in owners]
+        stats = {
+            "n_jobs": len(jobs),
+            "n_homotopies": len(members),
+            "chart_switches": 0,
+            "retries": 0,
+        }
+
+        # --- chart-switch requeue: re-pin and resume divergent paths
+        sw_members: List[PieriEdgeHomotopy] = []
+        sw_index: Dict[tuple, int] = {}
+        sw_paths: List[int] = []   # index into jobs/results
+        sw_owner: List[int] = []
+        sw_x: List[np.ndarray] = []
+        sw_t: List[float] = []
+        for i, r in enumerate(results):
+            if r.status is not PathStatus.DIVERGED:
+                continue
+            job = jobs[i]
+            repin = self._repin_chart(job, homs[i], r)
+            if repin is None:
+                continue
+            pin_row, c = repin
+            skey = (
+                job.node.pattern().bottom_pivots,
+                job.node.columns[-1],
+                pin_row,
+            )
+            k = sw_index.get(skey)
+            if k is None:
+                k = sw_index[skey] = len(sw_members)
+                sw_members.append(
+                    self.make_homotopy(job.node, pin_row=pin_row)
+                )
+            sw_paths.append(i)
+            sw_owner.append(k)
+            sw_x.append(sw_members[k].from_matrix(c))
+            sw_t.append(r.stats.t_reached)
+        if sw_paths:
+            stats["chart_switches"] = len(sw_paths)
+            resumed = tracker.track_batch(
+                StackedHomotopy(sw_members, sw_owner),
+                sw_x,
+                path_ids=[results[i].path_id for i in sw_paths],
+                t_start=np.array(sw_t),
+            )
+            for i, k, rr in zip(sw_paths, sw_owner, resumed):
+                if rr.success:
+                    results[i] = rr
+                    homs[i] = sw_members[k]
+
+        # --- retry ladder: tighter tracking of the same homotopies
+        for attempt in range(1, self.MAX_RETRIES + 1):
+            fail = [i for i, r in enumerate(results) if not r.success]
+            if not fail:
+                break
+            stats["retries"] += len(fail)
+            retry = BatchTracker(self._retry_options(attempt))
+            retried = retry.track_batch(
+                StackedHomotopy(members, [owners[i] for i in fail]),
+                [x0[i] for i in fail],
+                path_ids=[results[i].path_id for i in fail],
+            )
+            for i, rr in zip(fail, retried):
+                results[i] = rr
+                homs[i] = members[owners[i]]
+
+        # --- normalize endpoints to the standard chart, as run_job does
+        out: List[PieriJobResult] = []
+        for job, r, hom in zip(jobs, results, homs):
+            if not r.success:
+                out.append(PieriJobResult(job, r, None))
+                continue
+            matrix = hom.to_matrix(r.solution)
+            try:
+                matrix = normalize_to_standard_chart(matrix, job.node.pattern())
+            except ZeroDivisionError:
+                out.append(PieriJobResult(job, r, None))
+                continue
+            out.append(PieriJobResult(job, r, matrix))
+        return out, stats
+
+    # ------------------------------------------------------------------
+    def solve(
+        self, mode: Literal["per_path", "batch"] = "per_path"
+    ) -> PieriReport:
+        """Sequential solve of the whole tree.
+
+        ``per_path`` runs the depth-first scalar driver (one tracked
+        path per call, the paper's unit of work); ``batch`` runs the
+        tree level-synchronously, tracking every edge of a level as one
+        stacked structure-of-arrays front and recording per-level batch
+        stats in ``report.level_batches``.  Both modes build identical
+        homotopies, so the solution sets agree.
+        """
+        if mode == "batch":
+            return self._solve_batched()
+        if mode != "per_path":
+            raise ValueError(f"unknown mode {mode!r}")
         t_start = time.perf_counter()
         report = PieriReport(self.instance)
         stack = self.initial_jobs()
@@ -358,5 +560,37 @@ class PieriSolver:
                 report.solutions.append(result.matrix)
             else:
                 stack.extend(self.expand(result))
+        report.total_seconds = time.perf_counter() - t_start
+        return report
+
+    def _solve_batched(self) -> PieriReport:
+        """Level-synchronous solve: one stacked batch per tree level."""
+        t_start = time.perf_counter()
+        report = PieriReport(self.instance)
+        frontier = self.initial_jobs()
+        while frontier:
+            lvl = frontier[0].level
+            t0 = time.perf_counter()
+            results, stats = self.run_jobs_batched(frontier)
+            dt = time.perf_counter() - t0
+            report.jobs_per_level[lvl] = (
+                report.jobs_per_level.get(lvl, 0) + len(frontier)
+            )
+            report.seconds_per_level[lvl] = (
+                report.seconds_per_level.get(lvl, 0.0) + dt
+            )
+            report.level_batches.append(
+                {"level": lvl, "seconds": dt, **stats}
+            )
+            nxt: List[PieriJob] = []
+            for result in results:
+                if not result.success:
+                    report.failures += 1
+                    continue
+                if result.job.node.is_leaf():
+                    report.solutions.append(result.matrix)
+                else:
+                    nxt.extend(self.expand(result))
+            frontier = nxt
         report.total_seconds = time.perf_counter() - t_start
         return report

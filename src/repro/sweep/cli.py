@@ -142,6 +142,7 @@ def _cmd_report(args) -> int:
                 line += f" mixed_volume={result['mixed_volume']}"
         else:
             line = (f"    {job_id}: start=pieri-tree "
+                    f"mode={result.get('mode', 'per_path')} "
                     f"paths={result.get('expected', '?')} "
                     f"solutions={result.get('n_solutions', '?')}")
         print(line)

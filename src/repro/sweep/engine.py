@@ -23,8 +23,11 @@ Polynomial-system jobs route through :func:`repro.homotopy.solve` with
 ``mode="batch"`` (the structure-of-arrays tracker) and the job's
 start-system strategy — ``total_degree``, ``linear_product``, or
 ``polyhedral``, which tracks one path per unit of mixed volume; Pieri
-jobs run the sequential tree solver per instance.  Workers self-report busy seconds
-and identity, exactly like :mod:`repro.parallel.executors`.
+jobs run the tree solver per instance, either edge by edge
+(``mode="per_path"``) or with whole tree levels tracked as stacked SoA
+batches (``mode="batch"``, journaling the per-level batch stats).
+Workers self-report busy seconds and identity, exactly like
+:mod:`repro.parallel.executors`.
 """
 
 from __future__ import annotations
@@ -124,8 +127,9 @@ def run_job(job: JobSpec) -> dict:
         instance = PieriInstance.random(
             params["m"], params["p"], params["q"], rng
         )
-        report = PieriSolver(instance, seed=job.seed).solve()
+        report = PieriSolver(instance, seed=job.seed).solve(mode=job.mode)
         result = {
+            "mode": job.mode,
             "n_solutions": report.n_solutions,
             "expected": report.expected_count(),
             "failures": report.failures,
@@ -136,6 +140,14 @@ def run_job(job: JobSpec) -> dict:
             ),
             "fingerprint": solutions_fingerprint(report.solutions),
         }
+        if job.mode == "batch":
+            # per-level batch stats (sizes, shared homotopies, requeues)
+            # so a journal replay can reconstruct the batching behaviour
+            result["levels"] = [
+                {k: round(v, 6) if isinstance(v, float) else v
+                 for k, v in rec.items()}
+                for rec in report.level_batches
+            ]
     else:
         from ..homotopy import solve
 

@@ -38,7 +38,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["JOB_KINDS", "START_KINDS", "JobSpec", "SweepSpec", "mixed_demo_spec"]
+__all__ = [
+    "JOB_KINDS",
+    "START_KINDS",
+    "PIERI_MODES",
+    "JobSpec",
+    "SweepSpec",
+    "mixed_demo_spec",
+]
 
 #: Supported job kinds and the integer parameters each requires.
 JOB_KINDS: Dict[str, tuple] = {
@@ -55,6 +62,12 @@ JOB_KINDS: Dict[str, tuple] = {
 #: its own start mechanism).
 START_KINDS = ("total_degree", "linear_product", "polyhedral")
 
+#: Tracking modes for Pieri jobs: ``per_path`` drives the scalar tracker
+#: edge by edge, ``batch`` tracks whole tree levels as stacked SoA
+#: fronts (:meth:`repro.schubert.solver.PieriSolver.solve`).  Polynomial
+#: jobs always run the batch tracker and take no mode.
+PIERI_MODES = ("per_path", "batch")
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -65,14 +78,16 @@ class JobSpec:
     does not depend on insertion order.  ``start`` picks the start
     system :func:`repro.homotopy.solve` builds for polynomial jobs
     (``"polyhedral"`` tracks one path per unit of mixed volume instead
-    of per Bezout path); the default leaves job ids — and hence old
-    journals — untouched.
+    of per Bezout path); ``mode`` picks per-path vs level-batched
+    tracking for Pieri jobs.  The defaults leave job ids — and hence
+    old journals — untouched.
     """
 
     kind: str
     params: tuple
     seed: int = 0
     start: str = "total_degree"
+    mode: str = "per_path"
 
     def __init__(
         self,
@@ -80,6 +95,7 @@ class JobSpec:
         params: Mapping[str, int],
         seed: int = 0,
         start: str = "total_degree",
+        mode: str = "per_path",
     ):
         if kind not in JOB_KINDS:
             raise ValueError(
@@ -94,6 +110,15 @@ class JobSpec:
             raise ValueError(
                 "pieri jobs run the tree solver and take no start strategy"
             )
+        if mode not in PIERI_MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected one of {sorted(PIERI_MODES)}"
+            )
+        if kind != "pieri" and mode != "per_path":
+            raise ValueError(
+                "only pieri jobs take a tracking mode (polynomial jobs "
+                "always run the batch tracker)"
+            )
         required = JOB_KINDS[kind]
         given = dict(params)
         if sorted(given) != sorted(required):
@@ -106,6 +131,7 @@ class JobSpec:
         object.__setattr__(self, "params", clean)
         object.__setattr__(self, "seed", int(seed))
         object.__setattr__(self, "start", start)
+        object.__setattr__(self, "mode", mode)
 
     @property
     def param_dict(self) -> Dict[str, int]:
@@ -115,15 +141,17 @@ class JobSpec:
     def job_id(self) -> str:
         """Deterministic human-readable identity, e.g. ``pieri-m2-p2-q1-s0``.
 
-        Non-default start strategies join the id (e.g.
-        ``cyclic-n7-polyhedral-s0``), so the same system solved two ways
-        makes two distinct journal entries; default ids match pre-start
-        journals exactly.
+        Non-default start strategies and Pieri tracking modes join the
+        id (e.g. ``cyclic-n7-polyhedral-s0``, ``pieri-m2-p2-q1-batch-s0``),
+        so the same system solved two ways makes two distinct journal
+        entries; default ids match pre-existing journals exactly.
         """
         parts = [self.kind]
         parts += [f"{k}{v}" for k, v in self.params]
         if self.start != "total_degree":
             parts.append(self.start)
+        if self.mode != "per_path":
+            parts.append(self.mode)
         parts.append(f"s{self.seed}")
         return "-".join(parts)
 
@@ -131,6 +159,8 @@ class JobSpec:
         d = {"kind": self.kind, "params": self.param_dict, "seed": self.seed}
         if self.start != "total_degree":
             d["start"] = self.start
+        if self.mode != "per_path":
+            d["mode"] = self.mode
         return d
 
     @classmethod
@@ -140,6 +170,7 @@ class JobSpec:
             d.get("params", {}),
             d.get("seed", 0),
             d.get("start", "total_degree"),
+            d.get("mode", "per_path"),
         )
 
 
@@ -155,6 +186,9 @@ def _expand_grid(grid: Mapping) -> List[JobSpec]:
     starts = grid.pop("start", ["total_degree"])
     if isinstance(starts, str):
         starts = [starts]
+    modes = grid.pop("mode", ["per_path"])
+    if isinstance(modes, str):
+        modes = [modes]
     axes = {}
     for name in JOB_KINDS[kind]:
         if name not in grid:
@@ -167,10 +201,17 @@ def _expand_grid(grid: Mapping) -> List[JobSpec]:
     jobs = []
     for combo in itertools.product(*(axes[n] for n in names)):
         for start in starts:
-            for seed in seeds:
-                jobs.append(
-                    JobSpec(kind, dict(zip(names, combo)), seed=seed, start=start)
-                )
+            for mode in modes:
+                for seed in seeds:
+                    jobs.append(
+                        JobSpec(
+                            kind,
+                            dict(zip(names, combo)),
+                            seed=seed,
+                            start=start,
+                            mode=mode,
+                        )
+                    )
     return jobs
 
 

@@ -9,7 +9,10 @@ Two tracker front-ends share the same options and result records:
 Both consume any homotopy implementing the :class:`HomotopyFunction`
 protocol (``evaluate`` / ``jacobian_x`` / ``jacobian_t`` and ``dim``);
 scalar-only homotopies batch through :class:`ScalarBatchAdapter`, and
-per-path decisions are bit-identical between the two front-ends.
+per-path decisions are bit-identical between the two front-ends.  A batch
+need not track one homotopy from many starts: :class:`StackedHomotopy`
+stacks *distinct same-shape* homotopies (e.g. every Pieri edge of one
+tree level) into a single structure-of-arrays front.
 
 Track the four total-degree paths of katsura-2 both ways:
 
@@ -49,12 +52,14 @@ from .result import (
     duplicate_path_ids,
     summarize_results,
 )
+from .stacked import StackedHomotopy
 from .tracker import PathTracker, TrackerOptions, refine_solutions
 
 __all__ = [
     "HomotopyFunction",
     "BatchHomotopy",
     "ScalarBatchAdapter",
+    "StackedHomotopy",
     "as_batch",
     "NewtonResult",
     "BatchNewtonResult",

@@ -71,25 +71,37 @@ class BatchTracker:
         homotopy: BatchHomotopy | HomotopyFunction,
         starts: Sequence[Sequence[complex]],
         path_ids: Sequence[int] | None = None,
-        t_start: float = 0.0,
+        t_start: float | Sequence[float] = 0.0,
     ) -> List[PathResult]:
         """Track all ``starts`` from ``t=t_start`` to t=1 in lockstep sweeps.
 
         ``homotopy`` may be a native :class:`BatchHomotopy` or any scalar
         :class:`HomotopyFunction` (wrapped via
-        :func:`~repro.tracker.interface.as_batch`).  Returns one
-        :class:`PathResult` per start, in input order.
+        :func:`~repro.tracker.interface.as_batch`); a
+        :class:`~repro.tracker.stacked.StackedHomotopy` lets each row
+        track its *own* homotopy.  ``t_start`` is a scalar or one value
+        per path — per-path starts serve batched chart-switch
+        continuation, where each resumed path picks up at the ``t`` it
+        had reached.  Returns one :class:`PathResult` per start, in
+        input order.
         """
         opts = self.options
         bh = as_batch(homotopy)
-        if not 0.0 <= t_start < 1.0:
-            raise ValueError("t_start must lie in [0, 1)")
         X = np.array([np.asarray(s, dtype=complex) for s in starts], dtype=complex)
         if X.size == 0:
             return []
         if X.ndim != 2 or X.shape[1] != bh.dim:
             raise ValueError(f"expected starts of shape (npaths, {bh.dim})")
         n = X.shape[0]
+        T = np.asarray(t_start, dtype=float)
+        if T.ndim == 0:
+            T = np.full(n, float(T))
+        elif T.shape != (n,):
+            raise ValueError(f"expected t_start scalar or shape ({n},)")
+        else:
+            T = T.copy()
+        if np.any((T < 0.0) | (T >= 1.0)):
+            raise ValueError("t_start must lie in [0, 1)")
         if path_ids is None:
             path_ids = list(range(n))
         elif len(path_ids) != n:
@@ -97,7 +109,6 @@ class BatchTracker:
 
         t0 = time.perf_counter()
         x_start = X.copy()
-        T = np.full(n, float(t_start))
         step = np.full(n, opts.initial_step)
         easy = np.zeros(n, dtype=np.int64)
         accepted = np.zeros(n, dtype=np.int64)
@@ -141,7 +152,8 @@ class BatchTracker:
             t_new = T[run] + dt
 
             # --- predict: batched tangent, secant fallback per failed path
-            tangent, ok = self._tangents(bh, X[run], T[run])
+            bh_run = bh.restrict(run)
+            tangent, ok = self._tangents(bh_run, X[run], T[run])
             x_pred = X[run] + dt[:, None] * tangent
             if not np.all(ok):
                 fb = ~ok
@@ -156,7 +168,7 @@ class BatchTracker:
 
             # --- correct
             corr = batch_newton_correct(
-                bh,
+                bh_run,
                 x_pred,
                 t_new,
                 tol=opts.corrector_tol,
@@ -206,7 +218,7 @@ class BatchTracker:
         endg = np.flatnonzero(state == _ENDGAME)
         if endg.size:
             final = batch_newton_correct(
-                bh,
+                bh.restrict(endg),
                 X[endg],
                 1.0,
                 tol=opts.endgame_tol,

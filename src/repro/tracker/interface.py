@@ -132,6 +132,21 @@ class BatchHomotopy(abc.ABC):
         """
         return self.jacobian_x_batch(X, t), self.jacobian_t_batch(X, t)
 
+    def restrict(self, rows) -> "BatchHomotopy":
+        """The batch homotopy seen by the given subset of path rows.
+
+        The trackers cull finished paths from their active front, so a
+        batch call may cover any subset of the original rows.  For a
+        homogeneous batch (every row tracks the same homotopy) the rows
+        are interchangeable and the default returns ``self``; a batch
+        whose rows belong to *distinct* member homotopies — the
+        :class:`~repro.tracker.stacked.StackedHomotopy` combinator —
+        overrides this to slice its ownership vector along.  ``rows``
+        index into this object's rows, so restrictions compose.
+        """
+        del rows
+        return self
+
 
 class ScalarBatchAdapter(BatchHomotopy):
     """Present any scalar :class:`HomotopyFunction` as a :class:`BatchHomotopy`.

@@ -153,7 +153,9 @@ def batch_newton_correct(
     for it in range(1, max_iterations + 1):
         if work.size == 0:
             return BatchNewtonResult(X, converged, iterations, residual, singular)
-        res, jac = homotopy.evaluate_and_jacobian_batch(X[work], tt[work])
+        res, jac = homotopy.restrict(work).evaluate_and_jacobian_batch(
+            X[work], tt[work]
+        )
         resnorm = np.max(np.abs(res), axis=1)
         residual[work] = resnorm
         done = resnorm <= tol
@@ -174,13 +176,18 @@ def batch_newton_correct(
         under = np.max(np.abs(dx), axis=1) <= 1e-15 * xnorm
         if np.any(under):
             u = work[under]
-            rn = np.max(np.abs(homotopy.evaluate_batch(X[u], tt[u])), axis=1)
+            rn = np.max(
+                np.abs(homotopy.restrict(u).evaluate_batch(X[u], tt[u])), axis=1
+            )
             residual[u] = rn
             converged[u] = rn <= tol * 1e3
             iterations[u] = it
             work = work[~under]
     if work.size:
-        rn = np.max(np.abs(homotopy.evaluate_batch(X[work], tt[work])), axis=1)
+        rn = np.max(
+            np.abs(homotopy.restrict(work).evaluate_batch(X[work], tt[work])),
+            axis=1,
+        )
         residual[work] = rn
         converged[work] = rn <= tol
         iterations[work] = max_iterations

@@ -15,6 +15,8 @@ DOCUMENTED_MODULES = [
     "repro.homotopy.solve",
     "repro.homotopy.counts",
     "repro.tracker",
+    "repro.tracker.stacked",
+    "repro.linalg.dets",
     "repro.parallel.executors",
     "repro.schubert.solver",
     "repro.polyhedral.supports",

@@ -1,0 +1,441 @@
+"""Batched Pieri tracking: StackedHomotopy and scalar-vs-batch parity.
+
+The ISSUE-4 acceptance contract: solving a Pieri instance with
+``mode="batch"`` (whole tree levels as stacked SoA fronts) must agree
+with the scalar per-path driver — equal failure statuses and endpoints
+matching to 1e-8 — across (m, p, q) cells, including runs that exercise
+the batch-aware retry ladder and chart-switch requeues, plus the batched
+``continue_to_instance`` online phase.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.linalg import batched_det
+from repro.parallel import solve_pieri_parallel
+from repro.schubert import (
+    PieriInstance,
+    PieriSolver,
+    continue_to_instance,
+    trivial_solution_matrix,
+)
+from repro.schubert.homotopy import evaluate_map
+from repro.schubert.parameter import PieriParameterHomotopy
+from repro.sweep import JobSpec
+from repro.sweep.engine import run_job
+from repro.tracker import (
+    BatchHomotopy,
+    BatchTracker,
+    HomotopyFunction,
+    PathStatus,
+    PathTracker,
+    StackedHomotopy,
+    TrackerOptions,
+)
+
+
+class Line(HomotopyFunction):
+    """H(x, t) = x - a t - 1: the single path is x(t) = 1 + a t."""
+
+    def __init__(self, a):
+        self.a = a
+
+    @property
+    def dim(self):
+        return 1
+
+    def evaluate(self, x, t):
+        return np.array([x[0] - self.a * t - 1.0])
+
+    def jacobian_x(self, x, t):
+        return np.array([[1.0 + 0j]])
+
+    def jacobian_t(self, x, t):
+        return np.array([-self.a + 0j])
+
+
+def _sorted_solutions(solutions):
+    return sorted(
+        solutions, key=lambda s: (float(s.real.sum()), float(s.imag.sum()))
+    )
+
+
+def _assert_same_solution_sets(a, b, tol=1e-8):
+    sa, sb = _sorted_solutions(a), _sorted_solutions(b)
+    assert len(sa) == len(sb)
+    for x, y in zip(sa, sb):
+        assert np.max(np.abs(x - y)) < tol
+
+
+class TestStackedHomotopy:
+    def test_delegates_to_owners(self):
+        stack = StackedHomotopy([Line(2.0), Line(-1.0)], [0, 1, 0])
+        assert stack.npaths == 3 and stack.dim == 1
+        X = np.array([[1.0 + 0j], [2.0 + 0j], [3.0 + 0j]])
+        t = np.array([0.1, 0.5, 0.9])
+        res = stack.evaluate_batch(X, t)
+        members = [Line(2.0), Line(-1.0), Line(2.0)]
+        for i, h in enumerate(members):
+            assert np.allclose(res[i], h.evaluate(X[i], t[i]))
+            assert np.allclose(
+                stack.jacobian_t_batch(X, t)[i], h.jacobian_t(X[i], t[i])
+            )
+        r2, j2 = stack.evaluate_and_jacobian_batch(X, t)
+        jx, jt = stack.jacobians_batch(X, t)
+        assert np.allclose(r2, res)
+        assert np.allclose(j2, jx)
+
+    def test_restrict_slices_ownership(self):
+        stack = StackedHomotopy([Line(2.0), Line(-1.0)], [0, 1, 1])
+        sub = stack.restrict([2, 0])
+        assert isinstance(sub, StackedHomotopy)
+        assert sub.npaths == 2
+        assert list(sub.owners) == [1, 0]
+        # restrictions compose (tracker-then-newton culling)
+        assert list(sub.restrict([1]).owners) == [0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StackedHomotopy([], [])
+        with pytest.raises(ValueError):
+            StackedHomotopy([Line(1.0)], [0, 1])  # owner out of range
+
+        class Two(Line):
+            @property
+            def dim(self):
+                return 2
+
+        with pytest.raises(ValueError):
+            StackedHomotopy([Line(1.0), Two(1.0)], [0, 1])
+        stack = StackedHomotopy([Line(1.0)], [0, 0])
+        with pytest.raises(ValueError):
+            stack.evaluate_batch(np.zeros((3, 1), dtype=complex), 0.0)
+
+    def test_tracking_matches_scalar_members(self):
+        members = [Line(2.0), Line(-1.0)]
+        owners = [0, 1, 1]
+        starts = [[1.0], [1.0], [1.0]]
+        batch = BatchTracker().track_batch(
+            StackedHomotopy(members, owners), starts
+        )
+        for r, k, x0 in zip(batch, owners, starts):
+            scalar = PathTracker().track(members[k], x0)
+            assert r.status == scalar.status
+            assert np.max(np.abs(r.solution - scalar.solution)) < 1e-10
+
+    def test_per_path_t_start_vector(self):
+        results = BatchTracker().track_batch(
+            StackedHomotopy([Line(2.0)], [0, 0]),
+            [[1.8], [1.0]],
+            t_start=np.array([0.4, 0.0]),
+        )
+        assert all(r.success for r in results)
+        assert all(abs(r.solution[0] - 3.0) < 1e-9 for r in results)
+        with pytest.raises(ValueError):
+            BatchTracker().track_batch(
+                Line(1.0), [[1.0], [1.0]], t_start=np.array([0.0, 1.0])
+            )
+        with pytest.raises(ValueError):
+            BatchTracker().track_batch(
+                Line(1.0), [[1.0], [1.0]], t_start=np.array([0.0])
+            )
+
+
+class TestBatchedDet:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_matches_lapack(self, k):
+        rng = np.random.default_rng(k)
+        a = rng.standard_normal((40, k, k)) + 1j * rng.standard_normal(
+            (40, k, k)
+        )
+        assert np.allclose(batched_det(a), np.linalg.det(a))
+        stacked = a.reshape(8, 5, k, k)
+        assert np.allclose(batched_det(stacked), np.linalg.det(stacked))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            batched_det(np.zeros((3, 2, 4)))
+
+
+class TestPieriEdgeBatchProtocol:
+    def _edge(self, m=2, p=2, q=1, seed=5, depth=3):
+        from repro.schubert.tree import PieriTreeNode
+
+        instance = PieriInstance.random(m, p, q, np.random.default_rng(seed))
+        solver = PieriSolver(instance, seed=seed + 1)
+        node = PieriTreeNode(instance.problem)
+        for _ in range(depth):
+            node = next(node.children())
+        return solver.make_homotopy(node)
+
+    def test_is_native_batch(self):
+        hom = self._edge()
+        assert isinstance(hom, BatchHomotopy)
+        assert isinstance(hom, HomotopyFunction)
+
+    def test_evaluate_batch_matches_reference_dets(self):
+        """The vectorized assembly equals the definitional construction."""
+        hom = self._edge()
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((4, hom.dim)) + 1j * rng.standard_normal(
+            (4, hom.dim)
+        )
+        tt = np.array([0.0, 0.3, 0.7, 0.99])
+        res = hom.evaluate_batch(X, tt)
+        n = hom.dim
+        for i in range(4):
+            c = hom.to_matrix(X[i])
+            mats = [
+                np.hstack(
+                    [
+                        evaluate_map(c, hom.pattern, hom.points[e], 1.0),
+                        hom.planes[e],
+                    ]
+                )
+                for e in range(n - 1)
+            ]
+            t = tt[i]
+            s = (1 - t) * hom.gamma_s + t * hom.points[-1]
+            k = (1 - t) * hom.gamma_k * hom.k_special + t * hom.planes[-1]
+            mats.append(
+                np.hstack([evaluate_map(c, hom.pattern, s, complex(t)), k])
+            )
+            assert np.allclose(res[i], np.linalg.det(np.array(mats)), atol=1e-10)
+
+    def test_batch_jacobians_match_scalar_rows(self):
+        hom = self._edge(m=3, p=2, q=0, seed=9, depth=4)
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((5, hom.dim)) + 1j * rng.standard_normal(
+            (5, hom.dim)
+        )
+        tt = np.linspace(0.05, 0.95, 5)
+        res, jac = hom.evaluate_and_jacobian_batch(X, tt)
+        jx, jt = hom.jacobians_batch(X, tt)
+        for i in range(5):
+            r0, j0 = hom.evaluate_and_jacobian_x(X[i], tt[i])
+            assert np.allclose(res[i], r0)
+            assert np.allclose(jac[i], j0)
+            assert np.allclose(jx[i], j0)
+            assert np.allclose(jt[i], hom.jacobian_t(X[i], tt[i]))
+
+    def test_jacobians_against_finite_differences(self):
+        hom = self._edge(m=2, p=2, q=1, seed=3, depth=5)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(hom.dim) + 1j * rng.standard_normal(hom.dim)
+        t = 0.41
+        jac = hom.jacobian_x(x, t)
+        h = 1e-7
+        for k in range(hom.dim):
+            xp = x.copy()
+            xp[k] += h
+            fd = (hom.evaluate(xp, t) - hom.evaluate(x, t)) / h
+            assert np.allclose(jac[:, k], fd, atol=1e-4)
+        fd = (hom.evaluate(x, t + h) - hom.evaluate(x, t)) / h
+        assert np.allclose(hom.jacobian_t(x, t), fd, atol=1e-4)
+
+
+class TestSolverParity:
+    """Acceptance: statuses equal, endpoints to 1e-8, per (m, p, q)."""
+
+    @pytest.mark.parametrize(
+        "m,p,q", [(2, 2, 0), (3, 2, 0), (2, 3, 0), (2, 2, 1)]
+    )
+    def test_solve_modes_agree(self, m, p, q):
+        instance = PieriInstance.random(m, p, q, np.random.default_rng(11))
+        per_path = PieriSolver(instance, seed=12).solve(mode="per_path")
+        batch = PieriSolver(instance, seed=12).solve(mode="batch")
+        assert batch.failures == per_path.failures
+        assert batch.n_solutions == per_path.n_solutions
+        _assert_same_solution_sets(per_path.solutions, batch.solutions)
+        assert batch.jobs_per_level == per_path.jobs_per_level
+        assert len(batch.level_batches) == instance.problem.num_conditions
+        assert all(r["n_jobs"] >= 1 for r in batch.level_batches)
+
+    def test_run_jobs_batched_matches_run_job(self):
+        instance = PieriInstance.random(2, 2, 1, np.random.default_rng(21))
+        solver = PieriSolver(instance, seed=22)
+        frontier = solver.initial_jobs()
+        while frontier:
+            scalar = [solver.run_job(job) for job in frontier]
+            batched, stats = solver.run_jobs_batched(frontier)
+            assert stats["n_jobs"] == len(frontier)
+            nxt = []
+            for a, b in zip(scalar, batched):
+                assert a.success == b.success
+                assert a.path_result.status == b.path_result.status
+                if a.success:
+                    assert np.max(np.abs(a.matrix - b.matrix)) < 1e-8
+                nxt.extend(solver.expand(a))
+            frontier = nxt
+
+    def test_batch_rejects_mixed_levels(self):
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(1))
+        solver = PieriSolver(instance, seed=2)
+        jobs = solver.initial_jobs()
+        results, _ = solver.run_jobs_batched(jobs)
+        deeper = solver.expand(results[0])
+        with pytest.raises(ValueError):
+            solver.run_jobs_batched([jobs[0], deeper[0]])
+        assert solver.run_jobs_batched([]) == ([], {
+            "n_jobs": 0, "n_homotopies": 0, "chart_switches": 0, "retries": 0,
+        })
+
+    def test_retry_ladder_parity(self):
+        """Coarse steps force failures; both modes walk the same ladder."""
+        stress = TrackerOptions(
+            initial_step=0.4,
+            max_step=0.4,
+            min_step=0.1,
+            corrector_tol=1e-10,
+            corrector_iterations=3,
+            expand_after=2,
+        )
+        instance = PieriInstance.random(2, 2, 1, np.random.default_rng(0))
+        per_path = PieriSolver(instance, options=stress, seed=0).solve()
+        batch = PieriSolver(instance, options=stress, seed=0).solve(
+            mode="batch"
+        )
+        assert sum(r["retries"] for r in batch.level_batches) > 0
+        assert batch.failures == per_path.failures
+        _assert_same_solution_sets(per_path.solutions, batch.solutions)
+
+    def test_chart_switch_requeue_parity(self):
+        """A tight divergence bound forces chart switches in both modes."""
+        opts = dataclasses.replace(
+            PieriSolver.DEFAULT_OPTIONS, divergence_bound=20.0
+        )
+        instance = PieriInstance.random(2, 2, 1, np.random.default_rng(0))
+        per_path = PieriSolver(instance, options=opts, seed=0).solve()
+        batch = PieriSolver(instance, options=opts, seed=0).solve(mode="batch")
+        assert sum(r["chart_switches"] for r in batch.level_batches) > 0
+        assert batch.failures == per_path.failures == 0
+        assert batch.n_solutions == 8
+        _assert_same_solution_sets(per_path.solutions, batch.solutions)
+
+    def test_retry_options_preserve_unlisted_fields(self):
+        """dataclasses.replace keeps custom fields through the ladder."""
+        custom = dataclasses.replace(
+            PieriSolver.DEFAULT_OPTIONS, divergence_bound=123.0, shrink=0.4
+        )
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(1))
+        solver = PieriSolver(instance, options=custom, seed=2)
+        retried = solver._retry_options(2)
+        assert retried.divergence_bound == 123.0
+        assert retried.shrink == 0.4
+        assert retried.min_step < custom.min_step
+        assert retried.max_steps == custom.max_steps * 3
+
+
+class TestParallelLevelGranularity:
+    def test_matches_sequential(self):
+        instance = PieriInstance.random(2, 2, 1, np.random.default_rng(13))
+        seq = PieriSolver(instance, seed=14).solve()
+        par = solve_pieri_parallel(
+            instance, n_workers=2, mode="thread", seed=14, granularity="level"
+        )
+        assert par.failures == seq.failures
+        assert par.n_solutions == seq.n_solutions
+        _assert_same_solution_sets(seq.solutions, par.solutions)
+        assert len(par.level_batches) == instance.problem.num_conditions
+        assert all(r["n_chunks"] >= 1 for r in par.level_batches)
+        assert par.jobs_per_level == seq.jobs_per_level
+
+    def test_rejects_unknown_granularity(self):
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            solve_pieri_parallel(instance, n_workers=1, granularity="bogus")
+
+
+class TestContinuationBatch:
+    @pytest.fixture(scope="class")
+    def solved_base(self):
+        base = PieriInstance.random(2, 2, 1, np.random.default_rng(31))
+        report = PieriSolver(base, seed=32).solve(mode="batch")
+        assert report.n_solutions == 8
+        return base, report.solutions
+
+    def test_batch_matches_per_path(self, solved_base):
+        base, sols = solved_base
+        target = PieriInstance.random(2, 2, 1, np.random.default_rng(33))
+        sp, rp = continue_to_instance(
+            base, sols, target, rng=np.random.default_rng(34)
+        )
+        sb, rb = continue_to_instance(
+            base, sols, target, rng=np.random.default_rng(34), mode="batch"
+        )
+        assert [r.status for r in rb] == [r.status for r in rp]
+        assert len(sb) == len(sp) == 8
+        _assert_same_solution_sets(sp, sb)
+
+    def test_parameter_homotopy_batch_protocol(self, solved_base):
+        base, sols = solved_base
+        target = PieriInstance.random(2, 2, 1, np.random.default_rng(35))
+        hom = PieriParameterHomotopy(base, target, np.random.default_rng(36))
+        X = np.stack([hom.from_matrix(s) for s in sols[:3]])
+        tt = np.array([0.0, 0.4, 0.8])
+        res, jac = hom.evaluate_and_jacobian_batch(X, tt)
+        for i in range(3):
+            r0, j0 = hom.evaluate_and_jacobian_x(X[i], tt[i])
+            assert np.allclose(res[i], r0)
+            assert np.allclose(jac[i], j0)
+        # start solutions are exact roots at t = 0
+        assert np.max(np.abs(hom.evaluate_batch(X, 0.0)[0])) < 1e-8
+
+    def test_zero_pivot_recorded_as_failed(self, solved_base, monkeypatch):
+        """A zero-pivot endpoint becomes a FAILED result, not a silent drop."""
+        base, sols = solved_base
+        target = PieriInstance.random(2, 2, 1, np.random.default_rng(37))
+        import repro.schubert.parameter as parameter_module
+
+        real = parameter_module.normalize_to_standard_chart
+        calls = {"n": 0}
+
+        def flaky(matrix, pattern):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise ZeroDivisionError("injected zero pivot")
+            return real(matrix, pattern)
+
+        monkeypatch.setattr(
+            parameter_module, "normalize_to_standard_chart", flaky
+        )
+        sols_out, results = continue_to_instance(
+            base, sols, target, rng=np.random.default_rng(38)
+        )
+        assert len(results) == len(sols)
+        assert len(sols_out) == len(sols) - 1
+        assert sum(r.status is PathStatus.FAILED for r in results) == 1
+        assert sum(r.success for r in results) == len(sols_out)
+
+
+class TestSweepBatchMode:
+    def test_job_ids_and_roundtrip(self):
+        a = JobSpec("pieri", {"m": 2, "p": 2, "q": 0}, seed=3)
+        b = JobSpec("pieri", {"m": 2, "p": 2, "q": 0}, seed=3, mode="batch")
+        assert a.job_id == "pieri-m2-p2-q0-s3"
+        assert b.job_id == "pieri-m2-p2-q0-batch-s3"
+        assert JobSpec.from_dict(b.to_dict()) == b
+        assert "mode" not in a.to_dict()
+        with pytest.raises(ValueError):
+            JobSpec("cyclic", {"n": 5}, mode="batch")
+        with pytest.raises(ValueError):
+            JobSpec("pieri", {"m": 2, "p": 2, "q": 0}, mode="bogus")
+
+    def test_batch_job_journals_level_stats(self):
+        per_path = run_job(JobSpec("pieri", {"m": 2, "p": 2, "q": 0}, seed=3))
+        batch = run_job(
+            JobSpec("pieri", {"m": 2, "p": 2, "q": 0}, seed=3, mode="batch")
+        )
+        assert batch["result"]["mode"] == "batch"
+        levels = batch["result"]["levels"]
+        assert [rec["level"] for rec in levels] == [1, 2, 3, 4]
+        assert all(
+            set(rec) >= {"n_jobs", "n_homotopies", "chart_switches", "retries"}
+            for rec in levels
+        )
+        # the batched solve finds the identical solution set
+        assert (
+            batch["result"]["fingerprint"] == per_path["result"]["fingerprint"]
+        )
