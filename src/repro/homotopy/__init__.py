@@ -7,7 +7,14 @@ from .bezout import (
     set_partitions,
 )
 from .convex import ConvexHomotopy, random_gamma
-from .solve import SolveReport, distinct_solutions, make_homotopy_and_starts, solve
+from .projective import ProjectivePatchHomotopy, homogenized_pair
+from .solve import (
+    SolveReport,
+    distinct_solutions,
+    make_homotopy_and_starts,
+    multiplicity_clusters,
+    solve,
+)
 from .start import (
     LinearProductStart,
     linear_product_start_system,
@@ -22,9 +29,12 @@ __all__ = [
     "set_partitions",
     "ConvexHomotopy",
     "random_gamma",
+    "ProjectivePatchHomotopy",
+    "homogenized_pair",
     "SolveReport",
     "distinct_solutions",
     "make_homotopy_and_starts",
+    "multiplicity_clusters",
     "solve",
     "LinearProductStart",
     "linear_product_start_system",

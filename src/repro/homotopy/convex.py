@@ -128,5 +128,44 @@ class ConvexHomotopy(HomotopyFunction, BatchHomotopy):
         jac_t = f - self.gamma * g
         return jac_x, jac_t
 
+    # ------------------------------------------------------------------
+    # tracker-level rescue hook (see repro.tracker.rescue)
+    # ------------------------------------------------------------------
+    def rescale_patch(self, x: np.ndarray, t: float):
+        """Re-express an escaping path in projective patch coordinates.
+
+        The path of the affine homotopy with coordinates blowing up is,
+        in projective space, a perfectly ordinary path heading for the
+        hyperplane at infinity.  Lift the current point to ``[x, 1]``,
+        normalize it, and choose the patch hyperplane ``c = conj(y0)``
+        so that ``c . y0 = |y0|^2 = 1`` exactly: the re-patched start
+        is unit-normalized and satisfies the patch equation to machine
+        precision.  Returns ``(ProjectivePatchHomotopy, y0)``; the
+        homogenized systems are built once and cached.
+        """
+        if t <= 0.0 or t >= 1.0:
+            return None
+        x = np.asarray(x, dtype=complex)
+        if not np.all(np.isfinite(x)):
+            return None
+        # imported lazily: projective builds on this module's clients
+        from .projective import ProjectivePatchHomotopy, homogenized_pair
+
+        cached = getattr(self, "_homogenized", None)
+        if cached is None:
+            cached = homogenized_pair(self.start, self.target)
+            self._homogenized = cached
+        start_h, target_h = cached
+        y0 = np.concatenate([x, [1.0 + 0j]])
+        y0 = y0 / np.linalg.norm(y0)
+        patched = ProjectivePatchHomotopy(
+            start_h,
+            target_h,
+            self.gamma,
+            np.conj(y0),
+            affine_target=self.target,
+        )
+        return patched, y0
+
     def __repr__(self) -> str:
         return f"ConvexHomotopy(dim={self.dim}, gamma={self.gamma:.4f})"

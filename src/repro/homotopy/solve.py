@@ -14,20 +14,25 @@ plus the list of distinct finite solutions.
 
 from __future__ import annotations
 
+import dataclasses
+
 from dataclasses import dataclass, field
 from typing import Iterable, List, Literal
 
 import numpy as np
 
+from ..endgame import make_endgame
 from ..polyhedral import PolyhedralStart
 from ..polynomials import PolynomialSystem
 from ..tracker import (
     BatchTracker,
     PathResult,
+    PathStatus,
     PathTracker,
     TrackerOptions,
-    duplicate_path_ids,
     newton_refine_system,
+    rescue_diverged,
+    retrack_duplicate_clusters,
     summarize_results,
 )
 from .convex import ConvexHomotopy
@@ -37,7 +42,13 @@ from .start import (
     total_degree_start_system,
 )
 
-__all__ = ["SolveReport", "solve", "make_homotopy_and_starts", "distinct_solutions"]
+__all__ = [
+    "SolveReport",
+    "solve",
+    "make_homotopy_and_starts",
+    "distinct_solutions",
+    "multiplicity_clusters",
+]
 
 
 @dataclass
@@ -62,6 +73,10 @@ class SolveReport:
     results: List[PathResult]
     solutions: List[np.ndarray] = field(default_factory=list)
     summary: dict = field(default_factory=dict)
+    #: distinct *singular* roots recovered by the endgame (endpoint
+    #: representatives, one per multiplicity cluster); empty with the
+    #: default refine endgame
+    singular_solutions: List[np.ndarray] = field(default_factory=list)
 
     @property
     def n_paths(self) -> int:
@@ -70,6 +85,19 @@ class SolveReport:
     @property
     def n_solutions(self) -> int:
         return len(self.solutions)
+
+    @property
+    def multiplicity_histogram(self) -> dict:
+        """``{multiplicity: number of distinct roots}`` over all roots.
+
+        Regular roots count at multiplicity 1; endgame-recovered
+        singular roots at their cluster multiplicity.  Empty dict when
+        nothing was solved.
+        """
+        return self.summary.get(
+            "multiplicity_histogram",
+            {1: len(self.solutions)} if self.solutions else {},
+        )
 
 
 def distinct_solutions(
@@ -104,6 +132,96 @@ def distinct_solutions(
         x = r.solution
         if not any(np.max(np.abs(x - y)) < tol for y in out):
             out.append(x)
+    return out
+
+
+def multiplicity_clusters(
+    results: Iterable[PathResult],
+    tol: float = 1e-6,
+    singular_tol: float = 1e-3,
+) -> List[dict]:
+    """Cluster finite endpoints — regular *and* recovered singular —
+    into distinct roots with multiplicities.
+
+    A cluster groups every SUCCESS endpoint and every endgame-classified
+    SINGULAR endpoint (one with a measured winding number) within
+    ``tol`` in the max norm.  A second pass lets singular clusters
+    *absorb* plain-success clusters within ``singular_tol``: near a
+    multiplicity-``w`` root, Newton "successes" land anywhere within
+    ``~residual^(1/w)`` of the root (and a path that jumped off a
+    diverging trajectory can park there too), so a sloppy success next
+    to a measured singularity is the same root, not a neighbor.
+
+    The multiplicity of a cluster is the members' largest measured
+    winding number when any exists — the monodromy-certified cycle
+    length outranks path counting, which jumps can corrupt — and the
+    cluster size otherwise (``m`` paths of a proper homotopy sharing an
+    endpoint witness a multiplicity-``m`` root).  Each member's
+    :attr:`~repro.tracker.PathResult.multiplicity` is raised to the
+    cluster value.
+
+    Returns one record per distinct root, in first-seen order:
+    ``{"solution", "path_ids", "multiplicity", "singular"}``.
+
+    >>> import numpy as np
+    >>> from repro.tracker import PathResult, PathStatus
+    >>> def path(x, status=PathStatus.SUCCESS, w=None):
+    ...     x = np.asarray(x, dtype=complex)
+    ...     return PathResult(status, x, x, 0.0, winding_number=w,
+    ...                       multiplicity=w)
+    >>> recs = multiplicity_clusters([
+    ...     path([1.0]),
+    ...     path([0.0], PathStatus.SINGULAR, w=2),
+    ...     path([0.0 + 1e-9], PathStatus.SINGULAR, w=2),
+    ... ])
+    >>> [(int(r["multiplicity"]), r["singular"]) for r in recs]
+    [(1, False), (2, True)]
+    """
+    reps: List[np.ndarray] = []
+    clusters: List[List[PathResult]] = []
+    for r in results:
+        if not (r.success or (
+            r.status is PathStatus.SINGULAR and r.winding_number is not None
+        )):
+            continue
+        for k, s in enumerate(reps):
+            if np.max(np.abs(r.solution - s)) < tol:
+                clusters[k].append(r)
+                break
+        else:
+            reps.append(r.solution)
+            clusters.append([r])
+    # absorption pass: singular clusters swallow nearby success clusters
+    is_singular = [
+        any(m.status is PathStatus.SINGULAR for m in members)
+        for members in clusters
+    ]
+    absorbed = [False] * len(clusters)
+    for k, members in enumerate(clusters):
+        if not is_singular[k]:
+            continue
+        for j in range(len(clusters)):
+            if j == k or is_singular[j] or absorbed[j]:
+                continue
+            if np.max(np.abs(reps[j] - reps[k])) < singular_tol:
+                members.extend(clusters[j])
+                absorbed[j] = True
+    out: List[dict] = []
+    for k, (rep, members) in enumerate(zip(reps, clusters)):
+        if absorbed[k]:
+            continue
+        windings = [m.winding_number for m in members if m.winding_number]
+        mult = max(windings) if windings else len(members)
+        for m in members:
+            m.multiplicity = max(m.multiplicity or 1, mult)
+        out.append(
+            {
+                "solution": rep,
+                "path_ids": [m.path_id for m in members],
+                "multiplicity": mult,
+                "singular": is_singular[k],
+            }
+        )
     return out
 
 
@@ -169,28 +287,26 @@ def _polyhedral_start(
     target: PolynomialSystem,
     rng: np.random.Generator,
     options: TrackerOptions | None,
+    endgame=None,
 ):
     """Phase 1 of the polyhedral route, shared by ``solve`` and
     :func:`make_homotopy_and_starts`: mixed cells, generic system, and
     the tracked toric starts."""
     poly_start = PolyhedralStart(target, rng)
-    toric, _ = poly_start.track_starts(options)
+    toric, _ = poly_start.track_starts(options, endgame=endgame)
     return poly_start, list(toric)
 
 
 def _tightened(options: TrackerOptions) -> TrackerOptions:
-    return TrackerOptions(
+    # dataclasses.replace keeps every field not listed at the caller's
+    # value, so new TrackerOptions fields survive escalation untouched
+    return dataclasses.replace(
+        options,
         initial_step=max(options.initial_step / 4, options.min_step),
         min_step=options.min_step / 4,
         max_step=max(options.max_step / 4, options.min_step),
-        expand=options.expand,
-        shrink=options.shrink,
         expand_after=options.expand_after + 2,
-        corrector_tol=options.corrector_tol,
         corrector_iterations=max(3, options.corrector_iterations - 1),
-        endgame_tol=options.endgame_tol,
-        endgame_iterations=options.endgame_iterations,
-        divergence_bound=options.divergence_bound,
         max_steps=options.max_steps * 4,
     )
 
@@ -204,6 +320,8 @@ def solve(
     rerun_duplicates: bool = True,
     mode: Literal["per_path", "batch"] = "per_path",
     start_kind: str | None = None,
+    endgame="refine",
+    rescue: bool = False,
 ) -> SolveReport:
     """Track all paths of a homotopy to ``target`` and classify endpoints.
 
@@ -241,6 +359,20 @@ def solve(
         ``"per_path"`` (scalar tracker) or ``"batch"`` (SoA front).
     start_kind:
         Deprecated alias for ``start`` (kept for older callers).
+    endgame:
+        Terminal-phase strategy: ``"refine"`` (default — the seed
+        Newton sharpen, endpoint statuses and solutions bit-identical
+        to the pre-endgame solver), ``"cauchy"`` (winding-number loops
+        recover singular endpoints with ``multiplicity`` annotations,
+        reported in ``report.singular_solutions`` and the summary's
+        ``multiplicity_histogram``), or any
+        :class:`~repro.endgame.EndgameStrategy` instance.
+    rescue:
+        Re-patch DIVERGED paths through the tracker-level rescue
+        pipeline: plain polynomial homotopies resume in projective
+        patch coordinates, so escaping paths come back classified
+        AT_INFINITY (or occasionally as finite solutions the affine
+        chart lost).  Off by default.
 
     Returns
     -------
@@ -255,49 +387,55 @@ def solve(
     4
     >>> sorted(r.success for r in report.results)
     [True, True, True, True]
+
+    The Griewank-Osborne system has one triple root at the origin that
+    plain refinement cannot classify; the Cauchy endgame measures it:
+
+    >>> from repro.systems import griewank_osborne_system
+    >>> report = solve(griewank_osborne_system(), endgame="cauchy",
+    ...                rng=np.random.default_rng(0))
+    >>> report.summary["multiplicity_histogram"]
+    {3: 1}
+    >>> len(report.singular_solutions)
+    1
     """
     if start_kind is not None:
         start = start_kind  # legacy spelling
     base_options = options or TrackerOptions()
+    strategy = make_endgame(endgame)
     poly_start = None
     if start == "polyhedral":
         rng = np.random.default_rng() if rng is None else rng
-        poly_start, starts = _polyhedral_start(target, rng, base_options)
+        poly_start, starts = _polyhedral_start(
+            target, rng, base_options, endgame=strategy
+        )
         homotopy = ConvexHomotopy(poly_start.generic_system, target, rng=rng)
     else:
         homotopy, starts = make_homotopy_and_starts(target, start, rng)
     if mode == "batch":
-        results = BatchTracker(base_options).track_batch(homotopy, starts)
+        results = BatchTracker(base_options, endgame=strategy).track_batch(
+            homotopy, starts
+        )
     elif mode == "per_path":
-        results = PathTracker(base_options).track_many(homotopy, starts)
+        results = PathTracker(base_options, endgame=strategy).track_many(
+            homotopy, starts
+        )
     else:
         raise ValueError(f"unknown tracking mode {mode!r}")
     if rerun_duplicates:
-        tight_options = base_options
-        for _ in range(3):
-            dups = duplicate_path_ids(results)
-            if not dups:
-                break
-            tight_options = _tightened(tight_options)
-            tight = PathTracker(tight_options)
-            moved = False
-            for pid in dups:
-                retracked = tight.track(homotopy, starts[pid], path_id=pid)
-                old = results[pid]
-                if retracked.success or not old.success:
-                    if not (
-                        retracked.success
-                        and old.success
-                        and np.max(np.abs(retracked.solution - old.solution))
-                        < 1e-6
-                    ):
-                        moved = True
-                    results[pid] = retracked
-            if not moved:
-                # every re-track reproduced its endpoint: the collision
-                # is a genuine multiple root, not a predictor jump, and
-                # tighter steps will never separate it — stop escalating
-                break
+        retrack_duplicate_clusters(
+            results,
+            lambda pid, opts: PathTracker(opts, endgame=strategy).track(
+                homotopy, starts[pid], path_id=pid
+            ),
+            _tightened,
+            base_options,
+        )
+    n_rescued = 0
+    if rescue:
+        results, n_rescued = rescue_diverged(
+            PathTracker(base_options, endgame=strategy), homotopy, results
+        )
     if refine:
         for r in results:
             if r.success:
@@ -305,11 +443,29 @@ def solve(
                 if nr.converged:
                     r.solution = nr.x
                     r.residual = nr.residual
-    sols = distinct_solutions(results)
+    clusters = multiplicity_clusters(results)
+    # the non-singular cluster representatives ARE the distinct finite
+    # solutions (same tolerance, same first-seen order as
+    # distinct_solutions); successes folded into a singular cluster are
+    # that root, not an extra finite solution
+    sols = [c["solution"] for c in clusters if not c["singular"]]
     summary = summarize_results(results)
     summary["start"] = start
+    summary["endgame"] = strategy.name
+    if rescue:
+        summary["rescued"] = n_rescued
+    histogram: dict = {}
+    for c in clusters:
+        histogram[c["multiplicity"]] = histogram.get(c["multiplicity"], 0) + 1
+    summary["multiplicity_histogram"] = histogram
+    singular_sols = [c["solution"] for c in clusters if c["singular"]]
     if poly_start is not None:
         summary["mixed_volume"] = poly_start.mixed_volume
         summary["n_cells"] = len(poly_start.cells)
         summary["phase1_failures"] = poly_start.phase1_failures
-    return SolveReport(results=results, solutions=sols, summary=summary)
+    return SolveReport(
+        results=results,
+        solutions=sols,
+        summary=summary,
+        singular_solutions=singular_sols,
+    )

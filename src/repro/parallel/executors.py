@@ -62,13 +62,24 @@ def load_imbalance(busy_seconds) -> float:
     """max busy / mean busy over the *full* pool; 1.0 is perfect balance.
 
     Idle workers count as zeros (pad with :func:`_busy_list`), so the
-    statistic reflects the pool size actually reserved.  The cluster
-    simulator uses the complementary convention — see
+    statistic reflects the pool size actually reserved.  A report with
+    *zero* busy workers — every job culled before dispatch, or a sweep
+    resumed with nothing left to run — has no balance to speak of and
+    returns 0.0 rather than dividing by the zero mean (it also keeps
+    the sentinel distinguishable from a genuinely perfect 1.0).  The
+    cluster simulator uses the complementary convention — see
     :meth:`repro.simcluster.SimResult.load_imbalance`.
+
+    >>> load_imbalance([2.0, 1.0, 1.0])
+    1.5
+    >>> load_imbalance([])
+    0.0
+    >>> load_imbalance([0.0, 0.0])
+    0.0
     """
     busy = np.asarray(list(busy_seconds), dtype=float)
     if busy.size == 0 or busy.mean() == 0:
-        return 1.0
+        return 0.0
     return float(busy.max() / busy.mean())
 
 # Module-level worker state: set once per worker process by the initializer

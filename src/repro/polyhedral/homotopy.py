@@ -31,6 +31,8 @@ homotopy ``gamma (1-t) G + t F``.
 
 from __future__ import annotations
 
+import dataclasses
+
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -43,7 +45,7 @@ from ..tracker import (
     PathResult,
     PathTracker,
     TrackerOptions,
-    duplicate_path_ids,
+    retrack_duplicate_clusters,
 )
 from ..tracker.interface import _per_path_t
 from .binomial import solve_binomial_system
@@ -238,13 +240,13 @@ class CellHomotopy(HomotopyFunction, BatchHomotopy):
 
 
 def _tightened(options: TrackerOptions) -> TrackerOptions:
-    return TrackerOptions(
+    # dataclasses.replace keeps every field not listed at the caller's
+    # value, so new TrackerOptions fields survive escalation untouched
+    return dataclasses.replace(
+        options,
         initial_step=max(options.initial_step / 4, options.min_step / 4),
         min_step=options.min_step / 4,
         max_step=max(options.max_step / 4, options.min_step),
-        corrector_tol=options.corrector_tol,
-        endgame_tol=options.endgame_tol,
-        divergence_bound=options.divergence_bound,
         max_steps=options.max_steps * 4,
     )
 
@@ -321,23 +323,26 @@ class PolyhedralStart:
         return solve_binomial_system(vmat, beta)
 
     def track_starts(
-        self, options: TrackerOptions | None = None
+        self, options: TrackerOptions | None = None, endgame=None
     ) -> Tuple[np.ndarray, List[PathResult]]:
         """Track every cell's toric roots to the generic system.
 
         Returns ``(starts, results)``: a ``(mixed_volume, n)`` array of
         solutions of the generic system (one per path, cells
         concatenated in order) plus the per-path phase-1 results.
-        Failed paths are retried once with conservative scalar options,
-        and colliding endpoints — a predictor jump between close paths,
-        which would silently lose a root of the generic system — are
-        re-tracked the same way.  A path that still fails keeps its
-        binomial start (it will be reported failed again downstream
-        rather than silently dropped), and is counted in
-        :attr:`phase1_failures`.
+        Failed paths are retried once with conservative scalar options
+        — unless the endgame already classified them (a Cauchy-measured
+        singular endpoint is a verdict, not a numerical accident, so
+        requeueing it cannot help) — and colliding endpoints, a
+        predictor jump between close paths which would silently lose a
+        root of the generic system, are re-tracked through the shared
+        :func:`~repro.tracker.retrack_duplicate_clusters` escalation.
+        A path that still fails keeps its binomial start (it will be
+        reported failed again downstream rather than silently dropped),
+        and is counted in :attr:`phase1_failures`.
         """
         opts = options or TrackerOptions()
-        tracker = BatchTracker(opts)
+        tracker = BatchTracker(opts, endgame=endgame)
         all_starts: List[np.ndarray] = []
         all_results: List[PathResult] = []
         path_homotopy: List[CellHomotopy] = []
@@ -351,8 +356,8 @@ class PolyhedralStart:
                 homotopy, seeds, path_ids=list(range(offset, offset + len(seeds)))
             )
             for k, result in enumerate(results):
-                if not result.success:
-                    retry = PathTracker(_tightened(opts)).track(
+                if not result.success and not result.endgame_classified:
+                    retry = PathTracker(_tightened(opts), endgame=endgame).track(
                         homotopy, seeds[k], path_id=result.path_id
                     )
                     if retry.success:
@@ -364,33 +369,16 @@ class PolyhedralStart:
         # endpoint collisions: re-track whole clusters with tighter steps
         # (all_results is ordered by path id, so ids index the lists);
         # the generic system has mixed_volume distinct regular roots, so
-        # a collision here is always a predictor jump — but if a
-        # re-track reproduces every endpoint anyway, escalating further
-        # cannot help
-        tight = opts
-        for _ in range(3):
-            dups = duplicate_path_ids(all_results)
-            if not dups:
-                break
-            tight = _tightened(tight)
-            scalar = PathTracker(tight)
-            moved = False
-            for pid in dups:
-                retracked = scalar.track(
-                    path_homotopy[pid], path_seed[pid], path_id=pid
-                )
-                old = all_results[pid]
-                if retracked.success or not old.success:
-                    if not (
-                        retracked.success
-                        and old.success
-                        and np.max(np.abs(retracked.solution - old.solution))
-                        < 1e-6
-                    ):
-                        moved = True
-                    all_results[pid] = retracked
-            if not moved:
-                break
+        # a collision here is always a predictor jump — the shared
+        # escalation loop stops when a round reproduces every endpoint
+        retrack_duplicate_clusters(
+            all_results,
+            lambda pid, o: PathTracker(o, endgame=endgame).track(
+                path_homotopy[pid], path_seed[pid], path_id=pid
+            ),
+            _tightened,
+            opts,
+        )
         for pid, result in enumerate(all_results):
             if result.success and np.all(np.isfinite(result.solution)):
                 all_starts.append(result.solution)

@@ -544,6 +544,46 @@ class PieriEdgeHomotopy(HomotopyFunction, BatchHomotopy):
     def jacobian_t(self, x: np.ndarray, t: float) -> np.ndarray:
         return self.jacobian_t_batch(np.asarray(x, dtype=complex)[None, :], t)[0]
 
+    # ------------------------------------------------------------------
+    # tracker-level rescue hook (see repro.tracker.rescue)
+    # ------------------------------------------------------------------
+    def rescale_patch(self, x: np.ndarray, t: float):
+        """Re-pin the chart of an apparently divergent path, if useful.
+
+        Large coordinates usually mean the path left the affine chart
+        (the pinned entry of the moving column tends to zero), not that
+        the solution is at infinity: the determinant conditions are
+        invariant under column scaling, so the currently largest entry
+        of column ``jstar`` becomes the new pin.  Returns
+        ``(new_homotopy, new_x)`` — the same geometric path in the
+        re-pinned chart, with identical gamma twists so the per-node
+        start/endpoint bijection is preserved — or ``None`` when no
+        switch applies (no progress made, already in the best chart, or
+        a zero candidate pivot).
+        """
+        if t <= 0.0 or t >= 1.0:
+            return None
+        c = self.to_matrix(np.asarray(x, dtype=complex))
+        col_rows = [
+            r - 1 for r, j in self.pattern.support() if j - 1 == self.jstar
+        ]
+        values = np.abs(c[col_rows, self.jstar])
+        pin_row = col_rows[int(np.argmax(values))]
+        if pin_row == self.pin_row or c[pin_row, self.jstar] == 0:
+            return None
+        c = c.copy()
+        c[:, self.jstar] /= c[pin_row, self.jstar]
+        new_hom = PieriEdgeHomotopy(
+            self.pattern,
+            self.jstar,
+            self.planes,
+            self.points,
+            gamma_s=self.gamma_s,
+            gamma_k=self.gamma_k,
+            pin_row=pin_row,
+        )
+        return new_hom, new_hom.from_matrix(c)
+
     def __repr__(self) -> str:
         return (
             f"PieriEdgeHomotopy(pattern={self.pattern.shorthand()}, "

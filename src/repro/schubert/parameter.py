@@ -39,6 +39,8 @@ from ..tracker import (
     PathStatus,
     PathTracker,
     TrackerOptions,
+    retrack_duplicate_clusters,
+    tighten_options,
 )
 from ..linalg import batched_det
 from ..tracker.interface import _per_path_t
@@ -271,6 +273,15 @@ def continue_to_instance(
             tracker.track(homotopy, x0, path_id=k)
             for k, x0 in enumerate(x0s)
         ]
+    # endpoint collisions would silently merge two feedback laws: the
+    # deformation's endpoints are provably distinct, so a collision is a
+    # predictor jump — separate it through the shared escalation loop
+    retrack_duplicate_clusters(
+        raw,
+        lambda pid, o: PathTracker(o).track(homotopy, x0s[pid], path_id=pid),
+        tighten_options,
+        opts,
+    )
     solutions: List[np.ndarray] = []
     results: List[PathResult] = []
     for result in raw:

@@ -36,7 +36,9 @@ from ..tracker import (
     PathTracker,
     StackedHomotopy,
     TrackerOptions,
+    track_with_rescue,
 )
+from ..tracker.rescue import fold_rescued_effort, keep_rescue
 from .homotopy import (
     PieriEdgeHomotopy,
     intersection_residuals,
@@ -295,23 +297,31 @@ class PieriSolver:
         )
 
     def _retry_tracker(self, attempt: int) -> PathTracker:
-        """A scalar tracker with the attempt's tightened options."""
-        return PathTracker(self._retry_options(attempt))
+        """A scalar tracker with the attempt's tightened options (same
+        endgame strategy as the main tracker)."""
+        return PathTracker(
+            self._retry_options(attempt), endgame=self.tracker.endgame
+        )
 
     def run_job(self, job: PieriJob) -> PieriJobResult:
         """Track one edge and normalize the endpoint to the standard chart.
 
-        Failures are retried with tighter tracking of the *same* homotopy
-        (same gamma twists) so the per-node start/endpoint bijection that
-        guarantees distinct solutions is never violated.
+        Apparent divergence routes through the tracker-level rescue
+        pipeline (:func:`~repro.tracker.track_with_rescue`): the edge
+        homotopy's :meth:`~repro.schubert.homotopy.PieriEdgeHomotopy.
+        rescale_patch` re-pins the chart and the same geometric path is
+        resumed from its reached ``t``.  Remaining failures are retried
+        with tighter tracking of the *same* homotopy (same gamma twists)
+        so the per-node start/endpoint bijection that guarantees
+        distinct solutions is never violated; endpoints the endgame
+        already classified (e.g. a Cauchy-measured singularity) are not
+        retried — the verdict stands.
         """
         homotopy = self.make_homotopy(job.node)
         x0 = homotopy.start_vector(job.start_matrix)
-        result = self.tracker.track(homotopy, x0)
-        if result.status is PathStatus.DIVERGED:
-            result, homotopy = self._chart_switch_continue(job, homotopy, result)
+        result, homotopy = track_with_rescue(self.tracker, homotopy, x0)
         for attempt in range(1, self.MAX_RETRIES + 1):
-            if result.success:
+            if result.success or result.endgame_classified:
                 break
             result = self._retry_tracker(attempt).track(homotopy, x0)
         if not result.success:
@@ -322,58 +332,6 @@ class PieriSolver:
         except ZeroDivisionError:
             return PieriJobResult(job, result, None)
         return PieriJobResult(job, result, matrix)
-
-    def _repin_chart(
-        self,
-        job: PieriJob,
-        homotopy: PieriEdgeHomotopy,
-        diverged: PathResult,
-    ) -> Optional[Tuple[int, np.ndarray]]:
-        """Pick the chart a divergent path should continue in, if any.
-
-        Large coordinates usually mean the path left the affine chart (the
-        pinned entry of the moving column tends to zero), not that the
-        solution is at infinity: the determinant conditions are invariant
-        under column scaling, so the currently largest entry of column
-        jstar becomes the new pin.  Returns ``(pin_row, rescaled matrix)``
-        or ``None`` when no switch applies (no progress made, already in
-        the best chart, or a zero candidate pivot).  Shared by the scalar
-        and batched drivers so their decisions cannot drift apart.
-        """
-        t_reached = diverged.stats.t_reached
-        if t_reached <= 0.0 or t_reached >= 1.0:
-            return None
-        pattern = job.node.pattern()
-        jstar = job.node.columns[-1]
-        c = homotopy.to_matrix(diverged.solution)
-        col_rows = [r - 1 for r, j in pattern.support() if j - 1 == jstar]
-        values = np.abs(c[col_rows, jstar])
-        pin_row = col_rows[int(np.argmax(values))]
-        if pin_row == homotopy.pin_row or c[pin_row, jstar] == 0:
-            return None
-        c = c.copy()
-        c[:, jstar] /= c[pin_row, jstar]
-        return pin_row, c
-
-    def _chart_switch_continue(
-        self,
-        job: PieriJob,
-        homotopy: PieriEdgeHomotopy,
-        diverged: PathResult,
-    ):
-        """Continue an apparently divergent path in a rescaled chart,
-        resuming from the reached ``t`` — the same geometric path in
-        well-scaled coordinates."""
-        repin = self._repin_chart(job, homotopy, diverged)
-        if repin is None:
-            return diverged, homotopy
-        pin_row, c = repin
-        new_hom = self.make_homotopy(job.node, pin_row=pin_row)
-        x1 = new_hom.from_matrix(c)
-        resumed = self.tracker.track(new_hom, x1, t_start=diverged.stats.t_reached)
-        if resumed.success:
-            return resumed, new_hom
-        return diverged, homotopy
 
     def expand(self, result: PieriJobResult) -> List[PieriJob]:
         """New jobs enabled by a finished one (the master's generate step)."""
@@ -439,7 +397,7 @@ class PieriSolver:
             members[k].start_vector(job.start_matrix)
             for k, job in zip(owners, jobs)
         ]
-        tracker = BatchTracker(self.tracker.options)
+        tracker = BatchTracker(self.tracker.options, endgame=self.tracker.endgame)
         results = tracker.track_batch(StackedHomotopy(members, owners), x0)
         homs: List[PieriEdgeHomotopy] = [members[k] for k in owners]
         stats = {
@@ -450,6 +408,9 @@ class PieriSolver:
         }
 
         # --- chart-switch requeue: re-pin and resume divergent paths
+        # through the rescue hook, stacked per target chart (switched
+        # homotopies for one poset node + pin are deterministic clones,
+        # so grouping them under one member changes nothing)
         sw_members: List[PieriEdgeHomotopy] = []
         sw_index: Dict[tuple, int] = {}
         sw_paths: List[int] = []   # index into jobs/results
@@ -460,24 +421,22 @@ class PieriSolver:
             if r.status is not PathStatus.DIVERGED:
                 continue
             job = jobs[i]
-            repin = self._repin_chart(job, homs[i], r)
-            if repin is None:
+            patch = homs[i].rescale_patch(r.solution, r.stats.t_reached)
+            if patch is None:
                 continue
-            pin_row, c = repin
+            new_hom, x1 = patch
             skey = (
                 job.node.pattern().bottom_pivots,
                 job.node.columns[-1],
-                pin_row,
+                new_hom.pin_row,
             )
             k = sw_index.get(skey)
             if k is None:
                 k = sw_index[skey] = len(sw_members)
-                sw_members.append(
-                    self.make_homotopy(job.node, pin_row=pin_row)
-                )
+                sw_members.append(new_hom)
             sw_paths.append(i)
             sw_owner.append(k)
-            sw_x.append(sw_members[k].from_matrix(c))
+            sw_x.append(x1)
             sw_t.append(r.stats.t_reached)
         if sw_paths:
             stats["chart_switches"] = len(sw_paths)
@@ -488,17 +447,29 @@ class PieriSolver:
                 t_start=np.array(sw_t),
             )
             for i, k, rr in zip(sw_paths, sw_owner, resumed):
-                if rr.success:
-                    results[i] = rr
+                # same finalize/keep/fold sequence as the scalar rescue
+                # pipeline, so the two drivers cannot disagree on a
+                # rescued verdict, its coordinates, or its stats
+                rr = sw_members[k].finalize_rescued(rr)
+                if keep_rescue(rr):
+                    results[i] = fold_rescued_effort(rr, results[i])
                     homs[i] = sw_members[k]
 
-        # --- retry ladder: tighter tracking of the same homotopies
+        # --- retry ladder: tighter tracking of the same homotopies;
+        # endgame-classified endpoints (measured singularities) are
+        # final verdicts, not failures to burn retries on
         for attempt in range(1, self.MAX_RETRIES + 1):
-            fail = [i for i, r in enumerate(results) if not r.success]
+            fail = [
+                i
+                for i, r in enumerate(results)
+                if not r.success and not r.endgame_classified
+            ]
             if not fail:
                 break
             stats["retries"] += len(fail)
-            retry = BatchTracker(self._retry_options(attempt))
+            retry = BatchTracker(
+                self._retry_options(attempt), endgame=self.tracker.endgame
+            )
             retried = retry.track_batch(
                 StackedHomotopy(members, [owners[i] for i in fail]),
                 [x0[i] for i in fail],

@@ -56,6 +56,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     report_p = sub.add_parser("report", help="summarize a checkpoint directory")
     report_p.add_argument("checkpoint", help="checkpoint directory")
+    report_p.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="text (human) or json (machine-readable, includes the "
+        "endgame/multiplicity columns) output",
+    )
 
     ex_p = sub.add_parser("example-spec", help="emit the mixed demo spec")
     ex_p.add_argument("--out", default=None, help="write to a file instead of stdout")
@@ -100,6 +105,61 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _reconciled_status(manifest: dict, n_done: int) -> str:
+    """The journal is the source of truth: a killed run never got to
+    finalize the manifest, so a status still claiming "running" cannot
+    be trusted (the writer may be dead) and the counts are reconciled
+    against the journaled records.  Shared by the text and JSON report
+    paths so they can never disagree about an interrupted sweep."""
+    status = manifest["status"]
+    if status == "running":
+        status = (
+            "interrupted" if n_done != manifest["n_done"]
+            else "running (or interrupted before its first record)"
+        )
+    return status
+
+
+def _report_payload(journal: SweepJournal, records: dict, manifest) -> dict:
+    """The machine-readable shape of ``report --format json``.
+
+    One row per journaled job (sorted by job id) carrying the result
+    record verbatim — including the ``endgame`` strategy and the
+    ``multiplicity_histogram`` columns polynomial jobs journal — plus
+    the reconciled manifest and the pending job ids, so downstream
+    tooling never has to parse the human text.
+    """
+    jobs = []
+    for job_id in sorted(records):
+        record = records[job_id]
+        jobs.append(
+            {
+                "job_id": job_id,
+                "kind": record.get("kind"),
+                "params": record.get("params", {}),
+                "seed": record.get("seed"),
+                "seconds": record.get("seconds"),
+                "result": record.get("result", {}),
+            }
+        )
+    if manifest:
+        manifest = dict(manifest)
+        manifest["status"] = _reconciled_status(manifest, len(records))
+        manifest["n_done"] = len(records)
+    payload = {
+        "n_done": len(records),
+        "manifest": manifest,
+        "jobs": jobs,
+        "pending": [],
+    }
+    if journal.spec_path.exists():
+        spec = SweepSpec.load(journal.spec_path)
+        payload["name"] = spec.name
+        payload["n_jobs"] = spec.n_jobs
+        payload["pending"] = [j for j in spec.job_ids() if j not in records]
+    return payload
+
+
 def _cmd_report(args) -> int:
     journal = SweepJournal(args.checkpoint)
     records = journal.load_records()
@@ -107,18 +167,16 @@ def _cmd_report(args) -> int:
     if manifest is None and not records:
         print(f"no checkpoint at {args.checkpoint}")
         return 1
+    if args.format == "json":
+        payload = _report_payload(journal, records, manifest)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     if manifest:
         # the journal is the source of truth: a killed run never got to
-        # finalize the manifest, so reconcile the counts — and a
-        # manifest still claiming "running" cannot be trusted from here
-        # (the writer may be dead), so say so either way
+        # finalize the manifest, so reconcile the counts (see
+        # _reconciled_status)
         n_done = len(records)
-        status = manifest["status"]
-        if status == "running":
-            status = (
-                "interrupted" if n_done != manifest["n_done"]
-                else "running (or interrupted before its first record)"
-            )
+        status = _reconciled_status(manifest, n_done)
         print(f"sweep {manifest.get('name', '?')!r}: "
               f"{n_done}/{manifest['n_jobs']} jobs, "
               f"status {status} "
@@ -140,6 +198,19 @@ def _cmd_report(args) -> int:
                     f"solutions={result['n_solutions']}")
             if "mixed_volume" in result:
                 line += f" mixed_volume={result['mixed_volume']}"
+            endgame = result.get("endgame", "refine")
+            if endgame != "refine":
+                line += f" endgame={endgame}"
+                hist = result.get("multiplicity_histogram") or {}
+                if hist:
+                    # journaled keys are JSON strings; order numerically
+                    pairs = ",".join(
+                        f"{k}:{v}"
+                        for k, v in sorted(
+                            hist.items(), key=lambda kv: int(kv[0])
+                        )
+                    )
+                    line += f" multiplicities={{{pairs}}}"
         else:
             line = (f"    {job_id}: start=pieri-tree "
                     f"mode={result.get('mode', 'per_path')} "

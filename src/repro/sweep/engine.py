@@ -156,9 +156,11 @@ def run_job(job: JobSpec) -> dict:
             start=job.start,
             mode="batch",
             rng=rng,
+            endgame=job.endgame,
         )
         result = {
             "start": job.start,
+            "endgame": job.endgame,
             "n_paths": report.n_paths,
             "n_solutions": report.n_solutions,
             "success": report.summary["success"],
@@ -167,6 +169,17 @@ def run_job(job: JobSpec) -> dict:
             "singular": report.summary["singular"],
             "fingerprint": solutions_fingerprint(report.solutions),
         }
+        # multiplicity evidence: histogram keys become strings in JSON,
+        # so store them as strings up front for a stable round trip
+        hist = report.summary.get("multiplicity_histogram", {})
+        result["multiplicity_histogram"] = {
+            str(k): int(v) for k, v in sorted(hist.items())
+        }
+        if report.singular_solutions:
+            result["n_singular_roots"] = len(report.singular_solutions)
+            result["singular_fingerprint"] = solutions_fingerprint(
+                report.singular_solutions
+            )
         for key in ("mixed_volume", "n_cells", "phase1_failures"):
             if key in report.summary:
                 result[key] = report.summary[key]

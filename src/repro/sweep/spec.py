@@ -22,7 +22,10 @@ Polynomial-system jobs take an optional ``start`` strategy (and grids an
 optional ``start`` axis) choosing the start system ``repro.homotopy.
 solve`` builds: ``total_degree`` (default), ``linear_product``, or
 ``polyhedral`` — the last tracks one path per unit of mixed volume, the
-sharp BKK count, instead of one per Bezout path.
+sharp BKK count, instead of one per Bezout path.  They also take an
+optional ``endgame`` (and grid axis): ``refine`` (default) or
+``cauchy``, which recovers singular endpoints with winding-number loops
+and journals each job's multiplicity histogram.
 
 Every job has a deterministic, human-readable :attr:`JobSpec.job_id`
 (e.g. ``pieri-m2-p2-q1-s0``) that keys the checkpoint journal, and a
@@ -42,6 +45,7 @@ __all__ = [
     "JOB_KINDS",
     "START_KINDS",
     "PIERI_MODES",
+    "ENDGAME_KINDS",
     "JobSpec",
     "SweepSpec",
     "mixed_demo_spec",
@@ -68,6 +72,12 @@ START_KINDS = ("total_degree", "linear_product", "polyhedral")
 #: jobs always run the batch tracker and take no mode.
 PIERI_MODES = ("per_path", "batch")
 
+#: Endgame strategies for polynomial-system jobs (the choices
+#: :func:`repro.homotopy.solve` accepts): ``refine`` is the plain
+#: Newton sharpen, ``cauchy`` recovers singular endpoints with
+#: winding-number loops and journals a multiplicity histogram.
+ENDGAME_KINDS = ("refine", "cauchy")
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -88,6 +98,7 @@ class JobSpec:
     seed: int = 0
     start: str = "total_degree"
     mode: str = "per_path"
+    endgame: str = "refine"
 
     def __init__(
         self,
@@ -96,6 +107,7 @@ class JobSpec:
         seed: int = 0,
         start: str = "total_degree",
         mode: str = "per_path",
+        endgame: str = "refine",
     ):
         if kind not in JOB_KINDS:
             raise ValueError(
@@ -119,6 +131,16 @@ class JobSpec:
                 "only pieri jobs take a tracking mode (polynomial jobs "
                 "always run the batch tracker)"
             )
+        if endgame not in ENDGAME_KINDS:
+            raise ValueError(
+                f"unknown endgame {endgame!r}; expected one of "
+                f"{sorted(ENDGAME_KINDS)}"
+            )
+        if kind == "pieri" and endgame != "refine":
+            raise ValueError(
+                "pieri jobs keep the default refine endgame (their retry "
+                "ladder owns failure handling)"
+            )
         required = JOB_KINDS[kind]
         given = dict(params)
         if sorted(given) != sorted(required):
@@ -132,6 +154,7 @@ class JobSpec:
         object.__setattr__(self, "seed", int(seed))
         object.__setattr__(self, "start", start)
         object.__setattr__(self, "mode", mode)
+        object.__setattr__(self, "endgame", endgame)
 
     @property
     def param_dict(self) -> Dict[str, int]:
@@ -152,6 +175,8 @@ class JobSpec:
             parts.append(self.start)
         if self.mode != "per_path":
             parts.append(self.mode)
+        if self.endgame != "refine":
+            parts.append(self.endgame)
         parts.append(f"s{self.seed}")
         return "-".join(parts)
 
@@ -161,6 +186,8 @@ class JobSpec:
             d["start"] = self.start
         if self.mode != "per_path":
             d["mode"] = self.mode
+        if self.endgame != "refine":
+            d["endgame"] = self.endgame
         return d
 
     @classmethod
@@ -171,6 +198,7 @@ class JobSpec:
             d.get("seed", 0),
             d.get("start", "total_degree"),
             d.get("mode", "per_path"),
+            d.get("endgame", "refine"),
         )
 
 
@@ -189,6 +217,9 @@ def _expand_grid(grid: Mapping) -> List[JobSpec]:
     modes = grid.pop("mode", ["per_path"])
     if isinstance(modes, str):
         modes = [modes]
+    endgames = grid.pop("endgame", ["refine"])
+    if isinstance(endgames, str):
+        endgames = [endgames]
     axes = {}
     for name in JOB_KINDS[kind]:
         if name not in grid:
@@ -202,16 +233,18 @@ def _expand_grid(grid: Mapping) -> List[JobSpec]:
     for combo in itertools.product(*(axes[n] for n in names)):
         for start in starts:
             for mode in modes:
-                for seed in seeds:
-                    jobs.append(
-                        JobSpec(
-                            kind,
-                            dict(zip(names, combo)),
-                            seed=seed,
-                            start=start,
-                            mode=mode,
+                for endgame in endgames:
+                    for seed in seeds:
+                        jobs.append(
+                            JobSpec(
+                                kind,
+                                dict(zip(names, combo)),
+                                seed=seed,
+                                start=start,
+                                mode=mode,
+                                endgame=endgame,
+                            )
                         )
-                    )
     return jobs
 
 

@@ -1,6 +1,12 @@
 """Benchmark polynomial systems used in the paper's evaluation."""
 
 from .cyclic import CYCLIC_FINITE_ROOTS, cyclic_roots_system
+from .deficient import (
+    cyclic_deficient_system,
+    griewank_osborne_system,
+    katsura_double_root_system,
+    multiple_root_system,
+)
 from .katsura import katsura_system
 from .noon import noon_system
 from .rps import rps_surrogate_system
@@ -9,7 +15,11 @@ from .misc import random_dense_system
 __all__ = [
     "CYCLIC_FINITE_ROOTS",
     "cyclic_roots_system",
+    "cyclic_deficient_system",
+    "griewank_osborne_system",
     "katsura_system",
+    "katsura_double_root_system",
+    "multiple_root_system",
     "noon_system",
     "rps_surrogate_system",
     "random_dense_system",

@@ -1,0 +1,104 @@
+"""Deficient and singular benchmark systems exercising the endgame layer.
+
+Every system here is built to *break* the plain Newton-sharpen endgame
+in a controlled way: roots of known multiplicity, Newton-repelling
+singular points, paths at infinity.  They are the test bed and the
+benchmark workload (``benchmarks/bench_endgame.py``) for the Cauchy
+endgame's winding-number recovery.
+
+- :func:`griewank_osborne_system` — the classic 2x2 system whose only
+  finite root (the origin) has multiplicity 3 *and* repels Newton's
+  method: plain refinement fails outright near it.
+- :func:`katsura_double_root_system` — katsura-n with its normalization
+  equation squared: every one of the ``2^n`` katsura roots becomes a
+  double root (and the Bezout count doubles, so two paths land on each).
+- :func:`cyclic_deficient_system` — cyclic-n with its last (product)
+  equation squared: each of the cyclic roots doubles the same way, on a
+  sparse system whose supports the polyhedral layer also understands.
+- :func:`multiple_root_system` — the minimal laboratory: one univariate
+  equation ``(x - root)^w``, one root of multiplicity exactly ``w``.
+
+>>> import numpy as np
+>>> from repro.homotopy import solve
+>>> report = solve(griewank_osborne_system(), endgame="cauchy",
+...                rng=np.random.default_rng(0))
+>>> report.summary["multiplicity_histogram"]
+{3: 1}
+>>> np.max(np.abs(report.singular_solutions[0])) < 1e-6
+np.True_
+"""
+
+from __future__ import annotations
+
+from ..polynomials import Polynomial, PolynomialSystem, variables
+from .cyclic import cyclic_roots_system
+from .katsura import katsura_system
+
+__all__ = [
+    "griewank_osborne_system",
+    "katsura_double_root_system",
+    "cyclic_deficient_system",
+    "multiple_root_system",
+]
+
+
+def griewank_osborne_system() -> PolynomialSystem:
+    """The Griewank-Osborne example: a Newton-repelling triple root.
+
+    ``F = [(29/16) x^3 - 2 x y,  y - x^2]`` has exactly one finite
+    root, the origin, of multiplicity 3 — and Newton's method *diverges*
+    from every starting point near it (Griewank & Osborne, 1983), which
+    makes it the standard stress test for singular endgames: of the 6
+    Bezout paths, 3 converge to the origin as one 3-cycle and 3 leave
+    the affine chart.
+    """
+    x, y = variables(2, ["x", "y"])
+    return PolynomialSystem(
+        [
+            (29.0 / 16.0) * x**3 - 2 * x * y,
+            y - x**2,
+        ]
+    )
+
+
+def _square_last_equation(system: PolynomialSystem) -> PolynomialSystem:
+    polys = list(system.polynomials)
+    polys[-1] = polys[-1] * polys[-1]
+    return PolynomialSystem(polys)
+
+
+def katsura_double_root_system(n: int) -> PolynomialSystem:
+    """Katsura-``n`` with the normalization equation squared.
+
+    The linear normalization vanishes to first order at every katsura
+    root, so squaring it makes each of the ``2^n`` roots a double root;
+    the Bezout count doubles to ``2^(n+1)``, sending exactly two paths
+    into every root, each loop a 2-cycle.
+    """
+    return _square_last_equation(katsura_system(n))
+
+
+def cyclic_deficient_system(n: int = 3) -> PolynomialSystem:
+    """Cyclic-``n`` roots with the product equation squared.
+
+    ``x_0 ... x_{n-1} - 1 = 0`` vanishes to first order at every cyclic
+    root, so squaring it doubles each root's multiplicity while keeping
+    the sparse cyclic support structure (the polyhedral layer still
+    reads meaningful mixed cells from it).  For ``n = 3``: 12 Bezout
+    paths onto 6 double roots.
+    """
+    return _square_last_equation(cyclic_roots_system(n))
+
+
+def multiple_root_system(w: int, root: complex = 1.0) -> PolynomialSystem:
+    """The univariate laboratory: ``(x - root)^w`` as a 1x1 system.
+
+    A total-degree homotopy tracks ``w`` paths, all converging to the
+    single multiplicity-``w`` root as one ``w``-cycle — the smallest
+    system on which a winding number of exactly ``w`` can be measured.
+    """
+    if w < 1:
+        raise ValueError("multiplicity w must be positive")
+    (x,) = variables(1, ["x"])
+    poly: Polynomial = (x - root) ** w
+    return PolynomialSystem([poly])

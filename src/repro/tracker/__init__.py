@@ -45,12 +45,15 @@ from .newton import (
     newton_correct,
     newton_refine_system,
 )
+from .rescue import rescue_diverged, track_with_rescue
 from .result import (
     PathResult,
     PathStatus,
     TrackStats,
     duplicate_path_ids,
+    retrack_duplicate_clusters,
     summarize_results,
+    tighten_options,
 )
 from .stacked import StackedHomotopy
 from .tracker import PathTracker, TrackerOptions, refine_solutions
@@ -70,7 +73,11 @@ __all__ = [
     "PathStatus",
     "TrackStats",
     "duplicate_path_ids",
+    "retrack_duplicate_clusters",
+    "tighten_options",
     "summarize_results",
+    "track_with_rescue",
+    "rescue_diverged",
     "PathTracker",
     "BatchTracker",
     "TrackerOptions",

@@ -48,15 +48,29 @@ _STATUS_BY_CODE = {
     1: PathStatus.DIVERGED,
     2: PathStatus.FAILED,
     3: PathStatus.SINGULAR,
+    4: PathStatus.AT_INFINITY,
 }
 _CODE_BY_STATUS = {s: c for c, s in _STATUS_BY_CODE.items()}
 
 
 class BatchTracker:
-    """Tracks batches of solution paths from t=0 to t=1 as one SoA front."""
+    """Tracks batches of solution paths from t=0 to t=1 as one SoA front.
 
-    def __init__(self, options: TrackerOptions | None = None) -> None:
+    ``endgame`` picks the terminal-phase strategy (``None`` / a name /
+    an :class:`~repro.endgame.EndgameStrategy` instance), exactly as on
+    the scalar :class:`~repro.tracker.tracker.PathTracker`; the whole
+    surviving front is finished by one
+    :meth:`~repro.endgame.EndgameStrategy.finish_batch` call.
+    """
+
+    def __init__(
+        self, options: TrackerOptions | None = None, endgame=None
+    ) -> None:
         self.options = (options or TrackerOptions()).validated()
+        # imported lazily: repro.endgame builds on the tracker submodules
+        from ..endgame import make_endgame
+
+        self.endgame = make_endgame(endgame)
 
     # ------------------------------------------------------------------
     def _tangents(
@@ -210,30 +224,37 @@ class BatchTracker:
                     classify(
                         dead[blew_up], PathStatus.DIVERGED, res_dead[blew_up]
                     )
+                    fail = dead[~blew_up]
+                    # stalls inside the endgame's operating radius are
+                    # handed to the strategy instead of failing
+                    over = T[fail] > 1.0 - self.endgame.operating_radius
+                    state[fail[over]] = _ENDGAME
                     classify(
-                        dead[~blew_up], PathStatus.FAILED, res_dead[~blew_up]
+                        fail[~over], PathStatus.FAILED, res_dead[~blew_up][~over]
                     )
 
-        # --- endgame: one batched sharpening sweep at t = 1
+        # --- endgame: the whole surviving front finishes as one batch
         endg = np.flatnonzero(state == _ENDGAME)
+        winding = np.zeros(n, dtype=np.int64)
+        finished_by_endgame = np.zeros(n, dtype=bool)
+        finished_by_endgame[endg] = True
         if endg.size:
-            final = batch_newton_correct(
-                bh.restrict(endg),
-                X[endg],
-                1.0,
-                tol=opts.endgame_tol,
-                max_iterations=opts.endgame_iterations,
+            out = self.endgame.finish_batch(
+                bh.restrict(endg), X[endg], T[endg], opts
             )
-            newton[endg] += final.iterations
-            X[endg] = final.x
-            sing = final.singular
-            failed = (~sing) & (~final.converged) & (
-                final.residual > opts.corrector_tol
-            )
-            good = (~sing) & (~failed)
-            classify(endg[sing], PathStatus.SINGULAR, final.residual[sing])
-            classify(endg[failed], PathStatus.FAILED, final.residual[failed])
-            classify(endg[good], PathStatus.SUCCESS, final.residual[good])
+            newton[endg] += out.iterations
+            X[endg] = out.x
+            winding[endg] = out.winding_number
+            for st in (
+                PathStatus.SUCCESS,
+                PathStatus.FAILED,
+                PathStatus.SINGULAR,
+                PathStatus.DIVERGED,
+                PathStatus.AT_INFINITY,
+            ):
+                mask = np.array([s is st for s in out.status], dtype=bool)
+                if mask.any():
+                    classify(endg[mask], st, out.residual[mask])
 
         # --- gather SoA state back into per-path results
         results: List[PathResult] = []
@@ -245,6 +266,7 @@ class BatchTracker:
                 t_reached=float(t_reached[i]),
                 seconds=float(seconds[i]),
             )
+            w = int(winding[i])
             results.append(
                 PathResult(
                     _STATUS_BY_CODE[int(state[i])],
@@ -253,6 +275,9 @@ class BatchTracker:
                     float(res_final[i]),
                     stats,
                     int(path_ids[i]),
+                    endgame=self.endgame.name if finished_by_endgame[i] else None,
+                    winding_number=w if w > 0 else None,
+                    multiplicity=w if w > 0 else None,
                 )
             )
         return results

@@ -72,12 +72,48 @@ class HomotopyFunction(abc.ABC):
         """Residual and dH/dx together (override to share work)."""
         return self.evaluate(x, t), self.jacobian_x(x, t)
 
+    # -- rescue hooks (see repro.tracker.rescue) -----------------------
+    def rescale_patch(self, x: np.ndarray, t: float):
+        """Offer better coordinates for a path escaping at time ``t``.
+
+        Called by the tracker-level rescue pipeline when a path is about
+        to be classified DIVERGED mid-way (``0 < t < 1``).  A homotopy
+        whose coordinates are a *chart* of some larger space — the
+        Pieri determinant homotopies (column-scaling charts) and the
+        projective patch of polynomial homotopies — returns
+        ``(new_homotopy, new_x)``: the *same geometric path* re-expressed
+        in well-scaled coordinates, ready to resume from ``t``.  The
+        default returns ``None``: no re-patching available.
+        """
+        del x, t
+        return None
+
+    def finalize_rescued(self, result):
+        """Map a rescued path's result back to the caller's coordinates.
+
+        After a rescued path finishes in re-patched coordinates, the
+        rescue pipeline passes its :class:`~repro.tracker.result.
+        PathResult` through this hook.  The default is the identity;
+        the projective patch overrides it to dehomogenize endpoints and
+        classify points at infinity.
+        """
+        return result
+
 
 def _per_path_t(t, npaths: int) -> np.ndarray:
-    """Broadcast a scalar or (npaths,) ``t`` to a float vector."""
-    tt = np.asarray(t, dtype=float)
+    """Broadcast a scalar or (npaths,) ``t`` to a float (or complex) vector.
+
+    Real ``t`` — the tracking regime — is kept as float64 exactly as
+    before.  Complex ``t`` is passed through: the Cauchy endgame tracks
+    paths around small circles ``t = 1 - r e^{i theta}`` in the complex
+    time plane, and every vectorized homotopy kernel in this codebase is
+    elementwise in ``t``, so complex times flow through unchanged.
+    """
+    tt = np.asarray(t)
+    dtype = complex if np.iscomplexobj(tt) else float
+    tt = tt.astype(dtype, copy=False)
     if tt.ndim == 0:
-        return np.full(npaths, float(tt))
+        return np.full(npaths, tt[()])
     if tt.shape != (npaths,):
         raise ValueError(f"expected t scalar or shape ({npaths},), got {tt.shape}")
     return tt
@@ -131,6 +167,19 @@ class BatchHomotopy(abc.ABC):
         convex homotopy computes them from one pass over each system).
         """
         return self.jacobian_x_batch(X, t), self.jacobian_t_batch(X, t)
+
+    # -- rescue hooks (see repro.tracker.rescue) -----------------------
+    def rescale_patch(self, x: np.ndarray, t: float):
+        """Offer better coordinates for one escaping path (see
+        :meth:`HomotopyFunction.rescale_patch`); default: none."""
+        del x, t
+        return None
+
+    def finalize_rescued(self, result):
+        """Map a rescued path's result back to the caller's coordinates
+        (see :meth:`HomotopyFunction.finalize_rescued`); default:
+        identity."""
+        return result
 
     def restrict(self, rows) -> "BatchHomotopy":
         """The batch homotopy seen by the given subset of path rows.
@@ -202,6 +251,12 @@ class ScalarBatchAdapter(BatchHomotopy):
         for i in range(X.shape[0]):
             res[i], jac[i] = self.scalar.evaluate_and_jacobian_x(X[i], tt[i])
         return res, jac
+
+    def rescale_patch(self, x: np.ndarray, t: float):
+        return self.scalar.rescale_patch(x, t)
+
+    def finalize_rescued(self, result):
+        return self.scalar.finalize_rescued(result)
 
     def __repr__(self) -> str:
         return f"ScalarBatchAdapter({self.scalar!r})"

@@ -1,0 +1,145 @@
+"""Tracker-level path rescue: re-patch escaping paths and resume them.
+
+A path that blows past the divergence bound mid-way is not necessarily
+going to infinity — it may simply be leaving the *chart* its homotopy
+tracks in.  The Pieri determinant homotopies hit this constantly (the
+pinned entry of the moving column tends to zero; re-pinning the largest
+entry re-scales the same geometric path into bounded coordinates), and
+plain polynomial homotopies hit it on genuinely infinite endpoints
+(where a projective patch turns "diverged" into a well-scaled point
+with first coordinate tending to zero).
+
+The generalized mechanism lives here, one layer below the solvers:
+any homotopy may implement
+:meth:`~repro.tracker.interface.HomotopyFunction.rescale_patch`,
+returning ``(new_homotopy, new_x)`` — the same path in better
+coordinates — and optionally
+:meth:`~repro.tracker.interface.HomotopyFunction.finalize_rescued` to
+map a finished result back to the caller's coordinate conventions.
+:func:`track_with_rescue` drives one path through that protocol;
+:func:`rescue_diverged` sweeps a whole result list (the batch-mode
+pipeline: diverged paths are rare, so they resume on the scalar
+tracker).  The Schubert solver's chart switching and the blackbox
+solver's projective rescue are both thin clients of these two calls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .result import PathResult, PathStatus
+
+__all__ = [
+    "track_with_rescue",
+    "rescue_diverged",
+    "keep_rescue",
+    "fold_rescued_effort",
+]
+
+
+def keep_rescue(resumed: PathResult) -> bool:
+    """Does a resumed path's outcome supersede the diverged original?
+
+    Only a *finished* classification does: SUCCESS, AT_INFINITY (the
+    projective patch classified the escape), or an endgame-measured
+    singularity.  Anything else keeps the original diverged result,
+    exactly as the Schubert chart switch always behaved.
+    """
+    return (
+        resumed.success
+        or resumed.status is PathStatus.AT_INFINITY
+        or (
+            resumed.status is PathStatus.SINGULAR
+            and resumed.winding_number is not None
+        )
+    )
+
+
+def fold_rescued_effort(resumed: PathResult, prior: PathResult) -> PathResult:
+    """Account the diverged attempt's effort on the kept rescue result.
+
+    Shared by every rescue driver (the scalar pipeline here and the
+    batched Schubert chart-switch requeue) so a rescued path reports
+    the same bookkeeping — ``stats.rescues``, accumulated step/Newton
+    counts, the *original* start point — no matter which driver rescued
+    it.
+    """
+    resumed.stats.rescues = prior.stats.rescues + 1
+    resumed.stats.steps_accepted += prior.stats.steps_accepted
+    resumed.stats.steps_rejected += prior.stats.steps_rejected
+    resumed.stats.newton_iterations += prior.stats.newton_iterations
+    resumed.stats.seconds += prior.stats.seconds
+    resumed.start = np.asarray(prior.start, dtype=complex)
+    return resumed
+
+
+def track_with_rescue(
+    tracker,
+    homotopy,
+    start: Sequence[complex],
+    path_id: int = -1,
+    t_start: float = 0.0,
+    max_rescues: int = 1,
+):
+    """Track one path; on mid-way divergence re-patch and resume it.
+
+    Returns ``(result, final_homotopy)``: the homotopy whose coordinates
+    the result's solution lives in — the original one, or the last
+    re-patched one if a rescue succeeded.  A rescue is kept only when
+    the resumed path *finishes* (SUCCESS, classified SINGULAR, or
+    AT_INFINITY after :meth:`finalize_rescued`); otherwise the original
+    diverged result stands, exactly as the Schubert chart-switch always
+    behaved.
+    """
+    result = tracker.track(homotopy, start, path_id=path_id, t_start=t_start)
+    hom = homotopy
+    for _ in range(max_rescues):
+        if result.status is not PathStatus.DIVERGED:
+            break
+        t = result.stats.t_reached
+        if not 0.0 < t < 1.0:
+            break
+        patch = hom.rescale_patch(result.solution, t)
+        if patch is None:
+            break
+        new_hom, x1 = patch
+        resumed = tracker.track(new_hom, x1, path_id=path_id, t_start=t)
+        resumed = new_hom.finalize_rescued(resumed)
+        if not keep_rescue(resumed):
+            break
+        result, hom = fold_rescued_effort(resumed, result), new_hom
+    return result, hom
+
+
+def rescue_diverged(
+    tracker,
+    homotopy,
+    results: List[PathResult],
+) -> tuple[List[PathResult], int]:
+    """Re-patch and resume every DIVERGED path of a finished batch.
+
+    ``results`` is mutated in place (and returned) together with the
+    number of paths whose classification a rescue changed.  Each rescued
+    path resumes from its own reached ``t`` on the (scalar) ``tracker``
+    — divergence is the rare case, so there is no batching win to chase
+    here.
+    """
+    changed = 0
+    for i, r in enumerate(results):
+        if r.status is not PathStatus.DIVERGED:
+            continue
+        t = r.stats.t_reached
+        if not 0.0 < t < 1.0:
+            continue
+        patch = homotopy.rescale_patch(r.solution, t)
+        if patch is None:
+            continue
+        new_hom, x1 = patch
+        resumed = tracker.track(new_hom, x1, path_id=r.path_id, t_start=t)
+        resumed = new_hom.finalize_rescued(resumed)
+        if keep_rescue(resumed):
+            results[i] = fold_rescued_effort(resumed, r)
+            changed += 1
+    return results, changed

@@ -20,6 +20,8 @@ __all__ = [
     "PathResult",
     "TrackStats",
     "duplicate_path_ids",
+    "retrack_duplicate_clusters",
+    "tighten_options",
     "summarize_results",
 ]
 
@@ -31,6 +33,7 @@ class PathStatus(enum.Enum):
     DIVERGED = "diverged"        # solution norm exceeded the divergence bound
     FAILED = "failed"            # step size underflow / Newton stagnation
     SINGULAR = "singular"        # Jacobian numerically singular at the end
+    AT_INFINITY = "at_infinity"  # escaped the affine chart (projective rescue)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -45,6 +48,7 @@ class TrackStats:
     newton_iterations: int = 0
     t_reached: float = 0.0
     seconds: float = 0.0
+    rescues: int = 0
 
     @property
     def total_steps(self) -> int:
@@ -53,7 +57,16 @@ class TrackStats:
 
 @dataclass
 class PathResult:
-    """Outcome of tracking one solution path."""
+    """Outcome of tracking one solution path.
+
+    The three trailing fields are *endgame annotations*, populated only
+    when an endgame strategy classified the endpoint beyond the plain
+    Newton sharpen: ``endgame`` names the strategy that finished the
+    path, ``winding_number`` is the measured cycle length ``w`` of a
+    Cauchy loop (1 for a regular endpoint), and ``multiplicity`` is the
+    path-level multiplicity estimate — ``w`` at tracking time, possibly
+    raised to the endpoint-cluster size by the solve layer.
+    """
 
     status: PathStatus
     solution: np.ndarray
@@ -61,15 +74,36 @@ class PathResult:
     residual: float
     stats: TrackStats = field(default_factory=TrackStats)
     path_id: int = -1
+    endgame: str | None = None
+    winding_number: int | None = None
+    multiplicity: int | None = None
 
     @property
     def success(self) -> bool:
         return self.status is PathStatus.SUCCESS
 
+    @property
+    def endgame_classified(self) -> bool:
+        """True when an endgame verdict stands behind this endpoint.
+
+        A SINGULAR result with a measured winding number is a *finished*
+        classification — the endpoint was recovered as the mean of the
+        Cauchy loop samples — so retry ladders (Pieri, polyhedral
+        phase-1) should not burn re-tracking attempts on it.
+        """
+        return self.winding_number is not None and self.status in (
+            PathStatus.SINGULAR,
+            PathStatus.SUCCESS,
+            PathStatus.AT_INFINITY,
+        )
+
     def __repr__(self) -> str:
+        extra = (
+            f", w={self.winding_number}" if self.winding_number is not None else ""
+        )
         return (
             f"PathResult(id={self.path_id}, status={self.status.value}, "
-            f"residual={self.residual:.2e}, steps={self.stats.total_steps})"
+            f"residual={self.residual:.2e}, steps={self.stats.total_steps}{extra})"
         )
 
 
@@ -99,6 +133,87 @@ def duplicate_path_ids(results, tol: float = 1e-6) -> List[int]:
     return [pid for cluster in clusters if len(cluster) > 1 for pid in cluster]
 
 
+def tighten_options(options, factor: float = 0.25):
+    """The generic escalation step for duplicate re-tracking.
+
+    Shrinks the step-size window by ``factor`` and stretches the step
+    budget to compensate, via ``dataclasses.replace`` so every field
+    not listed keeps the *caller's* value (new options fields are never
+    silently reset on escalation).  Drivers with tuned escalation
+    profiles (the blackbox solver, polyhedral phase-1) keep their own
+    variants; this is the default recipe for everyone else.
+    """
+    import dataclasses
+
+    return dataclasses.replace(
+        options,
+        initial_step=max(options.initial_step * factor, options.min_step),
+        min_step=options.min_step * factor,
+        max_step=max(options.max_step * factor, options.min_step),
+        max_steps=int(options.max_steps / factor),
+    )
+
+
+def retrack_duplicate_clusters(
+    results: List[PathResult],
+    retrack,
+    tighten,
+    options,
+    rounds: int = 3,
+    tol: float = 1e-6,
+) -> List[PathResult]:
+    """Re-track endpoint-collision clusters until they separate or stall.
+
+    The shared escalation loop behind the blackbox solver, the
+    polyhedral phase-1 driver and the Pieri parameter continuation:
+    every member of a colliding cluster (see :func:`duplicate_path_ids`)
+    is re-tracked with progressively tightened options, up to ``rounds``
+    times.  The *no-progress bail-out* is the subtle part, and the
+    reason this lives in one place: when a re-track round reproduces
+    every endpoint it re-tracked (nothing moved beyond ``tol``), the
+    collision is a genuine multiple root — not a predictor jump — and
+    tighter steps can never separate it, so escalating further would
+    only burn time.
+
+    Parameters
+    ----------
+    results:
+        Per-path results ordered by path id (mutated in place and also
+        returned).
+    retrack:
+        ``retrack(path_id, options) -> PathResult`` — re-track one path
+        with the given (tightened) options.
+    tighten:
+        ``tighten(options) -> options`` — one escalation step.
+    options:
+        The options the main tracking pass used; tightened before the
+        first re-track round.
+    """
+    for _ in range(rounds):
+        dups = duplicate_path_ids(results, tol=tol)
+        if not dups:
+            break
+        options = tighten(options)
+        moved = False
+        for pid in dups:
+            retracked = retrack(pid, options)
+            old = results[pid]
+            if retracked.success or not old.success:
+                if not (
+                    retracked.success
+                    and old.success
+                    and np.max(np.abs(retracked.solution - old.solution)) < tol
+                ):
+                    moved = True
+                results[pid] = retracked
+        if not moved:
+            # every re-track reproduced its endpoint: the collision is a
+            # genuine multiple root, not a predictor jump, and tighter
+            # steps will never separate it — stop escalating
+            break
+    return results
+
+
 def summarize_results(results: List[PathResult]) -> dict:
     """Aggregate counts and effort over a batch of path results."""
     by_status = {s: 0 for s in PathStatus}
@@ -112,6 +227,7 @@ def summarize_results(results: List[PathResult]) -> dict:
         "diverged": by_status[PathStatus.DIVERGED],
         "failed": by_status[PathStatus.FAILED],
         "singular": by_status[PathStatus.SINGULAR],
+        "at_infinity": by_status[PathStatus.AT_INFINITY],
         "seconds_total": float(np.sum(seconds)) if seconds else 0.0,
         "seconds_mean": float(np.mean(seconds)) if seconds else 0.0,
         "seconds_std": float(np.std(seconds)) if seconds else 0.0,

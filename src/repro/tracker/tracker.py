@@ -14,8 +14,13 @@ This is the Python counterpart of PHCpack's increment-and-fix continuation:
   are classified DIVERGED (the paper's "paths diverging to infinity"), with
   the time spent recorded — these are exactly the expensive jobs that make
   static load balancing lose to dynamic balancing in Tables I and II.
-- **endgame** — at ``t = 1`` the solution is sharpened with extra Newton
-  iterations at a tighter tolerance.
+- **endgame** — the terminal phase is delegated to a pluggable
+  :class:`~repro.endgame.EndgameStrategy`.  The default
+  :class:`~repro.endgame.RefineEndgame` sharpens the solution at
+  ``t = 1`` with extra Newton iterations at a tighter tolerance —
+  exactly the seed behavior; :class:`~repro.endgame.CauchyEndgame`
+  additionally recovers singular endpoints by winding-number loops and
+  takes over paths that stall inside its operating radius.
 """
 
 from __future__ import annotations
@@ -59,10 +64,22 @@ class TrackerOptions:
 
 
 class PathTracker:
-    """Tracks solution paths of a :class:`HomotopyFunction` from t=0 to t=1."""
+    """Tracks solution paths of a :class:`HomotopyFunction` from t=0 to t=1.
 
-    def __init__(self, options: TrackerOptions | None = None) -> None:
+    ``endgame`` picks the terminal-phase strategy: ``None`` (the default
+    :class:`~repro.endgame.RefineEndgame` — seed behavior, bit for
+    bit), a name (``"refine"`` / ``"cauchy"``), or any
+    :class:`~repro.endgame.EndgameStrategy` instance.
+    """
+
+    def __init__(
+        self, options: TrackerOptions | None = None, endgame=None
+    ) -> None:
         self.options = (options or TrackerOptions()).validated()
+        # imported lazily: repro.endgame builds on the tracker submodules
+        from ..endgame import make_endgame
+
+        self.endgame = make_endgame(endgame)
 
     # ------------------------------------------------------------------
     def _tangent(
@@ -158,27 +175,22 @@ class PathTracker:
                 easy_streak = 0
                 step *= opts.shrink
                 if step < opts.min_step:
-                    status = (
-                        PathStatus.DIVERGED
-                        if float(np.max(np.abs(x))) > 1e3
-                        else PathStatus.FAILED
-                    )
-                    return finish(status, x, corr.residual)
+                    if float(np.max(np.abs(x))) > 1e3:
+                        return finish(PathStatus.DIVERGED, x, corr.residual)
+                    if t > 1.0 - self.endgame.operating_radius:
+                        # stall inside the endgame's operating radius:
+                        # hand the path over instead of failing it
+                        break
+                    return finish(PathStatus.FAILED, x, corr.residual)
 
-        # --- endgame: sharpen at t = 1
-        final = newton_correct(
-            homotopy,
-            x,
-            1.0,
-            tol=opts.endgame_tol,
-            max_iterations=opts.endgame_iterations,
-        )
-        stats.newton_iterations += final.iterations
-        if final.singular:
-            return finish(PathStatus.SINGULAR, final.x, final.residual)
-        if not final.converged and final.residual > opts.corrector_tol:
-            return finish(PathStatus.FAILED, final.x, final.residual)
-        return finish(PathStatus.SUCCESS, final.x, final.residual)
+        # --- endgame: the terminal phase belongs to the strategy
+        out = self.endgame.finish(homotopy, x, t, opts)
+        stats.newton_iterations += out.iterations
+        result = finish(out.status, out.x, out.residual)
+        result.endgame = self.endgame.name
+        result.winding_number = out.winding_number
+        result.multiplicity = out.multiplicity
+        return result
 
     # ------------------------------------------------------------------
     def track_many(

@@ -24,6 +24,8 @@ DOCUMENTED_MODULES = [
     "repro.polyhedral.binomial",
     "repro.polyhedral.lp",
     "repro.polyhedral.homotopy",
+    "repro.endgame",
+    "repro.systems.deficient",
 ]
 
 

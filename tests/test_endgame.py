@@ -1,0 +1,518 @@
+"""The pluggable endgame layer: strategies, rescue pipeline, satellites.
+
+Contracts under test:
+
+- ``RefineEndgame`` is the default everywhere and reproduces the seed
+  trackers' terminal phase decision for decision.
+- ``CauchyEndgame`` measures winding numbers on the deficient-systems
+  family, recovers singular endpoints accurately, and makes the same
+  accept/reject decisions path by path in scalar and batch mode (the
+  hypothesis property test — same contract PRs 1/4 pinned for
+  stepping).
+- The tracker-level rescue pipeline re-patches escaping paths: Pieri
+  chart switches ride ``PieriEdgeHomotopy.rescale_patch``, plain
+  polynomial homotopies ride the projective patch and classify
+  AT_INFINITY.
+- ``retrack_duplicate_clusters`` (the hoisted no-progress bail-out)
+  escalates while re-tracks move endpoints and stops the moment a round
+  reproduces them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.endgame import CauchyEndgame, EndgameStrategy, RefineEndgame, make_endgame
+from repro.homotopy import (
+    ConvexHomotopy,
+    make_homotopy_and_starts,
+    multiplicity_clusters,
+    solve,
+)
+from repro.polynomials import PolynomialSystem, variables
+from repro.systems import (
+    cyclic_deficient_system,
+    griewank_osborne_system,
+    katsura_system,
+    multiple_root_system,
+)
+from repro.tracker import (
+    BatchTracker,
+    HomotopyFunction,
+    PathResult,
+    PathStatus,
+    PathTracker,
+    TrackerOptions,
+    TrackStats,
+    rescue_diverged,
+    retrack_duplicate_clusters,
+    track_with_rescue,
+)
+
+
+class Collapse(HomotopyFunction):
+    """H(x, t) = x^2 - (1 - t): branches collapsing to a double root."""
+
+    @property
+    def dim(self):
+        return 1
+
+    def evaluate(self, x, t):
+        return np.array([x[0] ** 2 - (1 - t)])
+
+    def jacobian_x(self, x, t):
+        return np.array([[2 * x[0]]])
+
+    def jacobian_t(self, x, t):
+        return np.array([1.0 + 0j])
+
+
+def _diverging_system():
+    """[x^2 + x, x*y - 1]: one finite root (-1, -1), 3 paths at infinity."""
+    x, y = variables(2)
+    return PolynomialSystem([x * x + x, x * y - 1])
+
+
+class TestStrategySelection:
+    def test_default_is_refine(self):
+        assert isinstance(PathTracker().endgame, RefineEndgame)
+        assert isinstance(BatchTracker().endgame, RefineEndgame)
+
+    def test_make_endgame_coercions(self):
+        assert isinstance(make_endgame(None), RefineEndgame)
+        assert isinstance(make_endgame("refine"), RefineEndgame)
+        assert isinstance(make_endgame("cauchy"), CauchyEndgame)
+        strategy = CauchyEndgame(operating_radius=0.02)
+        assert make_endgame(strategy) is strategy
+        with pytest.raises(ValueError):
+            make_endgame("newton-homotopy-deluxe")
+
+    def test_refine_radius_is_zero(self):
+        # radius 0 = stalled paths never reach the strategy: the exact
+        # seed behavior
+        assert RefineEndgame.operating_radius == 0.0
+        assert issubclass(CauchyEndgame, EndgameStrategy)
+
+    def test_cauchy_knob_validation(self):
+        with pytest.raises(ValueError):
+            CauchyEndgame(operating_radius=1.5)
+        with pytest.raises(ValueError):
+            CauchyEndgame(samples_per_loop=2)
+        with pytest.raises(ValueError):
+            CauchyEndgame(max_winding=0)
+
+
+class TestRefineIdentity:
+    """The refactor must not change a single default decision."""
+
+    def test_refine_statuses_and_endpoints_match_seed_semantics(self):
+        # katsura-4: all paths regular; residual classification only
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(4), rng=np.random.default_rng(0)
+        )
+        scalar = PathTracker().track_many(homotopy, starts)
+        batch = BatchTracker().track_batch(homotopy, starts)
+        for a, b in zip(scalar, batch):
+            assert a.status == b.status
+            assert a.winding_number is None and b.winding_number is None
+            if a.success:
+                assert np.max(np.abs(a.solution - b.solution)) < 1e-8
+
+    def test_refine_results_carry_endgame_tag(self):
+        result = PathTracker().track(Collapse(), [1.0])
+        assert result.endgame == "refine"
+        assert result.multiplicity is None
+
+
+class TestCauchyWinding:
+    @pytest.mark.parametrize("w", [2, 3, 4])
+    def test_measures_multiplicity_w(self, w):
+        report = solve(
+            multiple_root_system(w),
+            mode="batch",
+            rng=np.random.default_rng(0),
+            endgame="cauchy",
+        )
+        assert report.summary["multiplicity_histogram"] == {w: 1}
+        assert len(report.singular_solutions) == 1
+        assert abs(report.singular_solutions[0][0] - 1.0) < 1e-6
+        for r in report.results:
+            assert r.status is PathStatus.SINGULAR
+            assert r.winding_number == w
+            assert r.multiplicity == w
+            assert r.endgame == "cauchy"
+
+    def test_griewank_osborne_triple_root(self):
+        report = solve(
+            griewank_osborne_system(),
+            rng=np.random.default_rng(0),
+            endgame="cauchy",
+        )
+        assert report.summary["multiplicity_histogram"] == {3: 1}
+        root = report.singular_solutions[0]
+        assert np.max(np.abs(root)) < 1e-6  # the origin, recovered
+        windings = [r.winding_number for r in report.results if r.winding_number]
+        assert windings and all(w == 3 for w in windings)
+
+    def test_cyclic_deficient_double_roots(self):
+        report = solve(
+            cyclic_deficient_system(3),
+            mode="batch",
+            rng=np.random.default_rng(0),
+            endgame="cauchy",
+        )
+        assert report.summary["multiplicity_histogram"] == {2: 6}
+        assert len(report.singular_solutions) == 6
+
+    def test_regular_systems_unchanged_by_cauchy(self):
+        # on a system with only regular roots the two strategies agree
+        ref = solve(katsura_system(3), mode="batch", rng=np.random.default_rng(0))
+        cau = solve(
+            katsura_system(3),
+            mode="batch",
+            rng=np.random.default_rng(0),
+            endgame="cauchy",
+        )
+        assert [r.status for r in ref.results] == [r.status for r in cau.results]
+        assert ref.n_solutions == cau.n_solutions
+        assert cau.summary["multiplicity_histogram"] == {1: ref.n_solutions}
+
+    def test_stall_handover_recovers_throughout_the_radius(self):
+        # regression, twice over: the walk-back gate once compared the
+        # loop mean against a point stuck at the stall radius (rejecting
+        # every recovery deeper than ~verify_tol^w), and its snapshot
+        # grid once skipped stalls in the (rho/2, rho] band (t ~ 0.97
+        # failed while 0.975 and 0.965 passed) — so sweep the whole
+        # hand-over radius densely, band boundaries included
+        eg = CauchyEndgame()
+        opts = TrackerOptions()
+        for t in (0.999, 0.995, 0.99, 0.98, 0.975, 0.97, 0.965, 0.96, 0.955):
+            x = np.array([np.sqrt(1 - t)], dtype=complex)
+            out = eg.finish(Collapse(), x, t, opts)
+            assert out.status is PathStatus.SINGULAR, t
+            assert out.winding_number == 2, t
+            assert abs(out.x[0]) < 1e-9, t
+
+    def test_walk_back_verifies_at_retry_radius_below_stall(self):
+        # regression: a retry attempt shrinks the loop radius 4x, which
+        # can put it *below* a handed-over stall's reference radius; the
+        # hop gate must then walk UP to the reference radius instead of
+        # comparing the near-limit bottom point against the stall point
+        # (which once rejected every clean retry-radius recovery)
+        from repro.tracker import as_batch
+        from repro.tracker.newton import batch_newton_correct
+
+        eg = CauchyEndgame()
+        opts = TrackerOptions()
+        bh = as_batch(Collapse())
+        rho = eg.operating_radius / 4  # the first retry's radius
+        stall = np.array([[np.sqrt(0.04)]], dtype=complex)  # rho_ref 0.04
+        z = stall.copy()
+        for rr in (0.02, rho):  # anchor walked down to the retry radius
+            z = batch_newton_correct(
+                bh, z, 1.0 - rr, tol=opts.corrector_tol, max_iterations=30
+            ).x
+        loopers = np.array([0])
+        iters = np.zeros(1, dtype=np.int64)
+        w, mean, closed = eg._loop_at_radius(
+            bh, loopers, np.array([0]), z.copy(), rho, opts, iters
+        )
+        assert closed[0] and w[0] == 2
+        ok = eg._walk_back_verify(
+            bh, loopers, np.array([0]), z.copy(), mean, stall,
+            np.array([1.0]), rho, np.array([0.04]), opts, iters,
+        )
+        assert ok[0]
+
+    def test_unrecovered_stall_falls_back_to_failed(self):
+        # regression: a handed-over stall whose recovery fails must not
+        # inherit the t=1 sharpen's deceptive SUCCESS — pre-endgame
+        # semantics (stall = FAILED) stand until something positively
+        # classifies the endpoint, and the reported state is the honest
+        # stall point with an infinite residual, not the sharpen's
+        # unverified jump wearing a tiny |x - x*|^w residual
+        eg = CauchyEndgame(max_winding=1)  # a w=2 loop can never close
+        stall_x = np.array([np.sqrt(0.01)], dtype=complex)
+        out = eg.finish(Collapse(), stall_x, 0.99, TrackerOptions())
+        assert out.status is PathStatus.FAILED
+        assert out.winding_number is None
+        assert np.array_equal(out.x, stall_x)
+        assert out.residual == np.inf
+
+    def test_deceptive_success_is_reclassified(self):
+        # plain refinement "succeeds" on the collapse toy with an
+        # endpoint ~1e-6 off; the stall detector catches it
+        plain = PathTracker().track(Collapse(), [1.0])
+        assert plain.success and abs(plain.solution[0]) > 1e-8
+        cauchy = PathTracker(endgame=CauchyEndgame()).track(Collapse(), [1.0])
+        assert cauchy.status is PathStatus.SINGULAR
+        assert cauchy.winding_number == 2
+        assert abs(cauchy.solution[0]) < 1e-9
+
+
+class TestScalarBatchEndgameParity:
+    """Satellite: bit-identical accept/reject decisions, scalar vs batch."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        w=st.integers(min_value=1, max_value=4),
+        strategy=st.sampled_from(["refine", "cauchy"]),
+    )
+    def test_property_parity_on_multiplicity_family(self, seed, w, strategy):
+        homotopy, starts = make_homotopy_and_starts(
+            multiple_root_system(w, root=0.5), rng=np.random.default_rng(seed)
+        )
+        scalar = PathTracker(endgame=strategy).track_many(homotopy, starts)
+        batch = BatchTracker(endgame=strategy).track_batch(homotopy, starts)
+        for a, b in zip(scalar, batch):
+            # accept/reject decisions are bit-identical path by path;
+            # endpoints agree to a conditioning-aware tolerance (near a
+            # multiplicity-w root the scalar and stacked LAPACK solves'
+            # last-bit differences amplify by residual^(-(w-1)/w), so
+            # the PR-1 regular-root tolerance of 1e-8 would be unfair)
+            assert a.status == b.status
+            assert a.winding_number == b.winding_number
+            assert a.multiplicity == b.multiplicity
+            assert a.stats.steps_accepted == b.stats.steps_accepted
+            assert a.stats.steps_rejected == b.stats.steps_rejected
+            assert np.max(np.abs(a.solution - b.solution)) < 1e-6
+
+    def test_parity_on_deficient_cyclic(self):
+        homotopy, starts = make_homotopy_and_starts(
+            cyclic_deficient_system(3), rng=np.random.default_rng(1)
+        )
+        scalar = PathTracker(endgame="cauchy").track_many(homotopy, starts)
+        batch = BatchTracker(endgame="cauchy").track_batch(homotopy, starts)
+        for a, b in zip(scalar, batch):
+            assert a.status == b.status
+            assert a.winding_number == b.winding_number
+            assert np.max(np.abs(a.solution - b.solution)) < 1e-8
+
+
+class TestRescuePipeline:
+    def test_projective_rescue_classifies_infinity(self):
+        target = _diverging_system()
+        homotopy, starts = make_homotopy_and_starts(
+            target, rng=np.random.default_rng(0)
+        )
+        results = BatchTracker().track_batch(homotopy, starts)
+        n_diverged = sum(
+            1 for r in results if r.status is PathStatus.DIVERGED
+        )
+        assert n_diverged == 3
+        results, changed = rescue_diverged(PathTracker(), homotopy, results)
+        assert changed == 3
+        statuses = [r.status for r in results]
+        assert statuses.count(PathStatus.AT_INFINITY) == 3
+        # the projective representative is unit-normalized with a tiny
+        # last (homogenizing) coordinate
+        for r in results:
+            if r.status is PathStatus.AT_INFINITY:
+                y = r.solution
+                assert y.shape == (3,)
+                assert abs(np.linalg.norm(y) - 1.0) < 1e-8
+                assert abs(y[-1]) < 1e-3
+                assert r.stats.rescues == 1
+
+    def test_solve_rescue_flag(self):
+        report = solve(
+            _diverging_system(),
+            mode="batch",
+            rng=np.random.default_rng(0),
+            rescue=True,
+        )
+        assert report.summary["rescued"] == 3
+        assert report.summary["at_infinity"] == 3
+        assert report.summary["diverged"] == 0
+        assert report.n_solutions == 1
+        sol = report.solutions[0]
+        assert np.max(np.abs(sol - np.array([-1.0, -1.0]))) < 1e-8
+
+    def test_rescue_hook_default_is_none(self):
+        class Nothing(HomotopyFunction):
+            @property
+            def dim(self):
+                return 1
+
+            def evaluate(self, x, t):
+                return np.array([x[0]])
+
+            def jacobian_x(self, x, t):
+                return np.array([[1.0 + 0j]])
+
+        assert Nothing().rescale_patch(np.array([1.0]), 0.5) is None
+
+    def test_track_with_rescue_keeps_original_on_no_patch(self):
+        # a homotopy without rescale_patch: the diverged result stands
+        x, y = variables(2)
+        target = _diverging_system()
+        homotopy, starts = make_homotopy_and_starts(
+            target, rng=np.random.default_rng(0)
+        )
+        tracker = PathTracker()
+        for s in starts:
+            result, hom = track_with_rescue(tracker, homotopy, s)
+            if result.status is PathStatus.AT_INFINITY:
+                assert hom is not homotopy  # finished in patch coordinates
+            else:
+                assert hom is homotopy
+
+    def test_pieri_chart_switch_via_hook(self):
+        # the Pieri edge homotopy offers a re-pinned chart for a path
+        # with large moving-column entries
+        from repro.schubert import PieriInstance, PieriSolver
+
+        instance = PieriInstance.random(2, 2, 0, np.random.default_rng(3))
+        solver = PieriSolver(instance, seed=5)
+        jobs = solver.initial_jobs()
+        hom = solver.make_homotopy(jobs[0].node)
+        x0 = hom.start_vector(jobs[0].start_matrix)
+        # craft a point whose largest column entry is off the pin
+        c = hom.to_matrix(np.asarray(x0, dtype=complex) + 50.0)
+        patch = hom.rescale_patch(hom.from_matrix(c), 0.5)
+        assert patch is not None
+        new_hom, x1 = patch
+        assert new_hom.pin_row != hom.pin_row
+        assert new_hom.gamma_s == hom.gamma_s and new_hom.gamma_k == hom.gamma_k
+        # re-pinned coordinates are bounded by construction
+        assert np.max(np.abs(new_hom.to_matrix(x1))) <= np.max(np.abs(c)) + 1e-9
+
+
+class TestRetrackDuplicateClusters:
+    def _result(self, pid, x):
+        x = np.asarray([x], dtype=complex)
+        return PathResult(PathStatus.SUCCESS, x, x, 0.0, TrackStats(), pid)
+
+    def test_separates_colliding_endpoints(self):
+        results = [self._result(0, 1.0), self._result(1, 1.0)]
+        calls = []
+
+        def retrack(pid, opts):
+            calls.append(pid)
+            # the re-track separates path 1 to its true endpoint
+            return self._result(pid, 2.0 if pid == 1 else 1.0)
+
+        retrack_duplicate_clusters(
+            results, retrack, lambda o: o, TrackerOptions()
+        )
+        assert sorted(calls) == [0, 1]
+        assert abs(results[1].solution[0] - 2.0) < 1e-12
+
+    def test_no_progress_bails_out_after_one_round(self):
+        # a genuine multiple root: every re-track reproduces its
+        # endpoint, so escalation stops after the first round instead
+        # of burning all three
+        results = [self._result(0, 1.0), self._result(1, 1.0)]
+        calls = []
+
+        def retrack(pid, opts):
+            calls.append(pid)
+            return self._result(pid, 1.0)
+
+        retrack_duplicate_clusters(
+            results, retrack, lambda o: o, TrackerOptions()
+        )
+        assert len(calls) == 2  # one round over the cluster, then stop
+
+    def test_escalates_while_moving(self):
+        # endpoints keep moving (together, so they stay a collision):
+        # every escalation round runs
+        results = [self._result(0, 1.0), self._result(1, 1.0)]
+        calls = []
+
+        def retrack(pid, opts):
+            calls.append(pid)
+            round_no = (len(calls) - 1) // 2
+            return self._result(pid, 1.0 + 1e-3 * (round_no + 1))
+
+        retrack_duplicate_clusters(
+            results, retrack, lambda o: o, TrackerOptions(), rounds=3
+        )
+        assert len(calls) == 6  # three rounds over the two-path cluster
+
+
+class TestMultiplicityClusters:
+    def _path(self, pid, x, status=PathStatus.SUCCESS, w=None):
+        x = np.asarray(x, dtype=complex)
+        return PathResult(
+            status, x, x, 0.0, TrackStats(), pid, winding_number=w,
+            multiplicity=w,
+        )
+
+    def test_success_only_cluster_counts_paths(self):
+        recs = multiplicity_clusters(
+            [self._path(0, [1.0]), self._path(1, [1.0 + 1e-9])]
+        )
+        assert len(recs) == 1
+        assert recs[0]["multiplicity"] == 2
+        assert not recs[0]["singular"]
+
+    def test_winding_outranks_path_count(self):
+        # a jumped path parks near a measured triple root: the
+        # monodromy-certified winding wins over the path count of 4
+        recs = multiplicity_clusters(
+            [
+                self._path(0, [0.0], PathStatus.SINGULAR, w=3),
+                self._path(1, [1e-9], PathStatus.SINGULAR, w=3),
+                self._path(2, [0.0], PathStatus.SINGULAR, w=3),
+                self._path(3, [2e-5]),  # sloppy success, absorbed
+            ]
+        )
+        assert len(recs) == 1
+        assert recs[0]["multiplicity"] == 3
+        assert recs[0]["singular"]
+        assert sorted(recs[0]["path_ids"]) == [0, 1, 2, 3]
+
+    def test_distant_roots_stay_separate(self):
+        recs = multiplicity_clusters(
+            [
+                self._path(0, [0.0], PathStatus.SINGULAR, w=2),
+                self._path(1, [1.0]),
+            ]
+        )
+        assert len(recs) == 2
+
+    def test_unclassified_failures_ignored(self):
+        recs = multiplicity_clusters(
+            [
+                self._path(0, [0.0], PathStatus.FAILED),
+                self._path(1, [0.0], PathStatus.SINGULAR),  # no winding
+            ]
+        )
+        assert recs == []
+
+
+class TestEndgameVerdictGating:
+    def test_classified_singular_is_final(self):
+        r = PathResult(
+            PathStatus.SINGULAR,
+            np.zeros(1, dtype=complex),
+            np.zeros(1, dtype=complex),
+            0.0,
+            TrackStats(),
+            0,
+            winding_number=2,
+        )
+        assert r.endgame_classified
+        r2 = PathResult(
+            PathStatus.SINGULAR,
+            np.zeros(1, dtype=complex),
+            np.zeros(1, dtype=complex),
+            0.0,
+        )
+        assert not r2.endgame_classified  # refine SINGULAR: still retryable
+
+    def test_polyhedral_phase1_accepts_endgame(self):
+        from repro.polyhedral import PolyhedralStart
+        from repro.systems import cyclic_roots_system
+
+        ps = PolyhedralStart(cyclic_roots_system(3), np.random.default_rng(0))
+        starts, results = ps.track_starts(endgame="cauchy")
+        assert len(starts) == ps.mixed_volume
+        assert all(r.success for r in results)

@@ -5,9 +5,35 @@ import pytest
 
 from repro.homotopy import make_homotopy_and_starts
 from repro.parallel import solve_pieri_parallel, track_paths_parallel
+from repro.parallel.executors import _busy_list, load_imbalance
 from repro.schubert import PieriInstance, PieriSolver, pieri_root_count
 from repro.systems import cyclic_roots_system
 from repro.tracker import PathStatus
+
+
+class TestLoadImbalance:
+    """Regression: a zero-busy pool must report 0.0, not divide by zero."""
+
+    def test_zero_busy_workers(self):
+        # e.g. every job culled before dispatch, or a resume with
+        # nothing pending: no balance statistic exists
+        assert load_imbalance([]) == 0.0
+        assert load_imbalance([0.0, 0.0, 0.0]) == 0.0
+        assert load_imbalance(_busy_list({}, 4)) == 0.0
+
+    def test_zero_busy_emits_no_warning(self):
+        with np.errstate(all="raise"):
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert load_imbalance(_busy_list({}, 8)) == 0.0
+
+    def test_balanced_and_skewed_pools(self):
+        assert load_imbalance([1.0, 1.0]) == 1.0
+        assert load_imbalance([3.0, 1.0]) == 1.5
+        # idle workers padded in by _busy_list count as zeros
+        assert load_imbalance(_busy_list({(1, 1): 2.0}, 2)) == 2.0
 
 
 @pytest.fixture(scope="module")

@@ -148,6 +148,49 @@ class TestStartStrategies:
         assert default["n_solutions"] == result["n_solutions"]
 
 
+class TestEndgameStrategies:
+    def test_default_leaves_job_id_and_dict_unchanged(self):
+        job = JobSpec("cyclic", {"n": 5})
+        assert job.endgame == "refine"
+        assert job.job_id == "cyclic-n5-s0"  # pre-endgame journals match
+        assert "endgame" not in job.to_dict()
+
+    def test_endgame_joins_job_id_and_roundtrips(self):
+        job = JobSpec("katsura", {"n": 3}, seed=1, endgame="cauchy")
+        assert job.job_id == "katsura-n3-cauchy-s1"
+        assert JobSpec.from_dict(job.to_dict()) == job
+
+    def test_unknown_endgame_and_pieri_endgame_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec("cyclic", {"n": 5}, endgame="bogus")
+        with pytest.raises(ValueError):
+            JobSpec("pieri", {"m": 2, "p": 2, "q": 0}, endgame="cauchy")
+
+    def test_grid_endgame_axis(self):
+        spec = SweepSpec.from_dict(
+            {
+                "name": "endgames",
+                "grids": [
+                    {"kind": "katsura", "n": [2, 3],
+                     "endgame": ["refine", "cauchy"]},
+                ],
+            }
+        )
+        assert spec.n_jobs == 4
+        assert "katsura-n2-s0" in spec.job_ids()
+        assert "katsura-n2-cauchy-s0" in spec.job_ids()
+
+    def test_cauchy_job_journals_multiplicity_columns(self):
+        record = run_job(JobSpec("katsura", {"n": 2}, endgame="cauchy"))
+        result = record["result"]
+        assert result["endgame"] == "cauchy"
+        assert result["multiplicity_histogram"] == {"1": 4}
+        # regular system: same solution set as the refine run
+        default = run_job(JobSpec("katsura", {"n": 2}))["result"]
+        assert default["endgame"] == "refine"
+        assert default["fingerprint"] == result["fingerprint"]
+
+
 class TestJournal:
     def test_append_and_load(self, tmp_path):
         journal = SweepJournal(tmp_path / "ck")
@@ -418,6 +461,38 @@ class TestCLI:
         assert proc.returncode == 0
         spec = SweepSpec.load(out)
         assert spec.n_jobs >= 20
+
+    def test_report_format_json(self, tmp_path):
+        spec = SweepSpec(
+            "json-demo",
+            [
+                JobSpec("katsura", {"n": 2}, seed=0),
+                JobSpec("katsura", {"n": 2}, seed=0, endgame="cauchy"),
+                JobSpec("katsura", {"n": 2}, seed=1),
+            ],
+        )
+        spec_path = tmp_path / "spec.json"
+        spec.save(spec_path)
+        checkpoint = tmp_path / "ck"
+        ran = self.run_cli(
+            "run", str(spec_path), "--checkpoint", str(checkpoint),
+            "--mode", "serial", "--max-jobs", "2",
+        )
+        assert ran.returncode == 3  # aborted by --max-jobs, resumable
+
+        rep = self.run_cli("report", str(checkpoint), "--format", "json")
+        assert rep.returncode == 0, rep.stderr
+        payload = json.loads(rep.stdout)  # machine-readable, parses clean
+        assert payload["name"] == "json-demo"
+        assert payload["n_jobs"] == 3
+        assert payload["n_done"] == 2
+        assert len(payload["pending"]) == 1
+        by_id = {row["job_id"]: row for row in payload["jobs"]}
+        cauchy = by_id["katsura-n2-cauchy-s0"]["result"]
+        assert cauchy["endgame"] == "cauchy"
+        assert cauchy["multiplicity_histogram"] == {"1": 4}
+        refine = by_id["katsura-n2-s0"]["result"]
+        assert refine["endgame"] == "refine"
 
 
 class TestSimulatedReplay:
