@@ -4,15 +4,28 @@ Not a paper table; used to track performance of the inner loops the
 optimization guide says to profile first: system evaluation, determinant
 gradients, one Newton step, one Pieri edge.
 
-Run: pytest benchmarks/bench_kernels.py --benchmark-only
+Run as a script for the PR-6 acceptance experiment — per-backend
+Jacobian throughput of the compiled straight-line-program kernels
+against the seed power-table arithmetic, on cyclic-7 and katsura-9.
+The run fails unless the SLP backend delivers at least a 2x
+points-per-second speedup on the fused residual+Jacobian evaluation of
+both systems (the tracker's per-step hot call).
+
+Run:    PYTHONPATH=src python benchmarks/bench_kernels.py
+Smoke:  PYTHONPATH=src python benchmarks/bench_kernels.py --quick
+Micro:  pytest benchmarks/bench_kernels.py --benchmark-only
 """
+
+import argparse
+import time
 
 import numpy as np
 import pytest
 
+from repro.kernels import compile_system_kernel
 from repro.linalg import det_and_cofactors, random_complex_matrix
 from repro.schubert import PieriInstance, PieriSolver, trivial_solution_matrix
-from repro.systems import cyclic_roots_system
+from repro.systems import cyclic_roots_system, katsura_system
 from repro.tracker import newton_correct
 
 
@@ -77,3 +90,95 @@ def bench_pieri_single_edge_track(benchmark):
 
     result = benchmark(run)
     assert result.success
+
+
+# ---------------------------------------------------------------------------
+# PR-6 acceptance experiment: naive vs SLP Jacobian throughput
+# ---------------------------------------------------------------------------
+
+GATE = 2.0  # required SLP speedup on the fused residual+Jacobian call
+
+
+def _throughput(fn, X, min_seconds: float) -> float:
+    """Best points-per-second over repeated timed calls."""
+    fn(X)  # warm up: taping, scratch buffers, code binding
+    best = 0.0
+    elapsed = 0.0
+    while elapsed < min_seconds:
+        t0 = time.perf_counter()
+        fn(X)
+        dt = time.perf_counter() - t0
+        elapsed += dt
+        best = max(best, X.shape[0] / dt)
+    return best
+
+
+def compare_backends(system, name: str, npts: int, min_seconds: float,
+                     rng) -> dict:
+    """Time the fused eval+Jacobian call through both backends."""
+    X = rng.standard_normal((npts, system.nvars)) + 1j * rng.standard_normal(
+        (npts, system.nvars)
+    )
+    slp = compile_system_kernel(system, "slp")
+    res_n, jac_n = system.evaluate_and_jacobian_many(X)
+    res_s, jac_s = slp.evaluate_and_jacobian(X)
+    scale = 1.0 + float(np.max(np.abs(jac_n)))
+    agree = float(np.max(np.abs(jac_s - jac_n))) <= 1e-10 * scale
+    naive_pps = _throughput(
+        system._tables_evaluate_and_jacobian_many, X, min_seconds
+    )
+    slp_pps = _throughput(slp.evaluate_and_jacobian, X, min_seconds)
+    return {
+        "name": name,
+        "npts": npts,
+        "tape_ops": slp.stats.tape_ops,
+        "naive_pps": naive_pps,
+        "slp_pps": slp_pps,
+        "speedup": slp_pps / naive_pps,
+        "agree": agree,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: smaller batches, shorter timing windows",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="rng seed")
+    args = parser.parse_args()
+    # 256 points per call in both modes: the gate must be judged at the
+    # batch widths the SoA tracker actually runs (cyclic-7 fronts are
+    # hundreds of paths wide); --quick only shrinks the timing window
+    npts = 256
+    min_seconds = 0.05 if args.quick else 0.5
+    rng = np.random.default_rng(args.seed)
+
+    cases = [
+        ("cyclic-7", cyclic_roots_system(7)),
+        ("katsura-9", katsura_system(9)),
+    ]
+    print(f"{'system':<11}{'npts':>6}{'tape ops':>10}"
+          f"{'naive pts/s':>14}{'slp pts/s':>12}{'speedup':>9}")
+    failed = False
+    for name, system in cases:
+        row = compare_backends(system, name, npts, min_seconds, rng)
+        print(f"{row['name']:<11}{row['npts']:>6}{row['tape_ops']:>10}"
+              f"{row['naive_pps']:>14.0f}{row['slp_pps']:>12.0f}"
+              f"{row['speedup']:>8.2f}x")
+        if not row["agree"]:
+            print(f"FAIL: {name} SLP Jacobian disagrees with naive")
+            failed = True
+        if row["speedup"] < GATE:
+            print(f"FAIL: {name} SLP speedup {row['speedup']:.2f}x "
+                  f"below the {GATE:.0f}x gate")
+            failed = True
+    if failed:
+        return 1
+    print(f"\nOK: SLP kernels beat the naive backend by >= {GATE:.0f}x "
+          f"on the fused residual+Jacobian call")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,7 @@ class ConvexHomotopy(HomotopyFunction, BatchHomotopy):
         target: PolynomialSystem,
         gamma: complex | None = None,
         rng: np.random.Generator | None = None,
+        kernel: str | None = None,
     ) -> None:
         if start.nvars != target.nvars or start.neqs != target.neqs:
             raise ValueError("start and target systems must have equal shape")
@@ -52,6 +53,52 @@ class ConvexHomotopy(HomotopyFunction, BatchHomotopy):
         self.gamma = random_gamma(rng) if gamma is None else complex(gamma)
         if self.gamma == 0:
             raise ValueError("gamma must be nonzero")
+        self._bind_kernel(kernel)
+
+    def _bind_kernel(self, kernel: str | None) -> None:
+        from ..kernels import KernelUsage, compile_system_kernel, normalize_kernel
+
+        self.kernel = normalize_kernel(kernel)
+        if self.kernel is None:
+            self._kg = self._kf = None
+        else:
+            self._kg = compile_system_kernel(self.start, self.kernel)
+            self._kf = compile_system_kernel(self.target, self.kernel)
+        # delta accounting from this moment on: memoized kernels carry
+        # cumulative counters from earlier solves in the same process
+        self.kernel_usage = KernelUsage(self.kernels)
+
+    @property
+    def kernels(self) -> tuple:
+        """Bound kernel objects (for stats accounting); may be empty."""
+        return tuple(k for k in (self._kg, self._kf) if k is not None)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_kg"] = state["_kf"] = None  # exec'd code doesn't pickle
+        state.pop("kernel_usage", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._bind_kernel(self.kernel)
+
+    # ------------------------------------------------------------------
+    # backend seam: every evaluation of G and F funnels through these
+    # ------------------------------------------------------------------
+    def _pair_eval(self, X: np.ndarray):
+        if self._kg is not None:
+            return self._kg.evaluate(X), self._kf.evaluate(X)
+        return self.start.evaluate_many(X), self.target.evaluate_many(X)
+
+    def _pair_eval_jac(self, X: np.ndarray):
+        if self._kg is not None:
+            g, jg = self._kg.evaluate_and_jacobian(X)
+            f, jf = self._kf.evaluate_and_jacobian(X)
+        else:
+            g, jg = self.start.evaluate_and_jacobian_many(X)
+            f, jf = self.target.evaluate_and_jacobian_many(X)
+        return g, jg, f, jf
 
     @property
     def dim(self) -> int:
@@ -67,9 +114,8 @@ class ConvexHomotopy(HomotopyFunction, BatchHomotopy):
 
     def jacobian_x(self, x: np.ndarray, t: float) -> np.ndarray:
         x = np.asarray(x, dtype=complex)
-        jg = self.start.evaluate_and_jacobian_many(x[None, :])[1][0]
-        jf = self.target.evaluate_and_jacobian_many(x[None, :])[1][0]
-        return self.gamma * (1.0 - t) * jg + t * jf
+        _g, jg, _f, jf = self._pair_eval_jac(x[None, :])
+        return self.gamma * (1.0 - t) * jg[0] + t * jf[0]
 
     def jacobian_t(self, x: np.ndarray, t: float) -> np.ndarray:
         return self.jacobian_t_batch(np.asarray(x, dtype=complex)[None, :], t)[0]
@@ -90,16 +136,14 @@ class ConvexHomotopy(HomotopyFunction, BatchHomotopy):
         the scalar/batch parity guarantee) in one place.
         """
         tt = _per_path_t(t, X.shape[0])
-        g, jg = self.start.evaluate_and_jacobian_many(X)
-        f, jf = self.target.evaluate_and_jacobian_many(X)
+        g, jg, f, jf = self._pair_eval_jac(X)
         w = self.gamma * (1.0 - tt)
         return tt, w, g, f, jg, jf
 
     def evaluate_batch(self, X: np.ndarray, t) -> np.ndarray:
         X = np.asarray(X, dtype=complex)
         tt = _per_path_t(t, X.shape[0])
-        g = self.start.evaluate_many(X)
-        f = self.target.evaluate_many(X)
+        g, f = self._pair_eval(X)
         w = self.gamma * (1.0 - tt)
         return w[:, None] * g + tt[:, None] * f
 
@@ -109,8 +153,7 @@ class ConvexHomotopy(HomotopyFunction, BatchHomotopy):
     def jacobian_t_batch(self, X: np.ndarray, t) -> np.ndarray:
         X = np.asarray(X, dtype=complex)
         _per_path_t(t, X.shape[0])  # shape check only; dH/dt is t-free
-        g = self.start.evaluate_many(X)
-        f = self.target.evaluate_many(X)
+        g, f = self._pair_eval(X)
         return f - self.gamma * g
 
     def evaluate_and_jacobian_batch(self, X, t):
@@ -164,7 +207,9 @@ class ConvexHomotopy(HomotopyFunction, BatchHomotopy):
             self.gamma,
             np.conj(y0),
             affine_target=self.target,
+            kernel=self.kernel,
         )
+        self.kernel_usage.add(patched.kernels)
         return patched, y0
 
     def __repr__(self) -> str:

@@ -70,6 +70,7 @@ class ProjectivePatchHomotopy(HomotopyFunction, BatchHomotopy):
         infinity_tol: float = 1e-8,
         residual_tol: float = 1e-6,
         affine_bound: float = 1e3,
+        kernel: str | None = None,
     ) -> None:
         if start_h.nvars != target_h.nvars:
             raise ValueError("homogenized systems must share variables")
@@ -88,6 +89,45 @@ class ProjectivePatchHomotopy(HomotopyFunction, BatchHomotopy):
         self.infinity_tol = float(infinity_tol)
         self.residual_tol = float(residual_tol)
         self.affine_bound = float(affine_bound)
+        self._bind_kernel(kernel)
+
+    def _bind_kernel(self, kernel: str | None) -> None:
+        from ..kernels import compile_system_kernel, normalize_kernel
+
+        self.kernel = normalize_kernel(kernel)
+        if self.kernel is None:
+            self._kg = self._kf = None
+        else:
+            self._kg = compile_system_kernel(self.start_h, self.kernel)
+            self._kf = compile_system_kernel(self.target_h, self.kernel)
+
+    @property
+    def kernels(self) -> tuple:
+        """Bound kernel objects (for stats accounting); may be empty."""
+        return tuple(k for k in (self._kg, self._kf) if k is not None)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_kg"] = state["_kf"] = None  # exec'd code doesn't pickle
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._bind_kernel(self.kernel)
+
+    def _pair_eval(self, X: np.ndarray):
+        if self._kg is not None:
+            return self._kg.evaluate(X), self._kf.evaluate(X)
+        return self.start_h.evaluate_many(X), self.target_h.evaluate_many(X)
+
+    def _pair_eval_jac(self, X: np.ndarray):
+        if self._kg is not None:
+            g, jg = self._kg.evaluate_and_jacobian(X)
+            f, jf = self._kf.evaluate_and_jacobian(X)
+        else:
+            g, jg = self.start_h.evaluate_and_jacobian_many(X)
+            f, jf = self.target_h.evaluate_and_jacobian_many(X)
+        return g, jg, f, jf
 
     @property
     def dim(self) -> int:
@@ -99,8 +139,7 @@ class ProjectivePatchHomotopy(HomotopyFunction, BatchHomotopy):
     def evaluate_batch(self, X: np.ndarray, t) -> np.ndarray:
         X = np.asarray(X, dtype=complex)
         tt = _per_path_t(t, X.shape[0])
-        g = self.start_h.evaluate_many(X)
-        f = self.target_h.evaluate_many(X)
+        g, f = self._pair_eval(X)
         w = self.gamma * (1.0 - tt)
         out = np.empty((X.shape[0], self.dim), dtype=complex)
         out[:, :-1] = w[:, None] * g + tt[:, None] * f
@@ -113,8 +152,7 @@ class ProjectivePatchHomotopy(HomotopyFunction, BatchHomotopy):
     def jacobian_t_batch(self, X: np.ndarray, t) -> np.ndarray:
         X = np.asarray(X, dtype=complex)
         _per_path_t(t, X.shape[0])  # shape check only; dH/dt is t-free
-        g = self.start_h.evaluate_many(X)
-        f = self.target_h.evaluate_many(X)
+        g, f = self._pair_eval(X)
         out = np.zeros((X.shape[0], self.dim), dtype=complex)
         out[:, :-1] = f - self.gamma * g
         return out
@@ -122,8 +160,7 @@ class ProjectivePatchHomotopy(HomotopyFunction, BatchHomotopy):
     def evaluate_and_jacobian_batch(self, X, t):
         X = np.asarray(X, dtype=complex)
         tt = _per_path_t(t, X.shape[0])
-        g, jg = self.start_h.evaluate_and_jacobian_many(X)
-        f, jf = self.target_h.evaluate_and_jacobian_many(X)
+        g, jg, f, jf = self._pair_eval_jac(X)
         w = self.gamma * (1.0 - tt)
         res = np.empty((X.shape[0], self.dim), dtype=complex)
         res[:, :-1] = w[:, None] * g + tt[:, None] * f
@@ -136,8 +173,7 @@ class ProjectivePatchHomotopy(HomotopyFunction, BatchHomotopy):
     def jacobians_batch(self, X, t):
         X = np.asarray(X, dtype=complex)
         tt = _per_path_t(t, X.shape[0])
-        g, jg = self.start_h.evaluate_and_jacobian_many(X)
-        f, jf = self.target_h.evaluate_and_jacobian_many(X)
+        g, jg, f, jf = self._pair_eval_jac(X)
         w = self.gamma * (1.0 - tt)
         jac_x = np.empty((X.shape[0], self.dim, self.dim), dtype=complex)
         jac_x[:, :-1] = w[:, None, None] * jg + tt[:, None, None] * jf

@@ -231,6 +231,7 @@ def make_homotopy_and_starts(
     rng: np.random.Generator | None = None,
     gamma: complex | None = None,
     options: TrackerOptions | None = None,
+    kernel: str | None = None,
 ):
     """Build the gamma-trick homotopy plus the list of start solutions.
 
@@ -253,6 +254,9 @@ def make_homotopy_and_starts(
     options:
         Tracker options for the polyhedral phase-1 tracking (ignored by
         the closed-form start kinds).
+    kernel:
+        Evaluation backend for the homotopy (``None`` for the seed
+        path, ``"naive"`` or ``"slp"`` — see :mod:`repro.kernels`).
 
     Returns
     -------
@@ -275,11 +279,15 @@ def make_homotopy_and_starts(
         start_sys = lp.system()
         starts = list(lp.solutions())
     elif start_kind == "polyhedral":
-        poly_start, starts = _polyhedral_start(target, rng, options)
+        poly_start, starts = _polyhedral_start(
+            target, rng, options, kernel=kernel
+        )
         start_sys = poly_start.generic_system
     else:
         raise ValueError(f"unknown start system kind {start_kind!r}")
-    homotopy = ConvexHomotopy(start_sys, target, gamma=gamma, rng=rng)
+    homotopy = ConvexHomotopy(
+        start_sys, target, gamma=gamma, rng=rng, kernel=kernel
+    )
     return homotopy, starts
 
 
@@ -288,11 +296,12 @@ def _polyhedral_start(
     rng: np.random.Generator,
     options: TrackerOptions | None,
     endgame=None,
+    kernel: str | None = None,
 ):
     """Phase 1 of the polyhedral route, shared by ``solve`` and
     :func:`make_homotopy_and_starts`: mixed cells, generic system, and
     the tracked toric starts."""
-    poly_start = PolyhedralStart(target, rng)
+    poly_start = PolyhedralStart(target, rng, kernel=kernel)
     toric, _ = poly_start.track_starts(options, endgame=endgame)
     return poly_start, list(toric)
 
@@ -322,6 +331,7 @@ def solve(
     start_kind: str | None = None,
     endgame="refine",
     rescue: bool = False,
+    kernel: str | None = None,
 ) -> SolveReport:
     """Track all paths of a homotopy to ``target`` and classify endpoints.
 
@@ -373,6 +383,16 @@ def solve(
         patch coordinates, so escaping paths come back classified
         AT_INFINITY (or occasionally as finite solutions the affine
         chart lost).  Off by default.
+    kernel:
+        Evaluation backend (see :mod:`repro.kernels`).  ``None``
+        (default) keeps the seed evaluation path untouched;
+        ``"naive"`` wraps it with effort accounting; ``"slp"`` runs
+        residuals and Jacobians through the compiled
+        straight-line-program kernels (taped once per structure,
+        memoized process-wide).  When a backend is selected the
+        summary carries a ``"kernel"`` dict — backend name, number of
+        bound kernels, total tape ops, taping seconds, and this run's
+        call/evaluation counts.
 
     Returns
     -------
@@ -407,11 +427,15 @@ def solve(
     if start == "polyhedral":
         rng = np.random.default_rng() if rng is None else rng
         poly_start, starts = _polyhedral_start(
-            target, rng, base_options, endgame=strategy
+            target, rng, base_options, endgame=strategy, kernel=kernel
         )
-        homotopy = ConvexHomotopy(poly_start.generic_system, target, rng=rng)
+        homotopy = ConvexHomotopy(
+            poly_start.generic_system, target, rng=rng, kernel=kernel
+        )
     else:
-        homotopy, starts = make_homotopy_and_starts(target, start, rng)
+        homotopy, starts = make_homotopy_and_starts(
+            target, start, rng, kernel=kernel
+        )
     if mode == "batch":
         results = BatchTracker(base_options, endgame=strategy).track_batch(
             homotopy, starts
@@ -452,6 +476,12 @@ def solve(
     summary = summarize_results(results)
     summary["start"] = start
     summary["endgame"] = strategy.name
+    usage = homotopy.kernel_usage
+    if poly_start is not None:
+        usage.merge(poly_start.kernel_usage)
+    kernel_report = usage.report()
+    if kernel_report is not None:
+        summary["kernel"] = kernel_report
     if rescue:
         summary["rescued"] = n_rescued
     histogram: dict = {}

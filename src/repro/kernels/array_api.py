@@ -1,0 +1,67 @@
+"""The array-API seam under the generated kernels.
+
+Generated straight-line programs never import numpy themselves: every
+array they allocate comes from an :class:`ArrayBackend` handed in at
+call time.  The default backend is plain numpy, but anything exposing
+``empty``/``zeros``/``full`` with numpy semantics (a CuPy module, an
+array-api-compat namespace) slots in without touching the generated
+source — the door the roadmap leaves open to GPU arrays.
+
+The backend deliberately exposes only what the code generator emits:
+allocation.  All arithmetic in a straight-line program is operator
+syntax (``*``, ``+``, ``**``) on whatever array type the caller passed
+in, so the compute follows the input arrays' library automatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ArrayBackend", "NUMPY_BACKEND", "get_array_backend"]
+
+
+class ArrayBackend:
+    """A named allocation namespace for generated kernels.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``"numpy"`` is built in).
+    xp:
+        Module-like namespace providing ``empty``, ``zeros`` and
+        ``full`` with numpy calling conventions.
+    """
+
+    __slots__ = ("name", "xp")
+
+    def __init__(self, name: str, xp) -> None:
+        self.name = name
+        self.xp = xp
+
+    def __repr__(self) -> str:
+        return f"ArrayBackend({self.name!r})"
+
+
+NUMPY_BACKEND = ArrayBackend("numpy", np)
+
+_REGISTRY = {"numpy": NUMPY_BACKEND}
+
+
+def get_array_backend(name_or_backend=None) -> ArrayBackend:
+    """Resolve ``None`` / a name / an :class:`ArrayBackend` instance."""
+    if name_or_backend is None:
+        return NUMPY_BACKEND
+    if isinstance(name_or_backend, ArrayBackend):
+        return name_or_backend
+    try:
+        return _REGISTRY[name_or_backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown array backend {name_or_backend!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def register_array_backend(backend: ArrayBackend) -> None:
+    """Register an alternative allocation namespace (e.g. CuPy)."""
+    _REGISTRY[backend.name] = backend

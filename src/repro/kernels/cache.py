@@ -1,0 +1,130 @@
+"""Tape and kernel memoization keyed by structure fingerprints.
+
+Taping a system is a one-time cost, but the sweep engine's common case
+is *families*: hundreds of jobs solving systems with identical supports
+and (often) identical coefficients inside one worker process.  Two
+cache levels make repeated solves pay taping once:
+
+- the **tape cache** keys on the *structure fingerprint* (equation
+  count, variable count, and the ordered ``(row, exponent, eta)``
+  support triplets) — systems from the same family share one tape and
+  hence one set of generated-and-compiled code objects;
+- the **kernel cache** keys on structure fingerprint *plus* the
+  coefficient hash — the fully bound kernel (constants folded into the
+  per-program tables) is reused verbatim when the exact same system
+  comes back.
+
+Both caches are process-local and softly capped: inserting beyond the
+cap evicts the oldest entry, so a sweep over thousands of
+random-coefficient systems cannot grow them without bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .slp import SLPKernel, SLPTape, Term, build_tape
+
+__all__ = [
+    "structure_fingerprint",
+    "coefficient_fingerprint",
+    "cached_tape",
+    "cached_slp_kernel",
+    "kernel_cache_info",
+    "clear_kernel_cache",
+]
+
+_MAX_ENTRIES = 256
+
+_TAPES: Dict[str, SLPTape] = {}
+_KERNELS: Dict[Tuple[str, str], SLPKernel] = {}
+_HITS = {"tape": 0, "kernel": 0}
+
+
+def _evict(cache: dict) -> None:
+    while len(cache) > _MAX_ENTRIES:
+        cache.pop(next(iter(cache)))
+
+
+def structure_fingerprint(
+    neqs: int, nvars: int, terms: Sequence[Term], has_t: bool
+) -> str:
+    """Hash of the support structure (coefficients excluded)."""
+    h = hashlib.sha1(f"{neqs}|{nvars}|{int(has_t)}".encode())
+    for t in terms:
+        h.update(f"{t.row};{t.expo};{t.eta!r}".encode())
+    return h.hexdigest()
+
+
+def coefficient_fingerprint(coefficients: Sequence[complex]) -> str:
+    """Hash of the exact coefficient values, in term order."""
+    return hashlib.sha1(
+        np.asarray(coefficients, dtype=complex).tobytes()
+    ).hexdigest()
+
+
+def cached_tape(
+    neqs: int, nvars: int, terms: Sequence[Term], has_t: bool
+) -> Tuple[SLPTape, bool]:
+    """The structure's tape, built at most once; returns (tape, hit)."""
+    key = structure_fingerprint(neqs, nvars, terms, has_t)
+    tape = _TAPES.get(key)
+    if tape is not None:
+        _HITS["tape"] += 1
+        return tape, True
+    tape = build_tape(neqs, nvars, terms, has_t=has_t)
+    _TAPES[key] = tape
+    _evict(_TAPES)
+    return tape, False
+
+
+def cached_slp_kernel(
+    neqs: int, nvars: int, terms: Sequence[Term], has_t: bool = False
+) -> SLPKernel:
+    """The fully bound SLP kernel, memoized by (structure, coefficients)."""
+    skey = structure_fingerprint(neqs, nvars, terms, has_t)
+    coefficients = [t.coeff for t in terms]
+    key = (skey, coefficient_fingerprint(coefficients))
+    kernel = _KERNELS.get(key)
+    if kernel is not None:
+        _HITS["kernel"] += 1
+        return kernel
+    tape = _TAPES.get(skey)
+    if tape is None:
+        tape = build_tape(neqs, nvars, terms, has_t=has_t)
+        _TAPES[skey] = tape
+        _evict(_TAPES)
+        taping_seconds, cache_hit = tape.build_seconds, False
+    else:
+        _HITS["tape"] += 1
+        taping_seconds, cache_hit = 0.0, True
+    kernel = SLPKernel(
+        tape,
+        coefficients,
+        taping_seconds=taping_seconds,
+        cache_hit=cache_hit,
+    )
+    _KERNELS[key] = kernel
+    _evict(_KERNELS)
+    return kernel
+
+
+def kernel_cache_info() -> dict:
+    """Sizes and hit counters of the process-local kernel caches."""
+    return {
+        "tapes": len(_TAPES),
+        "kernels": len(_KERNELS),
+        "tape_hits": _HITS["tape"],
+        "kernel_hits": _HITS["kernel"],
+    }
+
+
+def clear_kernel_cache() -> None:
+    """Drop every memoized tape and kernel (mostly for tests)."""
+    _TAPES.clear()
+    _KERNELS.clear()
+    _HITS["tape"] = 0
+    _HITS["kernel"] = 0

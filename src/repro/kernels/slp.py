@@ -1,0 +1,458 @@
+"""Straight-line-program taping with forward-mode AD Jacobians.
+
+This module is the heart of the compiled kernel backend.  A *tape* is
+built once per system structure, in three passes:
+
+1. **Taping with hash-consing.**  Every monomial ``x^a`` (and, for
+   parametric homotopies, every time power ``t^eta``) is decomposed into
+   a chain of binary multiplications.  Each multiplication is *interned*
+   — ``(mul, a, b)`` with commutatively sorted operands maps to exactly
+   one tape node — so shared monomial prefixes and repeated power
+   products across all equations collapse into common subexpressions
+   automatically.
+
+2. **Forward-mode AD over the tape.**  The derivative of every tape
+   node with respect to each input variable is propagated through the
+   product rule ``d(u*v) = du*v + u*dv`` as a sparse *linear
+   combination* of tape nodes.  Because the product nodes created by
+   the AD pass are interned against the same table, derivative
+   subexpressions are shared with the primal tape (``d(x^k)/dx``
+   collapses to ``k * x^(k-1)``, reusing the power chain), which is how
+   the Jacobian tape comes out with no redundant work — the CppAD
+   idiom, specialized to polynomial straight-line programs.
+
+3. **Code generation.**  Each requested program ("eval", "eval_jac",
+   "jac_t", "jac_both") is emitted as numpy source operating
+   elementwise along the leading *point* axis and compiled with
+   :func:`compile`/``exec``.  All arithmetic is elementwise in the
+   point axis — no reductions whose association depends on the batch
+   shape — so evaluating one row of a batch is bit-identical to
+   evaluating that row alone.  That property is what lets the scalar
+   tracker paths route through the same compiled kernels as the batch
+   fronts without perturbing a single decision.
+
+Coefficients are *not* baked into the generated source: the source
+depends only on the system's structure (supports and t-exponents), and
+each term's coefficient is looked up in a constant table bound at
+kernel-bind time.  Two systems from the same family — the sweep
+engine's common case — therefore share one compiled code object and
+differ only in their constant tables (see :mod:`repro.kernels.cache`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .array_api import ArrayBackend, get_array_backend
+
+__all__ = ["Term", "SLPTape", "SLPKernel", "KernelStats", "build_tape"]
+
+
+@dataclass(frozen=True)
+class Term:
+    """One term ``coeff * t^eta * x^expo`` of equation ``row``.
+
+    ``eta == 0`` makes the term a plain polynomial term (the
+    :class:`~repro.polynomials.PolynomialSystem` case); cell homotopies
+    carry the lifted slack as a positive float ``eta``.
+    """
+
+    row: int
+    expo: Tuple[int, ...]
+    coeff: complex
+    eta: float = 0.0
+
+
+@dataclass
+class KernelStats:
+    """Effort accounting for one compiled kernel.
+
+    ``tape_ops`` counts the straight-line operations of the fused
+    evaluate+Jacobian program (shared-subexpression multiplies plus
+    term accumulations); ``evaluations`` counts *points* evaluated (the
+    sum of batch sizes over all calls), ``calls`` the number of kernel
+    invocations.  ``taping_seconds`` is zero when the tape came out of
+    the structure cache.
+    """
+
+    backend: str
+    tape_ops: int = 0
+    n_terms: int = 0
+    taping_seconds: float = 0.0
+    cache_hit: bool = False
+    calls: int = 0
+    evaluations: int = 0
+
+    def record(self, npts: int) -> None:
+        self.calls += 1
+        self.evaluations += int(npts)
+
+    def snapshot(self) -> dict:
+        return {
+            "backend": self.backend,
+            "tape_ops": self.tape_ops,
+            "n_terms": self.n_terms,
+            "taping_seconds": self.taping_seconds,
+            "cache_hit": self.cache_hit,
+            "calls": self.calls,
+            "evaluations": self.evaluations,
+        }
+
+
+# ----------------------------------------------------------------------
+# tape construction
+# ----------------------------------------------------------------------
+
+_LinComb = Dict[Optional[int], float]  # node id (None == constant 1) -> scale
+
+
+class _TapeBuilder:
+    """Hash-consed straight-line program builder with forward-mode AD."""
+
+    def __init__(self) -> None:
+        self.ops: List[tuple] = []
+        self._intern: Dict[tuple, int] = {}
+        self._deriv: Dict[int, Dict[int, _LinComb]] = {}
+
+    def _node(self, key: tuple) -> int:
+        idx = self._intern.get(key)
+        if idx is None:
+            idx = len(self.ops)
+            self.ops.append(key)
+            self._intern[key] = idx
+        return idx
+
+    def var(self, v: int) -> int:
+        return self._node(("var", int(v)))
+
+    def tpow(self, e: float) -> Optional[int]:
+        e = float(e)
+        if e == 0.0:
+            return None
+        return self._node(("tpow", e))
+
+    def mul(self, a: Optional[int], b: Optional[int]) -> Optional[int]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a > b:
+            a, b = b, a  # commutative: canonical operand order
+        return self._node(("mul", a, b))
+
+    def monomial(self, expo: Sequence[int]) -> Optional[int]:
+        node: Optional[int] = None
+        for v, e in enumerate(expo):
+            for _ in range(int(e)):
+                node = self.mul(node, self.var(v))
+        return node
+
+    def deriv(self, node: Optional[int]) -> Dict[int, _LinComb]:
+        """Forward-mode derivative of a node w.r.t. every variable.
+
+        Returns ``{var: {node_or_None: scale}}`` — each entry a sparse
+        linear combination of (interned) tape nodes.  Time powers have
+        zero x-derivative, variables derivative one, and products
+        propagate through ``d(u*v) = du*v + u*dv`` with every created
+        product interned, so shared structure collapses (e.g. the two
+        product-rule branches of ``x * x^(k-1)`` merge into one
+        ``k * x^(k-1)`` entry).
+        """
+        if node is None:
+            return {}
+        memo = self._deriv.get(node)
+        if memo is not None:
+            return memo
+        op = self.ops[node]
+        if op[0] == "var":
+            out: Dict[int, _LinComb] = {op[1]: {None: 1.0}}
+        elif op[0] == "tpow":
+            out = {}
+        else:
+            _, a, b = op
+            out = {}
+            for other, branch in ((b, self.deriv(a)), (a, self.deriv(b))):
+                for v, lin in branch.items():
+                    acc = out.setdefault(v, {})
+                    for n, s in lin.items():
+                        m = self.mul(n, other)
+                        acc[m] = acc.get(m, 0.0) + s
+        self._deriv[node] = out
+        return out
+
+
+#: one accumulation entry: (term index into the coefficient vector,
+#: structural scale factor, tape node or None for the constant 1)
+_Entry = Tuple[int, float, Optional[int]]
+
+
+@dataclass
+class _Program:
+    """One generated function: source, code object, constant spec."""
+
+    name: str
+    source: str
+    code: object
+    const_spec: List[Tuple[int, float]]
+    n_ops: int
+
+
+@dataclass
+class SLPTape:
+    """The structure-only tape: ops, per-output term lists, programs.
+
+    A tape is shared by every system with the same structure; binding
+    concrete coefficients happens in :class:`SLPKernel`.
+    """
+
+    neqs: int
+    nvars: int
+    has_t: bool
+    ops: List[tuple]
+    res_terms: List[List[_Entry]]
+    jac_terms: Dict[Tuple[int, int], List[_Entry]]
+    dt_terms: List[List[_Entry]]
+    n_terms: int
+    build_seconds: float
+    _programs: Dict[str, _Program] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def program(self, name: str) -> _Program:
+        prog = self._programs.get(name)
+        if prog is None:
+            prog = self._generate(name)
+            self._programs[name] = prog
+        return prog
+
+    @property
+    def tape_ops(self) -> int:
+        """Operation count of the fused eval+Jacobian program."""
+        return self.program("eval_jac").n_ops
+
+    # ------------------------------------------------------------------
+    def _live_nodes(self, groups: Sequence[List[_Entry]]) -> List[int]:
+        live: set = set()
+        stack: List[int] = []
+        for entries in groups:
+            for _, _, node in entries:
+                if node is not None and node not in live:
+                    live.add(node)
+                    stack.append(node)
+        while stack:
+            op = self.ops[stack.pop()]
+            if op[0] == "mul":
+                for arg in op[1:]:
+                    if arg not in live:
+                        live.add(arg)
+                        stack.append(arg)
+        return sorted(live)  # creation order is topological
+
+    def _generate(self, name: str) -> _Program:
+        want_res = name in ("eval", "eval_jac")
+        want_jac = name in ("eval_jac", "jac_both")
+        want_dt = name in ("jac_t", "jac_both")
+        if not (want_res or want_jac or want_dt):
+            raise ValueError(f"unknown SLP program {name!r}")
+        groups: List[List[_Entry]] = []
+        if want_res:
+            groups.extend(self.res_terms)
+        if want_jac:
+            groups.extend(self.jac_terms.values())
+        if want_dt:
+            groups.extend(self.dt_terms)
+        live = self._live_nodes(groups)
+        const_spec: List[Tuple[int, float]] = []
+        fname = f"_slp_{name}"
+        lines = [f"def {fname}(X, T, K, xp):", "    npts = X.shape[0]"]
+        for nid in live:
+            op = self.ops[nid]
+            if op[0] == "var":
+                lines.append(f"    n{nid} = X[:, {op[1]}]")
+            elif op[0] == "tpow":
+                if op[1] == 1.0:
+                    lines.append(f"    n{nid} = T")
+                else:
+                    lines.append(f"    n{nid} = T ** {op[1]!r}")
+            else:
+                lines.append(f"    n{nid} = n{op[1]} * n{op[2]}")
+
+        def emit_sum(entries: List[_Entry], target: str) -> None:
+            if not entries:
+                return
+            for j, (k, scale, node) in enumerate(entries):
+                ki = len(const_spec)
+                const_spec.append((k, scale))
+                if j == 0:
+                    if node is None:
+                        lines.append(
+                            f"    acc = xp.full(npts, K[{ki}], dtype=X.dtype)"
+                        )
+                    else:
+                        lines.append(f"    acc = K[{ki}] * n{node}")
+                elif node is None:
+                    lines.append(f"    acc += K[{ki}]")
+                else:
+                    lines.append(f"    acc += K[{ki}] * n{node}")
+            lines.append(f"    {target} = acc")
+
+        rets = []
+        if want_res:
+            lines.append(
+                f"    res = xp.empty((npts, {self.neqs}), dtype=X.dtype)"
+            )
+            for i, entries in enumerate(self.res_terms):
+                if entries:
+                    emit_sum(entries, f"res[:, {i}]")
+                else:
+                    lines.append(f"    res[:, {i}] = 0.0")
+            rets.append("res")
+        if want_jac:
+            lines.append(
+                f"    jac = xp.zeros((npts, {self.neqs}, {self.nvars}),"
+                " dtype=X.dtype)"
+            )
+            for (i, v), entries in sorted(self.jac_terms.items()):
+                emit_sum(entries, f"jac[:, {i}, {v}]")
+            rets.append("jac")
+        if want_dt:
+            lines.append(
+                f"    dt = xp.zeros((npts, {self.neqs}), dtype=X.dtype)"
+            )
+            for i, entries in enumerate(self.dt_terms):
+                emit_sum(entries, f"dt[:, {i}]")
+            rets.append("dt")
+        lines.append("    return " + ", ".join(rets))
+        source = "\n".join(lines) + "\n"
+        namespace: dict = {}
+        exec(compile(source, f"<slp:{name}>", "exec"), namespace)
+        return _Program(
+            name=name,
+            source=source,
+            code=namespace[fname],
+            const_spec=const_spec,
+            n_ops=len(live) + len(const_spec),
+        )
+
+
+def build_tape(
+    neqs: int, nvars: int, terms: Sequence[Term], has_t: bool = False
+) -> SLPTape:
+    """Tape a term list into a shared-subexpression SLP with AD Jacobians."""
+    t0 = time.perf_counter()
+    builder = _TapeBuilder()
+    res_terms: List[List[_Entry]] = [[] for _ in range(neqs)]
+    jac_terms: Dict[Tuple[int, int], List[_Entry]] = {}
+    dt_terms: List[List[_Entry]] = [[] for _ in range(neqs)]
+    for k, term in enumerate(terms):
+        mono = builder.monomial(term.expo)
+        tnode = builder.tpow(term.eta) if has_t else None
+        value = builder.mul(tnode, mono)
+        res_terms[term.row].append((k, 1.0, value))
+        for v, lin in builder.deriv(mono).items():
+            entries = jac_terms.setdefault((term.row, v), [])
+            for n, s in lin.items():
+                entries.append((k, s, builder.mul(tnode, n)))
+        if has_t and term.eta > 0.0:
+            td = builder.tpow(term.eta - 1.0)
+            dt_terms[term.row].append(
+                (k, term.eta, builder.mul(td, mono))
+            )
+    return SLPTape(
+        neqs=neqs,
+        nvars=nvars,
+        has_t=has_t,
+        ops=builder.ops,
+        res_terms=res_terms,
+        jac_terms=jac_terms,
+        dt_terms=dt_terms,
+        n_terms=len(terms),
+        build_seconds=time.perf_counter() - t0,
+    )
+
+
+# ----------------------------------------------------------------------
+# bound kernels
+# ----------------------------------------------------------------------
+
+
+class SLPKernel:
+    """A tape bound to concrete coefficients and an array backend.
+
+    All methods take ``X`` of shape ``(npts, nvars)`` (complex) and, for
+    parametric tapes, the per-point time vector ``tt``.  Arithmetic is
+    elementwise along the point axis, so row ``i`` of any batched call
+    is bit-identical to the same call on the one-row batch ``X[i:i+1]``.
+    """
+
+    backend = "slp"
+
+    def __init__(
+        self,
+        tape: SLPTape,
+        coefficients: Sequence[complex],
+        array_backend: ArrayBackend | str | None = None,
+        taping_seconds: float = 0.0,
+        cache_hit: bool = False,
+    ) -> None:
+        if len(coefficients) != tape.n_terms:
+            raise ValueError(
+                f"tape has {tape.n_terms} terms, got "
+                f"{len(coefficients)} coefficients"
+            )
+        self.tape = tape
+        self.coefficients = np.asarray(coefficients, dtype=complex)
+        self.array_backend = get_array_backend(array_backend)
+        self._bound: Dict[str, tuple] = {}
+        self.stats = KernelStats(
+            backend=self.backend,
+            tape_ops=tape.tape_ops,
+            n_terms=tape.n_terms,
+            taping_seconds=taping_seconds,
+            cache_hit=cache_hit,
+        )
+
+    def _prog(self, name: str):
+        bound = self._bound.get(name)
+        if bound is None:
+            prog = self.tape.program(name)
+            consts = tuple(
+                complex(self.coefficients[k] * scale)
+                for k, scale in prog.const_spec
+            )
+            bound = (prog.code, consts)
+            self._bound[name] = bound
+        return bound
+
+    def _run(self, name: str, X: np.ndarray, tt):
+        fn, consts = self._prog(name)
+        self.stats.record(X.shape[0])
+        with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+            return fn(X, tt, consts, self.array_backend.xp)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, X: np.ndarray, tt=None) -> np.ndarray:
+        """Residuals, shape ``(npts, neqs)``."""
+        return self._run("eval", X, tt)
+
+    def evaluate_and_jacobian(self, X: np.ndarray, tt=None):
+        """Residuals and x-Jacobians, shapes ``(npts, neqs)`` and
+        ``(npts, neqs, nvars)``, fused over one shared tape replay."""
+        return self._run("eval_jac", X, tt)
+
+    def jacobian_t(self, X: np.ndarray, tt) -> np.ndarray:
+        """t-derivatives, shape ``(npts, neqs)`` (parametric tapes)."""
+        return self._run("jac_t", X, tt)
+
+    def jacobians(self, X: np.ndarray, tt):
+        """x-Jacobians and t-derivatives from one fused replay."""
+        return self._run("jac_both", X, tt)
+
+    def __repr__(self) -> str:
+        return (
+            f"SLPKernel(neqs={self.tape.neqs}, nvars={self.tape.nvars}, "
+            f"ops={self.stats.tape_ops})"
+        )

@@ -37,6 +37,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels import KernelUsage, Term
 from ..polynomials import PolynomialSystem
 from ..tracker import (
     BatchHomotopy,
@@ -68,10 +69,12 @@ class CellHomotopy(HomotopyFunction, BatchHomotopy):
         supports: Sequence[np.ndarray],
         coefficients: Sequence[np.ndarray],
         etas: Sequence[np.ndarray],
+        kernel: str | None = None,
     ) -> None:
         self._nvars = int(supports[0].shape[1])
         if len(supports) != self._nvars:
             raise ValueError("cell homotopies need a square system")
+        self._terms: list = []
         mono_index: Dict[Tuple[int, ...], int] = {}
 
         def intern(expo: Tuple[int, ...]) -> int:
@@ -89,6 +92,7 @@ class CellHomotopy(HomotopyFunction, BatchHomotopy):
                 expo = tuple(int(v) for v in a)
                 c = complex(c)
                 e = float(e)
+                self._terms.append(Term(row=i, expo=expo, coeff=c, eta=e))
                 col = intern(expo)
                 res_rows.append(i)
                 res_cols.append(col)
@@ -131,6 +135,34 @@ class CellHomotopy(HomotopyFunction, BatchHomotopy):
             np.asarray(dt_coefs, dtype=complex),
             np.asarray(dt_etas, dtype=float),
         )
+        self._bind_kernel(kernel)
+
+    def _bind_kernel(self, kernel: str | None) -> None:
+        from ..kernels import compile_term_kernel, normalize_kernel
+
+        self.kernel = normalize_kernel(kernel)
+        if self.kernel == "slp":
+            self._slp = compile_term_kernel(
+                self._nvars, self._nvars, self._terms
+            )
+        else:
+            # "naive" keeps the triplet-scatter arithmetic below; the
+            # name is still recorded for reporting
+            self._slp = None
+
+    @property
+    def kernels(self) -> tuple:
+        """Bound kernel objects (for stats accounting); may be empty."""
+        return (self._slp,) if self._slp is not None else ()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_slp"] = None  # exec'd code doesn't pickle
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._bind_kernel(self.kernel)
 
     # ------------------------------------------------------------------
     @property
@@ -148,6 +180,8 @@ class CellHomotopy(HomotopyFunction, BatchHomotopy):
     def evaluate_batch(self, X: np.ndarray, t) -> np.ndarray:
         X = np.asarray(X, dtype=complex)
         tt = _per_path_t(t, X.shape[0])
+        if self._slp is not None:
+            return self._slp.evaluate(X, tt)
         rows, cols, coefs, etas = self._res
         with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
             mono = self._mono(X)
@@ -162,6 +196,8 @@ class CellHomotopy(HomotopyFunction, BatchHomotopy):
     def jacobian_t_batch(self, X: np.ndarray, t) -> np.ndarray:
         X = np.asarray(X, dtype=complex)
         tt = _per_path_t(t, X.shape[0])
+        if self._slp is not None:
+            return self._slp.jacobian_t(X, tt)
         rows, cols, coefs, etas = self._dt
         out = np.zeros((self._nvars, X.shape[0]), dtype=complex)
         if len(rows):
@@ -176,6 +212,8 @@ class CellHomotopy(HomotopyFunction, BatchHomotopy):
     def evaluate_and_jacobian_batch(self, X, t):
         X = np.asarray(X, dtype=complex)
         tt = _per_path_t(t, X.shape[0])
+        if self._slp is not None:
+            return self._slp.evaluate_and_jacobian(X, tt)
         with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
             mono = self._mono(X)
             rows, cols, coefs, etas = self._res
@@ -196,6 +234,8 @@ class CellHomotopy(HomotopyFunction, BatchHomotopy):
         # the predictor's per-step call, the phase-1 hot loop)
         X = np.asarray(X, dtype=complex)
         tt = _per_path_t(t, X.shape[0])
+        if self._slp is not None:
+            return self._slp.jacobians(X, tt)
         npts = X.shape[0]
         with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
             mono = self._mono(X)
@@ -277,11 +317,15 @@ class PolyhedralStart:
         rng: np.random.Generator | None = None,
         affine: bool = True,
         lifting_bound: int = 4096,
+        kernel: str | None = None,
     ) -> None:
         if not target.is_square():
             raise ValueError("polyhedral start systems need a square target")
         rng = np.random.default_rng() if rng is None else rng
         self.target = target
+        self.kernel = kernel
+        self.cell_kernels: List = []
+        self.kernel_usage = KernelUsage([])
         self.subdivision: MixedSubdivision = mixed_cells(
             target, rng=rng, affine=affine, lifting_bound=lifting_bound
         )
@@ -309,7 +353,15 @@ class PolyhedralStart:
         etas = [
             np.where(e > 0, np.maximum(e * scale, 1.0), 0.0) for e in cell.etas
         ]
-        return CellHomotopy(self.subdivision.supports, self.coefficients, etas)
+        homotopy = CellHomotopy(
+            self.subdivision.supports,
+            self.coefficients,
+            etas,
+            kernel=self.kernel,
+        )
+        self.cell_kernels.extend(homotopy.kernels)
+        self.kernel_usage.add(homotopy.kernels)
+        return homotopy
 
     def cell_starts(self, cell: MixedCell) -> np.ndarray:
         """The closed-form binomial roots seeding the cell's paths."""

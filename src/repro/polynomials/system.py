@@ -19,6 +19,7 @@ so there is no division at evaluation time and no trouble at ``x_v == 0``).
 
 from __future__ import annotations
 
+import threading
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -42,6 +43,7 @@ class _CompiledTables:
         "jac_vars",
         "jac_cols",
         "jac_coefs",
+        "_scratch",
     )
 
     def __init__(self, polys: Sequence[Polynomial], nvars: int) -> None:
@@ -94,6 +96,28 @@ class _CompiledTables:
         self.jac_vars = np.asarray(jac_vars, dtype=np.int64)
         self.jac_cols = np.asarray(jac_cols, dtype=np.int64)
         self.jac_coefs = np.asarray(jac_coefs, dtype=complex)
+        # per-batch-shape scratch buffers (powers / gather / product),
+        # reused across calls so replaying the same points-shape — every
+        # step of a tracked front — does not reallocate the power table.
+        # Thread-local: the thread executors share one compiled-tables
+        # object across workers, and a shared ``out=`` buffer races
+        self._scratch = threading.local()
+
+    def __getstate__(self):
+        # scratch buffers are per-process working memory, not state:
+        # shipping a system to a pool worker must not drag along the
+        # last batch's power tables
+        state = {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name != "_scratch"
+        }
+        return state
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._scratch = threading.local()
 
     def monomial_values(self, x: np.ndarray) -> np.ndarray:
         # x: (nvars,) complex -> (nmono,) complex
@@ -107,20 +131,37 @@ class _CompiledTables:
         # then each monomial is one flat gather plus a product over the
         # variable axis — two vectorized ops regardless of batch size.
         # Callers are expected to hold an errstate guard (diverging paths
-        # legitimately push intermediate values past inf).
+        # legitimately push intermediate values past inf).  Scratch
+        # buffers are cached per batch shape: a tracked front replays
+        # the same ``npts`` every step, so the power table, the gather
+        # target and the product accumulator are allocated once and
+        # every element is overwritten on each call.
         npts, nvars = pts.shape
-        powers = np.empty((npts, self.maxdeg + 1, nvars), dtype=complex)
+        cache = getattr(self._scratch, "buffers", None)
+        if cache is None:
+            cache = self._scratch.buffers = {}
+        buffers = cache.get(npts)
+        if buffers is None:
+            if len(cache) >= 8:
+                cache.clear()
+            powers = np.empty((npts, self.maxdeg + 1, nvars), dtype=complex)
+            gathered = np.empty(
+                (npts,) + self.flat_cols.shape, dtype=complex
+            )
+            out = np.empty((npts, self.flat_cols.shape[0]), dtype=complex)
+            buffers = cache[npts] = (powers, gathered, out)
+        powers, gathered, out = buffers
         powers[:, 0] = 1.0
         for k in range(1, self.maxdeg + 1):
             np.multiply(powers[:, k - 1], pts, out=powers[:, k])
         flat = powers.reshape(npts, (self.maxdeg + 1) * nvars)
-        gathered = flat[:, self.flat_cols]  # (npts, nmono, nvars)
+        np.take(flat, self.flat_cols, axis=1, out=gathered)
         # explicit sequential product over the variable axis: unlike
         # np.prod, whose reduction kernel rounds differently for
         # different batch shapes, elementwise multiplies make the result
         # independent of how points are batched — which is what
         # guarantees BatchTracker == PathTracker bit for bit
-        out = gathered[:, :, 0].copy()
+        np.copyto(out, gathered[:, :, 0])
         for v in range(1, nvars):
             np.multiply(out, gathered[:, :, v], out=out)
         return out
@@ -140,6 +181,8 @@ class PolynomialSystem:
         self._polys: Tuple[Polynomial, ...] = tuple(polys)
         self._nvars = nvars
         self._tables: _CompiledTables | None = None
+        self._kernel = None  # compiled kernel routing (select_kernel)
+        self._kernel_name: str | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -156,6 +199,19 @@ class PolynomialSystem:
 
     def is_square(self) -> bool:
         return self.neqs == self.nvars
+
+    def __getstate__(self):
+        # compiled kernels hold exec'd code objects, which do not
+        # pickle; ship the backend *name* and recompile on arrival
+        # (memoized per process, so workers pay taping once per family)
+        state = self.__dict__.copy()
+        state["_kernel"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        if self._kernel_name is not None:
+            self.select_kernel(self._kernel_name)
 
     def __len__(self) -> int:
         return self.neqs
@@ -182,11 +238,46 @@ class PolynomialSystem:
             self._tables = _CompiledTables(self._polys, self._nvars)
         return self._tables
 
+    # ------------------------------------------------------------------
+    # pluggable kernel backends (repro.kernels)
+    # ------------------------------------------------------------------
+    def select_kernel(self, backend: str | None) -> "PolynomialSystem":
+        """Route bulk (and scalar) evaluation through a compiled kernel.
+
+        ``backend`` is ``None`` (the default power-table + scatter
+        path), ``"naive"`` (same arithmetic, with effort accounting) or
+        ``"slp"`` (the taped straight-line program of
+        :mod:`repro.kernels`).  With a kernel selected, the scalar
+        entry points run as one-row batches through the same compiled
+        code, so scalar and batched evaluation stay bit-identical.
+        Returns ``self`` for chaining.
+        """
+        if backend is None:
+            self._kernel = None
+            self._kernel_name = None
+            return self
+        from ..kernels import compile_system_kernel
+
+        self._kernel = compile_system_kernel(self, backend)
+        self._kernel_name = backend
+        return self
+
+    @property
+    def kernel_backend(self) -> str | None:
+        """The selected kernel backend name (``None`` = default path)."""
+        return self._kernel_name
+
+    def kernel_stats(self) -> dict | None:
+        """Snapshot of the selected kernel's effort counters, if any."""
+        return None if self._kernel is None else self._kernel.stats.snapshot()
+
     def evaluate(self, point: Sequence[complex]) -> np.ndarray:
         """Residual vector F(x), shape ``(neqs,)``."""
         x = np.asarray(point, dtype=complex)
         if x.shape != (self._nvars,):
             raise ValueError(f"expected point of length {self._nvars}")
+        if self._kernel is not None:
+            return self._kernel.evaluate(x[None, :])[0]
         t = self._compiled()
         mono = t.monomial_values(x)
         out = np.zeros(self.neqs, dtype=complex)
@@ -198,6 +289,8 @@ class PolynomialSystem:
         x = np.asarray(point, dtype=complex)
         if x.shape != (self._nvars,):
             raise ValueError(f"expected point of length {self._nvars}")
+        if self._kernel is not None:
+            return self._kernel.evaluate_and_jacobian(x[None, :])[1][0]
         t = self._compiled()
         mono = t.monomial_values(x)
         out = np.zeros((self.neqs, self._nvars), dtype=complex)
@@ -216,6 +309,9 @@ class PolynomialSystem:
         x = np.asarray(point, dtype=complex)
         if x.shape != (self._nvars,):
             raise ValueError(f"expected point of length {self._nvars}")
+        if self._kernel is not None:
+            res, jac = self._kernel.evaluate_and_jacobian(x[None, :])
+            return res[0], jac[0]
         t = self._compiled()
         mono = t.monomial_values(x)
         res = np.zeros(self.neqs, dtype=complex)
@@ -234,6 +330,12 @@ class PolynomialSystem:
         pts = np.asarray(points, dtype=complex)
         if pts.ndim != 2 or pts.shape[1] != self._nvars:
             raise ValueError(f"expected array of shape (npts, {self._nvars})")
+        if self._kernel is not None:
+            return self._kernel.evaluate(pts)
+        return self._tables_evaluate_many(pts)
+
+    def _tables_evaluate_many(self, pts: np.ndarray) -> np.ndarray:
+        """The seed power-table + scatter residual path (naive backend)."""
         t = self._compiled()
         with np.errstate(invalid="ignore", over="ignore"):
             mono = t.monomial_values_many(pts)
@@ -260,6 +362,12 @@ class PolynomialSystem:
         pts = np.asarray(points, dtype=complex)
         if pts.ndim != 2 or pts.shape[1] != self._nvars:
             raise ValueError(f"expected array of shape (npts, {self._nvars})")
+        if self._kernel is not None:
+            return self._kernel.evaluate_and_jacobian(pts)
+        return self._tables_evaluate_and_jacobian_many(pts)
+
+    def _tables_evaluate_and_jacobian_many(self, pts: np.ndarray):
+        """The seed fused residual+Jacobian scatter path (naive backend)."""
         t = self._compiled()
         with np.errstate(invalid="ignore", over="ignore"):
             mono = t.monomial_values_many(pts)

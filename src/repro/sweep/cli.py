@@ -198,6 +198,11 @@ def _cmd_report(args) -> int:
                     f"solutions={result['n_solutions']}")
             if "mixed_volume" in result:
                 line += f" mixed_volume={result['mixed_volume']}"
+            kstats = result.get("kernel")
+            if kstats:
+                line += (f" kernel={kstats.get('backend', '?')}"
+                         f" tape_ops={kstats.get('tape_ops', '?')}"
+                         f" kernel_evals={kstats.get('evaluations', '?')}")
             endgame = result.get("endgame", "refine")
             if endgame != "refine":
                 line += f" endgame={endgame}"

@@ -157,6 +157,7 @@ def run_job(job: JobSpec) -> dict:
             mode="batch",
             rng=rng,
             endgame=job.endgame,
+            kernel=job.kernel,
         )
         result = {
             "start": job.start,
@@ -183,6 +184,15 @@ def run_job(job: JobSpec) -> dict:
         for key in ("mixed_volume", "n_cells", "phase1_failures"):
             if key in report.summary:
                 result[key] = report.summary[key]
+        if "kernel" in report.summary:
+            # journal the deterministic counters only: taping seconds
+            # are wall-clock (and cache-dependent), and journaled
+            # records must be identical across kill/resume replays
+            result["kernel"] = {
+                k: v
+                for k, v in report.summary["kernel"].items()
+                if k != "taping_seconds"
+            }
     return {
         "job_id": job.job_id,
         "kind": job.kind,

@@ -25,7 +25,11 @@ solve`` builds: ``total_degree`` (default), ``linear_product``, or
 sharp BKK count, instead of one per Bezout path.  They also take an
 optional ``endgame`` (and grid axis): ``refine`` (default) or
 ``cauchy``, which recovers singular endpoints with winding-number loops
-and journals each job's multiplicity histogram.
+and journals each job's multiplicity histogram.  An optional ``kernel``
+(and grid axis) picks the evaluation backend — ``naive`` (default, the
+seed arithmetic) or ``slp`` (the compiled straight-line-program kernels
+of :mod:`repro.kernels`) — and each job journals its kernel's
+deterministic effort counters.
 
 Every job has a deterministic, human-readable :attr:`JobSpec.job_id`
 (e.g. ``pieri-m2-p2-q1-s0``) that keys the checkpoint journal, and a
@@ -46,6 +50,7 @@ __all__ = [
     "START_KINDS",
     "PIERI_MODES",
     "ENDGAME_KINDS",
+    "SOLVE_KERNELS",
     "JobSpec",
     "SweepSpec",
     "mixed_demo_spec",
@@ -78,6 +83,14 @@ PIERI_MODES = ("per_path", "batch")
 #: winding-number loops and journals a multiplicity histogram.
 ENDGAME_KINDS = ("refine", "cauchy")
 
+#: Evaluation-kernel backends for polynomial-system jobs (the choices
+#: :func:`repro.homotopy.solve` accepts as ``kernel=``): ``naive`` is
+#: the seed power-table arithmetic with effort accounting, ``slp`` the
+#: compiled straight-line-program backend of :mod:`repro.kernels`.
+#: The default ``naive`` leaves job ids (and hence old journals)
+#: untouched.
+SOLVE_KERNELS = ("naive", "slp")
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -99,6 +112,7 @@ class JobSpec:
     start: str = "total_degree"
     mode: str = "per_path"
     endgame: str = "refine"
+    kernel: str = "naive"
 
     def __init__(
         self,
@@ -108,6 +122,7 @@ class JobSpec:
         start: str = "total_degree",
         mode: str = "per_path",
         endgame: str = "refine",
+        kernel: str = "naive",
     ):
         if kind not in JOB_KINDS:
             raise ValueError(
@@ -141,6 +156,15 @@ class JobSpec:
                 "pieri jobs keep the default refine endgame (their retry "
                 "ladder owns failure handling)"
             )
+        if kernel not in SOLVE_KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of "
+                f"{sorted(SOLVE_KERNELS)}"
+            )
+        if kind == "pieri" and kernel != "naive":
+            raise ValueError(
+                "pieri jobs run the tree solver and take no kernel backend"
+            )
         required = JOB_KINDS[kind]
         given = dict(params)
         if sorted(given) != sorted(required):
@@ -155,6 +179,7 @@ class JobSpec:
         object.__setattr__(self, "start", start)
         object.__setattr__(self, "mode", mode)
         object.__setattr__(self, "endgame", endgame)
+        object.__setattr__(self, "kernel", kernel)
 
     @property
     def param_dict(self) -> Dict[str, int]:
@@ -177,6 +202,8 @@ class JobSpec:
             parts.append(self.mode)
         if self.endgame != "refine":
             parts.append(self.endgame)
+        if self.kernel != "naive":
+            parts.append(self.kernel)
         parts.append(f"s{self.seed}")
         return "-".join(parts)
 
@@ -188,6 +215,8 @@ class JobSpec:
             d["mode"] = self.mode
         if self.endgame != "refine":
             d["endgame"] = self.endgame
+        if self.kernel != "naive":
+            d["kernel"] = self.kernel
         return d
 
     @classmethod
@@ -199,6 +228,7 @@ class JobSpec:
             d.get("start", "total_degree"),
             d.get("mode", "per_path"),
             d.get("endgame", "refine"),
+            d.get("kernel", "naive"),
         )
 
 
@@ -220,6 +250,9 @@ def _expand_grid(grid: Mapping) -> List[JobSpec]:
     endgames = grid.pop("endgame", ["refine"])
     if isinstance(endgames, str):
         endgames = [endgames]
+    kernels = grid.pop("kernel", ["naive"])
+    if isinstance(kernels, str):
+        kernels = [kernels]
     axes = {}
     for name in JOB_KINDS[kind]:
         if name not in grid:
@@ -234,17 +267,19 @@ def _expand_grid(grid: Mapping) -> List[JobSpec]:
         for start in starts:
             for mode in modes:
                 for endgame in endgames:
-                    for seed in seeds:
-                        jobs.append(
-                            JobSpec(
-                                kind,
-                                dict(zip(names, combo)),
-                                seed=seed,
-                                start=start,
-                                mode=mode,
-                                endgame=endgame,
+                    for kernel in kernels:
+                        for seed in seeds:
+                            jobs.append(
+                                JobSpec(
+                                    kind,
+                                    dict(zip(names, combo)),
+                                    seed=seed,
+                                    start=start,
+                                    mode=mode,
+                                    endgame=endgame,
+                                    kernel=kernel,
+                                )
                             )
-                        )
     return jobs
 
 

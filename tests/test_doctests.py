@@ -26,6 +26,7 @@ DOCUMENTED_MODULES = [
     "repro.polyhedral.homotopy",
     "repro.endgame",
     "repro.systems.deficient",
+    "repro.kernels",
 ]
 
 

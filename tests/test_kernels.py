@@ -1,0 +1,401 @@
+"""Tests for the compiled kernel backend (``repro.kernels``).
+
+The load-bearing claims: the SLP backend agrees with the seed
+arithmetic to machine precision on arbitrary systems (hypothesis sweeps
+random supports, repeated exponents, empty equations), one row of a
+batch is bit-identical to the one-row batch, solver results are
+bitwise-equal between scalar and batched tracking under ``kernel="slp"``,
+tapes and kernels are memoized by structure/coefficient fingerprints,
+and kernel effort statistics surface in :class:`SolveReport` summaries
+and sweep journals.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.homotopy import ConvexHomotopy, solve
+from repro.kernels import (
+    KERNEL_BACKENDS,
+    KernelUsage,
+    NaiveSystemKernel,
+    Term,
+    build_tape,
+    clear_kernel_cache,
+    compile_system_kernel,
+    compile_term_kernel,
+    kernel_cache_info,
+    normalize_kernel,
+    system_terms,
+)
+from repro.polynomials import Polynomial, PolynomialSystem
+from repro.systems import cyclic_roots_system, katsura_system
+
+# ---------------------------------------------------------------------------
+# strategies: random systems with repeated exponents and empty equations
+# ---------------------------------------------------------------------------
+
+small_complex = st.complex_numbers(
+    max_magnitude=4.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def random_systems(draw):
+    nvars = draw(st.integers(1, 3))
+    polys = []
+    for _ in range(nvars):
+        n_terms = draw(st.integers(0, 5))  # 0 => an identically-zero row
+        coeffs = {}
+        for _ in range(n_terms):
+            expo = tuple(draw(st.integers(0, 4)) for _ in range(nvars))
+            # repeated exponents overwrite: exercises coefficient merging
+            coeffs[expo] = draw(small_complex)
+        polys.append(Polynomial(coeffs, nvars=nvars))
+    return PolynomialSystem(polys)
+
+
+@st.composite
+def point_batches(draw, nvars):
+    npts = draw(st.integers(1, 5))
+    vals = [
+        complex(draw(st.floats(-2.0, 2.0)), draw(st.floats(-2.0, 2.0)))
+        for _ in range(npts * nvars)
+    ]
+    return np.asarray(vals, dtype=complex).reshape(npts, nvars)
+
+
+def _close(a, b):
+    scale = 1.0 + max(
+        float(np.max(np.abs(a), initial=0.0)),
+        float(np.max(np.abs(b), initial=0.0)),
+    )
+    return float(np.max(np.abs(a - b), initial=0.0)) <= 1e-11 * scale
+
+
+# ---------------------------------------------------------------------------
+# satellite 2: SLP vs naive to machine precision on random systems
+# ---------------------------------------------------------------------------
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_slp_matches_naive_on_random_systems(data):
+    system = data.draw(random_systems())
+    X = data.draw(point_batches(system.nvars))
+    kernel = compile_system_kernel(system, "slp")
+    res_n, jac_n = system.evaluate_and_jacobian_many(X)
+    res_s, jac_s = kernel.evaluate_and_jacobian(X)
+    assert _close(res_s, res_n)
+    assert _close(jac_s, jac_n)
+    assert _close(kernel.evaluate(X), system.evaluate_many(X))
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_slp_row_of_batch_is_bitwise_scalar(data):
+    system = data.draw(random_systems())
+    X = data.draw(point_batches(system.nvars))
+    kernel = compile_system_kernel(system, "slp")
+    res, jac = kernel.evaluate_and_jacobian(X)
+    i = data.draw(st.integers(0, X.shape[0] - 1))
+    res1, jac1 = kernel.evaluate_and_jacobian(X[i : i + 1])
+    assert np.array_equal(res1[0], res[i])
+    assert np.array_equal(jac1[0], jac[i])
+
+
+def test_slp_matches_naive_on_benchmark_systems():
+    rng = np.random.default_rng(3)
+    for system in (cyclic_roots_system(5), katsura_system(6)):
+        X = rng.standard_normal((17, system.nvars)) + 1j * rng.standard_normal(
+            (17, system.nvars)
+        )
+        kernel = compile_system_kernel(system, "slp")
+        res_n, jac_n = system.evaluate_and_jacobian_many(X)
+        res_s, jac_s = kernel.evaluate_and_jacobian(X)
+        assert _close(res_s, res_n) and _close(jac_s, jac_n)
+
+
+# ---------------------------------------------------------------------------
+# backend plumbing: selection, validation, naive wrapper, pickling
+# ---------------------------------------------------------------------------
+
+
+def test_normalize_kernel_accepts_known_backends_only():
+    assert normalize_kernel(None) is None
+    for name in KERNEL_BACKENDS:
+        assert normalize_kernel(name) == name
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        normalize_kernel("cuda")
+
+
+def test_naive_kernel_is_bitwise_the_seed_path():
+    system = katsura_system(3)
+    kernel = compile_system_kernel(system, "naive")
+    assert isinstance(kernel, NaiveSystemKernel)
+    X = np.random.default_rng(0).standard_normal((6, system.nvars)) + 0j
+    assert np.array_equal(kernel.evaluate(X), system.evaluate_many(X))
+    res_k, jac_k = kernel.evaluate_and_jacobian(X)
+    res_s, jac_s = system.evaluate_and_jacobian_many(X)
+    assert np.array_equal(res_k, res_s) and np.array_equal(jac_k, jac_s)
+    assert kernel.stats.calls == 2 and kernel.stats.evaluations == 12
+
+
+def test_system_select_kernel_routes_scalar_and_batch():
+    system = katsura_system(2)
+    x = np.array([0.3 + 0.2j, -0.1j, 0.7 + 0j])
+    base_scalar = system.evaluate(x)
+    base_jac = system.jacobian_at(x)
+    system.select_kernel("slp")
+    assert system.kernel_backend == "slp"
+    assert _close(system.evaluate(x), base_scalar)
+    assert _close(system.jacobian_at(x), base_jac)
+    stats = system.kernel_stats()
+    assert stats["backend"] == "slp" and stats["calls"] >= 2
+    system.select_kernel(None)
+    assert system.kernel_backend is None
+    assert np.array_equal(system.evaluate(x), base_scalar)
+
+
+def test_selected_kernel_survives_pickling_by_name():
+    system = cyclic_roots_system(4)
+    system.select_kernel("slp")
+    clone = pickle.loads(pickle.dumps(system))
+    assert clone.kernel_backend == "slp"
+    X = np.full((2, 4), 0.5 + 0.25j)
+    assert np.array_equal(clone.evaluate_many(X), system.evaluate_many(X))
+
+
+def test_convex_homotopy_pickles_and_rebinds_kernel():
+    h = ConvexHomotopy(
+        katsura_system(2), katsura_system(2), gamma=0.6 + 0.8j, kernel="slp"
+    )
+    clone = pickle.loads(pickle.dumps(h))
+    assert clone.kernel == "slp" and len(clone.kernels) == 2
+    X = np.full((3, 3), 0.3 - 0.1j)
+    assert np.array_equal(
+        clone.evaluate_batch(X, 0.5), h.evaluate_batch(X, 0.5)
+    )
+
+
+# ---------------------------------------------------------------------------
+# memoization: structure fingerprints share tapes, coefficients key kernels
+# ---------------------------------------------------------------------------
+
+
+def test_kernel_memoized_by_structure_and_coefficients():
+    clear_kernel_cache()
+    system = katsura_system(3)
+    k1 = compile_system_kernel(system, "slp")
+    k2 = compile_system_kernel(system, "slp")
+    assert k1 is k2
+    info = kernel_cache_info()
+    assert info["kernels"] == 1 and info["kernel_hits"] == 1
+    # same structure, different coefficients: new kernel, shared tape
+    terms = system_terms(system)
+    shifted = [
+        Term(t.row, t.expo, t.coeff * (1.0 + 0.5j), t.eta) for t in terms
+    ]
+    from repro.kernels import cached_slp_kernel
+
+    k3 = cached_slp_kernel(system.neqs, system.nvars, shifted)
+    assert k3 is not k1 and k3.tape is k1.tape
+    assert k3.stats.cache_hit and k3.stats.taping_seconds == 0.0
+    clear_kernel_cache()
+    assert kernel_cache_info()["kernels"] == 0
+
+
+def test_tape_shares_power_products_across_equations():
+    # x^4 needs 3 multiplies; y*x^4 on another row reuses the whole
+    # chain and adds one primal node (x^4*y) plus one AD node (x^3*y)
+    # — 5 total, instead of the 7 an unshared taping would emit
+    terms = [
+        Term(row=0, expo=(4, 0), coeff=1.0 + 0j),
+        Term(row=1, expo=(4, 1), coeff=2.0 + 0j),
+    ]
+    tape = build_tape(2, 2, terms)
+    muls = [op for op in tape.ops if op[0] == "mul"]
+    assert len(muls) == 5
+
+
+# ---------------------------------------------------------------------------
+# solver integration: parity, stats in SolveReport
+# ---------------------------------------------------------------------------
+
+
+def test_solve_scalar_batch_parity_with_slp_kernel():
+    a = solve(
+        katsura_system(3),
+        mode="per_path",
+        rng=np.random.default_rng(11),
+        kernel="slp",
+    )
+    b = solve(
+        katsura_system(3),
+        mode="batch",
+        rng=np.random.default_rng(11),
+        kernel="slp",
+    )
+    assert len(a.results) == len(b.results)
+    for ra, rb in zip(a.results, b.results):
+        assert ra.status == rb.status
+        assert np.array_equal(ra.solution, rb.solution)
+
+
+def test_solve_slp_finds_the_same_roots_as_default():
+    base = solve(katsura_system(3), rng=np.random.default_rng(5))
+    slp = solve(katsura_system(3), rng=np.random.default_rng(5), kernel="slp")
+    assert slp.summary["success"] == base.summary["success"]
+    assert slp.n_solutions == base.n_solutions
+    matched = 0
+    for s in slp.solutions:
+        if any(np.max(np.abs(s - t)) < 1e-8 for t in base.solutions):
+            matched += 1
+    assert matched == base.n_solutions
+
+
+def test_solve_report_carries_kernel_stats():
+    report = solve(
+        katsura_system(2), rng=np.random.default_rng(0), kernel="slp"
+    )
+    stats = report.summary["kernel"]
+    assert stats["backend"] == "slp"
+    assert stats["kernels"] == 2  # start + target system kernels
+    assert stats["tape_ops"] > 0
+    assert stats["calls"] > 0 and stats["evaluations"] >= stats["calls"]
+    # the default path stays untouched: no kernel key, no accounting
+    assert "kernel" not in solve(
+        katsura_system(2), rng=np.random.default_rng(0)
+    ).summary
+
+
+def test_kernel_usage_reports_deltas_not_lifetime_counts():
+    system = katsura_system(2)
+    kernel = compile_system_kernel(system, "slp")
+    X = np.zeros((4, system.nvars), dtype=complex)
+    kernel.evaluate(X)  # pre-existing traffic
+    usage = KernelUsage([kernel])
+    kernel.evaluate(X)
+    kernel.evaluate_and_jacobian(X)
+    report = usage.report()
+    assert report["calls"] == 2 and report["evaluations"] == 8
+    assert KernelUsage([]).report() is None
+
+
+# ---------------------------------------------------------------------------
+# polyhedral integration: parametric tapes with t^eta terms
+# ---------------------------------------------------------------------------
+
+
+def test_cell_homotopy_slp_matches_triplet_scatter():
+    from repro.polyhedral import PolyhedralStart
+    from repro.polyhedral.homotopy import CellHomotopy
+
+    # build both backends of one cell homotopy from the same data
+    ps = PolyhedralStart(cyclic_roots_system(3), np.random.default_rng(2))
+    cell = ps.cells[0]
+    positive = np.concatenate([e[e > 0] for e in cell.etas])
+    scale = 1.0 / float(positive.min())
+    etas = [
+        np.where(e > 0, np.maximum(e * scale, 1.0), 0.0) for e in cell.etas
+    ]
+    naive = CellHomotopy(ps.subdivision.supports, ps.coefficients, etas)
+    fast = CellHomotopy(
+        ps.subdivision.supports, ps.coefficients, etas, kernel="slp"
+    )
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((7, 3)) + 1j * rng.standard_normal((7, 3))
+    for t in (0.0, 0.35, 1.0, 0.5 + 0.25j):  # complex t: Cauchy loops
+        assert _close(naive.evaluate_batch(X, t), fast.evaluate_batch(X, t))
+        rn, jn = naive.evaluate_and_jacobian_batch(X, t)
+        rs, js = fast.evaluate_and_jacobian_batch(X, t)
+        assert _close(rn, rs) and _close(jn, js)
+        assert _close(
+            naive.jacobian_t_batch(X, t), fast.jacobian_t_batch(X, t)
+        )
+        jxn, jtn = naive.jacobians_batch(X, t)
+        jxs, jts = fast.jacobians_batch(X, t)
+        assert _close(jxn, jxs) and _close(jtn, jts)
+
+
+def test_compile_term_kernel_requires_slp():
+    with pytest.raises(ValueError, match="only support the 'slp'"):
+        compile_term_kernel(1, 1, [Term(0, (1,), 1.0 + 0j, 1.0)], "naive")
+
+
+def test_polyhedral_solve_with_slp_kernel():
+    base = solve(
+        cyclic_roots_system(4),
+        start="polyhedral",
+        mode="batch",
+        rng=np.random.default_rng(9),
+    )
+    fast = solve(
+        cyclic_roots_system(4),
+        start="polyhedral",
+        mode="batch",
+        rng=np.random.default_rng(9),
+        kernel="slp",
+    )
+    assert fast.summary["mixed_volume"] == base.summary["mixed_volume"]
+    assert fast.summary["success"] == base.summary["success"]
+    stats = fast.summary["kernel"]
+    # convex phase kernels plus at least one parametric cell kernel
+    assert stats["kernels"] > 2 and stats["evaluations"] > 0
+
+
+# ---------------------------------------------------------------------------
+# sweep integration: kernel axis, journaled stats
+# ---------------------------------------------------------------------------
+
+
+def test_jobspec_kernel_axis_and_ids():
+    from repro.sweep.spec import JobSpec, SweepSpec
+
+    default = JobSpec("cyclic", {"n": 4}, seed=0)
+    assert default.kernel == "naive"
+    assert default.job_id == "cyclic-n4-s0"  # old journals stay valid
+    slp = JobSpec("cyclic", {"n": 4}, seed=0, kernel="slp")
+    assert slp.job_id == "cyclic-n4-slp-s0"
+    assert JobSpec.from_dict(slp.to_dict()) == slp
+    with pytest.raises(ValueError, match="unknown kernel"):
+        JobSpec("cyclic", {"n": 4}, kernel="gpu")
+    with pytest.raises(ValueError, match="no kernel backend"):
+        JobSpec("pieri", {"m": 2, "p": 2, "q": 0}, kernel="slp")
+    spec = SweepSpec.from_dict(
+        {
+            "name": "k",
+            "grids": [
+                {
+                    "kind": "katsura",
+                    "n": [3],
+                    "kernel": ["naive", "slp"],
+                    "seeds": [0],
+                }
+            ],
+        }
+    )
+    assert spec.job_ids() == ["katsura-n3-s0", "katsura-n3-slp-s0"]
+
+
+def test_run_job_journals_deterministic_kernel_stats():
+    from repro.sweep.engine import run_job
+    from repro.sweep.spec import JobSpec
+
+    job = JobSpec("katsura", {"n": 3}, seed=0, kernel="slp")
+    rec = run_job(job)
+    stats = rec["result"]["kernel"]
+    assert stats["backend"] == "slp"
+    assert "taping_seconds" not in stats  # wall clock never enters journals
+    assert rec == run_job(job)  # bit-for-bit reproducible record

@@ -129,3 +129,33 @@ class TestTransforms:
         sys = PolynomialSystem([x + y])
         assert "PolynomialSystem" in repr(sys)
         assert "x" in str(sys)
+
+
+class TestScratchBuffers:
+    def test_batched_evaluation_is_thread_safe(self):
+        # the per-shape scratch buffers (powers / gather / product) are
+        # thread-local: the thread executors share one compiled-tables
+        # object across workers, and a shared ``out=`` target makes
+        # np.take raise "WRITEBACKIFCOPY base is read-only" under
+        # contention (and would silently corrupt results otherwise)
+        import concurrent.futures
+
+        from repro.systems import cyclic_roots_system
+
+        system = cyclic_roots_system(5)
+        rng = np.random.default_rng(7)
+        X = rng.standard_normal((12, 5)) + 1j * rng.standard_normal((12, 5))
+        res0, jac0 = system.evaluate_and_jacobian_many(X)
+
+        def work(_):
+            out = []
+            for _ in range(50):
+                out.append(system.evaluate_and_jacobian_many(X))
+            return out
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
+            rounds = list(pool.map(work, range(4)))
+        for batch in rounds:
+            for res, jac in batch:
+                np.testing.assert_array_equal(res, res0)
+                np.testing.assert_array_equal(jac, jac0)
