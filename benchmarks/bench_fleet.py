@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Fleet benchmark: two workers over real sockets must beat one.
+
+The ISSUE-7 acceptance smoke for the multi-host fleet
+(:mod:`repro.parallel.fleet`): the same job set is served twice over
+real asyncio TCP sockets on localhost — once to a single worker agent,
+once to two — and the two-worker run must be at least ``--gate`` times
+faster (default 1.8x).
+
+The jobs are GIL-releasing sleeps, deliberately: the container CI box
+has one CPU, so CPU-bound jobs cannot scale no matter what the protocol
+does.  Sleep jobs measure what this benchmark is actually about — the
+master's ability to keep several workers' leases full concurrently
+(probe lease, rate-fitted sizing, stealing) with the whole protocol in
+the loop.
+
+A second, deterministic stage runs the discrete-event simulator
+(:func:`repro.simcluster.simulate_fleet`) over 1..8 workers, where the
+scaling is exact and independent of the host.
+
+Run:    PYTHONPATH=src python benchmarks/bench_fleet.py
+Smoke:  PYTHONPATH=src python benchmarks/bench_fleet.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+
+from repro.parallel.fleet import run_fleet_worker, serve_fleet
+from repro.simcluster import simulate_fleet
+
+
+def sleep_runner(payload: dict) -> dict:
+    time.sleep(payload["sleep"])
+    return {"job_id": payload["job_id"], "value": payload["job_id"]}
+
+
+async def _timed_fleet(n_jobs: int, sleep_s: float, n_workers: int):
+    """One full socket run; returns (wall_seconds, master, worker_stats)."""
+    jobs = [
+        {"job_id": f"job-{i}", "sleep": sleep_s, "cost": sleep_s}
+        for i in range(n_jobs)
+    ]
+    records = {}
+    loop = asyncio.get_running_loop()
+    port_fut = loop.create_future()
+    t0 = time.perf_counter()
+    serve = asyncio.create_task(
+        serve_fleet(
+            jobs,
+            lambda job_id, record: records.setdefault(job_id, record),
+            port=0,
+            heartbeat_timeout=3.0,
+            lease_target_seconds=4 * sleep_s,
+            cost_of=lambda job: job.get("cost", 1.0),
+            on_listening=lambda h, p: port_fut.set_result(p),
+            linger_seconds=0.05,
+        )
+    )
+    port = await port_fut
+    workers = [
+        asyncio.create_task(
+            run_fleet_worker(
+                "127.0.0.1",
+                port,
+                sleep_runner,
+                worker_id=f"bench-w{i}",
+                heartbeat_interval=0.2,
+                reconnect_seconds=10.0,
+            )
+        )
+        for i in range(n_workers)
+    ]
+    master = await serve
+    stats = await asyncio.gather(*workers)
+    wall = time.perf_counter() - t0
+    assert master.done and len(records) == n_jobs, "fleet lost jobs"
+    return wall, master, stats
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", type=int, default=24,
+        help="number of sleep jobs (default 24)",
+    )
+    parser.add_argument(
+        "--sleep", type=float, default=0.1,
+        help="seconds each job sleeps (default 0.1)",
+    )
+    parser.add_argument(
+        "--gate", type=float, default=1.8,
+        help="required 2-worker vs 1-worker speedup (default 1.8)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: 16 jobs of 0.1s",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        args.jobs, args.sleep = 16, 0.1
+
+    total = args.jobs * args.sleep
+    print(
+        f"fleet over localhost TCP: {args.jobs} sleep jobs of "
+        f"{args.sleep:.2f}s ({total:.1f}s of work)"
+    )
+
+    print(f"\n{'workers':>8}{'wall s':>9}{'speedup':>9}"
+          f"{'steals':>8}{'leases<=':>9}  per-worker jobs")
+    walls = {}
+    for n_workers in (1, 2):
+        wall, master, stats = asyncio.run(
+            _timed_fleet(args.jobs, args.sleep, n_workers)
+        )
+        walls[n_workers] = wall
+        speedup = walls[1] / wall
+        split = " ".join(f"{s.worker_id}:{s.jobs_done}" for s in stats)
+        print(
+            f"{n_workers:>8}{wall:>9.2f}{speedup:>8.2f}x"
+            f"{master.stats.steals:>8}{master.stats.max_lease:>9}  {split}"
+        )
+
+    # deterministic counterpart: exact scaling on the simulator
+    print(f"\nsimulated scaling (discrete-event, {args.jobs} x "
+          f"{args.sleep:.2f}s jobs):")
+    print(f"{'workers':>8}{'sim wall s':>12}{'speedup':>9}")
+    base = None
+    for n_workers in (1, 2, 4, 8):
+        res = simulate_fleet(
+            [args.sleep] * args.jobs, n_workers,
+            lease_target_seconds=4 * args.sleep,
+        )
+        base = base or res.wall_seconds
+        print(f"{n_workers:>8}{res.wall_seconds:>12.2f}"
+              f"{base / res.wall_seconds:>8.2f}x")
+
+    speedup = walls[1] / walls[2]
+    if speedup < args.gate:
+        print(f"\nFAIL: 2-worker speedup {speedup:.2f}x < gate "
+              f"{args.gate:.2f}x")
+        return 1
+    print(f"\nOK: 2 workers {speedup:.2f}x faster than 1 "
+          f"(gate {args.gate:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,23 @@
-"""Real master/slave parallel execution on local workers (MPI stand-in)."""
+"""Real master/slave parallel execution on local workers (MPI stand-in).
+
+The :mod:`~repro.parallel.fleet` subpackage extends the same FCFS
+master-loop abstraction across hosts: an asyncio TCP master speaking
+newline-delimited JSON leases to remote worker agents, with the fsync'd
+sweep journal as the single source of durability.
+"""
 
 from .dispatcher import DispatchTelemetry, dispatch_jobs, dispatch_with_pool
 from .executors import ParallelTrackReport, track_paths_parallel
+from .fleet import (
+    FleetMaster,
+    FleetMasterReport,
+    FleetStats,
+    FleetWorkerStats,
+    run_fleet_master,
+    run_fleet_worker,
+    run_sweep_worker,
+    serve_fleet,
+)
 from .pieri_scheduler import ParallelPieriReport, solve_pieri_parallel
 
 __all__ = [
@@ -12,4 +28,12 @@ __all__ = [
     "track_paths_parallel",
     "ParallelPieriReport",
     "solve_pieri_parallel",
+    "FleetMaster",
+    "FleetMasterReport",
+    "FleetStats",
+    "FleetWorkerStats",
+    "run_fleet_master",
+    "run_fleet_worker",
+    "run_sweep_worker",
+    "serve_fleet",
 ]

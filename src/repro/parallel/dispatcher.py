@@ -111,6 +111,18 @@ def dispatch_jobs(
         else:
             abandon(job)
 
+    def harvest(fut: Future, job: Any, lost: list) -> None:
+        """Consume one settled future: result, own crash, or breakage."""
+        try:
+            result = fut.result()
+        except BrokenExecutor:
+            lost.append(job)
+        except Exception:
+            crash(job)
+        else:
+            telemetry.jobs_done += 1
+            queue.extend(on_result(job, result) or ())
+
     def reclaim_active() -> list:
         """Empty ``active`` after a breakage: harvest results that
         completed in the race window so their jobs are not executed
@@ -120,18 +132,15 @@ def dispatch_jobs(
         lost = []
         for fut, job in list(active.items()):
             if fut.done():
-                try:
-                    result = fut.result()
-                except BrokenExecutor:
-                    lost.append(job)
-                except Exception:
-                    crash(job)
-                else:
-                    telemetry.jobs_done += 1
-                    queue.extend(on_result(job, result) or ())
-            else:
-                fut.cancel()
+                harvest(fut, job, lost)
+            elif fut.cancel():
                 lost.append(job)
+            else:
+                # cancel() failing means the future slipped past the
+                # done() check and completed (or is completing) in the
+                # race window: requeueing it here would run — and
+                # potentially commit — the job twice.  Harvest instead.
+                harvest(fut, job, lost)
         active.clear()
         return lost
 

@@ -1,0 +1,40 @@
+"""Multi-host sweep fleet: lease-based master/worker protocol over TCP.
+
+The package splits the paper's cluster story into three layers:
+
+- :mod:`~repro.parallel.fleet.protocol` — the lease/ack/requeue state
+  machine, transport-free, exercised exhaustively by
+  :mod:`repro.simcluster.fleet_sim` and the hypothesis suite;
+- :mod:`~repro.parallel.fleet.messages` — newline-delimited JSON frames;
+- :mod:`~repro.parallel.fleet.master` / :mod:`~repro.parallel.fleet.worker`
+  — the asyncio socket bindings plus the sweep-engine glue behind
+  ``python -m repro.sweep run --fleet master|worker``.
+"""
+
+from .messages import (
+    MESSAGE_TYPES,
+    FleetProtocolError,
+    decode_frame,
+    decode_line,
+    encode_frame,
+)
+from .protocol import FleetMaster, FleetStats, WorkerView
+from .master import FleetMasterReport, run_fleet_master, serve_fleet
+from .worker import FleetWorkerStats, run_fleet_worker, run_sweep_worker
+
+__all__ = [
+    "MESSAGE_TYPES",
+    "FleetProtocolError",
+    "decode_frame",
+    "decode_line",
+    "encode_frame",
+    "FleetMaster",
+    "FleetStats",
+    "WorkerView",
+    "FleetMasterReport",
+    "run_fleet_master",
+    "serve_fleet",
+    "FleetWorkerStats",
+    "run_fleet_worker",
+    "run_sweep_worker",
+]

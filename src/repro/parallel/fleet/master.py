@@ -1,0 +1,286 @@
+"""Asyncio socket binding of the fleet master, plus the sweep glue.
+
+:func:`serve_fleet` runs a :class:`~repro.parallel.fleet.protocol.
+FleetMaster` behind an asyncio TCP server speaking newline-delimited
+JSON frames (:mod:`~repro.parallel.fleet.messages`).  The binding is
+deliberately thin: every protocol decision lives in the transport-free
+state machine, which the simulator and property tests already pinned
+down; this module only moves frames and the clock.
+
+:func:`run_fleet_master` is the sweep-engine entry point behind
+``python -m repro.sweep run SPEC --checkpoint DIR --fleet master``: it
+loads the journal, serves only the un-journaled jobs, commits each
+arriving result straight into the fsync'd journal, and returns the same
+:class:`~repro.sweep.engine.SweepReport` shape the local engine does.
+The journal stays the *single* source of durability — ``SIGKILL`` the
+master at any instant and a restart (same command) resumes from exactly
+the committed records, while workers reconnect and keep their in-flight
+jobs via the ``held`` handshake.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .messages import decode_line, encode_frame
+from .protocol import FleetMaster
+
+__all__ = ["FleetMasterReport", "serve_fleet", "run_fleet_master"]
+
+
+@dataclass
+class FleetMasterReport:
+    """What one master invocation observed (wrapped into SweepReport
+    by the sweep binding; used directly by benchmarks and tests)."""
+
+    n_jobs: int
+    n_committed: int
+    wall_seconds: float = 0.0
+    workers_seen: List[str] = field(default_factory=list)
+    busy_by_worker: Dict[str, float] = field(default_factory=dict)
+    commits: int = 0
+    duplicates: int = 0
+    requeues: int = 0
+    steals: int = 0
+    timeouts: int = 0
+    registrations: int = 0
+    max_lease: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.n_committed == self.n_jobs
+
+
+class _FleetService:
+    """Connection plumbing around one FleetMaster instance."""
+
+    def __init__(self, master: FleetMaster):
+        self.master = master
+        self.writers: Dict[str, asyncio.StreamWriter] = {}
+        self.done_event = asyncio.Event()
+
+    async def _send(self, worker: str, message: dict) -> None:
+        writer = self.writers.get(worker)
+        if writer is None:
+            return
+        try:
+            writer.write(encode_frame(message))
+            await writer.drain()
+        except (ConnectionError, RuntimeError, OSError):
+            # the heartbeat timeout (or the reader's EOF) reclaims the
+            # worker; losing one frame is a case the protocol already
+            # handles via held-list reconciliation
+            pass
+
+    async def _route(self, outbound) -> None:
+        for worker, message in outbound:
+            await self._send(worker, message)
+        if self.master.done:
+            self.done_event.set()
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        worker_id: Optional[str] = None
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                message = decode_line(line)
+                if message is None:
+                    continue  # torn or garbage frame: resync at next line
+                if message.get("type") == "hello":
+                    worker_id = message.get("worker")
+                    if worker_id:
+                        old = self.writers.get(worker_id)
+                        self.writers[worker_id] = writer
+                        if old is not None and old is not writer:
+                            # a reconnect superseded the old channel
+                            old.close()
+                await self._route(self.master.handle(message, time.monotonic()))
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            if worker_id is not None and self.writers.get(worker_id) is writer:
+                del self.writers[worker_id]
+                # only the *current* channel's death means the worker is
+                # gone; a superseded channel closing must not requeue the
+                # re-registered worker's fresh lease
+                await self._route(
+                    self.master.on_disconnect(worker_id, time.monotonic())
+                )
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    async def poll_timeouts(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            await self._route(self.master.check_timeouts(time.monotonic()))
+
+
+async def serve_fleet(
+    jobs: Iterable[dict],
+    commit: Callable[[str, dict], None],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    heartbeat_timeout: float = 5.0,
+    lease_target_seconds: float = 2.0,
+    max_lease: int = 8,
+    cost_of: Optional[Callable[[dict], float]] = None,
+    on_listening: Optional[Callable[[str, int], None]] = None,
+    linger_seconds: float = 0.2,
+) -> FleetMaster:
+    """Serve ``jobs`` to TCP workers until every one is committed.
+
+    Returns the (finished) state machine so callers can read its stats.
+    ``on_listening(host, port)`` fires once the socket is bound — with
+    ``port=0`` this is how callers learn the chosen port.
+    """
+    master = FleetMaster(
+        jobs,
+        commit,
+        heartbeat_timeout=heartbeat_timeout,
+        lease_target_seconds=lease_target_seconds,
+        max_lease=max_lease,
+        cost_of=cost_of,
+    )
+    if master.done:  # nothing pending (a fully journaled resume)
+        if on_listening is not None:
+            on_listening(host, port)
+        return master
+    service = _FleetService(master)
+    server = await asyncio.start_server(service.handle_connection, host, port)
+    bound_port = server.sockets[0].getsockname()[1]
+    if on_listening is not None:
+        on_listening(host, bound_port)
+    poll = min(1.0, max(heartbeat_timeout / 4, 0.05))
+    poller = asyncio.create_task(service.poll_timeouts(poll))
+    try:
+        await service.done_event.wait()
+        # give the drain frames a moment to flush before tearing down
+        await asyncio.sleep(linger_seconds)
+    finally:
+        poller.cancel()
+        try:
+            await poller
+        except asyncio.CancelledError:
+            pass
+        server.close()
+        await server.wait_closed()
+        for writer in list(service.writers.values()):
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+    return master
+
+
+def _master_report(master: FleetMaster, wall: float) -> FleetMasterReport:
+    return FleetMasterReport(
+        n_jobs=master.n_jobs,
+        n_committed=master.n_committed,
+        wall_seconds=wall,
+        workers_seen=sorted(master.workers_seen),
+        busy_by_worker=dict(master.busy_by_worker),
+        commits=master.stats.commits,
+        duplicates=master.stats.duplicates,
+        requeues=master.stats.requeues,
+        steals=master.stats.steals,
+        timeouts=master.stats.timeouts,
+        registrations=master.stats.registrations,
+        max_lease=master.stats.max_lease,
+    )
+
+
+def run_fleet_master(
+    spec,
+    checkpoint: "str | Path",
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    heartbeat_timeout: float = 5.0,
+    lease_target_seconds: float = 2.0,
+    max_lease: int = 8,
+    on_listening: Optional[Callable[[str, int], None]] = None,
+):
+    """Run the fleet master for one sweep spec against a checkpoint.
+
+    Same contract as :func:`repro.sweep.engine.run_sweep`, with remote
+    workers instead of a local pool: jobs already in the journal are
+    skipped, every arriving result is fsync'd to the journal before it
+    is acknowledged, and the manifest is finalized on the way out.
+    Returns a :class:`~repro.sweep.engine.SweepReport` whose ``fleet``
+    field carries the protocol stats.
+    """
+    from ...sweep.engine import SweepReport
+    from ...sweep.journal import SweepJournal
+
+    journal = SweepJournal(checkpoint)
+    journal.initialize(spec.to_dict())
+    done = journal.load_records()
+    pending = [job for job in spec.jobs if job.job_id not in done]
+    report = SweepReport(
+        spec=spec,
+        schedule="fleet",
+        mode="fleet",
+        n_workers=0,
+        records=dict(done),
+        skipped=len(done),
+    )
+    journal.write_manifest(
+        spec.n_jobs, len(done), "running", {"name": spec.name}
+    )
+    payloads = [
+        {"job_id": job.job_id, "job": job.to_dict()} for job in pending
+    ]
+    t_wall = time.perf_counter()
+
+    def commit(job_id: str, record: dict) -> None:
+        journal.append(record)
+        report.records[job_id] = record
+        report.ran_job_ids.append(job_id)
+
+    try:
+        with journal:
+            master = asyncio.run(
+                serve_fleet(
+                    payloads,
+                    commit,
+                    host=host,
+                    port=port,
+                    heartbeat_timeout=heartbeat_timeout,
+                    lease_target_seconds=lease_target_seconds,
+                    max_lease=max_lease,
+                    on_listening=on_listening,
+                )
+            )
+    finally:
+        report.wall_seconds = time.perf_counter() - t_wall
+        status = "complete" if report.complete else "incomplete"
+        journal.write_manifest(
+            spec.n_jobs, report.n_done, status, {"name": spec.name}
+        )
+    fleet = _master_report(master, report.wall_seconds)
+    report.n_workers = max(len(fleet.workers_seen), 1)
+    report.worker_busy_seconds = sorted(
+        fleet.busy_by_worker.values(), reverse=True
+    ) or [0.0]
+    report.fleet = {
+        "workers_seen": fleet.workers_seen,
+        "commits": fleet.commits,
+        "duplicates": fleet.duplicates,
+        "requeues": fleet.requeues,
+        "steals": fleet.steals,
+        "timeouts": fleet.timeouts,
+        "registrations": fleet.registrations,
+        "max_lease": fleet.max_lease,
+    }
+    return report

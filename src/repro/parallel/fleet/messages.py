@@ -1,0 +1,97 @@
+"""Wire format of the fleet protocol: newline-delimited JSON frames.
+
+One frame is one JSON object on one line, terminated by ``\\n`` — the
+oldest streaming format there is, chosen because it survives everything
+the fleet must survive: a torn frame (a peer died mid-write) is exactly
+one undecodable line, and the next line is a clean parse boundary, the
+same property the sweep journal (:mod:`repro.sweep.journal`) relies on.
+
+Every message carries a ``type`` and, for worker-originated frames, the
+``worker`` id.  The full vocabulary (see ``docs/fleet.md`` for the table
+with field-by-field semantics):
+
+worker -> master
+    ``hello``      register (or re-register after a reconnect); carries
+                   ``held``, the job ids the worker still has queued or
+                   running, so a restarted master adopts them instead of
+                   re-running them.
+    ``heartbeat``  liveness plus the same ``held`` list — the master
+                   reconciles its lease view against it, recovering
+                   leases lost to a partition in either direction.
+    ``result``     one finished job: ``job_id``, the journal ``record``,
+                   and self-reported busy ``seconds`` (the cost model's
+                   input).
+    ``goodbye``    graceful exit; the master requeues anything leased.
+
+master -> worker
+    ``welcome``    registration ack with sweep-level counts.
+    ``lease``      a batch of jobs (each ``{"job_id": ..., "job": ...}``),
+                   sized by the worker's fitted cost rate.
+    ``revoke``     job ids the worker must drop from its queue (stolen by
+                   an idle peer, or committed by someone else first).
+    ``drain``      every job is committed; finish up and exit.
+
+>>> frame = encode_frame({"type": "heartbeat", "worker": "w0", "held": []})
+>>> decode_frame(frame)
+{'held': [], 'type': 'heartbeat', 'worker': 'w0'}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+__all__ = [
+    "MESSAGE_TYPES",
+    "FleetProtocolError",
+    "encode_frame",
+    "decode_frame",
+    "decode_line",
+]
+
+#: Every frame type either side may legally send.
+MESSAGE_TYPES = (
+    "hello",
+    "heartbeat",
+    "result",
+    "goodbye",
+    "welcome",
+    "lease",
+    "revoke",
+    "drain",
+)
+
+
+class FleetProtocolError(ValueError):
+    """A frame that decodes but violates the protocol (bad type/fields)."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """One message -> one newline-terminated JSON line (UTF-8 bytes)."""
+    if message.get("type") not in MESSAGE_TYPES:
+        raise FleetProtocolError(f"unknown message type {message.get('type')!r}")
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_frame(frame: bytes) -> dict:
+    """Inverse of :func:`encode_frame`; raises on malformed frames."""
+    message = json.loads(frame.decode("utf-8"))
+    if not isinstance(message, dict) or message.get("type") not in MESSAGE_TYPES:
+        raise FleetProtocolError(f"not a fleet frame: {frame[:80]!r}")
+    return message
+
+
+def decode_line(line: bytes) -> Optional[dict]:
+    """Tolerant decode for receive loops: ``None`` for blank/torn lines.
+
+    A peer killed mid-write leaves at most one torn line in the stream;
+    the caller skips it and resynchronizes at the next newline (the peer
+    is re-registering or being timed out anyway).
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        return decode_frame(line)
+    except (FleetProtocolError, UnicodeDecodeError, json.JSONDecodeError):
+        return None

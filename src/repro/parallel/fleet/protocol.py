@@ -1,0 +1,500 @@
+"""The fleet master's lease/ack/requeue state machine — transport-free.
+
+This module is the coordination protocol of the multi-host sweep fleet,
+specified as a pure state machine so that :mod:`repro.simcluster.fleet_sim`
+can exercise every failure interleaving (master kills at exact times,
+worker deaths, partitions, duplicate delivery) *before* any socket code
+binds it (:mod:`repro.parallel.fleet.master` is that binding).  Handlers
+take an explicit ``now`` and return the outbound messages as
+``(worker_id, message)`` pairs; the state machine never sleeps, never
+reads a clock, and never touches a socket.
+
+Job lifecycle — the invariant the property tests pin down is that every
+job is in exactly one of these states at all times::
+
+    PENDING --lease--> LEASED(worker) --result--> COMMITTED
+       ^                   |    |
+       |<--timeout/death---+    +--steal--> LEASED(thief)
+
+- ``COMMITTED`` is terminal and entered **exactly once**: the ``commit``
+  callback (the fsync'd journal append in the sweep binding) is guarded
+  by the committed set, so duplicate delivery, a stale worker racing a
+  steal, or a re-registration can never double-commit a result.
+- A worker death (disconnect, heartbeat timeout, ``goodbye``) moves its
+  leased jobs back to ``PENDING`` — nothing is ever dropped.
+- Work stealing moves the *tail* of the most loaded worker's lease to an
+  idle worker (the victim runs its lease FIFO, so the head is the job
+  most likely already running); if the victim finishes a stolen job
+  anyway, first-commit-wins and the loser is revoked.
+
+Durability is *not* this module's job: the journal owns it.  A master
+restarted from the journal is constructed with only the un-journaled
+jobs, and results arriving for jobs it does not know (committed in a
+previous life) are dropped as duplicates.
+
+Heterogeneous workers: every result carries self-reported busy seconds
+(the plumbing PR 1 added to the executors); the master fits an EWMA
+seconds-per-cost rate per worker and sizes each lease to approximately
+``lease_target_seconds`` of that worker's time — fast hosts get long
+leases, slow hosts short ones, and the first lease is a 1-job probe.
+
+>>> committed = {}
+>>> master = FleetMaster(
+...     [{"job_id": "a"}, {"job_id": "b"}],
+...     commit=lambda job_id, record: committed.setdefault(job_id, record),
+... )
+>>> out = master.on_hello("w0", now=0.0)
+>>> [m["type"] for _, m in out]
+['welcome', 'lease']
+>>> lease = out[1][1]["jobs"]; [j["job_id"] for j in lease]
+['a']
+>>> _ = master.on_result("w0", "a", {"job_id": "a"}, seconds=0.5, now=1.0)
+>>> _ = master.on_result("w0", "b", {"job_id": "b"}, seconds=0.5, now=2.0)
+>>> master.done, sorted(committed)
+(True, ['a', 'b'])
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["FleetMaster", "FleetStats", "WorkerView"]
+
+Outbound = List[Tuple[str, dict]]
+
+
+@dataclass
+class WorkerView:
+    """The master's view of one registered worker."""
+
+    worker_id: str
+    slots: int = 1
+    last_seen: float = 0.0
+    #: job_id -> grant time, in FIFO grant order (dicts preserve it);
+    #: the grant time gates heartbeat reconciliation (see ``lease_grace``)
+    leased: Dict[str, float] = field(default_factory=dict)
+    #: EWMA of self-reported seconds per unit job cost; None until the
+    #: first result (the probe lease)
+    rate: Optional[float] = None
+    jobs_done: int = 0
+    busy_seconds: float = 0.0
+
+
+@dataclass
+class FleetStats:
+    """Protocol-level accounting, mirrored into sweep reports."""
+
+    commits: int = 0
+    duplicates: int = 0          # results dropped by first-commit-wins
+    requeues: int = 0            # leased jobs returned to pending
+    steals: int = 0              # jobs moved between live workers
+    timeouts: int = 0            # workers expired by heartbeat silence
+    registrations: int = 0
+    max_lease: int = 0           # largest single lease granted
+
+
+class FleetMaster:
+    """FCFS master over remote workers; same job-queue contract as
+    :func:`repro.parallel.dispatcher.dispatch_jobs`, but with explicit
+    registration, leases, heartbeats, and stealing instead of futures.
+
+    Parameters
+    ----------
+    jobs:
+        The *un-journaled* jobs only, each a dict with a unique
+        ``"job_id"`` (any other keys ride along to the worker).
+    commit:
+        ``commit(job_id, record)`` — called exactly once per job, in
+        completion order; the sweep binding appends to the fsync'd
+        journal here, making it the single source of durability.
+    heartbeat_timeout:
+        Silence longer than this expires a worker and requeues its lease.
+    lease_target_seconds:
+        Lease sizing target: enough jobs to keep a worker busy about
+        this long between round trips.
+    max_lease:
+        Hard cap on jobs per lease (bounds what one death can delay).
+    lease_grace:
+        Heartbeat reconciliation ignores leases younger than this, so a
+        lease still in flight is not mistaken for a lost one.
+    cost_of:
+        ``cost_of(job) -> float`` relative cost estimate (default 1.0
+        per job) — the other half of the lease-sizing model.
+    """
+
+    def __init__(
+        self,
+        jobs: Iterable[dict],
+        commit: Callable[[str, dict], None],
+        *,
+        heartbeat_timeout: float = 10.0,
+        lease_target_seconds: float = 2.0,
+        max_lease: int = 8,
+        lease_grace: Optional[float] = None,
+        cost_of: Optional[Callable[[dict], float]] = None,
+    ):
+        self._jobs: Dict[str, dict] = {}
+        self._pending: deque = deque()
+        for job in jobs:
+            job_id = job.get("job_id")
+            if not job_id or job_id in self._jobs:
+                raise ValueError(f"jobs need unique job_id fields: {job_id!r}")
+            self._jobs[job_id] = job
+            self._pending.append(job_id)
+        self._commit = commit
+        self._committed: set = set()
+        self._workers: Dict[str, WorkerView] = {}
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.lease_target_seconds = float(lease_target_seconds)
+        self.max_lease = int(max_lease)
+        self.lease_grace = (
+            self.heartbeat_timeout / 4 if lease_grace is None else float(lease_grace)
+        )
+        self._cost_of = cost_of or (lambda job: 1.0)
+        self.stats = FleetStats()
+        self._drained: set = set()  # workers already told to drain
+        #: every worker id that ever registered (re-registration keeps it)
+        self.workers_seen: set = set()
+        #: busy seconds per worker id, surviving re-registration
+        self.busy_by_worker: Dict[str, float] = {}
+
+    # -- introspection -------------------------------------------------
+    @property
+    def n_jobs(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def n_committed(self) -> int:
+        return len(self._committed)
+
+    @property
+    def done(self) -> bool:
+        return len(self._committed) == len(self._jobs)
+
+    @property
+    def workers(self) -> Dict[str, WorkerView]:
+        return self._workers
+
+    def pending_ids(self) -> List[str]:
+        return list(self._pending)
+
+    def check_invariant(self) -> None:
+        """Every job is pending, leased to exactly one worker, or
+        committed — and in exactly one of the three (test hook)."""
+        seen: Dict[str, str] = {}
+        for job_id in self._pending:
+            seen[job_id] = "pending"
+        for view in self._workers.values():
+            for job_id in view.leased:
+                if job_id in seen:
+                    raise AssertionError(
+                        f"{job_id} is {seen[job_id]} AND leased to "
+                        f"{view.worker_id}"
+                    )
+                seen[job_id] = f"leased:{view.worker_id}"
+        for job_id in self._committed:
+            if job_id in seen:
+                raise AssertionError(f"{job_id} is {seen[job_id]} AND committed")
+            seen[job_id] = "committed"
+        missing = set(self._jobs) - set(seen)
+        if missing:
+            raise AssertionError(f"jobs lost: {sorted(missing)}")
+
+    # -- event handlers ------------------------------------------------
+    def handle(self, message: dict, now: float) -> Outbound:
+        """Transport-binding entry point: dispatch one decoded frame."""
+        kind = message.get("type")
+        worker = message.get("worker")
+        if kind == "hello":
+            return self.on_hello(
+                worker,
+                now=now,
+                slots=int(message.get("slots", 1)),
+                held=message.get("held", ()),
+            )
+        if kind == "heartbeat":
+            return self.on_heartbeat(worker, now=now, held=message.get("held"))
+        if kind == "result":
+            return self.on_result(
+                worker,
+                message.get("job_id"),
+                message.get("record") or {},
+                seconds=message.get("seconds"),
+                now=now,
+            )
+        if kind == "goodbye":
+            return self.on_disconnect(worker, now=now)
+        return []
+
+    def on_hello(
+        self,
+        worker: str,
+        now: float,
+        slots: int = 1,
+        held: Sequence[str] = (),
+    ) -> Outbound:
+        """Register (or re-register) a worker.
+
+        ``held`` lists jobs the worker still has from a previous life —
+        a reconnect across a master restart, say.  Held jobs this master
+        knows as pending are *adopted* (leased back to the worker, no
+        re-run); held jobs that are committed or unknown are revoked.
+        """
+        if not worker:
+            return []
+        out: Outbound = []
+        if worker in self._workers:
+            # stale registration: whatever we thought it held is gone
+            self._requeue_worker(worker)
+        view = WorkerView(worker_id=worker, slots=max(1, slots), last_seen=now)
+        self._workers[worker] = view
+        self._drained.discard(worker)
+        self.stats.registrations += 1
+        self.workers_seen.add(worker)
+        adopted, revoke = self._reconcile_held(view, held, now)
+        out.append(
+            (
+                worker,
+                {
+                    "type": "welcome",
+                    "worker": worker,
+                    "n_jobs": self.n_jobs,
+                    "n_done": self.n_committed,
+                    "adopted": adopted,
+                },
+            )
+        )
+        if revoke:
+            out.append((worker, {"type": "revoke", "job_ids": revoke}))
+        out += self._grant_all(now)
+        out += self._drain_if_done()
+        return out
+
+    def on_heartbeat(
+        self, worker: str, now: float, held: Optional[Sequence[str]] = None
+    ) -> Outbound:
+        """Liveness plus lease reconciliation against the ``held`` list."""
+        view = self._workers.get(worker)
+        if view is None:
+            # a heartbeat from a worker we expired (or never met): make it
+            # re-register so both sides agree on its lease from scratch
+            return [(worker, {"type": "welcome", "worker": worker,
+                              "n_jobs": self.n_jobs, "n_done": self.n_committed,
+                              "adopted": [], "reregister": True})]
+        view.last_seen = now
+        out: Outbound = []
+        if held is not None:
+            held_set = set(held)
+            # leased here but not held there: the lease frame was lost
+            # (partition, worker restart) — requeue, unless the grant is
+            # so fresh the frame may simply still be in flight
+            for job_id, granted in list(view.leased.items()):
+                if job_id not in held_set and now - granted >= self.lease_grace:
+                    del view.leased[job_id]
+                    self._pending.append(job_id)
+                    self.stats.requeues += 1
+            # held there but not leased here: adopt pending ones, revoke
+            # the rest (committed elsewhere, or a previous master's era)
+            _, revoke = self._reconcile_held(view, held_set, now)
+            if revoke:
+                out.append((worker, {"type": "revoke", "job_ids": revoke}))
+        out += self._grant_all(now)
+        out += self._drain_if_done()
+        return out
+
+    def on_result(
+        self,
+        worker: str,
+        job_id: Optional[str],
+        record: dict,
+        seconds: Optional[float],
+        now: float,
+    ) -> Outbound:
+        """Commit one result — exactly once, whoever delivers it first."""
+        view = self._workers.get(worker)
+        if view is not None:
+            view.last_seen = now
+        if not job_id:
+            return []
+        out: Outbound = []
+        if job_id in self._committed or job_id not in self._jobs:
+            # duplicate delivery, a stolen job's loser, or a result for a
+            # job journaled before this master started: drop, and make
+            # sure the sender does not keep it queued
+            self.stats.duplicates += 1
+            if view is not None and job_id in view.leased:
+                del view.leased[job_id]
+        else:
+            self._committed.add(job_id)
+            self.stats.commits += 1
+            self._commit(job_id, record)
+            holder = self._find_holder(job_id)
+            if holder is not None:
+                del self._workers[holder].leased[job_id]
+                if holder != worker:
+                    # a steal raced the victim's completion and the
+                    # victim won: tell the thief to drop its copy
+                    out.append((holder, {"type": "revoke", "job_ids": [job_id]}))
+            else:
+                self._remove_pending(job_id)
+        if view is not None:
+            view.jobs_done += 1
+            if seconds is not None:
+                view.busy_seconds += float(seconds)
+                self.busy_by_worker[worker] = (
+                    self.busy_by_worker.get(worker, 0.0) + float(seconds)
+                )
+                self._update_rate(view, job_id, float(seconds))
+        out += self._grant_all(now)
+        out += self._drain_if_done()
+        return out
+
+    def on_disconnect(self, worker: str, now: float) -> Outbound:
+        """Connection lost (or ``goodbye``): requeue the worker's lease."""
+        if worker not in self._workers:
+            return []
+        self._requeue_worker(worker)
+        del self._workers[worker]
+        self._drained.discard(worker)
+        out = self._grant_all(now)
+        out += self._drain_if_done()
+        return out
+
+    def check_timeouts(self, now: float) -> Outbound:
+        """Expire workers silent for longer than ``heartbeat_timeout``."""
+        out: Outbound = []
+        for worker, view in list(self._workers.items()):
+            if now - view.last_seen > self.heartbeat_timeout:
+                self.stats.timeouts += 1
+                out += self.on_disconnect(worker, now)
+        return out
+
+    # -- lease sizing and stealing -------------------------------------
+    def _lease_budget(self, view: WorkerView) -> int:
+        """How many jobs this worker should hold, from its fitted rate."""
+        if view.rate is None:
+            return view.slots  # probe lease: one job per slot
+        budget = 0
+        predicted = 0.0
+        # size against the pending head the worker would actually get
+        for job_id in self._pending:
+            predicted += max(view.rate * self._cost_of(self._jobs[job_id]), 1e-9)
+            budget += 1
+            if predicted >= self.lease_target_seconds or budget >= self.max_lease:
+                break
+        return max(view.slots, budget)
+
+    def _grant(self, view: WorkerView, now: float) -> Outbound:
+        want = self._lease_budget(view) - len(view.leased)
+        jobs = []
+        while want > 0 and self._pending:
+            job_id = self._pending.popleft()
+            view.leased[job_id] = now
+            jobs.append(self._jobs[job_id])
+            want -= 1
+        if not jobs:
+            return []
+        self.stats.max_lease = max(self.stats.max_lease, len(jobs))
+        return [(view.worker_id, {"type": "lease", "jobs": jobs})]
+
+    def _grant_all(self, now: float) -> Outbound:
+        """Fill every worker's lease; steal for the ones left idle."""
+        out: Outbound = []
+        # idle workers first so a drained queue steals before others top up
+        for view in sorted(self._workers.values(), key=lambda v: len(v.leased)):
+            out += self._grant(view, now)
+        if not self._pending:
+            for view in self._workers.values():
+                if not view.leased:
+                    out += self._steal_for(view, now)
+        return out
+
+    def _steal_for(self, thief: WorkerView, now: float) -> Outbound:
+        """Move the tail of the largest lease backlog to an idle worker.
+
+        The victim runs its lease FIFO, so the head job is the one most
+        likely already running and is never taken; of the rest, half
+        (rounded up) move.  First-commit-wins arbitration in
+        :meth:`on_result` makes the race with the victim harmless.
+        """
+        victims = [
+            v
+            for v in self._workers.values()
+            if v.worker_id != thief.worker_id and len(v.leased) > 1
+        ]
+        if not victims:
+            return []
+        victim = max(victims, key=lambda v: len(v.leased))
+        backlog = list(victim.leased)[1:]  # grant order; head stays
+        take = backlog[len(backlog) - (len(backlog) + 1) // 2 :]
+        if not take:
+            return []
+        for job_id in take:
+            del victim.leased[job_id]
+            thief.leased[job_id] = now
+        self.stats.steals += len(take)
+        self.stats.max_lease = max(self.stats.max_lease, len(take))
+        return [
+            (victim.worker_id, {"type": "revoke", "job_ids": take}),
+            (thief.worker_id, {"type": "lease",
+                               "jobs": [self._jobs[j] for j in take]}),
+        ]
+
+    # -- internals -----------------------------------------------------
+    def _update_rate(self, view: WorkerView, job_id: str, seconds: float) -> None:
+        cost = max(self._cost_of(self._jobs.get(job_id, {})), 1e-9)
+        observed = max(seconds, 1e-9) / cost
+        view.rate = (
+            observed if view.rate is None else 0.5 * view.rate + 0.5 * observed
+        )
+
+    def _reconcile_held(
+        self, view: WorkerView, held: Iterable[str], now: float
+    ) -> Tuple[List[str], List[str]]:
+        """Adopt held-but-pending jobs; list held-but-unknown for revoke."""
+        adopted, revoke = [], []
+        for job_id in held:
+            if job_id in view.leased:
+                continue
+            holder = self._find_holder(job_id)
+            if job_id in self._jobs and job_id not in self._committed and (
+                holder is None
+            ):
+                self._remove_pending(job_id)
+                view.leased[job_id] = now
+                adopted.append(job_id)
+            elif holder != view.worker_id:
+                revoke.append(job_id)
+        return adopted, revoke
+
+    def _requeue_worker(self, worker: str) -> None:
+        view = self._workers[worker]
+        for job_id in view.leased:
+            self._pending.append(job_id)
+            self.stats.requeues += 1
+        view.leased.clear()
+
+    def _find_holder(self, job_id: str) -> Optional[str]:
+        for view in self._workers.values():
+            if job_id in view.leased:
+                return view.worker_id
+        return None
+
+    def _remove_pending(self, job_id: str) -> None:
+        try:
+            self._pending.remove(job_id)
+        except ValueError:
+            pass
+
+    def _drain_if_done(self) -> Outbound:
+        if not self.done:
+            return []
+        out = [
+            (worker, {"type": "drain"})
+            for worker in self._workers
+            if worker not in self._drained
+        ]
+        self._drained.update(self._workers)
+        return out

@@ -21,6 +21,12 @@ from .sweep_replay import (
     replay_sweep_dynamic,
     resume_replay,
 )
+from .fleet_sim import (
+    FleetSimResult,
+    fleet_job_record,
+    resume_fleet,
+    simulate_fleet,
+)
 
 __all__ = [
     "EventQueue",
@@ -40,4 +46,8 @@ __all__ = [
     "SweepReplayResult",
     "replay_sweep_dynamic",
     "resume_replay",
+    "FleetSimResult",
+    "fleet_job_record",
+    "resume_fleet",
+    "simulate_fleet",
 ]

@@ -1,0 +1,378 @@
+"""Failure-injection simulation of the fleet protocol — sockets removed.
+
+Runs the *real* :class:`repro.parallel.fleet.protocol.FleetMaster` state
+machine (not a model of it) against simulated workers on the discrete
+:class:`~repro.simcluster.engine.EventQueue`, with message latency and
+the failure modes that are awkward to stage over real sockets:
+
+- the master killed at an exact simulated instant (``kill_master_at``) —
+  commits stop, in-flight messages to it vanish, and
+  :func:`resume_fleet` restarts from the journal cut;
+- workers dying permanently mid-job (``worker_deaths``);
+- network partitions (``partitions``: per-worker windows in which every
+  frame in either direction is dropped) — heartbeat timeouts reclaim
+  the leases, and the held-list reconciliation heals the reconnect;
+- duplicate delivery (``duplicate_results``) — every result frame
+  arrives twice, exercising first-commit-wins.
+
+The journal here is just the committed-record dict, and each record is a
+pure function of the job (never of the worker or the schedule), so the
+recovery invariant the tests pin down is exact equality::
+
+    journal(kill + resume)  ==  journal(uninterrupted run)
+
+Workers can be heterogeneous (``speeds``): the master's lease sizing is
+fitted from their self-reported busy seconds exactly as over sockets.
+
+>>> res = simulate_fleet([1.0] * 8, n_workers=2)
+>>> res.jobs_done, res.stats.duplicates
+(8, 0)
+>>> killed = simulate_fleet([1.0] * 8, n_workers=2, kill_master_at=1.5)
+>>> resumed = resume_fleet([1.0] * 8, 2, killed)
+>>> merged = {**killed.records, **resumed.records}
+>>> merged == simulate_fleet([1.0] * 8, n_workers=2).records
+True
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..parallel.fleet.protocol import FleetMaster, FleetStats
+from .engine import EventQueue
+
+__all__ = ["FleetSimResult", "simulate_fleet", "resume_fleet", "fleet_job_record"]
+
+
+def fleet_job_record(job_index: int, cost: float) -> dict:
+    """The deterministic result record of one simulated job.
+
+    Depends only on the job, never on which worker ran it or when — the
+    property that makes "journal ≡ uninterrupted run" an equality check.
+    """
+    return {
+        "job_id": f"job-{job_index}",
+        "cost": float(cost),
+        "value": f"v{job_index}:{float(cost):.6f}",
+    }
+
+
+@dataclass
+class FleetSimResult:
+    """Outcome of one simulated (possibly killed) fleet run."""
+
+    n_workers: int
+    wall_seconds: float = 0.0
+    #: job_id -> journaled record (the durable state, and nothing else)
+    records: Dict[str, dict] = field(default_factory=dict)
+    #: job_id -> simulated commit time
+    commit_times: Dict[str, float] = field(default_factory=dict)
+    busy_seconds: List[float] = field(default_factory=list)
+    stats: FleetStats = field(default_factory=FleetStats)
+    killed_at: Optional[float] = None
+    worker_deaths: Dict[int, float] = field(default_factory=dict)
+    #: per-worker jobs committed while that worker was the sender
+    jobs_by_worker: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def jobs_done(self) -> int:
+        return len(self.records)
+
+    def done_jobs(self) -> List[str]:
+        return sorted(self.records)
+
+
+class _SimWorker:
+    """One simulated worker agent: FIFO queue, heartbeats, mortality."""
+
+    def __init__(self, sim: "_FleetSim", index: int, speed: float):
+        self.sim = sim
+        self.index = index
+        self.worker_id = f"w{index}"
+        self.speed = speed
+        self.queue: deque = deque()
+        self.running: Optional[dict] = None
+        self.alive = True
+        self.drained = False
+        self.busy = 0.0
+
+    # -- master -> worker ---------------------------------------------
+    def deliver(self, message: dict) -> None:
+        if not self.alive:
+            return
+        kind = message.get("type")
+        if kind == "lease":
+            held = {p["job_id"] for p in self.queue}
+            if self.running is not None:
+                held.add(self.running["job_id"])
+            for payload in message.get("jobs", ()):
+                if payload["job_id"] not in held:
+                    self.queue.append(payload)
+            self.maybe_start()
+        elif kind == "revoke":
+            drop = set(message.get("job_ids", ()))
+            self.queue = deque(p for p in self.queue if p["job_id"] not in drop)
+        elif kind == "drain":
+            self.drained = True
+        elif kind == "welcome" and message.get("reregister"):
+            self.sim.to_master(
+                {"type": "hello", "worker": self.worker_id, "slots": 1,
+                 "held": self.held_ids()},
+                sender=self,
+            )
+
+    # -- worker behaviour ---------------------------------------------
+    def held_ids(self) -> List[str]:
+        held = [p["job_id"] for p in self.queue]
+        if self.running is not None:
+            held.insert(0, self.running["job_id"])
+        return held
+
+    def maybe_start(self) -> None:
+        if not self.alive or self.running is not None or not self.queue:
+            return
+        payload = self.queue.popleft()
+        self.running = payload
+        duration = payload["cost"] / self.speed
+        death = self.sim.deaths.get(self.index)
+        now = self.sim.queue.now
+        if death is not None and now < death <= now + duration:
+            return  # the death event fires first and reclaims this job
+        self.sim.queue.schedule(duration, lambda: self.finish(payload))
+
+    def finish(self, payload: dict) -> None:
+        if not self.alive or self.running is not payload:
+            return
+        self.running = None
+        self.busy += payload["cost"] / self.speed
+        record = fleet_job_record(payload["index"], payload["cost"])
+        self.sim.to_master(
+            {
+                "type": "result",
+                "worker": self.worker_id,
+                "job_id": payload["job_id"],
+                "record": record,
+                "seconds": payload["cost"] / self.speed,
+            },
+            sender=self,
+            duplicate=self.sim.duplicate_results,
+        )
+        self.maybe_start()
+
+    def heartbeat(self) -> None:
+        if not self.alive or self.drained or self.sim.halted():
+            return
+        self.sim.to_master(
+            {"type": "heartbeat", "worker": self.worker_id,
+             "held": self.held_ids()},
+            sender=self,
+        )
+        self.sim.queue.schedule(self.sim.heartbeat_interval, self.heartbeat)
+
+    def die(self) -> None:
+        self.alive = False
+        self.queue.clear()
+        self.running = None
+
+
+class _FleetSim:
+    def __init__(
+        self,
+        costs: Sequence[float],
+        n_workers: int,
+        *,
+        speeds: Optional[Sequence[float]],
+        kill_master_at: Optional[float],
+        worker_deaths: Optional[Dict[int, float]],
+        partitions: Optional[Sequence[Tuple[int, float, float]]],
+        duplicate_results: bool,
+        latency: float,
+        heartbeat_interval: float,
+        heartbeat_timeout: float,
+        lease_target_seconds: float,
+        max_lease: int,
+        skip_jobs: Sequence[str],
+    ):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        speeds = list(speeds) if speeds is not None else [1.0] * n_workers
+        if len(speeds) != n_workers:
+            raise ValueError("speeds must name every worker")
+        self.deaths = dict(worker_deaths or {})
+        for w, t in self.deaths.items():
+            if not 0 <= w < n_workers:
+                raise ValueError(f"worker_deaths names worker {w} of {n_workers}")
+            if t < 0:
+                raise ValueError("death times must be non-negative")
+        if len(self.deaths) >= n_workers and kill_master_at is None:
+            raise ValueError("at least one worker must survive")
+        self.partitions = list(partitions or ())
+        self.duplicate_results = duplicate_results
+        self.latency = latency
+        self.heartbeat_interval = heartbeat_interval
+        self.kill_master_at = kill_master_at
+        self.queue = EventQueue()
+        skip = set(skip_jobs)
+        jobs = [
+            {"job_id": f"job-{i}", "index": i, "cost": float(c)}
+            for i, c in enumerate(costs)
+            if f"job-{i}" not in skip
+        ]
+        self.result = FleetSimResult(
+            n_workers=n_workers,
+            killed_at=kill_master_at,
+            worker_deaths=dict(self.deaths),
+        )
+        self.master = FleetMaster(
+            jobs,
+            self._commit,
+            heartbeat_timeout=heartbeat_timeout,
+            lease_target_seconds=lease_target_seconds,
+            max_lease=max_lease,
+            cost_of=lambda job: job.get("cost", 1.0),
+        )
+        self.workers = [_SimWorker(self, i, speeds[i]) for i in range(n_workers)]
+        self._last_result_from: Dict[str, str] = {}
+
+    # -- failure plumbing ----------------------------------------------
+    def master_alive(self) -> bool:
+        return self.kill_master_at is None or self.queue.now < self.kill_master_at
+
+    def halted(self) -> bool:
+        """Dead air: master killed or drained — stop self-rescheduling."""
+        return not self.master_alive() or self.master.done
+
+    def partitioned(self, worker_index: int) -> bool:
+        now = self.queue.now
+        return any(
+            w == worker_index and t0 <= now < t1 for w, t0, t1 in self.partitions
+        )
+
+    # -- message transport ---------------------------------------------
+    def to_master(self, message: dict, sender: _SimWorker,
+                  duplicate: bool = False) -> None:
+        """Worker -> master with latency; dropped by partitions/kill."""
+        if self.partitioned(sender.index):
+            return
+        copies = 2 if duplicate and message.get("type") == "result" else 1
+        for k in range(copies):
+            self.queue.schedule(
+                self.latency * (k + 1), lambda m=dict(message): self._arrive(m)
+            )
+
+    def _arrive(self, message: dict) -> None:
+        if not self.master_alive():
+            return
+        if message.get("type") == "result":
+            self._last_result_from[message["job_id"]] = message["worker"]
+        outbound = self.master.handle(message, self.queue.now)
+        self._route(outbound)
+
+    def _route(self, outbound) -> None:
+        by_id = {w.worker_id: w for w in self.workers}
+        for worker_id, message in outbound:
+            worker = by_id.get(worker_id)
+            if worker is None or not worker.alive:
+                continue
+            if self.partitioned(worker.index):
+                continue  # master -> worker frame lost in the partition
+            self.queue.schedule(
+                self.latency, lambda w=worker, m=message: w.deliver(m)
+            )
+
+    def _commit(self, job_id: str, record: dict) -> None:
+        # the commit callback is the journal: by construction it can only
+        # run while the master is alive (messages stop arriving after the
+        # kill), so the journal cut is exactly the kill cut
+        self.result.records[job_id] = record
+        self.result.commit_times[job_id] = self.queue.now
+        sender = self._last_result_from.get(job_id)
+        if sender is not None:
+            self.result.jobs_by_worker[sender] = (
+                self.result.jobs_by_worker.get(sender, 0) + 1
+            )
+
+    def _check_timeouts(self) -> None:
+        if self.halted():
+            return
+        self._route(self.master.check_timeouts(self.queue.now))
+        self.queue.schedule(self.heartbeat_interval, self._check_timeouts)
+
+    # -- run -----------------------------------------------------------
+    def run(self) -> FleetSimResult:
+        for worker in self.workers:
+            self.queue.schedule(
+                0.0,
+                lambda w=worker: self.to_master(
+                    {"type": "hello", "worker": w.worker_id, "slots": 1,
+                     "held": []},
+                    sender=w,
+                ),
+            )
+            self.queue.schedule(self.heartbeat_interval, worker.heartbeat)
+        for index, t in self.deaths.items():
+            self.queue.at(t, self.workers[index].die)
+        self.queue.schedule(self.heartbeat_interval, self._check_timeouts)
+        end = self.queue.run()
+        self.result.wall_seconds = (
+            end if self.kill_master_at is None else min(end, self.kill_master_at)
+        )
+        self.result.busy_seconds = [w.busy for w in self.workers]
+        self.result.stats = self.master.stats
+        if self.master_alive() or self.kill_master_at is None:
+            self.master.check_invariant()
+        return self.result
+
+
+def simulate_fleet(
+    costs: Sequence[float],
+    n_workers: int,
+    *,
+    speeds: Optional[Sequence[float]] = None,
+    kill_master_at: Optional[float] = None,
+    worker_deaths: Optional[Dict[int, float]] = None,
+    partitions: Optional[Sequence[Tuple[int, float, float]]] = None,
+    duplicate_results: bool = False,
+    latency: float = 1e-3,
+    heartbeat_interval: float = 0.5,
+    heartbeat_timeout: float = 2.0,
+    lease_target_seconds: float = 2.0,
+    max_lease: int = 8,
+    skip_jobs: Sequence[str] = (),
+) -> FleetSimResult:
+    """Simulate one fleet run of ``costs`` with injected failures.
+
+    ``partitions`` is a list of ``(worker_index, t0, t1)`` windows during
+    which every frame to or from that worker is dropped.  See the module
+    docstring for the other failure axes; ``skip_jobs`` (journaled job
+    ids) is how :func:`resume_fleet` expresses the resume cut.
+    """
+    return _FleetSim(
+        costs,
+        n_workers,
+        speeds=speeds,
+        kill_master_at=kill_master_at,
+        worker_deaths=worker_deaths,
+        partitions=partitions,
+        duplicate_results=duplicate_results,
+        latency=latency,
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_timeout=heartbeat_timeout,
+        lease_target_seconds=lease_target_seconds,
+        max_lease=max_lease,
+        skip_jobs=skip_jobs,
+    ).run()
+
+
+def resume_fleet(
+    costs: Sequence[float],
+    n_workers: int,
+    previous: FleetSimResult,
+    **kwargs,
+) -> FleetSimResult:
+    """Resume a killed fleet: serve only the jobs missing from its journal."""
+    return simulate_fleet(
+        costs, n_workers, skip_jobs=previous.done_jobs(), **kwargs
+    )

@@ -10,6 +10,14 @@ Subcommands::
 the journal) without executing anything, and ``run --max-jobs K`` stops
 after K newly journaled jobs — handy for rehearsing the kill/resume
 cycle from the tutorial (``docs/sweep_tutorial.md``).
+
+``run --fleet master|worker`` swaps the local process pool for the
+multi-host fleet (``docs/fleet.md``): the master binds a TCP endpoint
+(``--bind HOST:PORT``, port 0 picks one and prints it) and serves the
+spec's un-journaled jobs to remote workers; a worker needs no spec or
+checkpoint at all — it connects (``--connect HOST:PORT``), leases jobs,
+and ships results back.  Kill any of them — master included — and the
+same commands resume from the journal.
 """
 
 from __future__ import annotations
@@ -34,9 +42,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="run or resume a sweep from a spec file")
-    run_p.add_argument("spec", help="path to the sweep spec (JSON)")
     run_p.add_argument(
-        "--checkpoint", required=True, help="checkpoint directory (journal lives here)"
+        "spec", nargs="?", default=None,
+        help="path to the sweep spec (JSON); not needed by --fleet worker",
+    )
+    run_p.add_argument(
+        "--checkpoint", default=None,
+        help="checkpoint directory (journal lives here); "
+        "required except for --fleet worker",
     )
     run_p.add_argument("--workers", type=int, default=None, help="pool size")
     run_p.add_argument(
@@ -53,6 +66,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="list pending jobs without running them",
     )
+    fleet = run_p.add_argument_group("fleet mode (multi-host, docs/fleet.md)")
+    fleet.add_argument(
+        "--fleet", choices=["master", "worker"], default=None,
+        help="run as the fleet master (serves this spec over TCP) or as "
+        "a worker agent (leases jobs from a master)",
+    )
+    fleet.add_argument(
+        "--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="master: endpoint to listen on (port 0 picks a free port "
+        "and prints it)",
+    )
+    fleet.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="worker: the master's endpoint",
+    )
+    fleet.add_argument(
+        "--worker-id", default=None,
+        help="worker: stable identity (default host-pid-random)",
+    )
+    fleet.add_argument(
+        "--heartbeat-timeout", type=float, default=5.0, metavar="S",
+        help="master: requeue a worker's lease after S silent seconds",
+    )
+    fleet.add_argument(
+        "--lease-seconds", type=float, default=2.0, metavar="S",
+        help="master: size each lease to about S seconds of the "
+        "worker's fitted throughput",
+    )
+    fleet.add_argument(
+        "--reconnect-seconds", type=float, default=30.0, metavar="S",
+        help="worker: keep retrying a lost master for S seconds "
+        "(covers a master restart)",
+    )
 
     report_p = sub.add_parser("report", help="summarize a checkpoint directory")
     report_p.add_argument("checkpoint", help="checkpoint directory")
@@ -67,7 +113,81 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_endpoint(text: str) -> tuple:
+    """``HOST:PORT`` -> ``(host, port)``; host may contain colons (IPv6)."""
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"bad endpoint {text!r}: expected HOST:PORT")
+    return host, int(port)
+
+
+def _cmd_run_fleet(args) -> int:
+    if args.fleet == "worker":
+        if args.connect is None:
+            raise SystemExit("--fleet worker requires --connect HOST:PORT")
+        from ..parallel.fleet import run_sweep_worker
+
+        host, port = _parse_endpoint(args.connect)
+        stats = run_sweep_worker(
+            host,
+            port,
+            worker_id=args.worker_id,
+            reconnect_seconds=args.reconnect_seconds,
+        )
+        print(f"fleet worker {stats.worker_id}: {stats.jobs_done} jobs, "
+              f"busy {stats.busy_seconds:.2f}s, "
+              f"reconnects {stats.reconnects}, revoked {stats.revoked}")
+        if stats.gave_up:
+            print(f"  gave up: no master for {args.reconnect_seconds:.0f}s")
+            return 1
+        return 0
+
+    # master: needs the spec and the checkpoint (journal) like a local run
+    if args.spec is None or args.checkpoint is None:
+        raise SystemExit("--fleet master requires SPEC and --checkpoint")
+    from ..parallel.fleet import run_fleet_master
+
+    host, port = _parse_endpoint(args.bind)
+
+    def on_listening(bound_host, bound_port):
+        # parseable by scripts/tests that need the kernel-picked port
+        print(f"fleet master listening on {bound_host}:{bound_port}",
+              flush=True)
+
+    spec = SweepSpec.load(args.spec)
+    report = run_fleet_master(
+        spec,
+        args.checkpoint,
+        host=host,
+        port=port,
+        heartbeat_timeout=args.heartbeat_timeout,
+        lease_target_seconds=args.lease_seconds,
+        on_listening=on_listening,
+    )
+    stats = report.fleet or {}
+    print(f"sweep {spec.name!r} [fleet master]")
+    print(f"  ran {len(report.ran_job_ids)} jobs, skipped {report.skipped} "
+          f"already-journaled; {report.n_done}/{spec.n_jobs} done")
+    print(f"  workers {len(stats.get('workers_seen') or ())}, "
+          f"steals {stats.get('steals', 0)}, "
+          f"requeues {stats.get('requeues', 0)}, "
+          f"duplicates {stats.get('duplicates', 0)}, "
+          f"timeouts {stats.get('timeouts', 0)}")
+    print(f"  wall {report.wall_seconds:.2f}s")
+    if not report.complete:
+        print(f"  INCOMPLETE: {spec.n_jobs - report.n_done} jobs unfinished; "
+              "resume with the same command")
+        return 1
+    print("  complete")
+    return 0
+
+
 def _cmd_run(args) -> int:
+    if args.fleet is not None:
+        return _cmd_run_fleet(args)
+    if args.spec is None or args.checkpoint is None:
+        raise SystemExit("run requires SPEC and --checkpoint "
+                         "(unless --fleet worker)")
     spec = SweepSpec.load(args.spec)
     if args.dry_run:
         done = SweepJournal(args.checkpoint).load_records()

@@ -101,6 +101,11 @@ def _maybe_inject_failure(job_id: str) -> None:
     a path used to remember the crash already happened (so the retried
     job succeeds).  ``KILL`` dies like a segfaulted process
     (``os._exit``), ``FAIL`` raises like a crashed job.
+
+    ``REPRO_SWEEP_STALL_JOB`` + ``REPRO_SWEEP_STALL_SECONDS`` instead
+    *delay* the named job once (same marker protocol) — the fleet
+    fault-injection tests use it to hold a lease open long enough to
+    ``SIGKILL`` the master mid-lease at a deterministic point.
     """
     marker = os.environ.get("REPRO_SWEEP_KILL_MARKER")
     if os.environ.get("REPRO_SWEEP_KILL_JOB") == job_id:
@@ -111,6 +116,10 @@ def _maybe_inject_failure(job_id: str) -> None:
         if marker and not os.path.exists(marker):
             Path(marker).write_text(job_id)
             raise RuntimeError(f"injected failure for {job_id}")
+    if os.environ.get("REPRO_SWEEP_STALL_JOB") == job_id:
+        if marker and not os.path.exists(marker):
+            Path(marker).write_text(job_id)
+            time.sleep(float(os.environ.get("REPRO_SWEEP_STALL_SECONDS", "5")))
 
 
 def run_job(job: JobSpec) -> dict:
@@ -236,6 +245,10 @@ class SweepReport:
     pool_rebuilds: int = 0
     jobs_abandoned: int = 0
     aborted: bool = False
+    #: protocol stats when the run was driven by the multi-host fleet
+    #: (``schedule == "fleet"``): workers seen, steals, requeues,
+    #: duplicates, timeouts — see :mod:`repro.parallel.fleet.master`
+    fleet: Optional[dict] = None
 
     @property
     def n_done(self) -> int:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -85,10 +86,25 @@ class SweepJournal:
             _fsync_dir(self.directory)
 
     def open(self) -> None:
-        """Open the journal for appending (creates it if missing)."""
+        """Open the journal for appending (creates it if missing).
+
+        If a previous writer died mid-append the file may end in a torn
+        line with no trailing newline; appending straight onto it would
+        merge the *next* record into the garbage and lose it.  Start on
+        a fresh line instead, keeping the torn tail exactly one
+        undecodable line (which ``load_records`` skips with a warning).
+        """
         if self._fh is None:
             existed = self.journal_path.exists()
+            torn_tail = False
+            if existed and self.journal_path.stat().st_size > 0:
+                with open(self.journal_path, "rb") as fh:
+                    fh.seek(-1, os.SEEK_END)
+                    torn_tail = fh.read(1) != b"\n"
             self._fh = open(self.journal_path, "a", encoding="utf-8")
+            if torn_tail:
+                self._fh.write("\n")
+                self._fh.flush()
             if not existed:
                 # make the new directory entry durable, not just the data
                 _fsync_dir(self.directory)
@@ -117,21 +133,33 @@ class SweepJournal:
     def load_records(self) -> Dict[str, dict]:
         """All journaled records keyed by job id.
 
-        Tolerates a torn final line (the process died mid-write) and
-        keeps the *last* record for a job id if one was ever duplicated.
+        Tolerates a torn final line (the process died mid-write) — the
+        line is skipped with a :class:`RuntimeWarning` naming the
+        journal, never a crash — and keeps the *last* record for a job
+        id if one was ever duplicated.
         """
         records: Dict[str, dict] = {}
         if not self.journal_path.exists():
             return records
         with open(self.journal_path, "r", encoding="utf-8") as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # torn tail from a kill mid-append
+                    # torn tail from a kill mid-append: the job simply
+                    # re-runs on resume, but say so — a torn line
+                    # *before* the tail would mean external corruption
+                    warnings.warn(
+                        f"{self.journal_path}:{lineno}: skipping torn or "
+                        "corrupt journal line (kill mid-append?); the job "
+                        "will re-run on resume",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
                 job_id = record.get("job_id")
                 if job_id:
                     records[job_id] = record

@@ -27,6 +27,9 @@ DOCUMENTED_MODULES = [
     "repro.endgame",
     "repro.systems.deficient",
     "repro.kernels",
+    "repro.parallel.fleet.protocol",
+    "repro.parallel.fleet.messages",
+    "repro.simcluster.fleet_sim",
 ]
 
 

@@ -1,0 +1,566 @@
+"""The fleet protocol: property tests, simulator replay, socket smoke.
+
+The ISSUE-7 acceptance property, pinned three ways:
+
+1. **Hypothesis interleavings** drive the *real*
+   :class:`repro.parallel.fleet.FleetMaster` with random sequences of
+   hellos, amnesiac re-registrations, honest and lying heartbeats,
+   results, duplicate deliveries, disconnects, and timeout sweeps —
+   after any interleaving, no job is ever lost, no job commits twice,
+   and draining the survivors yields a journal identical to an
+   uninterrupted run.
+2. **Simulator replay** (:func:`repro.simcluster.simulate_fleet`) kills
+   the master at random instants, kills workers, partitions links, and
+   duplicates frames; the merged killed+resumed journal must equal the
+   uninterrupted journal exactly.
+3. **Real asyncio sockets** on localhost: two worker agents against
+   :func:`~repro.parallel.fleet.serve_fleet`, including a torn frame on
+   the wire, reach the same exactly-once result set.
+"""
+
+import asyncio
+import socket as socketlib
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.fleet import (
+    FleetMaster,
+    run_fleet_worker,
+    serve_fleet,
+)
+from repro.parallel.fleet.messages import (
+    FleetProtocolError,
+    decode_frame,
+    decode_line,
+    encode_frame,
+)
+from repro.simcluster import resume_fleet, simulate_fleet
+
+
+def make_jobs(n):
+    return [{"job_id": f"job-{i}", "cost": 1.0} for i in range(n)]
+
+
+def record_for(job_id):
+    """Worker-independent record: makes journal equality exact."""
+    return {"job_id": job_id, "value": job_id.upper()}
+
+
+class ExactlyOnceJournal:
+    """Commit callback that screams on the second commit of any job."""
+
+    def __init__(self):
+        self.records = {}
+
+    def __call__(self, job_id, record):
+        assert job_id not in self.records, f"{job_id} committed twice"
+        self.records[job_id] = record
+
+
+# ---------------------------------------------------------------------------
+# wire format
+# ---------------------------------------------------------------------------
+
+
+class TestMessages:
+    def test_roundtrip(self):
+        msg = {"type": "lease", "jobs": [{"job_id": "a"}]}
+        assert decode_frame(encode_frame(msg)) == msg
+
+    def test_one_line_per_frame(self):
+        frame = encode_frame({"type": "drain"})
+        assert frame.endswith(b"\n") and frame.count(b"\n") == 1
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(FleetProtocolError):
+            encode_frame({"type": "surprise"})
+        with pytest.raises(FleetProtocolError):
+            decode_frame(b'{"type": "surprise"}')
+
+    def test_torn_line_decodes_to_none(self):
+        whole = encode_frame({"type": "heartbeat", "worker": "w0", "held": []})
+        torn = whole[: len(whole) // 2]
+        assert decode_line(torn) is None
+        assert decode_line(b"") is None
+        assert decode_line(b"\n") is None
+        assert decode_line(whole) is not None
+
+
+# ---------------------------------------------------------------------------
+# state machine units
+# ---------------------------------------------------------------------------
+
+
+class TestFleetMasterUnits:
+    def test_unique_job_ids_required(self):
+        with pytest.raises(ValueError):
+            FleetMaster([{"job_id": "a"}, {"job_id": "a"}], commit=lambda *a: None)
+        with pytest.raises(ValueError):
+            FleetMaster([{"cost": 1.0}], commit=lambda *a: None)
+
+    def test_probe_lease_then_rate_sized(self):
+        journal = ExactlyOnceJournal()
+        master = FleetMaster(
+            make_jobs(12), journal, lease_target_seconds=4.0, max_lease=8
+        )
+        out = master.on_hello("w0", now=0.0)
+        lease = [m for _, m in out if m["type"] == "lease"]
+        assert len(lease[0]["jobs"]) == 1  # probe: rate unknown
+        # one job of cost 1.0 took 1s -> rate 1 s/cost -> ~4 jobs per lease
+        out = master.on_result("w0", "job-0", record_for("job-0"), 1.0, now=1.0)
+        lease = [m for _, m in out if m["type"] == "lease"]
+        assert len(lease[0]["jobs"]) == 4
+
+    def test_duplicate_result_commits_once(self):
+        journal = ExactlyOnceJournal()
+        master = FleetMaster(make_jobs(2), journal)
+        master.on_hello("w0", now=0.0)
+        master.on_result("w0", "job-0", record_for("job-0"), 0.1, now=0.1)
+        master.on_result("w0", "job-0", record_for("job-0"), 0.1, now=0.2)
+        assert master.stats.duplicates == 1
+        assert list(journal.records) == ["job-0"]
+        master.check_invariant()
+
+    def test_disconnect_requeues_lease(self):
+        journal = ExactlyOnceJournal()
+        master = FleetMaster(make_jobs(3), journal)
+        master.on_hello("w0", now=0.0)
+        assert master.workers["w0"].leased
+        master.on_disconnect("w0", now=1.0)
+        assert master.stats.requeues >= 1
+        assert sorted(master.pending_ids()) == ["job-0", "job-1", "job-2"]
+        master.check_invariant()
+
+    def test_timeout_expires_silent_worker(self):
+        journal = ExactlyOnceJournal()
+        master = FleetMaster(make_jobs(3), journal, heartbeat_timeout=2.0)
+        master.on_hello("w0", now=0.0)
+        master.on_hello("w1", now=0.0)
+        master.on_heartbeat("w1", now=5.0, held=list(master.workers["w1"].leased))
+        master.check_timeouts(now=5.0)
+        assert master.stats.timeouts == 1
+        assert "w0" not in master.workers and "w1" in master.workers
+        master.check_invariant()
+
+    def test_hello_adopts_held_pending_jobs(self):
+        """A restarted master adopts a reconnecting worker's in-flight
+        jobs instead of re-running them."""
+        journal = ExactlyOnceJournal()
+        master = FleetMaster(make_jobs(4), journal)
+        out = master.on_hello("w0", now=0.0, held=["job-2", "job-3"])
+        welcome = out[0][1]
+        assert sorted(welcome["adopted"]) == ["job-2", "job-3"]
+        assert set(master.workers["w0"].leased) >= {"job-2", "job-3"}
+        master.check_invariant()
+
+    def test_hello_revokes_held_committed_jobs(self):
+        journal = ExactlyOnceJournal()
+        master = FleetMaster(make_jobs(2), journal)
+        master.on_hello("w0", now=0.0)
+        master.on_result("w0", "job-0", record_for("job-0"), 0.1, now=0.1)
+        out = master.on_hello("w1", now=0.2, held=["job-0", "job-ancient"])
+        revokes = [m for _, m in out if m["type"] == "revoke"]
+        assert sorted(revokes[0]["job_ids"]) == ["job-0", "job-ancient"]
+        master.check_invariant()
+
+    def test_heartbeat_reconciles_lost_lease(self):
+        """Leased here, not held there, grant older than the grace
+        window: the lease frame died in a partition — requeue it."""
+        journal = ExactlyOnceJournal()
+        master = FleetMaster(
+            make_jobs(1), journal, heartbeat_timeout=4.0, lease_grace=1.0
+        )
+        master.on_hello("w0", now=0.0)
+        assert "job-0" in master.workers["w0"].leased
+        master.on_heartbeat("w0", now=0.5, held=[])  # inside grace: no-op
+        assert "job-0" in master.workers["w0"].leased
+        out = master.on_heartbeat("w0", now=2.0, held=[])
+        # past grace: requeued — and immediately re-leased to the same
+        # (idle, live) worker by the grant pass
+        assert master.stats.requeues == 1
+        assert any(m["type"] == "lease" for _, m in out)
+        master.check_invariant()
+
+    def test_unknown_heartbeat_requests_reregistration(self):
+        journal = ExactlyOnceJournal()
+        master = FleetMaster(make_jobs(1), journal)
+        out = master.on_heartbeat("stranger", now=0.0, held=["job-0"])
+        assert out[0][1]["type"] == "welcome" and out[0][1]["reregister"]
+        assert "stranger" not in master.workers
+
+    def test_steal_moves_tail_not_head(self):
+        journal = ExactlyOnceJournal()
+        master = FleetMaster(
+            make_jobs(5), journal, lease_target_seconds=100.0, max_lease=8
+        )
+        master.on_hello("w0", now=0.0)
+        # teach the master w0's rate so its next lease swallows the queue
+        master.on_result("w0", "job-0", record_for("job-0"), 1.0, now=1.0)
+        assert len(master.workers["w0"].leased) == 4
+        head = next(iter(master.workers["w0"].leased))
+        out = master.on_hello("w1", now=2.0)
+        assert master.stats.steals == 2  # half of the 3-job backlog, up
+        stolen = set(master.workers["w1"].leased)
+        assert head not in stolen
+        revoked = [m for w, m in out if w == "w0" and m["type"] == "revoke"]
+        assert set(revoked[0]["job_ids"]) == stolen
+        master.check_invariant()
+
+    def test_stolen_job_first_commit_wins(self):
+        journal = ExactlyOnceJournal()
+        master = FleetMaster(
+            make_jobs(5), journal, lease_target_seconds=100.0, max_lease=8
+        )
+        master.on_hello("w0", now=0.0)
+        master.on_result("w0", "job-0", record_for("job-0"), 1.0, now=1.0)
+        master.on_hello("w1", now=2.0)
+        stolen = next(iter(master.workers["w1"].leased))
+        # the victim finishes the stolen job before the thief does
+        out = master.on_result("w0", stolen, record_for(stolen), 1.0, now=3.0)
+        assert stolen in journal.records
+        revokes = [m for w, m in out if w == "w1" and m["type"] == "revoke"]
+        assert stolen in revokes[0]["job_ids"]
+        # the thief's late result is a counted duplicate
+        master.on_result("w1", stolen, record_for(stolen), 1.0, now=4.0)
+        assert master.stats.duplicates == 1
+        master.check_invariant()
+
+    def test_drain_broadcast_once_per_worker(self):
+        journal = ExactlyOnceJournal()
+        master = FleetMaster(make_jobs(1), journal)
+        master.on_hello("w0", now=0.0)
+        master.on_hello("w1", now=0.0)
+        out = master.on_result("w0", "job-0", record_for("job-0"), 0.1, now=1.0)
+        drains = [w for w, m in out if m["type"] == "drain"]
+        assert sorted(drains) == ["w0", "w1"]
+        out = master.on_heartbeat("w0", now=1.5, held=[])
+        assert not [m for _, m in out if m["type"] == "drain"]
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: random interleavings against the real state machine
+# ---------------------------------------------------------------------------
+
+WORKER_IDS = ("w0", "w1", "w2")
+
+_op = st.one_of(
+    st.tuples(st.just("hello"), st.sampled_from(WORKER_IDS)),
+    # re-register having forgotten the lease (worker process restarted)
+    st.tuples(st.just("hello_amnesia"), st.sampled_from(WORKER_IDS)),
+    st.tuples(st.just("heartbeat"), st.sampled_from(WORKER_IDS)),
+    # heartbeat claiming to hold nothing (lease frame lost to partition)
+    st.tuples(st.just("heartbeat_empty"), st.sampled_from(WORKER_IDS)),
+    st.tuples(
+        st.just("result"), st.sampled_from(WORKER_IDS), st.integers(0, 63)
+    ),
+    st.tuples(
+        st.just("dup_result"), st.sampled_from(WORKER_IDS), st.integers(0, 63)
+    ),
+    st.tuples(st.just("goodbye"), st.sampled_from(WORKER_IDS)),
+    st.tuples(st.just("disconnect"), st.sampled_from(WORKER_IDS)),
+    st.tuples(st.just("silence"),),  # long gap, then a timeout sweep
+    st.tuples(st.just("sweep"),),
+)
+
+
+class _ScriptedFleet:
+    """Drives a real FleetMaster while book-keeping each worker's actual
+    held set from the outbound frames (i.e. behaving like real agents)."""
+
+    def __init__(self, n_jobs):
+        self.journal = ExactlyOnceJournal()
+        self.master = FleetMaster(
+            make_jobs(n_jobs),
+            self.journal,
+            heartbeat_timeout=4.0,
+            lease_target_seconds=2.0,
+            max_lease=4,
+            lease_grace=1.0,
+        )
+        self.held = {w: set() for w in WORKER_IDS}
+        self.now = 0.0
+
+    def absorb(self, outbound):
+        for worker, message in outbound:
+            if worker not in self.held:
+                continue
+            if message["type"] == "lease":
+                self.held[worker] |= {j["job_id"] for j in message["jobs"]}
+            elif message["type"] == "revoke":
+                self.held[worker] -= set(message["job_ids"])
+
+    def step(self, op):
+        kind, rest = op[0], op[1:]
+        self.now += 0.05
+        master = self.master
+        if kind == "hello":
+            out = master.on_hello(rest[0], now=self.now,
+                                  held=sorted(self.held[rest[0]]))
+        elif kind == "hello_amnesia":
+            self.held[rest[0]].clear()
+            out = master.on_hello(rest[0], now=self.now, held=[])
+        elif kind == "heartbeat":
+            out = master.on_heartbeat(rest[0], now=self.now,
+                                      held=sorted(self.held[rest[0]]))
+        elif kind == "heartbeat_empty":
+            self.held[rest[0]].clear()
+            out = master.on_heartbeat(rest[0], now=self.now, held=[])
+        elif kind in ("result", "dup_result"):
+            worker, pick = rest
+            pool = sorted(self.held[worker]) or sorted(master._jobs)
+            job_id = pool[pick % len(pool)]
+            out = master.on_result(
+                worker, job_id, record_for(job_id), 0.1, now=self.now
+            )
+            self.held[worker].discard(job_id)
+            if kind == "dup_result":
+                out += master.on_result(
+                    worker, job_id, record_for(job_id), 0.1, now=self.now
+                )
+        elif kind == "goodbye":
+            out = master.handle(
+                {"type": "goodbye", "worker": rest[0]}, now=self.now
+            )
+        elif kind == "disconnect":
+            self.held[rest[0]].clear()  # the agent process is gone
+            out = master.on_disconnect(rest[0], now=self.now)
+        elif kind == "silence":
+            self.now += master.heartbeat_timeout + 1.0
+            out = master.check_timeouts(self.now)
+            for worker in WORKER_IDS:
+                if worker not in master.workers:
+                    self.held[worker].clear()
+        else:  # sweep
+            out = master.check_timeouts(self.now)
+        self.absorb(out)
+        master.check_invariant()
+
+    def drive_to_drain(self):
+        """One honest surviving worker finishes whatever remains."""
+        while not self.master.done:
+            self.now += 0.1
+            out = self.master.on_hello(
+                "w0", now=self.now, held=sorted(self.held["w0"])
+            )
+            self.absorb(out)
+            todo = sorted(self.held["w0"]) or sorted(
+                set(self.master._jobs) - self.master._committed
+            )
+            for job_id in todo:
+                self.now += 0.1
+                out = self.master.on_result(
+                    "w0", job_id, record_for(job_id), 0.1, now=self.now
+                )
+                self.held["w0"].discard(job_id)
+                self.absorb(out)
+            self.master.check_invariant()
+
+
+class TestFleetProperties:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        n_jobs=st.integers(min_value=1, max_value=12),
+        ops=st.lists(_op, max_size=40),
+    )
+    def test_no_interleaving_loses_or_doubles_a_job(self, n_jobs, ops):
+        fleet = _ScriptedFleet(n_jobs)
+        for op in ops:
+            fleet.step(op)
+        fleet.drive_to_drain()
+        # journal identical to an uninterrupted run: every job exactly
+        # once, with its worker-independent record
+        expected = {f"job-{i}": record_for(f"job-{i}") for i in range(n_jobs)}
+        assert fleet.journal.records == expected
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        costs=st.lists(
+            st.floats(min_value=0.05, max_value=2.0), min_size=1, max_size=16
+        ),
+        n_workers=st.integers(min_value=1, max_value=4),
+        kill_at=st.one_of(
+            st.none(), st.floats(min_value=0.1, max_value=6.0)
+        ),
+        death_seed=st.integers(min_value=0, max_value=7),
+        duplicates=st.booleans(),
+    )
+    def test_sim_kill_resume_equals_uninterrupted(
+        self, costs, n_workers, kill_at, death_seed, duplicates
+    ):
+        # kill at most n_workers - 1 workers so the run can always finish
+        deaths = {
+            w: 0.3 + 0.4 * w
+            for w in range(n_workers - 1)
+            if (death_seed >> w) & 1
+        }
+        clean = simulate_fleet(costs, n_workers)
+        first = simulate_fleet(
+            costs,
+            n_workers,
+            kill_master_at=kill_at,
+            worker_deaths=deaths,
+            duplicate_results=duplicates,
+        )
+        if kill_at is None:
+            assert first.records == clean.records
+        else:
+            resumed = resume_fleet(costs, n_workers, first)
+            merged = {**first.records, **resumed.records}
+            assert merged == clean.records
+            # the two journals never overlap: resume skips committed jobs
+            assert not set(first.records) & set(resumed.records)
+
+
+# ---------------------------------------------------------------------------
+# simulator scenarios (fixed, human-readable counterparts)
+# ---------------------------------------------------------------------------
+
+
+class TestFleetSimulator:
+    def test_uninterrupted_run_commits_everything(self):
+        res = simulate_fleet([1.0] * 10, n_workers=3)
+        assert res.jobs_done == 10
+        assert res.stats.commits == 10 and res.stats.duplicates == 0
+
+    def test_worker_death_requeues_and_finishes(self):
+        res = simulate_fleet(
+            [1.0] * 10, n_workers=2, worker_deaths={1: 1.2},
+            heartbeat_timeout=1.0,
+        )
+        assert res.jobs_done == 10
+        assert res.stats.timeouts >= 1 and res.stats.requeues >= 1
+
+    def test_partition_heals_without_double_commit(self):
+        res = simulate_fleet(
+            [0.5] * 12,
+            n_workers=2,
+            partitions=[(1, 0.6, 2.4)],
+            heartbeat_timeout=1.0,
+        )
+        assert res.jobs_done == 12
+        assert res.stats.commits == 12
+
+    def test_duplicate_delivery_commits_once(self):
+        res = simulate_fleet([0.5] * 8, n_workers=2, duplicate_results=True)
+        assert res.jobs_done == 8
+        assert res.stats.commits == 8 and res.stats.duplicates >= 1
+
+    def test_heterogeneous_speeds_split_by_rate(self):
+        res = simulate_fleet(
+            [0.5] * 40, n_workers=2, speeds=[4.0, 1.0],
+            lease_target_seconds=1.0,
+        )
+        assert res.jobs_done == 40
+        fast = res.jobs_by_worker.get("w0", 0)
+        slow = res.jobs_by_worker.get("w1", 0)
+        assert fast > 2 * slow  # the cost model feeds the fast host more
+
+    def test_master_kill_then_resume_exact(self):
+        costs = [0.8] * 12
+        killed = simulate_fleet(costs, n_workers=2, kill_master_at=1.7)
+        assert 0 < killed.jobs_done < 12
+        resumed = resume_fleet(costs, 2, killed)
+        merged = {**killed.records, **resumed.records}
+        assert merged == simulate_fleet(costs, n_workers=2).records
+
+
+# ---------------------------------------------------------------------------
+# real sockets on localhost
+# ---------------------------------------------------------------------------
+
+
+def sleep_job_runner(payload):
+    time.sleep(payload.get("cost", 0.01))
+    return record_for(payload["job_id"])
+
+
+async def _serve_and_work(jobs, journal, n_workers, torn_frame=False):
+    loop = asyncio.get_running_loop()
+    port_fut = loop.create_future()
+    serve = asyncio.create_task(
+        serve_fleet(
+            jobs,
+            journal,
+            port=0,
+            heartbeat_timeout=3.0,
+            lease_target_seconds=0.5,
+            on_listening=lambda h, p: port_fut.set_result(p),
+        )
+    )
+    port = await port_fut
+    if torn_frame:
+        # a peer that dies mid-write: half a frame, no newline, gone
+        raw = socketlib.create_connection(("127.0.0.1", port))
+        frame = encode_frame({"type": "hello", "worker": "torn", "held": []})
+        raw.sendall(frame[: len(frame) // 2])
+        raw.close()
+    workers = [
+        asyncio.create_task(
+            run_fleet_worker(
+                "127.0.0.1",
+                port,
+                sleep_job_runner,
+                worker_id=f"sock-w{i}",
+                heartbeat_interval=0.2,
+                reconnect_seconds=5.0,
+            )
+        )
+        for i in range(n_workers)
+    ]
+    master = await serve
+    stats = await asyncio.gather(*workers)
+    return master, stats
+
+
+class TestFleetSockets:
+    def test_two_workers_exactly_once(self):
+        journal = ExactlyOnceJournal()
+        jobs = [{"job_id": f"job-{i}", "cost": 0.02} for i in range(10)]
+        master, stats = asyncio.run(_serve_and_work(jobs, journal, 2))
+        assert master.done
+        assert sorted(journal.records) == sorted(j["job_id"] for j in jobs)
+        assert journal.records["job-3"] == record_for("job-3")
+        assert sorted(master.workers_seen) == ["sock-w0", "sock-w1"]
+        assert all(not s.gave_up for s in stats)
+        assert sum(s.jobs_done for s in stats) >= 10
+        assert all(s.jobs_done > 0 for s in stats)  # both actually worked
+
+    def test_torn_frame_on_the_wire_is_ignored(self):
+        journal = ExactlyOnceJournal()
+        jobs = [{"job_id": f"job-{i}", "cost": 0.01} for i in range(4)]
+        master, _ = asyncio.run(
+            _serve_and_work(jobs, journal, 1, torn_frame=True)
+        )
+        assert master.done and len(journal.records) == 4
+        assert "torn" not in master.workers_seen
+
+    def test_worker_gives_up_without_master(self):
+        # a port nothing listens on
+        probe = socketlib.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        async def lone_worker():
+            return await run_fleet_worker(
+                "127.0.0.1",
+                port,
+                sleep_job_runner,
+                worker_id="lonely",
+                reconnect_seconds=0.5,
+                reconnect_delay=0.05,
+            )
+
+        stats = asyncio.run(lone_worker())
+        assert stats.gave_up and stats.jobs_done == 0

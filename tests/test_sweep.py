@@ -202,7 +202,7 @@ class TestJournal:
         assert set(records) == {"a", "b"}
         assert records["a"]["x"] == 1
 
-    def test_torn_tail_is_ignored(self, tmp_path):
+    def test_torn_tail_is_ignored_with_warning(self, tmp_path):
         journal = SweepJournal(tmp_path / "ck")
         journal.initialize({"name": "j", "jobs": []})
         with journal:
@@ -210,7 +210,35 @@ class TestJournal:
         # simulate a SIGKILL mid-append: a truncated trailing line
         with open(journal.journal_path, "a") as fh:
             fh.write('{"job_id": "b", "x"')
-        records = journal.load_records()
+        with pytest.warns(RuntimeWarning, match="torn or corrupt"):
+            records = journal.load_records()
+        assert set(records) == {"a"}
+
+    def test_torn_tail_does_not_block_resume_appends(self, tmp_path):
+        """After a torn line the journal must still accept appends and a
+        re-load must see old + new records (the resume path)."""
+        journal = SweepJournal(tmp_path / "ck")
+        journal.initialize({"name": "j", "jobs": []})
+        with journal:
+            journal.append({"job_id": "a", "x": 1})
+        with open(journal.journal_path, "a") as fh:
+            fh.write('{"job_id": "b", "x"')  # no trailing newline either
+        with SweepJournal(tmp_path / "ck") as again:
+            again.append({"job_id": "b", "x": 2})
+        with pytest.warns(RuntimeWarning):
+            records = SweepJournal(tmp_path / "ck").load_records()
+        assert records["a"]["x"] == 1 and records["b"]["x"] == 2
+
+    def test_clean_journal_loads_without_warning(self, tmp_path):
+        journal = SweepJournal(tmp_path / "ck")
+        journal.initialize({"name": "j", "jobs": []})
+        with journal:
+            journal.append({"job_id": "a", "x": 1})
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            records = journal.load_records()
         assert set(records) == {"a"}
 
     def test_spec_mismatch_rejected(self, tmp_path):
