@@ -1,0 +1,145 @@
+"""Telemetry overhead gate and trace-pipeline smoke.
+
+The PR-8 acceptance experiment, in two halves:
+
+1. **Overhead** — interleaved min-of-N timing of the cyclic batch solve
+   with and without an ambient :class:`~repro.telemetry.Telemetry`
+   context (aggregation on, per-event tracing off — the sweep engine's
+   steady-state configuration).  The instrumented minimum must stay
+   within **3%** of the baseline minimum (plus a 30ms absolute floor so
+   sub-second quick runs are not judged by scheduler noise).
+2. **Pipeline** — one fully traced solve (``trace_paths=True``) must
+   export a Chrome-format trace that ``python -m repro.telemetry
+   report`` summarizes into per-layer shares, with every layer of the
+   stack (predictor, corrector, kernel) present.
+
+Run:    PYTHONPATH=src python benchmarks/bench_telemetry.py       (cyclic-7)
+Smoke:  PYTHONPATH=src python benchmarks/bench_telemetry.py --quick  (cyclic-5)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.homotopy import solve
+from repro.systems import cyclic_roots_system
+from repro.telemetry import Telemetry, use_telemetry
+from repro.telemetry.trace import layer_report, load_trace
+
+GATE_RELATIVE = 0.03  # instrumented minimum <= baseline minimum * (1 + this)
+GATE_ABSOLUTE = 0.03  # ... plus this many seconds of scheduler slack
+REPS = 4  # interleaved baseline/instrumented pairs (min-of-N)
+
+
+def _timed_solve(system, seed, ambient):
+    if ambient:
+        with use_telemetry(Telemetry(name="bench")):
+            t0 = time.perf_counter()
+            report = solve(
+                system,
+                mode="batch",
+                kernel="slp",
+                rng=np.random.default_rng(seed),
+            )
+            elapsed = time.perf_counter() - t0
+    else:
+        t0 = time.perf_counter()
+        report = solve(
+            system,
+            mode="batch",
+            kernel="slp",
+            rng=np.random.default_rng(seed),
+        )
+        elapsed = time.perf_counter() - t0
+    return elapsed, report
+
+
+def overhead_gate(n, seed) -> bool:
+    system = cyclic_roots_system(n)
+    _timed_solve(system, seed, ambient=True)  # warm the kernel cache
+    base, instr = [], []
+    print(f"{'rep':>4}{'order':>7}{'baseline(s)':>14}{'instrumented(s)':>17}")
+    for rep in range(REPS):
+        # alternate which side runs first: on multi-second solves the
+        # second slot of a pair can be several percent slower (thermal/
+        # scheduler drift), which would masquerade as telemetry overhead
+        order = (False, True) if rep % 2 == 0 else (True, False)
+        pair = {}
+        for ambient in order:
+            pair[ambient], _ = _timed_solve(system, seed, ambient=ambient)
+        base.append(pair[False])
+        instr.append(pair[True])
+        print(f"{rep:>4}{'b,i' if order[0] is False else 'i,b':>7}"
+              f"{pair[False]:>14.3f}{pair[True]:>17.3f}")
+    budget = min(base) * (1.0 + GATE_RELATIVE) + GATE_ABSOLUTE
+    overhead = (min(instr) / min(base) - 1.0) * 100.0
+    print(
+        f"\ncyclic-{n}: min baseline {min(base):.3f}s, "
+        f"min instrumented {min(instr):.3f}s ({overhead:+.1f}%), "
+        f"budget {budget:.3f}s"
+    )
+    return min(instr) <= budget
+
+
+def trace_pipeline(n, seed) -> bool:
+    system = cyclic_roots_system(n)
+    report = solve(
+        system,
+        mode="batch",
+        kernel="slp",
+        endgame="cauchy",
+        rng=np.random.default_rng(seed),
+        trace_paths=True,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"cyclic{n}.trace.json"
+        n_events = report.trace.write_trace(path)
+        breakdown = layer_report(load_trace(path))
+    layers = breakdown["layers"]
+    total_self = sum(s["self_seconds"] for s in layers.values()) or 1.0
+    print(f"\ntraced solve: {n_events} events, layer shares:")
+    for layer, stats in sorted(
+        layers.items(), key=lambda kv: -kv[1]["self_seconds"]
+    ):
+        print(
+            f"  {layer:<12} {100 * stats['self_seconds'] / total_self:>5.1f}%"
+            f"  ({stats['calls']} spans)"
+        )
+    missing = {"predictor", "corrector", "kernel"} - set(layers)
+    if missing:
+        print(f"FAIL: layers missing from the trace: {sorted(missing)}")
+        return False
+    if n_events == 0:
+        print("FAIL: traced solve exported no events")
+        return False
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: cyclic-5"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="rng seed")
+    args = parser.parse_args()
+    n = 5 if args.quick else 7
+
+    ok_overhead = overhead_gate(n, args.seed)
+    ok_trace = trace_pipeline(n, args.seed)
+    if not ok_overhead:
+        print(f"FAIL: ambient telemetry overhead above {GATE_RELATIVE:.0%}")
+        return 1
+    if not ok_trace:
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

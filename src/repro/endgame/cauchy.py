@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry import active_tracer
 from ..tracker.interface import as_batch
 from ..tracker.newton import batch_newton_correct
 from ..tracker.result import PathStatus
@@ -149,6 +150,7 @@ class CauchyEndgame(EndgameStrategy):
         closed up within ``max_winding`` revolutions.  ``iterations``
         is updated in place with the Newton effort.
         """
+        tel = active_tracer()
         k_loop = self.samples_per_loop
         z0 = z_cur[pending].copy()
         z = z0.copy()
@@ -184,6 +186,15 @@ class CauchyEndgame(EndgameStrategy):
                 gap = np.max(np.abs(z[active] - z0[active]), axis=1)
                 closed = gap <= self.closure_tol * scale0[active]
                 done = active[closed]
+                if tel is not None:
+                    tel.instant(
+                        "winding_attempt",
+                        "endgame",
+                        revolution=step // k_loop,
+                        rho=float(rho),
+                        looping=int(active.size),
+                        closed=int(done.size),
+                    )
                 w_out[done] = step // k_loop
                 mean[done] = sums[done] / step
                 closed_out[done] = True

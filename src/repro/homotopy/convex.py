@@ -21,6 +21,7 @@ import cmath
 import numpy as np
 
 from ..polynomials import PolynomialSystem
+from ..telemetry import active_tracer, maybe_span
 from ..tracker import BatchHomotopy, HomotopyFunction
 from ..tracker.interface import _per_path_t
 
@@ -87,17 +88,19 @@ class ConvexHomotopy(HomotopyFunction, BatchHomotopy):
     # backend seam: every evaluation of G and F funnels through these
     # ------------------------------------------------------------------
     def _pair_eval(self, X: np.ndarray):
-        if self._kg is not None:
-            return self._kg.evaluate(X), self._kf.evaluate(X)
-        return self.start.evaluate_many(X), self.target.evaluate_many(X)
+        with maybe_span(active_tracer(), "evaluate", "kernel"):
+            if self._kg is not None:
+                return self._kg.evaluate(X), self._kf.evaluate(X)
+            return self.start.evaluate_many(X), self.target.evaluate_many(X)
 
     def _pair_eval_jac(self, X: np.ndarray):
-        if self._kg is not None:
-            g, jg = self._kg.evaluate_and_jacobian(X)
-            f, jf = self._kf.evaluate_and_jacobian(X)
-        else:
-            g, jg = self.start.evaluate_and_jacobian_many(X)
-            f, jf = self.target.evaluate_and_jacobian_many(X)
+        with maybe_span(active_tracer(), "evaluate_and_jacobian", "kernel"):
+            if self._kg is not None:
+                g, jg = self._kg.evaluate_and_jacobian(X)
+                f, jf = self._kf.evaluate_and_jacobian(X)
+            else:
+                g, jg = self.start.evaluate_and_jacobian_many(X)
+                f, jf = self.target.evaluate_and_jacobian_many(X)
         return g, jg, f, jf
 
     @property

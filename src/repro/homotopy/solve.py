@@ -16,14 +16,17 @@ from __future__ import annotations
 
 import dataclasses
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Iterable, List, Literal
+from typing import Iterable, List, Literal, Optional
 
 import numpy as np
 
 from ..endgame import make_endgame
+from ..kernels import kernel_cache_info
 from ..polyhedral import PolyhedralStart
 from ..polynomials import PolynomialSystem
+from ..telemetry import Telemetry, current_telemetry, maybe_span, use_telemetry
 from ..tracker import (
     BatchTracker,
     PathResult,
@@ -77,6 +80,14 @@ class SolveReport:
     #: representatives, one per multiplicity cluster); empty with the
     #: default refine endgame
     singular_solutions: List[np.ndarray] = field(default_factory=list)
+    #: :meth:`~repro.telemetry.Telemetry.summary` of the run — per-layer
+    #: span calls/seconds, counters, histograms; ``None`` when no
+    #: telemetry context was active and ``trace_paths`` was off
+    telemetry: Optional[dict] = None
+    #: the live :class:`~repro.telemetry.Telemetry` object when
+    #: ``trace_paths=True`` — call ``report.trace.write_trace(path)`` to
+    #: export the Perfetto-openable event trace
+    trace: Optional[Telemetry] = None
 
     @property
     def n_paths(self) -> int:
@@ -332,6 +343,7 @@ def solve(
     endgame="refine",
     rescue: bool = False,
     kernel: str | None = None,
+    trace_paths: bool = False,
 ) -> SolveReport:
     """Track all paths of a homotopy to ``target`` and classify endpoints.
 
@@ -393,6 +405,17 @@ def solve(
         summary carries a ``"kernel"`` dict — backend name, number of
         bound kernels, total tape ops, taping seconds, and this run's
         call/evaluation counts.
+    trace_paths:
+        Record the run into a :class:`~repro.telemetry.Telemetry`
+        context: per-path step events (accept/reject, Newton counts,
+        endgame handoffs), predictor/corrector/endgame/kernel spans, and
+        a Chrome-trace event stream exported via
+        ``report.trace.write_trace(path)`` and summarized by
+        ``python -m repro.telemetry report``.  Never changes tracking
+        decisions; off by default so the hot path stays allocation-free.
+        (An ambient ``use_telemetry`` context is honoured either way —
+        span aggregates land on ``report.telemetry`` whenever one is
+        active.)
 
     Returns
     -------
@@ -421,53 +444,95 @@ def solve(
     """
     if start_kind is not None:
         start = start_kind  # legacy spelling
+    tel = current_telemetry()
+    own = None
+    if trace_paths and tel is None:
+        tel = own = Telemetry(name="solve")
+    if own is not None:
+        with use_telemetry(own):
+            report = _solve(
+                target, start, options, rng, refine, rerun_duplicates,
+                mode, endgame, rescue, kernel, trace_paths, tel,
+            )
+    else:
+        report = _solve(
+            target, start, options, rng, refine, rerun_duplicates,
+            mode, endgame, rescue, kernel, trace_paths, tel,
+        )
+    if tel is not None:
+        report.telemetry = tel.summary()
+        if trace_paths:
+            report.trace = tel
+    return report
+
+
+def _solve(
+    target, start, options, rng, refine, rerun_duplicates, mode,
+    endgame, rescue, kernel, trace_paths, tel,
+) -> SolveReport:
     base_options = options or TrackerOptions()
+    if trace_paths:
+        base_options = dataclasses.replace(base_options, trace_paths=True)
     strategy = make_endgame(endgame)
     poly_start = None
-    if start == "polyhedral":
-        rng = np.random.default_rng() if rng is None else rng
-        poly_start, starts = _polyhedral_start(
-            target, rng, base_options, endgame=strategy, kernel=kernel
-        )
-        homotopy = ConvexHomotopy(
-            poly_start.generic_system, target, rng=rng, kernel=kernel
-        )
-    else:
-        homotopy, starts = make_homotopy_and_starts(
-            target, start, rng, kernel=kernel
-        )
-    if mode == "batch":
-        results = BatchTracker(base_options, endgame=strategy).track_batch(
-            homotopy, starts
-        )
-    elif mode == "per_path":
-        results = PathTracker(base_options, endgame=strategy).track_many(
-            homotopy, starts
-        )
-    else:
-        raise ValueError(f"unknown tracking mode {mode!r}")
-    if rerun_duplicates:
-        retrack_duplicate_clusters(
-            results,
-            lambda pid, opts: PathTracker(opts, endgame=strategy).track(
-                homotopy, starts[pid], path_id=pid
-            ),
-            _tightened,
-            base_options,
-        )
-    n_rescued = 0
-    if rescue:
-        results, n_rescued = rescue_diverged(
-            PathTracker(base_options, endgame=strategy), homotopy, results
-        )
-    if refine:
-        for r in results:
-            if r.success:
-                nr = newton_refine_system(target, r.solution)
-                if nr.converged:
-                    r.solution = nr.x
-                    r.residual = nr.residual
-    clusters = multiplicity_clusters(results)
+    # with trace_paths the whole pipeline records events, so spans from
+    # phase-1 tracking, refinement and clustering land in the trace too
+    tracing = tel.trace() if (tel is not None and trace_paths) else nullcontext()
+    with tracing, maybe_span(tel, "solve", "solve"):
+        if start == "polyhedral":
+            rng = np.random.default_rng() if rng is None else rng
+            with maybe_span(tel, "start_system", "solve"):
+                poly_start, starts = _polyhedral_start(
+                    target, rng, base_options, endgame=strategy, kernel=kernel
+                )
+                homotopy = ConvexHomotopy(
+                    poly_start.generic_system, target, rng=rng, kernel=kernel
+                )
+        else:
+            with maybe_span(tel, "start_system", "solve"):
+                homotopy, starts = make_homotopy_and_starts(
+                    target, start, rng, kernel=kernel
+                )
+        if tel is not None:
+            tel.count("solve.paths", len(starts))
+        with maybe_span(tel, "track", "solve"):
+            if mode == "batch":
+                results = BatchTracker(
+                    base_options, endgame=strategy
+                ).track_batch(homotopy, starts)
+            elif mode == "per_path":
+                results = PathTracker(
+                    base_options, endgame=strategy
+                ).track_many(homotopy, starts)
+            else:
+                raise ValueError(f"unknown tracking mode {mode!r}")
+        if rerun_duplicates:
+            with maybe_span(tel, "retrack_duplicates", "solve"):
+                retrack_duplicate_clusters(
+                    results,
+                    lambda pid, opts: PathTracker(opts, endgame=strategy).track(
+                        homotopy, starts[pid], path_id=pid
+                    ),
+                    _tightened,
+                    base_options,
+                )
+        n_rescued = 0
+        if rescue:
+            with maybe_span(tel, "rescue", "solve"):
+                results, n_rescued = rescue_diverged(
+                    PathTracker(base_options, endgame=strategy),
+                    homotopy,
+                    results,
+                )
+        if refine:
+            with maybe_span(tel, "refine", "solve"):
+                for r in results:
+                    if r.success:
+                        nr = newton_refine_system(target, r.solution)
+                        if nr.converged:
+                            r.solution = nr.x
+                            r.residual = nr.residual
+        clusters = multiplicity_clusters(results)
     # the non-singular cluster representatives ARE the distinct finite
     # solutions (same tolerance, same first-seen order as
     # distinct_solutions); successes folded into a singular cluster are
@@ -481,6 +546,9 @@ def solve(
         usage.merge(poly_start.kernel_usage)
     kernel_report = usage.report()
     if kernel_report is not None:
+        # process-wide cache counters (hits/misses/sizes): cumulative
+        # across solves in this process, unlike the per-run deltas above
+        kernel_report["cache"] = kernel_cache_info()
         summary["kernel"] = kernel_report
     if rescue:
         summary["rescued"] = n_rescued

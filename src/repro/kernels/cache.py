@@ -42,6 +42,7 @@ _MAX_ENTRIES = 256
 _TAPES: Dict[str, SLPTape] = {}
 _KERNELS: Dict[Tuple[str, str], SLPKernel] = {}
 _HITS = {"tape": 0, "kernel": 0}
+_MISSES = {"tape": 0, "kernel": 0}
 
 
 def _evict(cache: dict) -> None:
@@ -75,6 +76,7 @@ def cached_tape(
     if tape is not None:
         _HITS["tape"] += 1
         return tape, True
+    _MISSES["tape"] += 1
     tape = build_tape(neqs, nvars, terms, has_t=has_t)
     _TAPES[key] = tape
     _evict(_TAPES)
@@ -92,8 +94,10 @@ def cached_slp_kernel(
     if kernel is not None:
         _HITS["kernel"] += 1
         return kernel
+    _MISSES["kernel"] += 1
     tape = _TAPES.get(skey)
     if tape is None:
+        _MISSES["tape"] += 1
         tape = build_tape(neqs, nvars, terms, has_t=has_t)
         _TAPES[skey] = tape
         _evict(_TAPES)
@@ -113,12 +117,15 @@ def cached_slp_kernel(
 
 
 def kernel_cache_info() -> dict:
-    """Sizes and hit counters of the process-local kernel caches."""
+    """Sizes and hit/miss counters of the process-local kernel caches."""
     return {
         "tapes": len(_TAPES),
         "kernels": len(_KERNELS),
+        "capacity": _MAX_ENTRIES,
         "tape_hits": _HITS["tape"],
         "kernel_hits": _HITS["kernel"],
+        "tape_misses": _MISSES["tape"],
+        "kernel_misses": _MISSES["kernel"],
     }
 
 
@@ -128,3 +135,5 @@ def clear_kernel_cache() -> None:
     _KERNELS.clear()
     _HITS["tape"] = 0
     _HITS["kernel"] = 0
+    _MISSES["tape"] = 0
+    _MISSES["kernel"] = 0

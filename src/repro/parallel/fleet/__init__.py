@@ -19,7 +19,12 @@ from .messages import (
     encode_frame,
 )
 from .protocol import FleetMaster, FleetStats, WorkerView
-from .master import FleetMasterReport, run_fleet_master, serve_fleet
+from .master import (
+    FleetMasterReport,
+    fetch_fleet_status,
+    run_fleet_master,
+    serve_fleet,
+)
 from .worker import FleetWorkerStats, run_fleet_worker, run_sweep_worker
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "FleetStats",
     "WorkerView",
     "FleetMasterReport",
+    "fetch_fleet_status",
     "run_fleet_master",
     "serve_fleet",
     "FleetWorkerStats",

@@ -21,6 +21,7 @@ jobs via the ``held`` handshake.
 from __future__ import annotations
 
 import asyncio
+import socket
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -29,7 +30,35 @@ from typing import Callable, Dict, Iterable, List, Optional
 from .messages import decode_line, encode_frame
 from .protocol import FleetMaster
 
-__all__ = ["FleetMasterReport", "serve_fleet", "run_fleet_master"]
+__all__ = [
+    "FleetMasterReport",
+    "serve_fleet",
+    "run_fleet_master",
+    "fetch_fleet_status",
+]
+
+
+def fetch_fleet_status(host: str, port: int, timeout: float = 5.0) -> dict:
+    """Query a live master's gauges over one blocking TCP round trip.
+
+    Sends a ``status`` frame and returns the decoded ``status_reply``
+    (see :meth:`~repro.parallel.fleet.protocol.FleetMaster.
+    status_snapshot`).  Raises ``OSError`` when the master is
+    unreachable and ``ValueError`` on a malformed reply.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(encode_frame({"type": "status"}))
+        conn.settimeout(timeout)
+        buf = b""
+        while b"\n" not in buf:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    reply = decode_line(buf.split(b"\n", 1)[0])
+    if reply is None or reply.get("type") != "status_reply":
+        raise ValueError(f"not a status reply: {buf[:120]!r}")
+    return reply
 
 
 @dataclass
@@ -94,6 +123,20 @@ class _FleetService:
                 message = decode_line(line)
                 if message is None:
                     continue  # torn or garbage frame: resync at next line
+                if message.get("type") == "status":
+                    # observer query: answer on this connection and keep
+                    # it outside the worker lifecycle (no registration,
+                    # nothing to requeue when it closes)
+                    reply = {"type": "status_reply"}
+                    reply.update(
+                        self.master.status_snapshot(time.monotonic())
+                    )
+                    try:
+                        writer.write(encode_frame(reply))
+                        await writer.drain()
+                    except (ConnectionError, RuntimeError, OSError):
+                        pass
+                    continue
                 if message.get("type") == "hello":
                     worker_id = message.get("worker")
                     if worker_id:
@@ -248,6 +291,7 @@ def run_fleet_master(
         report.records[job_id] = record
         report.ran_job_ids.append(job_id)
 
+    master = None
     try:
         with journal:
             master = asyncio.run(
@@ -263,24 +307,34 @@ def run_fleet_master(
                 )
             )
     finally:
+        from ...sweep.engine import aggregate_job_telemetry
+
         report.wall_seconds = time.perf_counter() - t_wall
         status = "complete" if report.complete else "incomplete"
-        journal.write_manifest(
-            spec.n_jobs, report.n_done, status, {"name": spec.name}
-        )
-    fleet = _master_report(master, report.wall_seconds)
-    report.n_workers = max(len(fleet.workers_seen), 1)
-    report.worker_busy_seconds = sorted(
-        fleet.busy_by_worker.values(), reverse=True
-    ) or [0.0]
-    report.fleet = {
-        "workers_seen": fleet.workers_seen,
-        "commits": fleet.commits,
-        "duplicates": fleet.duplicates,
-        "requeues": fleet.requeues,
-        "steals": fleet.steals,
-        "timeouts": fleet.timeouts,
-        "registrations": fleet.registrations,
-        "max_lease": fleet.max_lease,
-    }
+        extra = {"name": spec.name}
+        if master is not None:
+            fleet = _master_report(master, report.wall_seconds)
+            report.n_workers = max(len(fleet.workers_seen), 1)
+            report.worker_busy_seconds = sorted(
+                fleet.busy_by_worker.values(), reverse=True
+            ) or [0.0]
+            report.fleet = {
+                "workers_seen": fleet.workers_seen,
+                "busy_by_worker": {
+                    w: round(s, 6)
+                    for w, s in sorted(fleet.busy_by_worker.items())
+                },
+                "commits": fleet.commits,
+                "duplicates": fleet.duplicates,
+                "requeues": fleet.requeues,
+                "steals": fleet.steals,
+                "timeouts": fleet.timeouts,
+                "registrations": fleet.registrations,
+                "max_lease": fleet.max_lease,
+            }
+            # persist the stats: `repro.sweep report --format json` reads
+            # the journal directory, not this in-memory report
+            extra["fleet"] = report.fleet
+        report.telemetry = aggregate_job_telemetry(report.records.values())
+        journal.write_manifest(spec.n_jobs, report.n_done, status, extra)
     return report

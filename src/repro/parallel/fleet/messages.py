@@ -23,7 +23,18 @@ worker -> master
                    input).
     ``goodbye``    graceful exit; the master requeues anything leased.
 
+observer -> master
+    ``status``     live-gauges query (any client, not just workers); the
+                   master replies on the same connection with
+                   ``status_reply`` and the connection stays outside the
+                   worker lifecycle — no registration, no requeue on
+                   close.
+
 master -> worker
+    ``status_reply``  the :meth:`~repro.parallel.fleet.protocol.
+                   FleetMaster.status_snapshot` gauges: backlog depth,
+                   per-worker leases held / fitted seconds-per-cost /
+                   busy seconds / heartbeat age, and protocol stats.
     ``welcome``    registration ack with sweep-level counts.
     ``lease``      a batch of jobs (each ``{"job_id": ..., "job": ...}``),
                    sized by the worker's fitted cost rate.
@@ -59,6 +70,8 @@ MESSAGE_TYPES = (
     "lease",
     "revoke",
     "drain",
+    "status",
+    "status_reply",
 )
 
 

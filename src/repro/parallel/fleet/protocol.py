@@ -180,6 +180,41 @@ class FleetMaster:
     def pending_ids(self) -> List[str]:
         return list(self._pending)
 
+    def status_snapshot(self, now: float) -> dict:
+        """Live gauges for a ``status`` frame: backlog depth, per-worker
+        leases held / fitted rate / busy seconds / heartbeat age, and
+        the protocol stats — everything the fleet ``--status`` CLI
+        renders.  Read-only: answering a status query never mutates the
+        state machine."""
+        return {
+            "n_jobs": self.n_jobs,
+            "n_committed": self.n_committed,
+            "backlog": len(self._pending),
+            "stats": {
+                "commits": self.stats.commits,
+                "duplicates": self.stats.duplicates,
+                "requeues": self.stats.requeues,
+                "steals": self.stats.steals,
+                "timeouts": self.stats.timeouts,
+                "registrations": self.stats.registrations,
+                "max_lease": self.stats.max_lease,
+            },
+            "workers": {
+                view.worker_id: {
+                    "leased": len(view.leased),
+                    "jobs_done": view.jobs_done,
+                    "busy_seconds": round(view.busy_seconds, 6),
+                    "seconds_per_cost": (
+                        None if view.rate is None else round(view.rate, 6)
+                    ),
+                    "silent_seconds": round(max(0.0, now - view.last_seen), 3),
+                }
+                for view in sorted(
+                    self._workers.values(), key=lambda v: v.worker_id
+                )
+            },
+        }
+
     def check_invariant(self) -> None:
         """Every job is pending, leased to exactly one worker, or
         committed — and in exactly one of the three (test hook)."""

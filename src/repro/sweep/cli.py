@@ -27,7 +27,7 @@ import json
 import sys
 from pathlib import Path
 
-from .engine import run_sweep
+from .engine import aggregate_job_telemetry, run_sweep
 from .journal import SweepJournal
 from .spec import SweepSpec, mixed_demo_spec
 
@@ -68,9 +68,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fleet = run_p.add_argument_group("fleet mode (multi-host, docs/fleet.md)")
     fleet.add_argument(
-        "--fleet", choices=["master", "worker"], default=None,
-        help="run as the fleet master (serves this spec over TCP) or as "
-        "a worker agent (leases jobs from a master)",
+        "--fleet", choices=["master", "worker", "status"], default=None,
+        help="run as the fleet master (serves this spec over TCP), as "
+        "a worker agent (leases jobs from a master), or query a live "
+        "master's gauges (--fleet status --connect HOST:PORT)",
     )
     fleet.add_argument(
         "--bind", default="127.0.0.1:0", metavar="HOST:PORT",
@@ -107,6 +108,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="text (human) or json (machine-readable, includes the "
         "endgame/multiplicity columns) output",
     )
+    report_p.add_argument(
+        "--telemetry", action="store_true",
+        help="also print the merged per-job telemetry (span calls/"
+        "seconds and counters journaled alongside each result)",
+    )
 
     ex_p = sub.add_parser("example-spec", help="emit the mixed demo spec")
     ex_p.add_argument("--out", default=None, help="write to a file instead of stdout")
@@ -121,7 +127,46 @@ def _parse_endpoint(text: str) -> tuple:
     return host, int(port)
 
 
+def _cmd_fleet_status(args) -> int:
+    """Query a live master's gauges and render them (``--fleet status``)."""
+    if args.connect is None:
+        raise SystemExit("--fleet status requires --connect HOST:PORT")
+    from ..parallel.fleet import fetch_fleet_status
+
+    host, port = _parse_endpoint(args.connect)
+    try:
+        status = fetch_fleet_status(host, port)
+    except OSError as exc:
+        print(f"no fleet master at {host}:{port} ({exc})", file=sys.stderr)
+        return 1
+    stats = status.get("stats", {})
+    print(f"fleet master @ {host}:{port}")
+    print(f"  jobs {status.get('n_committed', '?')}/{status.get('n_jobs', '?')}"
+          f" committed, backlog {status.get('backlog', '?')}")
+    print(f"  steals {stats.get('steals', 0)}, "
+          f"requeues {stats.get('requeues', 0)}, "
+          f"duplicates {stats.get('duplicates', 0)}, "
+          f"timeouts {stats.get('timeouts', 0)}, "
+          f"registrations {stats.get('registrations', 0)}")
+    workers = status.get("workers", {})
+    if not workers:
+        print("  no workers registered")
+        return 0
+    print(f"  {'worker':<28} {'leased':>6} {'done':>6} {'busy(s)':>9} "
+          f"{'s/cost':>8} {'silent(s)':>9}")
+    for worker_id, view in workers.items():
+        rate = view.get("seconds_per_cost")
+        print(f"  {worker_id:<28} {view.get('leased', 0):>6} "
+              f"{view.get('jobs_done', 0):>6} "
+              f"{view.get('busy_seconds', 0.0):>9.2f} "
+              f"{'probe' if rate is None else format(rate, '8.3f'):>8} "
+              f"{view.get('silent_seconds', 0.0):>9.1f}")
+    return 0
+
+
 def _cmd_run_fleet(args) -> int:
+    if args.fleet == "status":
+        return _cmd_fleet_status(args)
     if args.fleet == "worker":
         if args.connect is None:
             raise SystemExit("--fleet worker requires --connect HOST:PORT")
@@ -252,16 +297,19 @@ def _report_payload(journal: SweepJournal, records: dict, manifest) -> dict:
     jobs = []
     for job_id in sorted(records):
         record = records[job_id]
-        jobs.append(
-            {
-                "job_id": job_id,
-                "kind": record.get("kind"),
-                "params": record.get("params", {}),
-                "seed": record.get("seed"),
-                "seconds": record.get("seconds"),
-                "result": record.get("result", {}),
-            }
-        )
+        row = {
+            "job_id": job_id,
+            "kind": record.get("kind"),
+            "params": record.get("params", {}),
+            "seed": record.get("seed"),
+            "seconds": record.get("seconds"),
+            "result": record.get("result", {}),
+        }
+        # record-level extras (non-deterministic, segregated from result)
+        for key in ("kernel_cache", "telemetry_seconds"):
+            if record.get(key):
+                row[key] = record[key]
+        jobs.append(row)
     if manifest:
         manifest = dict(manifest)
         manifest["status"] = _reconciled_status(manifest, len(records))
@@ -272,6 +320,13 @@ def _report_payload(journal: SweepJournal, records: dict, manifest) -> dict:
         "jobs": jobs,
         "pending": [],
     }
+    if manifest and manifest.get("fleet"):
+        # protocol stats a fleet-master run persisted: workers seen,
+        # per-worker busy seconds, steal/requeue/duplicate counts
+        payload["fleet"] = manifest["fleet"]
+    telemetry = aggregate_job_telemetry(records.values())
+    if telemetry:
+        payload["telemetry"] = telemetry
     if journal.spec_path.exists():
         spec = SweepSpec.load(journal.spec_path)
         payload["name"] = spec.name
@@ -310,7 +365,8 @@ def _cmd_report(args) -> int:
         print(f"  {kind:>8}: {by_kind[kind]} jobs done")
     print(f"  journaled compute time: {seconds:.2f}s")
     for job_id in sorted(records):
-        result = records[job_id].get("result", {})
+        record = records[job_id]
+        result = record.get("result", {})
         if "n_paths" in result:
             # polynomial job: which start system, how many tracked paths
             start = result.get("start", "total_degree")
@@ -323,6 +379,13 @@ def _cmd_report(args) -> int:
                 line += (f" kernel={kstats.get('backend', '?')}"
                          f" tape_ops={kstats.get('tape_ops', '?')}"
                          f" kernel_evals={kstats.get('evaluations', '?')}")
+                kcache = record.get("kernel_cache")
+                if kcache:
+                    # worker-cumulative cache state when the job finished
+                    line += (f" cache_hits={kcache.get('kernel_hits', '?')}"
+                             f" cache_misses="
+                             f"{kcache.get('kernel_misses', '?')}"
+                             f" cache_size={kcache.get('kernels', '?')}")
             endgame = result.get("endgame", "refine")
             if endgame != "refine":
                 line += f" endgame={endgame}"
@@ -342,6 +405,16 @@ def _cmd_report(args) -> int:
                     f"paths={result.get('expected', '?')} "
                     f"solutions={result.get('n_solutions', '?')}")
         print(line)
+    if manifest and manifest.get("fleet"):
+        fstats = manifest["fleet"]
+        print(f"  fleet: workers {len(fstats.get('workers_seen') or ())}, "
+              f"steals {fstats.get('steals', 0)}, "
+              f"requeues {fstats.get('requeues', 0)}, "
+              f"duplicates {fstats.get('duplicates', 0)}")
+        for worker_id, busy in (fstats.get("busy_by_worker") or {}).items():
+            print(f"    {worker_id}: busy {busy:.2f}s")
+    if args.telemetry:
+        _print_telemetry(aggregate_job_telemetry(records.values()))
     if journal.spec_path.exists():
         spec = SweepSpec.load(journal.spec_path)
         pending = [j for j in spec.job_ids() if j not in records]
@@ -352,6 +425,26 @@ def _cmd_report(args) -> int:
         else:
             print("  nothing pending")
     return 0
+
+
+def _print_telemetry(agg) -> None:
+    """Render the merged per-job telemetry for ``report --telemetry``."""
+    if not agg:
+        print("  telemetry: none journaled")
+        return
+    print(f"  telemetry (merged over {agg.get('n_sources', 0)} jobs):")
+    spans = agg.get("spans") or {}
+    if spans:
+        print(f"    {'span':<28} {'calls':>8} {'seconds':>10}")
+        for key, span in spans.items():
+            secs = span.get("seconds")
+            print(f"    {key:<28} {span.get('calls', 0):>8} "
+                  + (f"{secs:>10.3f}" if secs is not None else f"{'-':>10}"))
+    counters = agg.get("counters") or {}
+    if counters:
+        print("    counters:")
+        for key, val in counters.items():
+            print(f"      {key:<30} {val}")
 
 
 def _cmd_example_spec(args) -> int:

@@ -43,6 +43,7 @@ from typing import Dict, List, Literal, Optional, Sequence
 
 import numpy as np
 
+from ..kernels import kernel_cache_info
 from ..parallel.dispatcher import DispatchTelemetry, dispatch_with_pool
 from ..parallel.executors import (
     WorkerKey,
@@ -50,10 +51,17 @@ from ..parallel.executors import (
     _worker_key,
     load_imbalance,
 )
+from ..telemetry import Telemetry, merge_summaries, use_telemetry
 from .journal import SweepJournal
 from .spec import JobSpec, SweepSpec
 
-__all__ = ["SweepReport", "run_sweep", "run_job", "solutions_fingerprint"]
+__all__ = [
+    "SweepReport",
+    "run_sweep",
+    "run_job",
+    "solutions_fingerprint",
+    "aggregate_job_telemetry",
+]
 
 
 def solutions_fingerprint(solutions: Sequence[np.ndarray], digits: int = 6) -> str:
@@ -195,12 +203,14 @@ def run_job(job: JobSpec) -> dict:
                 result[key] = report.summary[key]
         if "kernel" in report.summary:
             # journal the deterministic counters only: taping seconds
-            # are wall-clock (and cache-dependent), and journaled
-            # records must be identical across kill/resume replays
+            # are wall-clock and the cache counters process-cumulative
+            # (both depend on what ran before in this worker), and
+            # journaled records must be identical across kill/resume
+            # replays — cache state rides at record level instead
             result["kernel"] = {
                 k: v
                 for k, v in report.summary["kernel"].items()
-                if k != "taping_seconds"
+                if k not in ("taping_seconds", "cache")
             }
     return {
         "job_id": job.job_id,
@@ -212,14 +222,32 @@ def run_job(job: JobSpec) -> dict:
 
 
 def _run_job_timed(job_dict: dict):
-    """Worker entry point: run one job, self-report time and identity."""
+    """Worker entry point: run one job, self-report time and identity.
+
+    Each job runs inside its own :class:`~repro.telemetry.Telemetry`
+    context.  The *deterministic* half of what it recorded — counters
+    and span call counts, identical on every replay of the job spec —
+    is journaled inside ``result``; the wall-clock span seconds and the
+    worker's process-cumulative kernel-cache counters ride at record
+    level next to ``seconds``/``worker``, where the journal-identity
+    contract already ignores them.
+    """
     job = JobSpec.from_dict(job_dict)
     _maybe_inject_failure(job.job_id)
+    tel = Telemetry(name=job.job_id)
     t0 = time.perf_counter()
-    record = run_job(job)
+    with use_telemetry(tel):
+        record = run_job(job)
     busy = time.perf_counter() - t0
     record["seconds"] = busy
     record["worker"] = list(_worker_key())
+    deterministic = tel.deterministic_summary()
+    if deterministic:
+        record["result"]["telemetry"] = deterministic
+    wall = tel.wall_summary()
+    if wall:
+        record["telemetry_seconds"] = wall
+    record["kernel_cache"] = kernel_cache_info()
     return record, busy, _worker_key()
 
 
@@ -249,6 +277,10 @@ class SweepReport:
     #: (``schedule == "fleet"``): workers seen, steals, requeues,
     #: duplicates, timeouts — see :mod:`repro.parallel.fleet.master`
     fleet: Optional[dict] = None
+    #: merged per-job telemetry (counters, span calls and — for jobs
+    #: run by *this* invocation — span seconds); ``None`` when no job
+    #: recorded any
+    telemetry: Optional[dict] = None
 
     @property
     def n_done(self) -> int:
@@ -270,6 +302,34 @@ class SweepReport:
 
 class _SweepAborted(Exception):
     """Internal: the abort_after budget was reached (simulated kill)."""
+
+
+def aggregate_job_telemetry(records) -> Optional[dict]:
+    """Merge journaled per-job telemetry into one sweep-level summary.
+
+    Recombines each record's deterministic span *calls* (inside
+    ``result``) with its record-level wall ``telemetry_seconds`` when
+    present — records journaled by an earlier, killed run carry calls
+    only, which merge fine.
+    """
+    summaries = []
+    for rec in records:
+        det = (rec.get("result") or {}).get("telemetry")
+        if not det:
+            continue
+        wall = rec.get("telemetry_seconds") or {}
+        if wall and det.get("spans"):
+            det = dict(det)
+            det["spans"] = {
+                key: (
+                    {"calls": calls, "seconds": wall[key]}
+                    if key in wall
+                    else calls
+                )
+                for key, calls in det["spans"].items()
+            }
+        summaries.append(det)
+    return merge_summaries(summaries)
 
 
 def run_sweep(
@@ -329,6 +389,7 @@ def run_sweep(
         journal.write_manifest(
             spec.n_jobs, len(done), "complete", {"name": spec.name}
         )
+        report.telemetry = aggregate_job_telemetry(report.records.values())
         return report
 
     per_worker: Dict[WorkerKey, float] = {}
@@ -362,6 +423,7 @@ def run_sweep(
         # journal itself is already durable, record by record)
         report.wall_seconds = time.perf_counter() - t_wall
         report.worker_busy_seconds = _busy_list(per_worker, report.n_workers)
+        report.telemetry = aggregate_job_telemetry(report.records.values())
         status = "complete" if report.complete else (
             "aborted" if report.aborted else "incomplete"
         )

@@ -1,0 +1,51 @@
+"""Cross-layer tracing and metrics (PR 8).
+
+Every layer of the pipeline — batch tracker, endgames, SLP kernels,
+solve orchestration, sweep engine, fleet — reports into one
+:class:`Telemetry` context carried through a contextvar, so a single
+trace answers "where did this solve's time go" across all of them.
+
+Quick tour (see ``docs/telemetry.md`` for the full tutorial):
+
+>>> from repro.telemetry import Telemetry, use_telemetry, current_telemetry
+>>> tel = Telemetry(name="tour")
+>>> with use_telemetry(tel):
+...     assert current_telemetry() is tel
+...     with tel.span("correct", layer="corrector"):
+...         tel.count("newton_iterations", 4)
+>>> tel.deterministic_summary()["counters"]
+{'newton_iterations': 4}
+>>> tel.deterministic_summary()["spans"]
+{'corrector/correct': 1}
+
+Per-event tracing (Chrome ``ph: B/E`` records, Perfetto-openable via
+:meth:`Telemetry.write_trace`) stays off until a ``trace()`` block — or
+``solve(..., trace_paths=True)`` — turns it on:
+
+>>> with tel.trace():
+...     tel.instant("step_accept", "tracker", path=7, t=0.5)
+>>> tel.events[-1]["ph"]
+'i'
+"""
+
+from .core import (
+    Telemetry,
+    active_tracer,
+    current_telemetry,
+    maybe_span,
+    merge_summaries,
+    use_telemetry,
+)
+from .trace import format_report, layer_report, load_trace
+
+__all__ = [
+    "Telemetry",
+    "active_tracer",
+    "current_telemetry",
+    "maybe_span",
+    "merge_summaries",
+    "use_telemetry",
+    "load_trace",
+    "layer_report",
+    "format_report",
+]

@@ -1,0 +1,47 @@
+"""``python -m repro.telemetry report <trace.jsonl>`` — trace summarizer.
+
+Reads a trace exported by :meth:`Telemetry.write_trace` (or any
+Chrome-trace-format file) and prints the per-layer time breakdown:
+self/total seconds and share per layer (predictor, corrector, endgame,
+kernel, ...), per-span detail, and instant-event counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .trace import format_report, layer_report, load_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Summarize an exported telemetry trace.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    rep = sub.add_parser("report", help="per-layer time breakdown")
+    rep.add_argument("trace", help="trace file from Telemetry.write_trace()")
+    rep.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    args = parser.parse_args(argv)
+
+    events = load_trace(args.trace)
+    if not events:
+        print(f"no trace events found in {args.trace}", file=sys.stderr)
+        return 1
+    report = layer_report(events)
+    if args.fmt == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # e.g. `... report trace | head`
+        raise SystemExit(0)

@@ -1,0 +1,338 @@
+"""The `Telemetry` context: counters, histograms, and nested spans.
+
+One :class:`Telemetry` object is the complete instrumentation state of
+one logical unit of work — a solve, a sweep job, a fleet worker's shift.
+It is carried ambiently through a :mod:`contextvars` variable (so the
+tracker does not need a ``telemetry=`` parameter threaded through five
+call layers) and *explicitly* across process and socket boundaries: a
+worker serializes ``deterministic_summary()`` into the journal record it
+ships back, never the object itself.
+
+Three kinds of state, with different determinism guarantees:
+
+- **counters** (``count``) and **span call counts** — pure tallies of
+  how often something happened.  These are replay-stable: the same job
+  spec produces the same numbers on every machine, so they may live in
+  the deterministic part of a journal record.
+- **histograms** (``observe``) — decade-bucketed value distributions
+  (step sizes, Newton iteration counts).  Deterministic when the
+  observed values are.
+- **span wall seconds** and **trace events** — wall-clock measurements.
+  Never deterministic; segregated into ``wall_summary()`` and the trace
+  file, exactly like the sweep engine strips ``taping_seconds`` before
+  journaling.
+
+Spans always accumulate into the aggregate (cheap: one dict update per
+exit).  The per-event *trace* — Chrome ``ph: B/E`` records suitable for
+Perfetto — is additionally recorded only inside a ``with tel.trace():``
+region, which is what ``trace_paths=True`` turns on.  With no telemetry
+context active every hook in the library degenerates to one contextvar
+read and a ``None`` check.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from contextlib import contextmanager, nullcontext
+from contextvars import ContextVar
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "Telemetry",
+    "current_telemetry",
+    "use_telemetry",
+    "active_tracer",
+    "maybe_span",
+    "merge_summaries",
+]
+
+_ACTIVE: ContextVar[Optional["Telemetry"]] = ContextVar(
+    "repro_telemetry", default=None
+)
+
+
+def current_telemetry() -> Optional["Telemetry"]:
+    """The ambient :class:`Telemetry` context, or ``None``."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def use_telemetry(tel: "Telemetry"):
+    """Install ``tel`` as the ambient telemetry context for a block."""
+    token = _ACTIVE.set(tel)
+    try:
+        yield tel
+    finally:
+        _ACTIVE.reset(token)
+
+
+def active_tracer() -> Optional["Telemetry"]:
+    """The ambient context *only if* event tracing is switched on.
+
+    The kernel-layer hooks use this: span aggregates for every batched
+    evaluation would be noise, but inside a trace they are the per-layer
+    breakdown the report CLI prints.
+    """
+    tel = _ACTIVE.get()
+    if tel is not None and tel.tracing:
+        return tel
+    return None
+
+
+def maybe_span(tel: Optional["Telemetry"], name: str, layer: str):
+    """``tel.span(...)`` when a context is active, else a no-op context."""
+    if tel is None:
+        return nullcontext()
+    return tel.span(name, layer)
+
+
+def _bucket(value: float) -> str:
+    """Decade bucket label for histogram values (``"1e-03"`` style)."""
+    if value <= 0.0:
+        return "<=0"
+    exp = min(6, max(-12, math.floor(math.log10(value))))
+    return f"1e{exp:+03d}"
+
+
+class Telemetry:
+    """Counters, histograms, and nested spans for one unit of work.
+
+    >>> tel = Telemetry(name="demo")
+    >>> with tel.span("track", layer="tracker"):
+    ...     tel.count("paths", 3)
+    ...     tel.observe("step", 0.05)
+    >>> tel.summary()["spans"]["tracker/track"]["calls"]
+    1
+    >>> tel.deterministic_summary()["counters"]
+    {'paths': 3}
+    >>> with tel.trace():
+    ...     with tel.span("predict", layer="predictor"):
+    ...         tel.instant("step_accept", "tracker", path=0)
+    >>> [e["ph"] for e in tel.events]
+    ['B', 'i', 'E']
+    """
+
+    def __init__(self, name: str = "repro"):
+        self.name = name
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Dict[str, int]] = {}
+        # span aggregates keyed "layer/name" -> [calls, wall seconds]
+        self._spans: Dict[str, List[float]] = {}
+        self.events: List[dict] = []
+        self.tracing = False
+        self._origin = time.perf_counter()
+        self._pid = os.getpid()
+
+    # -- tallies -------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a named counter (deterministic)."""
+        self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the decade-bucket histogram ``name``."""
+        hist = self.histograms.setdefault(name, {})
+        key = _bucket(float(value))
+        hist[key] = hist.get(key, 0) + 1
+
+    # -- spans and events ----------------------------------------------
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._origin) * 1e6
+
+    @contextmanager
+    def span(self, name: str, layer: str = "repro"):
+        """Time a block; aggregate always, emit B/E events when tracing."""
+        key = f"{layer}/{name}"
+        traced = self.tracing
+        if traced:
+            self.events.append(
+                {
+                    "ph": "B",
+                    "name": name,
+                    "cat": layer,
+                    "ts": self._now_us(),
+                    "pid": self._pid,
+                    "tid": 0,
+                }
+            )
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - t0
+            stat = self._spans.get(key)
+            if stat is None:
+                self._spans[key] = [1, elapsed]
+            else:
+                stat[0] += 1
+                stat[1] += elapsed
+            if traced:
+                self.events.append(
+                    {
+                        "ph": "E",
+                        "name": name,
+                        "cat": layer,
+                        "ts": self._now_us(),
+                        "pid": self._pid,
+                        "tid": 0,
+                    }
+                )
+
+    def instant(self, name: str, layer: str = "repro", **args) -> None:
+        """One point-in-time trace event (recorded only when tracing).
+
+        Also bumps the ``layer.name`` counter so the trace report can
+        show event totals without re-scanning the event list.
+        """
+        if not self.tracing:
+            return
+        self.count(f"{layer}.{name}")
+        self.events.append(
+            {
+                "ph": "i",
+                "name": name,
+                "cat": layer,
+                "ts": self._now_us(),
+                "pid": self._pid,
+                "tid": 0,
+                "s": "t",
+                "args": args,
+            }
+        )
+
+    @contextmanager
+    def trace(self):
+        """Switch per-event trace recording on for a block (nest-safe)."""
+        prev = self.tracing
+        self.tracing = True
+        try:
+            yield self
+        finally:
+            self.tracing = prev
+
+    # -- summaries -----------------------------------------------------
+    def summary(self) -> dict:
+        """Everything: counters, histograms, spans with wall seconds."""
+        return {
+            "name": self.name,
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                k: dict(sorted(v.items()))
+                for k, v in sorted(self.histograms.items())
+            },
+            "spans": {
+                key: {"calls": int(calls), "seconds": seconds}
+                for key, (calls, seconds) in sorted(self._spans.items())
+            },
+            "n_events": len(self.events),
+        }
+
+    def deterministic_summary(self) -> dict:
+        """The replay-stable subset: counters, histograms, span *calls*.
+
+        Safe to store in the deterministic part of a journal record —
+        no wall-clock field appears anywhere in the result.
+        """
+        out: dict = {}
+        if self.counters:
+            out["counters"] = dict(sorted(self.counters.items()))
+        if self.histograms:
+            out["histograms"] = {
+                k: dict(sorted(v.items()))
+                for k, v in sorted(self.histograms.items())
+            }
+        if self._spans:
+            out["spans"] = {
+                key: int(calls)
+                for key, (calls, _) in sorted(self._spans.items())
+            }
+        return out
+
+    def wall_summary(self) -> dict:
+        """Wall-clock seconds per span — the non-deterministic half."""
+        return {
+            key: round(seconds, 6)
+            for key, (_, seconds) in sorted(self._spans.items())
+        }
+
+    # -- export --------------------------------------------------------
+    def write_trace(self, path) -> int:
+        """Write events as a Chrome/Perfetto-compatible trace file.
+
+        The file is a JSON array with one event per line — valid input
+        for ``about:tracing`` and Perfetto, and still greppable /
+        line-appendable like JSONL.  Returns the number of events
+        written.
+        """
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("[\n")
+            fh.write(
+                json.dumps(
+                    {
+                        "ph": "M",
+                        "name": "process_name",
+                        "pid": self._pid,
+                        "tid": 0,
+                        "args": {"name": self.name},
+                    },
+                    sort_keys=True,
+                )
+            )
+            for event in self.events:
+                fh.write(",\n" + json.dumps(event, sort_keys=True))
+            fh.write("\n]\n")
+        return len(self.events)
+
+
+def merge_summaries(summaries: Iterable[Optional[dict]]) -> Optional[dict]:
+    """Sum counters/histograms/span-calls (and seconds when present).
+
+    Accepts a mix of ``deterministic_summary()`` dicts and full
+    ``summary()`` dicts; ``None`` entries are skipped.  Returns ``None``
+    when nothing contributed — callers use that to omit the field.
+    """
+    counters: Dict[str, int] = {}
+    histograms: Dict[str, Dict[str, int]] = {}
+    calls: Dict[str, int] = {}
+    seconds: Dict[str, float] = {}
+    n = 0
+    for summ in summaries:
+        if not summ:
+            continue
+        n += 1
+        for key, val in (summ.get("counters") or {}).items():
+            counters[key] = counters.get(key, 0) + int(val)
+        for key, hist in (summ.get("histograms") or {}).items():
+            out = histograms.setdefault(key, {})
+            for bucket, count in hist.items():
+                out[bucket] = out.get(bucket, 0) + int(count)
+        for key, span in (summ.get("spans") or {}).items():
+            if isinstance(span, dict):
+                calls[key] = calls.get(key, 0) + int(span.get("calls", 0))
+                if "seconds" in span:
+                    seconds[key] = seconds.get(key, 0.0) + float(
+                        span["seconds"]
+                    )
+            else:
+                calls[key] = calls.get(key, 0) + int(span)
+    if n == 0:
+        return None
+    merged: dict = {"n_sources": n}
+    if counters:
+        merged["counters"] = dict(sorted(counters.items()))
+    if histograms:
+        merged["histograms"] = {
+            k: dict(sorted(v.items())) for k, v in sorted(histograms.items())
+        }
+    if calls:
+        merged["spans"] = {
+            key: (
+                {"calls": calls[key], "seconds": round(seconds[key], 6)}
+                if key in seconds
+                else {"calls": calls[key]}
+            )
+            for key in sorted(calls)
+        }
+    return merged

@@ -1,0 +1,154 @@
+"""Load an exported trace file and compute the per-layer time breakdown.
+
+The reader is deliberately tolerant about framing: it accepts the
+array-with-one-event-per-line files :meth:`Telemetry.write_trace`
+produces, strict JSONL (one bare object per line), or a whole-file JSON
+array — whatever a user hands it after round-tripping a trace through
+other tooling.
+
+The breakdown distinguishes *total* time (span duration including
+children) from *self* time (duration minus nested spans), computed from
+the ``B``/``E`` stack.  Self time is what answers "where did the time
+go": the corrector's total includes every kernel evaluation it
+triggered, but only its self time is corrector bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+__all__ = ["load_trace", "layer_report", "format_report"]
+
+
+def load_trace(path) -> List[dict]:
+    """Parse a trace file into its event list (metadata events dropped)."""
+    text = Path(path).read_text(encoding="utf-8")
+    stripped = text.strip()
+    events: List[dict] = []
+    try:
+        payload = json.loads(stripped)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, list):
+        events = [e for e in payload if isinstance(e, dict)]
+    elif isinstance(payload, dict) and isinstance(
+        payload.get("traceEvents"), list
+    ):
+        events = [e for e in payload["traceEvents"] if isinstance(e, dict)]
+    else:
+        # line-oriented fallback: skip array brackets and torn lines
+        for line in text.splitlines():
+            line = line.strip().rstrip(",")
+            if not line or line in ("[", "]"):
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+    return [e for e in events if e.get("ph") != "M"]
+
+
+def layer_report(events: List[dict]) -> dict:
+    """Per-layer total/self seconds plus instant-event counts.
+
+    Events must be in recording order (they are, as written); the B/E
+    stack is replayed to attribute each span's duration minus its
+    children to the span's layer (``cat``).
+    """
+    layers: Dict[str, dict] = {}
+    instants: Dict[str, int] = {}
+    stack: List[dict] = []  # {"cat", "name", "ts", "child"}
+    t_min = None
+    t_max = None
+    for event in events:
+        ph = event.get("ph")
+        ts = float(event.get("ts", 0.0))
+        if t_min is None or ts < t_min:
+            t_min = ts
+        if t_max is None or ts > t_max:
+            t_max = ts
+        if ph == "B":
+            stack.append(
+                {
+                    "cat": event.get("cat", "repro"),
+                    "name": event.get("name", "?"),
+                    "ts": ts,
+                    "child": 0.0,
+                }
+            )
+        elif ph == "E":
+            if not stack:
+                continue
+            frame = stack.pop()
+            dur = max(0.0, ts - frame["ts"])
+            self_us = max(0.0, dur - frame["child"])
+            if stack:
+                stack[-1]["child"] += dur
+            layer = layers.setdefault(
+                frame["cat"], {"self_seconds": 0.0, "total_seconds": 0.0,
+                               "calls": 0, "names": {}}
+            )
+            layer["self_seconds"] += self_us / 1e6
+            layer["total_seconds"] += dur / 1e6
+            layer["calls"] += 1
+            name = layer["names"].setdefault(
+                frame["name"], {"calls": 0, "self_seconds": 0.0}
+            )
+            name["calls"] += 1
+            name["self_seconds"] += self_us / 1e6
+        elif ph == "i":
+            key = f"{event.get('cat', 'repro')}.{event.get('name', '?')}"
+            instants[key] = instants.get(key, 0) + 1
+    wall = 0.0 if t_min is None else (t_max - t_min) / 1e6
+    return {
+        "wall_seconds": wall,
+        "n_events": len(events),
+        "layers": dict(sorted(layers.items())),
+        "instants": dict(sorted(instants.items())),
+    }
+
+
+def format_report(report: dict) -> str:
+    """Render :func:`layer_report` output as the CLI's text table."""
+    lines: List[str] = []
+    wall = report["wall_seconds"]
+    lines.append(
+        f"trace: {report['n_events']} events over {wall:.3f}s"
+    )
+    total_self = sum(
+        layer["self_seconds"] for layer in report["layers"].values()
+    )
+    lines.append("")
+    lines.append(
+        f"{'layer':<12} {'self(s)':>9} {'share':>7} {'total(s)':>9} "
+        f"{'spans':>7}"
+    )
+    ordered = sorted(
+        report["layers"].items(),
+        key=lambda item: -item[1]["self_seconds"],
+    )
+    for layer, stats in ordered:
+        share = (
+            stats["self_seconds"] / total_self if total_self > 0 else 0.0
+        )
+        lines.append(
+            f"{layer:<12} {stats['self_seconds']:>9.4f} {share:>6.1%} "
+            f"{stats['total_seconds']:>9.4f} {stats['calls']:>7d}"
+        )
+        for name, nstat in sorted(
+            stats["names"].items(), key=lambda item: -item[1]["self_seconds"]
+        ):
+            lines.append(
+                f"  {name:<24} {nstat['self_seconds']:>9.4f}s"
+                f" {nstat['calls']:>7d} calls"
+            )
+    if report["instants"]:
+        lines.append("")
+        lines.append("events:")
+        for key, count in report["instants"].items():
+            lines.append(f"  {key:<28} {count:>9d}")
+    return "\n".join(lines)

@@ -20,10 +20,18 @@ underflow — are *culled* from the front, so late sweeps run on ever
 smaller batches.  The endgame (sharpening at t=1) is deferred and run once
 as a single batched Newton over every surviving path.
 
-The only intentional difference from the scalar tracker is time
-accounting: per-path ``stats.seconds`` is the wall-clock time from batch
-start until the path was classified (paths share the front, so exclusive
-per-path cost is not observable).
+Time accounting: exclusive per-path cost is not observable when paths
+share batched kernel calls, so per-path ``stats.seconds`` is *amortized*
+— each sweep's wall-clock cost is split evenly over the paths live in
+the front for that sweep (plus their share of the start-point check and
+the endgame batch).  Per-path seconds are therefore comparable across
+batch sizes, and they sum to the batch's wall clock.
+
+With ``options.trace_paths`` set and an ambient
+:class:`~repro.telemetry.Telemetry` context active, the tracker
+additionally records per-path trace events (step accept/reject with t,
+step size and Newton count; endgame handoffs) and predictor/corrector
+spans; the default path keeps every hook behind a single ``None`` check.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..telemetry import current_telemetry, maybe_span
 from .interface import BatchHomotopy, HomotopyFunction, as_batch
 from .newton import _solve_batch, batch_newton_correct
 from .result import PathResult, PathStatus, TrackStats
@@ -99,6 +108,20 @@ class BatchTracker:
         had reached.  Returns one :class:`PathResult` per start, in
         input order.
         """
+        tel = current_telemetry() if self.options.trace_paths else None
+        if tel is None:
+            return self._track_batch(homotopy, starts, path_ids, t_start, None)
+        with tel.trace():
+            return self._track_batch(homotopy, starts, path_ids, t_start, tel)
+
+    def _track_batch(
+        self,
+        homotopy: BatchHomotopy | HomotopyFunction,
+        starts: Sequence[Sequence[complex]],
+        path_ids: Sequence[int] | None,
+        t_start: float | Sequence[float],
+        tel,
+    ) -> List[PathResult]:
         opts = self.options
         bh = as_batch(homotopy)
         X = np.array([np.asarray(s, dtype=complex) for s in starts], dtype=complex)
@@ -121,7 +144,6 @@ class BatchTracker:
         elif len(path_ids) != n:
             raise ValueError("path_ids must match the number of starts")
 
-        t0 = time.perf_counter()
         x_start = X.copy()
         step = np.full(n, opts.initial_step)
         easy = np.zeros(n, dtype=np.int64)
@@ -131,25 +153,37 @@ class BatchTracker:
         state = np.full(n, _RUNNING, dtype=np.int64)
         res_final = np.full(n, np.inf)
         t_reached = np.zeros(n)
-        seconds = np.zeros(n)
+        charged = np.zeros(n)
         x_prev, t_prev = X.copy(), T.copy()
+
+        mark = time.perf_counter()
+
+        def charge(idx: np.ndarray) -> None:
+            # amortize the wall time since the last mark evenly over the
+            # paths that were live in the front for it
+            nonlocal mark
+            now = time.perf_counter()
+            if idx.size:
+                charged[idx] += (now - mark) / idx.size
+            mark = now
 
         def classify(idx: np.ndarray, status: PathStatus, res: np.ndarray) -> None:
             state[idx] = _CODE_BY_STATUS[status]
             res_final[idx] = res
             t_reached[idx] = T[idx]
-            seconds[idx] = time.perf_counter() - t0
 
         # make sure the start points actually solve H(., t_start)
-        check = batch_newton_correct(
-            bh, X, T, tol=opts.corrector_tol, max_iterations=opts.corrector_iterations
-        )
+        with maybe_span(tel, "start_check", "corrector"):
+            check = batch_newton_correct(
+                bh, X, T, tol=opts.corrector_tol, max_iterations=opts.corrector_iterations
+            )
         newton += check.iterations
         bad = np.flatnonzero(~check.converged)
         classify(bad, PathStatus.FAILED, check.residual[bad])
         # failed paths keep their original start point (as PathTracker does);
         # only converged paths adopt the corrected one
         X[check.converged] = check.x[check.converged]
+        charge(np.arange(n))
 
         # --- main predictor-corrector sweeps over the active front
         while True:
@@ -167,30 +201,43 @@ class BatchTracker:
 
             # --- predict: batched tangent, secant fallback per failed path
             bh_run = bh.restrict(run)
-            tangent, ok = self._tangents(bh_run, X[run], T[run])
-            x_pred = X[run] + dt[:, None] * tangent
-            if not np.all(ok):
-                fb = ~ok
-                have_hist = fb & (T[run] > t_prev[run])
-                ratio = np.zeros(run.size)
-                span = T[run] - t_prev[run]
-                ratio[have_hist] = dt[have_hist] / span[have_hist]
-                secant = X[run] + (X[run] - x_prev[run]) * ratio[:, None]
-                x_pred[fb] = np.where(
-                    have_hist[fb, None], secant[fb], X[run][fb]
-                )
+            with maybe_span(tel, "tangent", "predictor"):
+                tangent, ok = self._tangents(bh_run, X[run], T[run])
+                x_pred = X[run] + dt[:, None] * tangent
+                if not np.all(ok):
+                    fb = ~ok
+                    have_hist = fb & (T[run] > t_prev[run])
+                    ratio = np.zeros(run.size)
+                    span = T[run] - t_prev[run]
+                    ratio[have_hist] = dt[have_hist] / span[have_hist]
+                    secant = X[run] + (X[run] - x_prev[run]) * ratio[:, None]
+                    x_pred[fb] = np.where(
+                        have_hist[fb, None], secant[fb], X[run][fb]
+                    )
 
             # --- correct
-            corr = batch_newton_correct(
-                bh_run,
-                x_pred,
-                t_new,
-                tol=opts.corrector_tol,
-                max_iterations=opts.corrector_iterations,
-            )
+            with maybe_span(tel, "newton", "corrector"):
+                corr = batch_newton_correct(
+                    bh_run,
+                    x_pred,
+                    t_new,
+                    tol=opts.corrector_tol,
+                    max_iterations=opts.corrector_iterations,
+                )
             newton[run] += corr.iterations
 
             conv = corr.converged
+            if tel is not None:
+                for k in range(run.size):
+                    tel.instant(
+                        "step_accept" if conv[k] else "step_reject",
+                        "tracker",
+                        path=int(path_ids[run[k]]),
+                        t=float(t_new[k]),
+                        dt=float(dt[k]),
+                        newton=int(corr.iterations[k]),
+                    )
+                    tel.observe("step_size", float(dt[k]))
             acc = run[conv]
             if acc.size:
                 x_prev[acc], t_prev[acc] = X[acc], T[acc]
@@ -210,6 +257,14 @@ class BatchTracker:
                 # survivors that reached t=1 leave the front for the endgame
                 done = (~div) & (T[acc] >= 1.0)
                 state[acc[done]] = _ENDGAME
+                if tel is not None:
+                    for p in acc[done]:
+                        tel.instant(
+                            "endgame_handoff",
+                            "tracker",
+                            path=int(path_ids[p]),
+                            reason="arrived",
+                        )
 
             rej = run[~conv]
             if rej.size:
@@ -229,9 +284,20 @@ class BatchTracker:
                     # handed to the strategy instead of failing
                     over = T[fail] > 1.0 - self.endgame.operating_radius
                     state[fail[over]] = _ENDGAME
+                    if tel is not None:
+                        for p in fail[over]:
+                            tel.instant(
+                                "endgame_handoff",
+                                "tracker",
+                                path=int(path_ids[p]),
+                                reason="stalled",
+                                t=float(T[p]),
+                            )
                     classify(
                         fail[~over], PathStatus.FAILED, res_dead[~blew_up][~over]
                     )
+
+            charge(run)
 
         # --- endgame: the whole surviving front finishes as one batch
         endg = np.flatnonzero(state == _ENDGAME)
@@ -239,9 +305,10 @@ class BatchTracker:
         finished_by_endgame = np.zeros(n, dtype=bool)
         finished_by_endgame[endg] = True
         if endg.size:
-            out = self.endgame.finish_batch(
-                bh.restrict(endg), X[endg], T[endg], opts
-            )
+            with maybe_span(tel, "finish", "endgame"):
+                out = self.endgame.finish_batch(
+                    bh.restrict(endg), X[endg], T[endg], opts
+                )
             newton[endg] += out.iterations
             X[endg] = out.x
             winding[endg] = out.winding_number
@@ -255,6 +322,7 @@ class BatchTracker:
                 mask = np.array([s is st for s in out.status], dtype=bool)
                 if mask.any():
                     classify(endg[mask], st, out.residual[mask])
+            charge(endg)
 
         # --- gather SoA state back into per-path results
         results: List[PathResult] = []
@@ -264,7 +332,7 @@ class BatchTracker:
                 steps_rejected=int(rejected[i]),
                 newton_iterations=int(newton[i]),
                 t_reached=float(t_reached[i]),
-                seconds=float(seconds[i]),
+                seconds=float(charged[i]),
             )
             w = int(winding[i])
             results.append(

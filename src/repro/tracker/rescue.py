@@ -29,6 +29,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..telemetry import current_telemetry
 from .result import PathResult, PathStatus
 
 __all__ = [
@@ -105,10 +106,16 @@ def track_with_rescue(
         if patch is None:
             break
         new_hom, x1 = patch
+        tel = current_telemetry()
+        if tel is not None:
+            tel.count("tracker.rescue_attempts")
+            tel.instant("rescue_attempt", "tracker", path=int(path_id), t=float(t))
         resumed = tracker.track(new_hom, x1, path_id=path_id, t_start=t)
         resumed = new_hom.finalize_rescued(resumed)
         if not keep_rescue(resumed):
             break
+        if tel is not None:
+            tel.count("tracker.rescues_kept")
         result, hom = fold_rescued_effort(resumed, result), new_hom
     return result, hom
 
@@ -137,9 +144,15 @@ def rescue_diverged(
         if patch is None:
             continue
         new_hom, x1 = patch
+        tel = current_telemetry()
+        if tel is not None:
+            tel.count("tracker.rescue_attempts")
+            tel.instant("rescue_attempt", "tracker", path=int(r.path_id), t=float(t))
         resumed = tracker.track(new_hom, x1, path_id=r.path_id, t_start=t)
         resumed = new_hom.finalize_rescued(resumed)
         if keep_rescue(resumed):
+            if tel is not None:
+                tel.count("tracker.rescues_kept")
             results[i] = fold_rescued_effort(resumed, r)
             changed += 1
     return results, changed

@@ -189,11 +189,19 @@ def retrack_duplicate_clusters(
         The options the main tracking pass used; tightened before the
         first re-track round.
     """
-    for _ in range(rounds):
+    from ..telemetry import current_telemetry
+
+    tel = current_telemetry()
+    for rung in range(rounds):
         dups = duplicate_path_ids(results, tol=tol)
         if not dups:
             break
         options = tighten(options)
+        if tel is not None:
+            tel.count("tracker.retry_rungs")
+            tel.instant(
+                "retry_rung", "tracker", rung=rung + 1, paths=len(dups)
+            )
         moved = False
         for pid in dups:
             retracked = retrack(pid, options)

@@ -31,6 +31,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..telemetry import current_telemetry, maybe_span
 from .interface import HomotopyFunction
 from .newton import newton_correct, newton_refine_system
 from .result import PathResult, PathStatus, TrackStats
@@ -54,6 +55,10 @@ class TrackerOptions:
     endgame_iterations: int = 15
     divergence_bound: float = 1e8
     max_steps: int = 2000
+    # record per-path trace events into the ambient Telemetry context
+    # (see repro.telemetry); off by default so the hot path stays free
+    # of per-step allocation.  Never changes tracking decisions.
+    trace_paths: bool = False
 
     def validated(self) -> "TrackerOptions":
         if not (0 < self.min_step <= self.initial_step <= self.max_step):
@@ -108,6 +113,20 @@ class PathTracker:
         ``t_start > 0`` resumes a path from a mid-way point (used by chart
         switching: the same geometric path continued in new coordinates).
         """
+        tel = current_telemetry() if self.options.trace_paths else None
+        if tel is None:
+            return self._track(homotopy, start, path_id, t_start, None)
+        with tel.trace():
+            return self._track(homotopy, start, path_id, t_start, tel)
+
+    def _track(
+        self,
+        homotopy: HomotopyFunction,
+        start: Sequence[complex],
+        path_id: int,
+        t_start: float,
+        tel,
+    ) -> PathResult:
         opts = self.options
         t0 = time.perf_counter()
         stats = TrackStats()
@@ -141,23 +160,35 @@ class PathTracker:
             t_new = t + dt
 
             # --- predict
-            tangent = self._tangent(homotopy, x, t)
-            if tangent is not None:
-                x_pred = x + dt * tangent
-            elif t > t_prev:
-                x_pred = x + (x - x_prev) * (dt / (t - t_prev))
-            else:
-                x_pred = x.copy()
+            with maybe_span(tel, "tangent", "predictor"):
+                tangent = self._tangent(homotopy, x, t)
+                if tangent is not None:
+                    x_pred = x + dt * tangent
+                elif t > t_prev:
+                    x_pred = x + (x - x_prev) * (dt / (t - t_prev))
+                else:
+                    x_pred = x.copy()
 
             # --- correct
-            corr = newton_correct(
-                homotopy,
-                x_pred,
-                t_new,
-                tol=opts.corrector_tol,
-                max_iterations=opts.corrector_iterations,
-            )
+            with maybe_span(tel, "newton", "corrector"):
+                corr = newton_correct(
+                    homotopy,
+                    x_pred,
+                    t_new,
+                    tol=opts.corrector_tol,
+                    max_iterations=opts.corrector_iterations,
+                )
             stats.newton_iterations += corr.iterations
+            if tel is not None:
+                tel.instant(
+                    "step_accept" if corr.converged else "step_reject",
+                    "tracker",
+                    path=int(path_id),
+                    t=float(t_new),
+                    dt=float(dt),
+                    newton=int(corr.iterations),
+                )
+                tel.observe("step_size", float(dt))
 
             if corr.converged:
                 x_prev, t_prev = x, t
@@ -180,11 +211,24 @@ class PathTracker:
                     if t > 1.0 - self.endgame.operating_radius:
                         # stall inside the endgame's operating radius:
                         # hand the path over instead of failing it
+                        if tel is not None:
+                            tel.instant(
+                                "endgame_handoff",
+                                "tracker",
+                                path=int(path_id),
+                                reason="stalled",
+                                t=float(t),
+                            )
                         break
                     return finish(PathStatus.FAILED, x, corr.residual)
 
         # --- endgame: the terminal phase belongs to the strategy
-        out = self.endgame.finish(homotopy, x, t, opts)
+        if tel is not None and t >= 1.0:
+            tel.instant(
+                "endgame_handoff", "tracker", path=int(path_id), reason="arrived"
+            )
+        with maybe_span(tel, "finish", "endgame"):
+            out = self.endgame.finish(homotopy, x, t, opts)
         stats.newton_iterations += out.iterations
         result = finish(out.status, out.x, out.residual)
         result.endgame = self.endgame.name

@@ -27,6 +27,8 @@ DOCUMENTED_MODULES = [
     "repro.endgame",
     "repro.systems.deficient",
     "repro.kernels",
+    "repro.telemetry",
+    "repro.telemetry.core",
     "repro.parallel.fleet.protocol",
     "repro.parallel.fleet.messages",
     "repro.simcluster.fleet_sim",
