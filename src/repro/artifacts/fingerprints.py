@@ -1,0 +1,68 @@
+"""Structure fingerprints for the artifact store.
+
+Keys follow the :mod:`repro.kernels.cache` idiom — a SHA-1 over the
+*structure* of a problem, never its floating-point data — extended to
+the two problem families the store serves:
+
+- **Newton-polytope supports**: two polynomial systems share every
+  cached polyhedral artifact (mixed cells, generic coefficient system,
+  solved start endpoints) iff they share supports, because the BKK
+  count, the subdivision and the continuation structure depend on the
+  supports alone.
+- **Pieri shapes** ``(m, p, q)``: every pole-placement query of the
+  same shape shares the poset/tree, the root count ``d(m, p, q)`` and —
+  the expensive part — one solved generic instance to continue from.
+
+Fingerprints are deliberately *insensitive to coefficients*: a warm
+lookup must hit for a brand-new random instance of a known structure.
+Exact coefficient identity (artifact kind (c) of the store) reuses
+:func:`repro.kernels.cache.coefficient_fingerprint` on top of the
+structure key.
+
+>>> pieri_fingerprint(2, 2, 1) == pieri_fingerprint(2, 2, 1)
+True
+>>> pieri_fingerprint(2, 2, 1) != pieri_fingerprint(2, 2, 0)
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+__all__ = [
+    "supports_fingerprint",
+    "system_fingerprint",
+    "pieri_fingerprint",
+]
+
+
+def supports_fingerprint(supports: Sequence[Sequence[tuple]]) -> str:
+    """Hash of a tuple-of-support-sets (one set of exponent tuples per
+    equation), insensitive to coefficients.
+
+    Each equation's support is canonicalized (lex-sorted) before
+    hashing, so the key depends on the support *sets* — not on the
+    monomial order a particular caller enumerated them in.  Equation
+    order still matters: it indexes the start data.
+    """
+    h = hashlib.sha1(f"supports|{len(supports)}".encode())
+    for support in supports:
+        h.update(b"|eq|")
+        rows = sorted(tuple(int(c) for c in point) for point in support)
+        for point in rows:
+            h.update(("," .join(str(c) for c in point) + ";").encode())
+    return "poly-" + h.hexdigest()
+
+
+def system_fingerprint(system) -> str:
+    """Supports fingerprint of a :class:`~repro.systems.PolynomialSystem`."""
+    from ..polyhedral.supports import supports_of
+
+    return supports_fingerprint(supports_of(system))
+
+
+def pieri_fingerprint(m: int, p: int, q: int) -> str:
+    """Key of the Pieri shape — fixes ambient dims, poset and root count."""
+    h = hashlib.sha1(f"pieri|{int(m)}|{int(p)}|{int(q)}".encode())
+    return "pieri-" + h.hexdigest()

@@ -317,6 +317,44 @@ def _polyhedral_start(
     return poly_start, list(toric)
 
 
+def _warm_polyhedral_start(store, target, rng, tel):
+    """Try the artifact store for a same-supports warm start.
+
+    On a hit, returns ``(CoefficientHomotopy, starts, meta)`` — the
+    cached solved generic instance deformed to ``target`` along a
+    convex coefficient blend, skipping cell enumeration and phase 1
+    entirely.  Any inconsistency (structure mismatch inside a
+    fingerprint bucket, endpoints that no longer solve the stored
+    generic system) degrades to ``(None, None, None)``: the cache
+    steers the route, never the answer.
+    """
+    from ..artifacts import load_polyhedral_start
+    from .coefficient import CoefficientHomotopy
+
+    bundle = load_polyhedral_start(store, target)
+    if bundle is None:
+        return None, None, None
+    with maybe_span(tel, "start_system", "solve"):
+        try:
+            homotopy = CoefficientHomotopy(
+                bundle["supports"], bundle["coefficients"], target, rng=rng
+            )
+        except ValueError:
+            return None, None, None
+        starts = [np.asarray(s, dtype=complex) for s in bundle["starts"]]
+        # paranoia against bit-rot the shape checks cannot see: the
+        # cached endpoints must actually solve the cached generic system
+        residual = homotopy.evaluate_batch(
+            np.asarray(starts), np.zeros(len(starts))
+        )
+        if not np.all(np.isfinite(residual)) or np.max(np.abs(residual)) > 1e-4:
+            store.stats["corrupt"] += 1
+            if tel is not None:
+                tel.count("artifacts.corrupt")
+            return None, None, None
+    return homotopy, starts, bundle["meta"]
+
+
 def _tightened(options: TrackerOptions) -> TrackerOptions:
     # dataclasses.replace keeps every field not listed at the caller's
     # value, so new TrackerOptions fields survive escalation untouched
@@ -344,6 +382,7 @@ def solve(
     rescue: bool = False,
     kernel: str | None = None,
     trace_paths: bool = False,
+    cache=None,
 ) -> SolveReport:
     """Track all paths of a homotopy to ``target`` and classify endpoints.
 
@@ -416,6 +455,17 @@ def solve(
         (An ambient ``use_telemetry`` context is honoured either way —
         span aggregates land on ``report.telemetry`` whenever one is
         active.)
+    cache:
+        Structure-keyed artifact store for the polyhedral route (see
+        :mod:`repro.artifacts`).  ``None`` (default) keeps solves
+        ab-initio.  Pass an :class:`~repro.artifacts.ArtifactStore`, a
+        directory path, or ``True`` for the ``$REPRO_ARTIFACT_STORE``
+        default.  A warm hit on the target's Newton-polytope supports
+        replaces cell enumeration + phase 1 with coefficient-parameter
+        continuation from the cached solved generic instance
+        (mixed-volume-many paths); a cold solve with a clean phase 1
+        populates the store.  The summary's ``cache`` dict records the
+        route taken.
 
     Returns
     -------
@@ -452,12 +502,12 @@ def solve(
         with use_telemetry(own):
             report = _solve(
                 target, start, options, rng, refine, rerun_duplicates,
-                mode, endgame, rescue, kernel, trace_paths, tel,
+                mode, endgame, rescue, kernel, trace_paths, tel, cache,
             )
     else:
         report = _solve(
             target, start, options, rng, refine, rerun_duplicates,
-            mode, endgame, rescue, kernel, trace_paths, tel,
+            mode, endgame, rescue, kernel, trace_paths, tel, cache,
         )
     if tel is not None:
         report.telemetry = tel.summary()
@@ -468,26 +518,62 @@ def solve(
 
 def _solve(
     target, start, options, rng, refine, rerun_duplicates, mode,
-    endgame, rescue, kernel, trace_paths, tel,
+    endgame, rescue, kernel, trace_paths, tel, cache=None,
 ) -> SolveReport:
     base_options = options or TrackerOptions()
     if trace_paths:
         base_options = dataclasses.replace(base_options, trace_paths=True)
     strategy = make_endgame(endgame)
     poly_start = None
+    cache_info = None
+    warm_meta = None
     # with trace_paths the whole pipeline records events, so spans from
     # phase-1 tracking, refinement and clustering land in the trace too
     tracing = tel.trace() if (tel is not None and trace_paths) else nullcontext()
     with tracing, maybe_span(tel, "solve", "solve"):
         if start == "polyhedral":
             rng = np.random.default_rng() if rng is None else rng
-            with maybe_span(tel, "start_system", "solve"):
-                poly_start, starts = _polyhedral_start(
-                    target, rng, base_options, endgame=strategy, kernel=kernel
+            store = None
+            if cache is not None:
+                from ..artifacts import resolve_store
+
+                store = resolve_store(cache)
+            homotopy = starts = None
+            if store is not None:
+                homotopy, starts, warm_meta = _warm_polyhedral_start(
+                    store, target, rng, tel
                 )
-                homotopy = ConvexHomotopy(
-                    poly_start.generic_system, target, rng=rng, kernel=kernel
-                )
+            if homotopy is None:
+                with maybe_span(tel, "start_system", "solve"):
+                    poly_start, starts = _polyhedral_start(
+                        target, rng, base_options,
+                        endgame=strategy, kernel=kernel,
+                    )
+                    homotopy = ConvexHomotopy(
+                        poly_start.generic_system, target,
+                        rng=rng, kernel=kernel,
+                    )
+                if store is not None:
+                    from ..artifacts import polyhedral_key, store_polyhedral_start
+
+                    stored = False
+                    if poly_start.phase1_failures == 0:
+                        store_polyhedral_start(store, target, poly_start, starts)
+                        stored = True
+                    cache_info = {
+                        "status": "cold",
+                        "key": polyhedral_key(target),
+                        "n_paths": len(starts),
+                        "stored": stored,
+                    }
+            else:
+                from ..artifacts import polyhedral_key
+
+                cache_info = {
+                    "status": "warm",
+                    "key": polyhedral_key(target),
+                    "n_paths": len(starts),
+                }
         else:
             with maybe_span(tel, "start_system", "solve"):
                 homotopy, starts = make_homotopy_and_starts(
@@ -561,6 +647,18 @@ def _solve(
         summary["mixed_volume"] = poly_start.mixed_volume
         summary["n_cells"] = len(poly_start.cells)
         summary["phase1_failures"] = poly_start.phase1_failures
+        # journal the lifting draw so DegenerateLiftingError retries are
+        # reproducible and cached cells can be validated against it
+        summary["lifting_seed"] = poly_start.lifting_seed
+        summary["relifts"] = poly_start.relifts
+    elif warm_meta is not None:
+        summary["mixed_volume"] = int(warm_meta["mixed_volume"])
+        summary["n_cells"] = int(warm_meta["n_cells"])
+        summary["phase1_failures"] = 0  # only clean phase-1 runs are cached
+        summary["lifting_seed"] = warm_meta.get("lifting_seed")
+        summary["relifts"] = int(warm_meta.get("relifts", 0))
+    if cache_info is not None:
+        summary["cache"] = cache_info
     return SolveReport(
         results=results,
         solutions=sols,

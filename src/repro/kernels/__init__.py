@@ -67,11 +67,13 @@ from .array_api import (
     register_array_backend,
 )
 from .cache import (
+    CAPACITY_ENV,
     cached_slp_kernel,
     cached_tape,
     clear_kernel_cache,
     coefficient_fingerprint,
     kernel_cache_info,
+    set_kernel_cache_capacity,
     structure_fingerprint,
 )
 from .slp import KernelStats, SLPKernel, SLPTape, Term, build_tape
@@ -92,6 +94,8 @@ __all__ = [
     "get_array_backend",
     "kernel_cache_info",
     "normalize_kernel",
+    "set_kernel_cache_capacity",
+    "CAPACITY_ENV",
     "register_array_backend",
     "system_terms",
 ]

@@ -16,12 +16,18 @@ cache levels make repeated solves pay taping once:
 
 Both caches are process-local and softly capped: inserting beyond the
 cap evicts the oldest entry, so a sweep over thousands of
-random-coefficient systems cannot grow them without bound.
+random-coefficient systems cannot grow them without bound.  The cap
+defaults to 256 and is configurable — per process via
+:func:`set_kernel_cache_capacity`, or at import through the
+``$REPRO_KERNEL_CACHE_CAP`` environment variable (the sweep engine
+forwards it to workers); eviction counts are surfaced by
+:func:`kernel_cache_info`.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 from typing import Dict, Sequence, Tuple
 
 import numpy as np
@@ -34,20 +40,51 @@ __all__ = [
     "cached_tape",
     "cached_slp_kernel",
     "kernel_cache_info",
+    "set_kernel_cache_capacity",
     "clear_kernel_cache",
 ]
 
-_MAX_ENTRIES = 256
+CAPACITY_ENV = "REPRO_KERNEL_CACHE_CAP"
+_DEFAULT_CAPACITY = 256
+
+
+def _env_capacity() -> int:
+    raw = os.environ.get(CAPACITY_ENV)
+    if not raw:
+        return _DEFAULT_CAPACITY
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return _DEFAULT_CAPACITY
+
+
+_capacity = _env_capacity()
 
 _TAPES: Dict[str, SLPTape] = {}
 _KERNELS: Dict[Tuple[str, str], SLPKernel] = {}
 _HITS = {"tape": 0, "kernel": 0}
 _MISSES = {"tape": 0, "kernel": 0}
+_EVICTIONS = {"tape": 0, "kernel": 0}
 
 
-def _evict(cache: dict) -> None:
-    while len(cache) > _MAX_ENTRIES:
+def set_kernel_cache_capacity(capacity: int | None) -> int:
+    """Set the soft cap shared by both caches; returns the cap in force.
+
+    ``None`` restores the default (the ``$REPRO_KERNEL_CACHE_CAP``
+    environment variable, else 256).  Shrinking evicts oldest entries
+    immediately; eviction counts land in :func:`kernel_cache_info`.
+    """
+    global _capacity
+    _capacity = _env_capacity() if capacity is None else max(1, int(capacity))
+    _evict(_TAPES, "tape")
+    _evict(_KERNELS, "kernel")
+    return _capacity
+
+
+def _evict(cache: dict, kind: str) -> None:
+    while len(cache) > _capacity:
         cache.pop(next(iter(cache)))
+        _EVICTIONS[kind] += 1
 
 
 def structure_fingerprint(
@@ -79,7 +116,7 @@ def cached_tape(
     _MISSES["tape"] += 1
     tape = build_tape(neqs, nvars, terms, has_t=has_t)
     _TAPES[key] = tape
-    _evict(_TAPES)
+    _evict(_TAPES, "tape")
     return tape, False
 
 
@@ -100,7 +137,7 @@ def cached_slp_kernel(
         _MISSES["tape"] += 1
         tape = build_tape(neqs, nvars, terms, has_t=has_t)
         _TAPES[skey] = tape
-        _evict(_TAPES)
+        _evict(_TAPES, "tape")
         taping_seconds, cache_hit = tape.build_seconds, False
     else:
         _HITS["tape"] += 1
@@ -112,7 +149,7 @@ def cached_slp_kernel(
         cache_hit=cache_hit,
     )
     _KERNELS[key] = kernel
-    _evict(_KERNELS)
+    _evict(_KERNELS, "kernel")
     return kernel
 
 
@@ -121,11 +158,13 @@ def kernel_cache_info() -> dict:
     return {
         "tapes": len(_TAPES),
         "kernels": len(_KERNELS),
-        "capacity": _MAX_ENTRIES,
+        "capacity": _capacity,
         "tape_hits": _HITS["tape"],
         "kernel_hits": _HITS["kernel"],
         "tape_misses": _MISSES["tape"],
         "kernel_misses": _MISSES["kernel"],
+        "tape_evictions": _EVICTIONS["tape"],
+        "kernel_evictions": _EVICTIONS["kernel"],
     }
 
 
@@ -137,3 +176,5 @@ def clear_kernel_cache() -> None:
     _HITS["kernel"] = 0
     _MISSES["tape"] = 0
     _MISSES["kernel"] = 0
+    _EVICTIONS["tape"] = 0
+    _EVICTIONS["kernel"] = 0

@@ -96,6 +96,15 @@ class MixedSubdivision:
     supports: List[np.ndarray]
     lifting: List[np.ndarray]
     cells: List[MixedCell]
+    #: seed of the dedicated lifting stream (:func:`mixed_cells`); with
+    #: :attr:`relifts` it makes a degenerate-lifting retry reproducible
+    #: from a sweep journal: ``default_rng(lifting_seed)`` drawn
+    #: ``relifts + 1`` times lands on exactly this lifting
+    lifting_seed: Optional[int] = None
+    #: how many degenerate liftings were rejected before this one
+    relifts: int = 0
+    #: the bound the lifting values were drawn under (replay needs it)
+    lifting_bound: int = 4096
 
     @property
     def mixed_volume(self) -> int:
@@ -432,13 +441,24 @@ def mixed_cells(
     if affine:
         supports = augment_with_origin(supports)
     rng = np.random.default_rng() if rng is None else rng
+    # one explicit seed for a dedicated lifting stream: journaling
+    # (seed, relifts) makes a DegenerateLiftingError retry reproducible
+    # — replaying the stream re-derives the exact lifting that won —
+    # and lets cached mixed cells be validated against the journal
+    lifting_seed = int(rng.integers(0, 2**63))
+    lift_rng = np.random.default_rng(lifting_seed)
     last: DegenerateLiftingError | None = None
-    for _ in range(max_retries):
-        lifting = random_lifting(supports, rng, bound=lifting_bound)
+    for attempt in range(max_retries):
+        lifting = random_lifting(supports, lift_rng, bound=lifting_bound)
         try:
-            return induced_subdivision(supports, lifting)
+            subdivision = induced_subdivision(supports, lifting)
         except DegenerateLiftingError as exc:  # pragma: no cover - rare
             last = exc
+            continue
+        subdivision.lifting_seed = lifting_seed
+        subdivision.relifts = attempt
+        subdivision.lifting_bound = lifting_bound
+        return subdivision
     raise DegenerateLiftingError(
         f"no generic lifting found in {max_retries} attempts"
     ) from last  # pragma: no cover

@@ -342,6 +342,16 @@ class PolyhedralStart:
     def cells(self) -> List[MixedCell]:
         return self.subdivision.cells
 
+    @property
+    def lifting_seed(self) -> int | None:
+        """Seed of the lifting stream (journaled for reproducibility)."""
+        return self.subdivision.lifting_seed
+
+    @property
+    def relifts(self) -> int:
+        """Degenerate liftings rejected before the subdivision's one."""
+        return self.subdivision.relifts
+
     # ------------------------------------------------------------------
     def cell_homotopy(self, cell: MixedCell) -> CellHomotopy:
         """The cell's coefficient homotopy, slacks normalized to min 1."""

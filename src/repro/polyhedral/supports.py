@@ -27,6 +27,7 @@ __all__ = [
     "supports_of",
     "augment_with_origin",
     "random_lifting",
+    "coefficient_system",
     "random_coefficient_system",
 ]
 
@@ -112,12 +113,25 @@ def random_coefficient_system(
     the coefficient of support row ``k`` of equation ``i`` — the
     row-aligned arrays the per-cell homotopies index by support row.
     """
+    coefficients = [
+        np.exp(2j * np.pi * rng.random(len(support))) for support in supports
+    ]
+    return coefficient_system(supports, coefficients), coefficients
+
+
+def coefficient_system(
+    supports: Sequence[np.ndarray],
+    coefficients: Sequence[np.ndarray],
+) -> PolynomialSystem:
+    """The system with the given supports and row-aligned coefficients.
+
+    The inverse of taking ``(supports_of(system), coefficient rows)`` —
+    used to rebuild a cached generic system from an artifact-store
+    record (:mod:`repro.artifacts`) exactly as it was first drawn.
+    """
     polys = []
-    coefficients: List[np.ndarray] = []
-    for support in supports:
+    for support, coeffs in zip(supports, coefficients):
         nvars = support.shape[1]
-        coeffs = np.exp(2j * np.pi * rng.random(len(support)))
-        coefficients.append(coeffs)
         polys.append(
             Polynomial(
                 {
@@ -127,4 +141,4 @@ def random_coefficient_system(
                 nvars,
             )
         )
-    return PolynomialSystem(polys), coefficients
+    return PolynomialSystem(polys)

@@ -24,7 +24,12 @@ from .solver import (
     PieriReport,
     PieriSolver,
 )
-from .parameter import PieriParameterHomotopy, continue_to_instance
+from .parameter import (
+    PieriParameterHomotopy,
+    PieriParameterStack,
+    continue_to_instance,
+    continue_to_instances,
+)
 from .verify import VerificationReport, verify_solutions
 
 __all__ = [
@@ -50,5 +55,7 @@ __all__ = [
     "VerificationReport",
     "verify_solutions",
     "PieriParameterHomotopy",
+    "PieriParameterStack",
     "continue_to_instance",
+    "continue_to_instances",
 ]

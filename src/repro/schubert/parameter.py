@@ -44,12 +44,18 @@ from ..tracker import (
 )
 from ..linalg import batched_det
 from ..tracker.interface import _per_path_t
+from ..tracker.stacked import StackedHomotopy
 from .homotopy import normalize_to_standard_chart
 from .patterns import LocalizationPattern
 from .poset import PieriPoset
 from .solver import PieriInstance
 
-__all__ = ["PieriParameterHomotopy", "continue_to_instance"]
+__all__ = [
+    "PieriParameterHomotopy",
+    "PieriParameterStack",
+    "continue_to_instance",
+    "continue_to_instances",
+]
 
 
 class PieriParameterHomotopy(HomotopyFunction, BatchHomotopy):
@@ -106,9 +112,15 @@ class PieriParameterHomotopy(HomotopyFunction, BatchHomotopy):
         self._free_j = np.array([j for _, j in self._free])
         idx = np.arange(amb)
         keep = np.array([np.delete(idx, i) for i in range(amb)])
-        self._minor_rows = keep[:, None, :, None]
-        self._minor_cols = keep[None, :, None, :]
-        self._minor_signs = (-1.0) ** np.add.outer(idx, idx)
+        # the Jacobian only needs cofactors at the free (i, j) positions:
+        # precompute minor index tables for the unique ones (<= dim of
+        # them) instead of the full amb x amb cofactor matrix
+        pos = np.stack([self._free_i, self._free_j], axis=1)
+        uniq, inverse = np.unique(pos, axis=0, return_inverse=True)
+        self._cof_rows = keep[uniq[:, 0]][:, :, None]
+        self._cof_cols = keep[uniq[:, 1]][:, None, :]
+        self._cof_signs = (-1.0) ** (uniq[:, 0] + uniq[:, 1])
+        self._cof_gather = inverse
         # scatter tables and stacked deformation endpoints for the
         # batched kernels
         pinned_sorted = sorted(pinned)
@@ -209,11 +221,11 @@ class PieriParameterHomotopy(HomotopyFunction, BatchHomotopy):
         c = self.to_matrix_batch(X)
         mats, ss = self._matrices(c, tt)
         amb = self._amb
-        minors = mats[..., self._minor_rows, self._minor_cols]
+        res = batched_det(mats)
+        minors = mats[:, :, self._cof_rows, self._cof_cols]
         dets = batched_det(minors.reshape(-1, amb - 1, amb - 1))
-        cofs = self._minor_signs * dets.reshape(mats.shape)
-        res = np.einsum("pej,pej->pe", mats[:, :, 0, :], cofs[:, :, 0, :])
-        gathered = cofs[:, :, self._free_i, self._free_j]
+        cofs = self._cof_signs * dets.reshape(minors.shape[:3])
+        gathered = cofs[:, :, self._cof_gather]
         spow = ss[:, :, None] ** self._free_l  # s_i(t)^l, s0 = 1 throughout
         return res, gathered * spow
 
@@ -295,3 +307,193 @@ def continue_to_instance(
                 solutions.append(matrix)
         results.append(result)
     return solutions, results
+
+
+class PieriParameterStack(StackedHomotopy):
+    """Same-structure specialization of :class:`StackedHomotopy`.
+
+    A generic :class:`StackedHomotopy` front dispatches every batched
+    call member by member — correct for heterogeneous members, but when
+    every member is a :class:`PieriParameterHomotopy` warm-started from
+    the *same* solved generic instance (the serving layer's grouped
+    queries), all members share one localization pattern and only their
+    deformation *endpoints* differ.  This subclass hoists those
+    endpoints into per-path arrays indexed by the ownership vector, so
+    the whole cross-request front — B queries x d(m, p, q) paths each —
+    evaluates in one vectorized chain per tracker sweep instead of B
+    separate ones.  Per-path arithmetic is identical to the member's own
+    batched methods; only the loop structure changes.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[PieriParameterHomotopy],
+        owners: Sequence[int],
+    ) -> None:
+        if not members:
+            raise ValueError("need at least one member homotopy")
+        root = members[0]
+        for member in members:
+            if not isinstance(member, PieriParameterHomotopy):
+                raise TypeError(
+                    "PieriParameterStack members must be "
+                    "PieriParameterHomotopy instances"
+                )
+            if member.problem != root.problem:
+                raise ValueError("members must share one (m, p, q)")
+        super().__init__(members, owners)
+        own = self.owners
+        # per-path deformation endpoints: row r follows owner own[r]
+        self._k0 = np.stack([members[o]._k0 for o in own])
+        self._k1 = np.stack([members[o]._k1 for o in own])
+        self._s0 = np.stack([members[o]._s0 for o in own])
+        self._s1 = np.stack([members[o]._s1 for o in own])
+        self._delta = np.stack([members[o].delta_s for o in own])
+
+    def restrict(self, rows) -> "PieriParameterStack":
+        rows = np.asarray(rows, dtype=np.int64)
+        view = object.__new__(PieriParameterStack)
+        view.members = self.members
+        owners = self.owners[rows]
+        view.owners = owners
+        groups = [
+            (k, np.flatnonzero(owners == k)) for k in range(len(self.members))
+        ]
+        view._groups = [(k, r) for k, r in groups if r.size]
+        for name in ("_k0", "_k1", "_s0", "_s1", "_delta"):
+            setattr(view, name, getattr(self, name)[rows])
+        return view
+
+    # ------------------------------------------------------------------
+    def _matrices(self, X: np.ndarray, tt: np.ndarray):
+        """As :meth:`PieriParameterHomotopy._matrices`, per-path endpoints."""
+        root = self.members[0]
+        c = root.to_matrix_batch(X)
+        w0 = (1.0 - tt)[:, None, None, None]
+        w1 = tt[:, None, None, None]
+        ks = w0 * self._k0 + w1 * self._k1
+        ss = (
+            (1.0 - tt)[:, None] * self._s0
+            + tt[:, None] * self._s1
+            + (tt * (1.0 - tt))[:, None] * self._delta
+        )
+        npaths = c.shape[0]
+        amb = root._amb
+        p = root.problem.p
+        blocks = c.reshape(npaths, root._n_blocks, amb, p)
+        spow = ss[:, :, None] ** np.arange(root._n_blocks)
+        n = root.problem.num_conditions
+        mats = np.empty((npaths, n, amb, amb), dtype=complex)
+        mats[..., :p] = np.einsum("pcl,plar->pcar", spow, blocks)
+        mats[..., p:] = ks
+        return mats, ss
+
+    def evaluate_batch(self, X: np.ndarray, t) -> np.ndarray:
+        X = self._check(X)
+        tt = _per_path_t(t, X.shape[0])
+        mats, _ = self._matrices(X, tt)
+        return batched_det(mats)
+
+    def jacobian_x_batch(self, X: np.ndarray, t) -> np.ndarray:
+        return self.evaluate_and_jacobian_batch(X, t)[1]
+
+    def jacobian_t_batch(self, X: np.ndarray, t) -> np.ndarray:
+        # the generic BatchHomotopy finite difference runs through the
+        # fused evaluate_batch — cheaper than the per-member loop
+        return BatchHomotopy.jacobian_t_batch(self, X, t)
+
+    def jacobians_batch(self, X, t):
+        return BatchHomotopy.jacobians_batch(self, X, t)
+
+    def evaluate_and_jacobian_batch(self, X, t):
+        X = self._check(X)
+        tt = _per_path_t(t, X.shape[0])
+        root = self.members[0]
+        amb = root._amb
+        mats, ss = self._matrices(X, tt)
+        res = batched_det(mats)
+        minors = mats[:, :, root._cof_rows, root._cof_cols]
+        dets = batched_det(minors.reshape(-1, amb - 1, amb - 1))
+        cofs = root._cof_signs * dets.reshape(minors.shape[:3])
+        gathered = cofs[:, :, root._cof_gather]
+        return res, gathered * (ss[:, :, None] ** root._free_l)
+
+    def __repr__(self) -> str:
+        return (
+            f"PieriParameterStack({len(self.members)} queries, "
+            f"{self.npaths} paths, dim={self.dim})"
+        )
+
+
+def continue_to_instances(
+    start: PieriInstance,
+    start_solutions: Sequence[np.ndarray],
+    targets: Sequence[PieriInstance],
+    options: TrackerOptions | None = None,
+    rng: np.random.Generator | None = None,
+) -> List[tuple[List[np.ndarray], List[PathResult]]]:
+    """Track one solved instance to *many* targets as one stacked front.
+
+    The cross-request analogue of :func:`continue_to_instance`: B
+    same-shape queries warm-started from one cached generic instance are
+    tracked together as a single :class:`PieriParameterStack` —
+    ``B * d(m, p, q)`` paths in one structure-of-arrays front, so the
+    per-sweep numpy dispatch cost is shared by every query.  Returns one
+    ``(solutions, path_results)`` pair per target, each identical in
+    content to a sequential :func:`continue_to_instance` call modulo the
+    rng draws for the gamma twists.
+    """
+    if not targets:
+        return []
+    rng = np.random.default_rng() if rng is None else rng
+    opts = options or TrackerOptions(
+        initial_step=0.02, max_step=0.08, corrector_tol=1e-10
+    )
+    members = [PieriParameterHomotopy(start, tgt, rng) for tgt in targets]
+    x0s_one = [
+        members[0].from_matrix(np.asarray(sol, dtype=complex))
+        for sol in start_solutions
+    ]
+    d = len(x0s_one)
+    owners: List[int] = []
+    x0s: List[np.ndarray] = []
+    for k in range(len(targets)):
+        owners.extend([k] * d)
+        x0s.extend(x0s_one)
+    stack = PieriParameterStack(members, owners)
+    raw = BatchTracker(opts).track_batch(stack, x0s)
+    # duplicate-endpoint separation is a per-query question: two paths
+    # of different queries may legitimately coincide
+    for k, member in enumerate(members):
+        rows = list(range(k * d, (k + 1) * d))
+        group = [raw[i] for i in rows]
+        retrack_duplicate_clusters(
+            group,
+            lambda pid, o, m=member: PathTracker(o).track(
+                m, x0s_one[pid], path_id=pid
+            ),
+            tighten_options,
+            opts,
+        )
+        for i, result in zip(rows, group):
+            raw[i] = result
+    out: List[tuple[List[np.ndarray], List[PathResult]]] = []
+    for k, member in enumerate(members):
+        solutions: List[np.ndarray] = []
+        results: List[PathResult] = []
+        for result in raw[k * d : (k + 1) * d]:
+            if result.success:
+                matrix = member.to_matrix(result.solution)
+                try:
+                    matrix = normalize_to_standard_chart(
+                        matrix, member.pattern
+                    )
+                except ZeroDivisionError:
+                    result = dataclasses.replace(
+                        result, status=PathStatus.FAILED
+                    )
+                else:
+                    solutions.append(matrix)
+            results.append(result)
+        out.append((solutions, results))
+    return out

@@ -151,6 +151,12 @@ class PieriReport:
     #: one record per tree level when solved with ``mode="batch"``:
     #: n_jobs, n_homotopies, chart_switches, retries, seconds
     level_batches: List[dict] = field(default_factory=list)
+    #: artifact-store routing of this solve, when a ``cache=`` was given:
+    #: ``status`` ("warm" — continued from the cached generic instance
+    #: in exactly ``n_paths == d(m, p, q)`` paths — or "cold"), the
+    #: store ``key``, and for cold solves whether the result was
+    #: ``stored`` for future warm queries
+    cache: Optional[dict] = None
 
     @property
     def n_solutions(self) -> int:
@@ -496,7 +502,9 @@ class PieriSolver:
 
     # ------------------------------------------------------------------
     def solve(
-        self, mode: Literal["per_path", "batch"] = "per_path"
+        self,
+        mode: Literal["per_path", "batch"] = "per_path",
+        cache=None,
     ) -> PieriReport:
         """Sequential solve of the whole tree.
 
@@ -506,11 +514,112 @@ class PieriSolver:
         stacked structure-of-arrays front and recording per-level batch
         stats in ``report.level_batches``.  Both modes build identical
         homotopies, so the solution sets agree.
+
+        ``cache`` (an :class:`~repro.artifacts.ArtifactStore`, a path,
+        or ``True`` for the ``$REPRO_ARTIFACT_STORE`` default) turns on
+        the offline/online split: when the store holds a solved generic
+        instance of this shape, the query is served *warm* by
+        coefficient-parameter continuation — exactly ``d(m, p, q)``
+        tracked paths instead of the whole tree — and
+        ``report.cache["status"]`` says which route ran.  A cold solve
+        that finds every expected root populates the store on the way
+        out.  A warm attempt that fails any path falls back to the
+        ab-initio tree (cached data can steer the route, never the
+        answer).
         """
-        if mode == "batch":
-            return self._solve_batched()
-        if mode != "per_path":
+        if mode not in ("per_path", "batch"):
             raise ValueError(f"unknown mode {mode!r}")
+        store = None
+        if cache is not None:
+            from ..artifacts import resolve_store
+
+            store = resolve_store(cache)
+        if store is not None:
+            report = self._solve_warm(store, mode)
+            if report is not None:
+                return report
+        report = (
+            self._solve_batched()
+            if mode == "batch"
+            else self._solve_per_path()
+        )
+        if store is not None:
+            from ..artifacts import pieri_key, store_pieri_generic
+
+            problem = self.problem
+            report.cache = {
+                "status": "cold",
+                "key": pieri_key(problem.m, problem.p, problem.q),
+                "n_paths": sum(report.jobs_per_level.values()),
+                "stored": False,
+            }
+            complete = (
+                report.failures == 0
+                and report.n_solutions == report.expected_count()
+            )
+            if complete:
+                store_pieri_generic(
+                    store,
+                    self.instance,
+                    report.solutions,
+                    report.jobs_per_level,
+                )
+                report.cache["stored"] = True
+        return report
+
+    def _solve_warm(self, store, mode: str) -> Optional[PieriReport]:
+        """Serve the query from a cached solved generic instance.
+
+        Returns ``None`` — caller falls back to the ab-initio tree —
+        when the store has no (valid) artifact for this shape or any
+        continuation path fails; a warm answer is all-or-nothing.
+        """
+        from ..artifacts import load_pieri_generic, pieri_key
+        from .parameter import continue_to_instance
+
+        problem = self.problem
+        loaded = load_pieri_generic(store, problem.m, problem.p, problem.q)
+        if loaded is None:
+            return None
+        generic, generic_solutions, _meta = loaded
+        t_start = time.perf_counter()
+        rng = np.random.default_rng([self.seed, problem.m, problem.p,
+                                     problem.q, 1])
+        solutions, results = continue_to_instance(
+            generic,
+            generic_solutions,
+            self.instance,
+            options=self.tracker.options,
+            rng=rng,
+            mode=mode,
+        )
+        if any(not r.success for r in results):
+            return None
+        seconds = time.perf_counter() - t_start
+        report = PieriReport(
+            self.instance,
+            solutions=solutions,
+            total_seconds=seconds,
+            level_batches=[
+                {
+                    "level": "online",
+                    "n_jobs": 1,
+                    "n_homotopies": 1,
+                    "n_paths": len(results),
+                    "seconds": seconds,
+                }
+            ],
+        )
+        report.cache = {
+            "status": "warm",
+            "key": pieri_key(problem.m, problem.p, problem.q),
+            "n_paths": len(results),
+            "seconds": seconds,
+        }
+        return report
+
+    def _solve_per_path(self) -> PieriReport:
+        """Depth-first scalar solve (the ``mode="per_path"`` body)."""
         t_start = time.perf_counter()
         report = PieriReport(self.instance)
         stack = self.initial_jobs()

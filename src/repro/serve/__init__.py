@@ -1,0 +1,46 @@
+"""``repro.serve`` — the long-running, batching solve service.
+
+The paper's offline/online split, served: ``python -m repro.serve``
+binds a TCP endpoint, accepts concurrent JSONL queries (the fleet's
+framing), groups same-structure queries arriving within one batching
+window, and tracks each Pieri group as **one** stacked
+structure-of-arrays front warm-started from the artifact cache
+(:mod:`repro.artifacts`).  The first query of a structure pays the
+ab-initio solve and populates the store; every later query — from any
+client, any process, any day — costs ``d(m, p, q)`` continuation
+paths.
+
+>>> SERVE_MESSAGE_TYPES[:2]
+('query', 'result')
+>>> q = {"type": "query", "kind": "pieri", "m": 2, "p": 2, "q": 0,
+...      "seed": 7}
+>>> encode_serve_frame(q).endswith(b"\\n")
+True
+>>> import numpy as np
+>>> a = np.array([[1 + 2j, 3.5]])
+>>> bool(np.array_equal(complex_from_json(complex_to_json(a)), a))
+True
+
+See ``docs/serve.md`` for the tutorial (cold round vs warm round) and
+``python -m repro.serve --demo`` for a self-contained smoke run.
+"""
+
+from .service import (
+    SERVE_MESSAGE_TYPES,
+    SolveService,
+    complex_from_json,
+    complex_to_json,
+    decode_serve_line,
+    encode_serve_frame,
+    request_many,
+)
+
+__all__ = [
+    "SERVE_MESSAGE_TYPES",
+    "SolveService",
+    "encode_serve_frame",
+    "decode_serve_line",
+    "complex_to_json",
+    "complex_from_json",
+    "request_many",
+]

@@ -1,0 +1,131 @@
+"""Command-line front of the batching solve service.
+
+::
+
+    python -m repro.serve --bind HOST:PORT --store DIR   # long-running
+    python -m repro.serve --demo [--clients N]           # smoke run
+
+The long-running form binds the endpoint and serves until interrupted;
+``--store`` points the artifact cache at a directory (defaults to
+``$REPRO_ARTIFACT_STORE``, else a temporary store that lives as long as
+the process).  ``--demo`` is self-contained: it starts a service on an
+ephemeral port with a temporary store, fires ``--clients`` concurrent
+same-shape Pieri queries at it twice — a cold round that populates the
+store, then a warm round — and prints the grouping evidence (one group
+per round, one stacked front, per-query path counts).  Exit status 0
+means every query of both rounds succeeded and the warm round was
+served by grouped continuation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import tempfile
+
+from ..artifacts import STORE_ENV
+from .service import SolveService, request_many
+
+__all__ = ["main"]
+
+
+def _parse_endpoint(text: str) -> tuple:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"bad endpoint {text!r}: expected HOST:PORT")
+    return host, int(port)
+
+
+async def _serve_forever(args) -> int:
+    service = SolveService(
+        store=args.store, batch_window=args.window, seed=args.seed
+    )
+    host, port = _parse_endpoint(args.bind)
+    server = await service.start(host, port)
+    bound = server.sockets[0].getsockname()
+    print(f"serve listening on {bound[0]}:{bound[1]} "
+          f"(store: {service.store.root if service.store else 'disabled'})",
+          flush=True)
+    async with server:
+        await server.serve_forever()
+    return 0
+
+
+async def _demo(args) -> int:
+    service = SolveService(
+        store=args.store, batch_window=args.window, seed=args.seed
+    )
+    server = await service.start("127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    shape = {"type": "query", "kind": "pieri", "m": 2, "p": 2, "q": 0}
+    ok = True
+    try:
+        for label in ("cold", "warm"):
+            queries = [
+                dict(shape, id=f"{label}-{k}", seed=100 + k)
+                for k in range(args.clients)
+            ]
+            replies = await request_many("127.0.0.1", port, queries)
+            n_ok = sum(r.get("ok", False) for r in replies)
+            group = service.group_log[-1]
+            print(f"{label} round: {n_ok}/{len(queries)} queries ok, "
+                  f"group size {group['size']}, route {group['route']}, "
+                  f"stacked paths {group['stack_paths']}")
+            ok = ok and n_ok == len(queries) and group["size"] == len(queries)
+        print(f"stats: {service.stats}")
+        # the warm round must have been one grouped continuation front
+        ok = ok and service.group_log[-1]["route"] == "warm"
+        ok = ok and service.group_log[-1]["stack_paths"] > 0
+    finally:
+        server.close()
+        await server.wait_closed()
+        await service.aclose()
+    print("demo ok" if ok else "demo FAILED")
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Batching solve service over the artifact cache.",
+    )
+    parser.add_argument(
+        "--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="endpoint to listen on (port 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="artifact store directory (default: $REPRO_ARTIFACT_STORE, "
+        "else a temporary directory)",
+    )
+    parser.add_argument(
+        "--window", type=float, default=0.05, metavar="S",
+        help="batching window in seconds (default 0.05)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--demo", action="store_true",
+        help="self-contained smoke run: concurrent clients, cold round "
+        "then warm round, grouping evidence printed",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4, metavar="N",
+        help="concurrent queries per demo round (default 4)",
+    )
+    args = parser.parse_args(argv)
+    if args.store is None:
+        args.store = os.environ.get(STORE_ENV) or tempfile.mkdtemp(
+            prefix="repro-serve-"
+        )
+    try:
+        if args.demo:
+            return asyncio.run(_demo(args))
+        return asyncio.run(_serve_forever(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

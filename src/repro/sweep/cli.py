@@ -306,7 +306,7 @@ def _report_payload(journal: SweepJournal, records: dict, manifest) -> dict:
             "result": record.get("result", {}),
         }
         # record-level extras (non-deterministic, segregated from result)
-        for key in ("kernel_cache", "telemetry_seconds"):
+        for key in ("kernel_cache", "telemetry_seconds", "artifacts"):
             if record.get(key):
                 row[key] = record[key]
         jobs.append(row)
@@ -386,6 +386,10 @@ def _cmd_report(args) -> int:
                              f" cache_misses="
                              f"{kcache.get('kernel_misses', '?')}"
                              f" cache_size={kcache.get('kernels', '?')}")
+                    evicted = (kcache.get("tape_evictions", 0)
+                               + kcache.get("kernel_evictions", 0))
+                    if evicted:
+                        line += f" cache_evictions={evicted}"
             endgame = result.get("endgame", "refine")
             if endgame != "refine":
                 line += f" endgame={endgame}"
@@ -404,6 +408,13 @@ def _cmd_report(args) -> int:
                     f"mode={result.get('mode', 'per_path')} "
                     f"paths={result.get('expected', '?')} "
                     f"solutions={result.get('n_solutions', '?')}")
+        artifacts = record.get("artifacts") or {}
+        route = artifacts.get("route") or {}
+        if route:
+            # which way the artifact store sent this job, and how many
+            # paths the warm/cold route actually tracked
+            line += (f" cache={route.get('status', '?')}"
+                     f"({route.get('n_paths', '?')} paths)")
         print(line)
     if manifest and manifest.get("fleet"):
         fstats = manifest["fleet"]

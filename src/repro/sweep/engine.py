@@ -138,13 +138,22 @@ def run_job(job: JobSpec) -> dict:
     """
     params = job.param_dict
     rng = np.random.default_rng(job.seed)
+    store = None
+    if getattr(job, "cache", "off") == "on":
+        from ..artifacts import default_store
+
+        store = default_store()
+    cache_route = None
     if job.kind == "pieri":
         from ..schubert import PieriInstance, PieriSolver
 
         instance = PieriInstance.random(
             params["m"], params["p"], params["q"], rng
         )
-        report = PieriSolver(instance, seed=job.seed).solve(mode=job.mode)
+        report = PieriSolver(instance, seed=job.seed).solve(
+            mode=job.mode, cache=store
+        )
+        cache_route = report.cache
         result = {
             "mode": job.mode,
             "n_solutions": report.n_solutions,
@@ -175,7 +184,9 @@ def run_job(job: JobSpec) -> dict:
             rng=rng,
             endgame=job.endgame,
             kernel=job.kernel,
+            cache=store,
         )
+        cache_route = report.summary.get("cache")
         result = {
             "start": job.start,
             "endgame": job.endgame,
@@ -198,7 +209,14 @@ def run_job(job: JobSpec) -> dict:
             result["singular_fingerprint"] = solutions_fingerprint(
                 report.singular_solutions
             )
-        for key in ("mixed_volume", "n_cells", "phase1_failures"):
+        # ``lifting_seed``/``relifts`` journal the polyhedral lifting
+        # draw: a DegenerateLiftingError retry replays identically from
+        # the seed, and cached mixed cells validate against it
+        # (:func:`repro.artifacts.validate_lifting_seed`)
+        for key in (
+            "mixed_volume", "n_cells", "phase1_failures",
+            "lifting_seed", "relifts",
+        ):
             if key in report.summary:
                 result[key] = report.summary[key]
         if "kernel" in report.summary:
@@ -212,13 +230,23 @@ def run_job(job: JobSpec) -> dict:
                 for k, v in report.summary["kernel"].items()
                 if k not in ("taping_seconds", "cache")
             }
-    return {
+    record = {
         "job_id": job.job_id,
         "kind": job.kind,
         "params": params,
         "seed": job.seed,
         "result": result,
     }
+    if store is not None:
+        # record level, not result level: whether a replay lands warm or
+        # cold depends on what other jobs stored first, and journaled
+        # ``result`` dicts must be replay-deterministic
+        record["artifacts"] = {
+            "route": cache_route,
+            "stats": dict(store.stats),
+            "root": str(store.root),
+        }
+    return record
 
 
 def _run_job_timed(job_dict: dict):
@@ -370,6 +398,15 @@ def run_sweep(
     if abort_after is not None and abort_after < 1:
         raise ValueError("abort_after must be a positive count")
 
+    if any(job.cache != "off" for job in spec.jobs):
+        # point cache-aware jobs at a store the whole pool shares; the
+        # worker processes inherit the variable at fork, and an explicit
+        # $REPRO_ARTIFACT_STORE wins so sweeps can share one store
+        from ..artifacts import STORE_ENV
+
+        os.environ.setdefault(
+            STORE_ENV, str(Path(checkpoint) / "artifacts")
+        )
     journal = SweepJournal(checkpoint)
     journal.initialize(spec.to_dict())
     done = journal.load_records()

@@ -29,7 +29,11 @@ and journals each job's multiplicity histogram.  An optional ``kernel``
 (and grid axis) picks the evaluation backend — ``naive`` (default, the
 seed arithmetic) or ``slp`` (the compiled straight-line-program kernels
 of :mod:`repro.kernels`) — and each job journals its kernel's
-deterministic effort counters.
+deterministic effort counters.  An optional ``cache`` (and grid axis)
+— ``off`` (default) or ``on`` — routes Pieri and ``polyhedral``-start
+jobs through the structure-keyed artifact store
+(:mod:`repro.artifacts`), so a family of same-structure jobs pays the
+ab-initio solve once and continues the rest.
 
 Every job has a deterministic, human-readable :attr:`JobSpec.job_id`
 (e.g. ``pieri-m2-p2-q1-s0``) that keys the checkpoint journal, and a
@@ -51,6 +55,7 @@ __all__ = [
     "PIERI_MODES",
     "ENDGAME_KINDS",
     "SOLVE_KERNELS",
+    "CACHE_MODES",
     "JobSpec",
     "SweepSpec",
     "mixed_demo_spec",
@@ -91,6 +96,15 @@ ENDGAME_KINDS = ("refine", "cauchy")
 #: untouched.
 SOLVE_KERNELS = ("naive", "slp")
 
+#: Artifact-cache modes (and grid axis): ``off`` (default) solves
+#: ab-initio; ``on`` consults the process-shared
+#: :class:`~repro.artifacts.ArtifactStore` (``$REPRO_ARTIFACT_STORE``,
+#: which the engine points at ``<checkpoint>/artifacts`` when unset) so
+#: same-structure jobs amortize mixed cells / solved generic instances
+#: into coefficient-parameter continuation.  Only Pieri jobs and
+#: ``polyhedral``-start polynomial jobs have a structure to key on.
+CACHE_MODES = ("off", "on")
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -113,6 +127,7 @@ class JobSpec:
     mode: str = "per_path"
     endgame: str = "refine"
     kernel: str = "naive"
+    cache: str = "off"
 
     def __init__(
         self,
@@ -123,6 +138,7 @@ class JobSpec:
         mode: str = "per_path",
         endgame: str = "refine",
         kernel: str = "naive",
+        cache: str = "off",
     ):
         if kind not in JOB_KINDS:
             raise ValueError(
@@ -165,6 +181,16 @@ class JobSpec:
             raise ValueError(
                 "pieri jobs run the tree solver and take no kernel backend"
             )
+        if cache not in CACHE_MODES:
+            raise ValueError(
+                f"unknown cache mode {cache!r}; expected one of "
+                f"{sorted(CACHE_MODES)}"
+            )
+        if cache == "on" and kind != "pieri" and start != "polyhedral":
+            raise ValueError(
+                "cache='on' needs a structure to key on: pieri jobs or "
+                "polynomial jobs with start='polyhedral'"
+            )
         required = JOB_KINDS[kind]
         given = dict(params)
         if sorted(given) != sorted(required):
@@ -180,6 +206,7 @@ class JobSpec:
         object.__setattr__(self, "mode", mode)
         object.__setattr__(self, "endgame", endgame)
         object.__setattr__(self, "kernel", kernel)
+        object.__setattr__(self, "cache", cache)
 
     @property
     def param_dict(self) -> Dict[str, int]:
@@ -204,6 +231,8 @@ class JobSpec:
             parts.append(self.endgame)
         if self.kernel != "naive":
             parts.append(self.kernel)
+        if self.cache != "off":
+            parts.append("cache")
         parts.append(f"s{self.seed}")
         return "-".join(parts)
 
@@ -217,6 +246,8 @@ class JobSpec:
             d["endgame"] = self.endgame
         if self.kernel != "naive":
             d["kernel"] = self.kernel
+        if self.cache != "off":
+            d["cache"] = self.cache
         return d
 
     @classmethod
@@ -229,6 +260,7 @@ class JobSpec:
             d.get("mode", "per_path"),
             d.get("endgame", "refine"),
             d.get("kernel", "naive"),
+            d.get("cache", "off"),
         )
 
 
@@ -253,6 +285,9 @@ def _expand_grid(grid: Mapping) -> List[JobSpec]:
     kernels = grid.pop("kernel", ["naive"])
     if isinstance(kernels, str):
         kernels = [kernels]
+    caches = grid.pop("cache", ["off"])
+    if isinstance(caches, str):
+        caches = [caches]
     axes = {}
     for name in JOB_KINDS[kind]:
         if name not in grid:
@@ -264,22 +299,22 @@ def _expand_grid(grid: Mapping) -> List[JobSpec]:
     names = list(axes)
     jobs = []
     for combo in itertools.product(*(axes[n] for n in names)):
-        for start in starts:
-            for mode in modes:
-                for endgame in endgames:
-                    for kernel in kernels:
-                        for seed in seeds:
-                            jobs.append(
-                                JobSpec(
-                                    kind,
-                                    dict(zip(names, combo)),
-                                    seed=seed,
-                                    start=start,
-                                    mode=mode,
-                                    endgame=endgame,
-                                    kernel=kernel,
-                                )
-                            )
+        for combo_opts in itertools.product(
+            starts, modes, endgames, kernels, caches, seeds
+        ):
+            start, mode, endgame, kernel, cache, seed = combo_opts
+            jobs.append(
+                JobSpec(
+                    kind,
+                    dict(zip(names, combo)),
+                    seed=seed,
+                    start=start,
+                    mode=mode,
+                    endgame=endgame,
+                    kernel=kernel,
+                    cache=cache,
+                )
+            )
     return jobs
 
 

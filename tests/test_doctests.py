@@ -32,6 +32,10 @@ DOCUMENTED_MODULES = [
     "repro.parallel.fleet.protocol",
     "repro.parallel.fleet.messages",
     "repro.simcluster.fleet_sim",
+    "repro.artifacts",
+    "repro.artifacts.fingerprints",
+    "repro.homotopy.coefficient",
+    "repro.serve",
 ]
 
 

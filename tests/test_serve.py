@@ -1,0 +1,187 @@
+"""The batching solve service: framing, grouping, stacked fronts, parity.
+
+The PR-9 serve acceptance pins: N concurrent same-shape queries form
+one group tracked as one stacked front (asserted via the service's
+group log / telemetry counters), and every per-query result is
+identical to solving the same queries sequentially.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    SERVE_MESSAGE_TYPES,
+    SolveService,
+    complex_from_json,
+    complex_to_json,
+    decode_serve_line,
+    encode_serve_frame,
+    request_many,
+)
+from repro.artifacts import ArtifactStore
+from repro.schubert import pieri_root_count
+from repro.telemetry import Telemetry, use_telemetry
+
+
+# -------------------------------------------------------------- framing
+class TestFraming:
+    def test_roundtrip(self):
+        frame = encode_serve_frame(
+            {"type": "query", "kind": "pieri", "m": 2, "p": 2, "q": 0}
+        )
+        assert frame.endswith(b"\n")
+        message = decode_serve_line(frame)
+        assert message["type"] == "query" and message["m"] == 2
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            encode_serve_frame({"type": "lease"})  # fleet type, not serve
+
+    def test_tolerant_decode(self):
+        assert decode_serve_line(b"") is None
+        assert decode_serve_line(b"   \n") is None
+        assert decode_serve_line(b'{"type": "query", trunca') is None
+        assert decode_serve_line(b'{"type": "welcome"}') is None  # foreign
+        assert decode_serve_line(b"[1, 2]") is None
+        assert "query" in SERVE_MESSAGE_TYPES
+
+    def test_complex_codec(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((3, 2)) + 1j * rng.standard_normal((3, 2))
+        b = complex_from_json(complex_to_json(a))
+        np.testing.assert_array_equal(a, b)
+
+
+def _serve_and_query(service, query_rounds):
+    """Run the service on an ephemeral port, fire each round of queries
+    concurrently, return the per-round replies."""
+
+    async def run():
+        server = await service.start("127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        rounds = []
+        try:
+            for queries in query_rounds:
+                rounds.append(
+                    await request_many("127.0.0.1", port, queries)
+                )
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.aclose()
+        return rounds
+
+    return asyncio.run(run())
+
+
+def _pieri_queries(n, label, m=2, p=2, q=0):
+    return [
+        {"type": "query", "id": f"{label}-{k}", "kind": "pieri",
+         "m": m, "p": p, "q": q, "seed": 50 + k}
+        for k in range(n)
+    ]
+
+
+def _solutions(reply):
+    return [complex_from_json(s) for s in reply["solutions"]]
+
+
+# -------------------------------------------------------------- service
+class TestService:
+    def test_concurrent_same_shape_queries_one_stacked_front(self, tmp_path):
+        n, d = 4, pieri_root_count(2, 2, 0)
+        tel = Telemetry(name="serve-test")
+        with use_telemetry(tel):
+            service = SolveService(
+                store=ArtifactStore(tmp_path), batch_window=0.15
+            )
+            cold_round, warm_round = _serve_and_query(
+                service,
+                [_pieri_queries(n, "cold"), _pieri_queries(n, "warm")],
+            )
+        assert all(r["ok"] for r in cold_round + warm_round)
+        assert all(r["n_solutions"] == d for r in cold_round + warm_round)
+        # one group per round, each the size of the whole round
+        assert [g["size"] for g in service.group_log] == [n, n]
+        cold_group, warm_group = service.group_log
+        assert cold_group["route"] == "cold"
+        # cold round: query 0 pays the tree, the other n-1 ride one stack
+        assert cold_group["stack_paths"] == (n - 1) * d
+        # warm round: ALL n queries in one stacked front of n*d paths
+        assert warm_group["route"] == "warm"
+        assert warm_group["stack_paths"] == n * d
+        assert service.stats["queries"] == 2 * n
+        assert service.stats["groups"] == 2
+        assert service.stats["fallbacks"] == 0
+        counters = tel.summary()["counters"]
+        assert counters["serve.query"] == 2 * n
+        assert counters["serve.group"] == 2
+        assert counters["serve.stack_paths"] == (n - 1) * d + n * d
+
+    def test_batched_results_match_sequential(self, tmp_path):
+        n = 3
+        store_root = tmp_path / "store"
+        # sequential reference: same store contents, same queries, one
+        # at a time (each its own batch window)
+        seq_service = SolveService(
+            store=ArtifactStore(store_root), batch_window=0.01, seed=0
+        )
+        seq_rounds = _serve_and_query(
+            seq_service,
+            [[q] for q in _pieri_queries(n, "s")],
+        )
+        seq = [r[0] for r in seq_rounds]
+        # batched run against a fresh store (cold + stack) — answers
+        # must agree with the sequential ones to tracking accuracy
+        batch_service = SolveService(
+            store=ArtifactStore(tmp_path / "store2"), batch_window=0.15,
+            seed=0,
+        )
+        (batch,) = _serve_and_query(
+            batch_service, [_pieri_queries(n, "s")]
+        )
+        by_id = {r["id"]: r for r in batch}
+        for ref in seq:
+            got = by_id[ref["id"].replace("s-", "s-")]
+            assert got["n_solutions"] == ref["n_solutions"]
+            ref_flat = np.stack(
+                [s.ravel() for s in _solutions(ref)]
+            )
+            for sol in _solutions(got):
+                gap = np.min(
+                    np.max(np.abs(ref_flat - sol.ravel()), axis=1)
+                )
+                assert gap < 1e-8
+
+    def test_mixed_shapes_split_into_groups(self, tmp_path):
+        service = SolveService(
+            store=ArtifactStore(tmp_path), batch_window=0.15
+        )
+        queries = _pieri_queries(2, "a", m=2, p=2, q=0) + _pieri_queries(
+            2, "b", m=2, p=3, q=0
+        )
+        (replies,) = _serve_and_query(service, [queries])
+        assert all(r["ok"] for r in replies)
+        assert len(service.group_log) == 2
+        assert sorted(g["size"] for g in service.group_log) == [2, 2]
+        keys = {g["key"] for g in service.group_log}
+        assert len(keys) == 2  # distinct shapes, distinct fingerprints
+
+    def test_malformed_query_gets_error_reply(self, tmp_path):
+        service = SolveService(
+            store=ArtifactStore(tmp_path), batch_window=0.05
+        )
+        (replies,) = _serve_and_query(
+            service, [[{"type": "query", "id": "bad", "kind": "nope"}]]
+        )
+        assert replies[0]["type"] == "error"
+        assert replies[0]["id"] == "bad"
+        assert service.stats["errors"] == 1
+
+    def test_cache_disabled_still_answers(self, tmp_path):
+        d = pieri_root_count(2, 2, 0)
+        service = SolveService(store=None, batch_window=0.1)
+        (replies,) = _serve_and_query(service, [_pieri_queries(2, "x")])
+        assert all(r["ok"] and r["n_solutions"] == d for r in replies)

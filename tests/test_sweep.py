@@ -274,6 +274,42 @@ class TestRunJob:
         assert solutions_fingerprint([a, b]) == solutions_fingerprint([b, a])
         assert solutions_fingerprint([a]) != solutions_fingerprint([b])
 
+    def test_fingerprint_reordering_stability(self):
+        # invariant under any permutation of the solution *set*; three
+        # orders of a three-solution set must all agree
+        rng = np.random.default_rng(7)
+        sols = [rng.standard_normal(3) + 1j * rng.standard_normal(3)
+                for _ in range(3)]
+        ref = solutions_fingerprint(sols)
+        assert solutions_fingerprint(sols[::-1]) == ref
+        assert solutions_fingerprint([sols[1], sols[2], sols[0]]) == ref
+        # ...but NOT invariant to shuffling coordinates within a solution
+        swapped = sols[0][[1, 0, 2]]
+        assert solutions_fingerprint([swapped, *sols[1:]]) != ref
+
+    def test_fingerprint_digits_sensitivity(self):
+        # tracking noise below the rounding threshold hashes identically;
+        # tightening `digits` re-exposes it
+        a = np.array([1.0 + 2.0j])
+        jittered = np.array([1.0 + 4e-7 + 2.0j])
+        assert solutions_fingerprint([a]) == solutions_fingerprint([jittered])
+        assert solutions_fingerprint([a], digits=8) != solutions_fingerprint(
+            [jittered], digits=8
+        )
+
+    def test_fingerprint_near_collision_distinct(self):
+        # values that differ just above the rounding threshold stay
+        # distinct — rounding coarsens, it does not merge neighbours
+        a = np.array([1.0 + 0.5j, -2.0])
+        above = np.array([1.0 + 2e-6 + 0.5j, -2.0])
+        assert solutions_fingerprint([a]) != solutions_fingerprint([above])
+        # real and imaginary parts hash independently: moving the same
+        # perturbation between them changes the key
+        imag_shift = np.array([1.0 + (0.5 + 2e-6) * 1j, -2.0])
+        assert solutions_fingerprint([above]) != solutions_fingerprint(
+            [imag_shift]
+        )
+
 
 class TestEngine:
     def test_serial_run_and_resume(self, tmp_path):
