@@ -26,6 +26,8 @@ spec = SweepSpec(
         JobSpec("noon", {"n": 3}, seed=0),
         JobSpec("pieri", {"m": 2, "p": 2, "q": 0}, seed=0),
         JobSpec("cyclic", {"n": 4}, seed=0),
+        # the PR-10 predictor axis: same system, higher-order pipeline
+        JobSpec("katsura", {"n": 3}, seed=0, predictor="hermite"),
     ],
 )
 print(f"sweep {spec.name!r}: {spec.n_jobs} jobs "

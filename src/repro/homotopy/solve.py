@@ -33,6 +33,8 @@ from ..tracker import (
     PathStatus,
     PathTracker,
     TrackerOptions,
+    greedy_cluster_indices,
+    make_predictor,
     newton_refine_system,
     rescue_diverged,
     retrack_duplicate_clusters,
@@ -136,14 +138,8 @@ def distinct_solutions(
     >>> len(distinct_solutions([ok([1.0]), ok([1.0 + 1e-9]), ok([2.0])]))
     2
     """
-    out: List[np.ndarray] = []
-    for r in results:
-        if not r.success:
-            continue
-        x = r.solution
-        if not any(np.max(np.abs(x - y)) < tol for y in out):
-            out.append(x)
-    return out
+    sols = [r.solution for r in results if r.success]
+    return [sols[c[0]] for c in greedy_cluster_indices(sols, tol)]
 
 
 def multiplicity_clusters(
@@ -188,20 +184,15 @@ def multiplicity_clusters(
     >>> [(int(r["multiplicity"]), r["singular"]) for r in recs]
     [(1, False), (2, True)]
     """
-    reps: List[np.ndarray] = []
-    clusters: List[List[PathResult]] = []
-    for r in results:
-        if not (r.success or (
+    finite = [
+        r for r in results
+        if r.success or (
             r.status is PathStatus.SINGULAR and r.winding_number is not None
-        )):
-            continue
-        for k, s in enumerate(reps):
-            if np.max(np.abs(r.solution - s)) < tol:
-                clusters[k].append(r)
-                break
-        else:
-            reps.append(r.solution)
-            clusters.append([r])
+        )
+    ]
+    idx = greedy_cluster_indices([r.solution for r in finite], tol)
+    reps: List[np.ndarray] = [finite[c[0]].solution for c in idx]
+    clusters: List[List[PathResult]] = [[finite[i] for i in c] for c in idx]
     # absorption pass: singular clusters swallow nearby success clusters
     is_singular = [
         any(m.status is PathStatus.SINGULAR for m in members)
@@ -357,7 +348,11 @@ def _warm_polyhedral_start(store, target, rng, tel):
 
 def _tightened(options: TrackerOptions) -> TrackerOptions:
     # dataclasses.replace keeps every field not listed at the caller's
-    # value, so new TrackerOptions fields survive escalation untouched
+    # value, so new TrackerOptions fields survive escalation untouched.
+    # Escalation also pins the seed Euler predictor: duplicate re-tracks
+    # exist to undo predictor jumps, and an aggressive error-model
+    # predictor at a quarter step size would still take the very leaps
+    # the retrack is meant to rule out
     return dataclasses.replace(
         options,
         initial_step=max(options.initial_step / 4, options.min_step),
@@ -366,7 +361,43 @@ def _tightened(options: TrackerOptions) -> TrackerOptions:
         expand_after=options.expand_after + 2,
         corrector_iterations=max(3, options.corrector_iterations - 1),
         max_steps=options.max_steps * 4,
+        predictor="euler",
     )
+
+
+def _fallback_retrack(results, starts, homotopy, options, strategy) -> int:
+    """Re-track FAILED paths with the seed Euler settings.
+
+    An error-model predictor trades per-step robustness for speed: on a
+    hard path its larger steps (and looser corrector exits) can strand
+    the tracker in a step-underflow failure that the slow fixed-step
+    Euler loop walks straight through.  Paths are rare in that regime,
+    so re-tracking just the failures with the conservative settings
+    buys Euler's completeness at a tiny fraction of Euler's cost.  The
+    failed attempt's Newton/Jacobian work is added to the retracked
+    stats so solve summaries never hide the wasted effort.
+    """
+    failed = [i for i, r in enumerate(results) if r.status is PathStatus.FAILED]
+    if not failed:
+        return 0
+    fallback = dataclasses.replace(options, predictor="euler")
+    pids = [results[i].path_id for i in failed]
+    starts_arr = np.asarray(starts, dtype=complex)
+    redone = BatchTracker(fallback, endgame=strategy).track_batch(
+        homotopy, starts_arr[pids], path_ids=pids
+    )
+    n = 0
+    for i, redo in zip(failed, redone):
+        old = results[i]
+        redo.stats.newton_iterations += old.stats.newton_iterations
+        redo.stats.jacobian_evaluations += old.stats.jacobian_evaluations
+        redo.stats.tangents_recycled += old.stats.tangents_recycled
+        redo.stats.steps_accepted += old.stats.steps_accepted
+        redo.stats.steps_rejected += old.stats.steps_rejected
+        if redo.success:
+            results[i] = redo
+            n += 1
+    return n
 
 
 def solve(
@@ -381,6 +412,7 @@ def solve(
     endgame="refine",
     rescue: bool = False,
     kernel: str | None = None,
+    predictor: object | None = None,
     trace_paths: bool = False,
     cache=None,
 ) -> SolveReport:
@@ -444,6 +476,17 @@ def solve(
         summary carries a ``"kernel"`` dict — backend name, number of
         bound kernels, total tape ops, taping seconds, and this run's
         call/evaluation counts.
+    predictor:
+        Prediction strategy for the main tracking pass (see
+        :mod:`repro.tracker.predictor`).  ``None`` (default) keeps
+        whatever ``options`` says (itself defaulting to ``"euler"``,
+        the seed arithmetic); ``"hermite"`` switches on the
+        higher-order predictor pipeline — cubic Hermite prediction,
+        error-model step control, and Jacobian-recycled tangent
+        solves.  The summary always carries a ``"predictor"`` entry
+        with the resolved name, and the effort totals
+        (``newton_total``, ``jacobian_evaluations``,
+        ``tangents_recycled``) quantify what the pipeline saved.
     trace_paths:
         Record the run into a :class:`~repro.telemetry.Telemetry`
         context: per-path step events (accept/reject, Newton counts,
@@ -502,12 +545,14 @@ def solve(
         with use_telemetry(own):
             report = _solve(
                 target, start, options, rng, refine, rerun_duplicates,
-                mode, endgame, rescue, kernel, trace_paths, tel, cache,
+                mode, endgame, rescue, kernel, predictor, trace_paths,
+                tel, cache,
             )
     else:
         report = _solve(
             target, start, options, rng, refine, rerun_duplicates,
-            mode, endgame, rescue, kernel, trace_paths, tel, cache,
+            mode, endgame, rescue, kernel, predictor, trace_paths,
+            tel, cache,
         )
     if tel is not None:
         report.telemetry = tel.summary()
@@ -518,9 +563,11 @@ def solve(
 
 def _solve(
     target, start, options, rng, refine, rerun_duplicates, mode,
-    endgame, rescue, kernel, trace_paths, tel, cache=None,
+    endgame, rescue, kernel, predictor, trace_paths, tel, cache=None,
 ) -> SolveReport:
     base_options = options or TrackerOptions()
+    if predictor is not None:
+        base_options = dataclasses.replace(base_options, predictor=predictor)
     if trace_paths:
         base_options = dataclasses.replace(base_options, trace_paths=True)
     strategy = make_endgame(endgame)
@@ -592,8 +639,20 @@ def _solve(
                 ).track_many(homotopy, starts)
             else:
                 raise ValueError(f"unknown tracking mode {mode!r}")
+        n_fallback = 0
+        if make_predictor(base_options.predictor).error_model:
+            with maybe_span(tel, "fallback_retrack", "solve"):
+                n_fallback = _fallback_retrack(
+                    results, starts, homotopy, base_options, strategy
+                )
+            if tel is not None and n_fallback:
+                tel.count("solve.fallback_retracked", n_fallback)
         if rerun_duplicates:
             with maybe_span(tel, "retrack_duplicates", "solve"):
+                # in batch mode a whole rung re-tracks as one vectorized
+                # batch (scalar/batch parity makes this a pure wall-time
+                # win); per-path mode keeps the scalar loop
+                starts_arr = np.asarray(starts, dtype=complex)
                 retrack_duplicate_clusters(
                     results,
                     lambda pid, opts: PathTracker(opts, endgame=strategy).track(
@@ -601,6 +660,17 @@ def _solve(
                     ),
                     _tightened,
                     base_options,
+                    retrack_batch=(
+                        (
+                            lambda pids, opts: BatchTracker(
+                                opts, endgame=strategy
+                            ).track_batch(
+                                homotopy, starts_arr[pids], path_ids=pids
+                            )
+                        )
+                        if mode == "batch"
+                        else None
+                    ),
                 )
         n_rescued = 0
         if rescue:
@@ -627,6 +697,9 @@ def _solve(
     summary = summarize_results(results)
     summary["start"] = start
     summary["endgame"] = strategy.name
+    summary["predictor"] = make_predictor(base_options.predictor).name
+    if n_fallback:
+        summary["fallback_retracked"] = n_fallback
     usage = homotopy.kernel_usage
     if poly_start is not None:
         usage.merge(poly_start.kernel_usage)

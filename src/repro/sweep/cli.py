@@ -390,6 +390,14 @@ def _cmd_report(args) -> int:
                                + kcache.get("kernel_evictions", 0))
                     if evicted:
                         line += f" cache_evictions={evicted}"
+            predictor = result.get("predictor", "euler")
+            if predictor != "euler":
+                # predictor pipeline: which strategy, how much recycled
+                line += (f" predictor={predictor}"
+                         f" recycle_hits={result.get('tangents_recycled', 0)}")
+                if result.get("fallback_retracked"):
+                    line += (f" fallback_retracked="
+                             f"{result['fallback_retracked']}")
             endgame = result.get("endgame", "refine")
             if endgame != "refine":
                 line += f" endgame={endgame}"

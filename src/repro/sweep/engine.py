@@ -185,6 +185,7 @@ def run_job(job: JobSpec) -> dict:
             endgame=job.endgame,
             kernel=job.kernel,
             cache=store,
+            predictor=job.predictor,
         )
         cache_route = report.summary.get("cache")
         result = {
@@ -197,7 +198,19 @@ def run_job(job: JobSpec) -> dict:
             "failed": report.summary["failed"],
             "singular": report.summary["singular"],
             "fingerprint": solutions_fingerprint(report.solutions),
+            # predictor-pipeline effort: deterministic per-path counter
+            # totals, the evidence behind the PR-10 speedup gates (the
+            # recycle-hit count is how many tangent solves reused the
+            # corrector's final Jacobian and paid only a J_t evaluation)
+            "predictor": report.summary.get("predictor", job.predictor),
+            "newton_total": report.summary["newton_total"],
+            "jacobian_evaluations": report.summary["jacobian_evaluations"],
+            "tangents_recycled": report.summary["tangents_recycled"],
         }
+        if report.summary.get("fallback_retracked"):
+            result["fallback_retracked"] = report.summary[
+                "fallback_retracked"
+            ]
         # multiplicity evidence: histogram keys become strings in JSON,
         # so store them as strings up front for a stable round trip
         hist = report.summary.get("multiplicity_histogram", {})

@@ -33,7 +33,11 @@ deterministic effort counters.  An optional ``cache`` (and grid axis)
 — ``off`` (default) or ``on`` — routes Pieri and ``polyhedral``-start
 jobs through the structure-keyed artifact store
 (:mod:`repro.artifacts`), so a family of same-structure jobs pays the
-ab-initio solve once and continues the rest.
+ab-initio solve once and continues the rest.  An optional ``predictor``
+(and grid axis) — ``euler`` (default, the seed tangent prediction) or
+``hermite`` (the error-model pipeline of :mod:`repro.tracker.predictor`)
+— picks the prediction strategy, and each job journals its tracker's
+tangent-recycle counters.
 
 Every job has a deterministic, human-readable :attr:`JobSpec.job_id`
 (e.g. ``pieri-m2-p2-q1-s0``) that keys the checkpoint journal, and a
@@ -56,6 +60,7 @@ __all__ = [
     "ENDGAME_KINDS",
     "SOLVE_KERNELS",
     "CACHE_MODES",
+    "SOLVE_PREDICTORS",
     "JobSpec",
     "SweepSpec",
     "mixed_demo_spec",
@@ -105,6 +110,14 @@ SOLVE_KERNELS = ("naive", "slp")
 #: ``polyhedral``-start polynomial jobs have a structure to key on.
 CACHE_MODES = ("off", "on")
 
+#: Predictor strategies for polynomial-system jobs (the choices
+#: :func:`repro.homotopy.solve` accepts as ``predictor=``, mirroring
+#: ``repro.tracker.PREDICTORS``): ``euler`` is the seed tangent
+#: prediction, ``hermite`` the error-model pipeline (cubic Hermite
+#: prediction, update-size acceptance, Jacobian-recycled tangents).
+#: The default ``euler`` leaves job ids (and old journals) untouched.
+SOLVE_PREDICTORS = ("euler", "hermite")
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -128,6 +141,7 @@ class JobSpec:
     endgame: str = "refine"
     kernel: str = "naive"
     cache: str = "off"
+    predictor: str = "euler"
 
     def __init__(
         self,
@@ -139,6 +153,7 @@ class JobSpec:
         endgame: str = "refine",
         kernel: str = "naive",
         cache: str = "off",
+        predictor: str = "euler",
     ):
         if kind not in JOB_KINDS:
             raise ValueError(
@@ -191,6 +206,15 @@ class JobSpec:
                 "cache='on' needs a structure to key on: pieri jobs or "
                 "polynomial jobs with start='polyhedral'"
             )
+        if predictor not in SOLVE_PREDICTORS:
+            raise ValueError(
+                f"unknown predictor {predictor!r}; expected one of "
+                f"{sorted(SOLVE_PREDICTORS)}"
+            )
+        if kind == "pieri" and predictor != "euler":
+            raise ValueError(
+                "pieri jobs run the tree solver and take no predictor"
+            )
         required = JOB_KINDS[kind]
         given = dict(params)
         if sorted(given) != sorted(required):
@@ -207,6 +231,7 @@ class JobSpec:
         object.__setattr__(self, "endgame", endgame)
         object.__setattr__(self, "kernel", kernel)
         object.__setattr__(self, "cache", cache)
+        object.__setattr__(self, "predictor", predictor)
 
     @property
     def param_dict(self) -> Dict[str, int]:
@@ -233,6 +258,8 @@ class JobSpec:
             parts.append(self.kernel)
         if self.cache != "off":
             parts.append("cache")
+        if self.predictor != "euler":
+            parts.append(self.predictor)
         parts.append(f"s{self.seed}")
         return "-".join(parts)
 
@@ -248,6 +275,8 @@ class JobSpec:
             d["kernel"] = self.kernel
         if self.cache != "off":
             d["cache"] = self.cache
+        if self.predictor != "euler":
+            d["predictor"] = self.predictor
         return d
 
     @classmethod
@@ -261,6 +290,7 @@ class JobSpec:
             d.get("endgame", "refine"),
             d.get("kernel", "naive"),
             d.get("cache", "off"),
+            d.get("predictor", "euler"),
         )
 
 
@@ -288,6 +318,9 @@ def _expand_grid(grid: Mapping) -> List[JobSpec]:
     caches = grid.pop("cache", ["off"])
     if isinstance(caches, str):
         caches = [caches]
+    predictors = grid.pop("predictor", ["euler"])
+    if isinstance(predictors, str):
+        predictors = [predictors]
     axes = {}
     for name in JOB_KINDS[kind]:
         if name not in grid:
@@ -300,9 +333,9 @@ def _expand_grid(grid: Mapping) -> List[JobSpec]:
     jobs = []
     for combo in itertools.product(*(axes[n] for n in names)):
         for combo_opts in itertools.product(
-            starts, modes, endgames, kernels, caches, seeds
+            starts, modes, endgames, kernels, caches, predictors, seeds
         ):
-            start, mode, endgame, kernel, cache, seed = combo_opts
+            start, mode, endgame, kernel, cache, predictor, seed = combo_opts
             jobs.append(
                 JobSpec(
                     kind,
@@ -313,6 +346,7 @@ def _expand_grid(grid: Mapping) -> List[JobSpec]:
                     endgame=endgame,
                     kernel=kernel,
                     cache=cache,
+                    predictor=predictor,
                 )
             )
     return jobs

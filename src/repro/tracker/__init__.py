@@ -45,12 +45,21 @@ from .newton import (
     newton_correct,
     newton_refine_system,
 )
+from .predictor import (
+    PREDICTORS,
+    EulerPredictor,
+    HermitePredictor,
+    Predictor,
+    PredictorState,
+    make_predictor,
+)
 from .rescue import rescue_diverged, track_with_rescue
 from .result import (
     PathResult,
     PathStatus,
     TrackStats,
     duplicate_path_ids,
+    greedy_cluster_indices,
     retrack_duplicate_clusters,
     summarize_results,
     tighten_options,
@@ -73,6 +82,7 @@ __all__ = [
     "PathStatus",
     "TrackStats",
     "duplicate_path_ids",
+    "greedy_cluster_indices",
     "retrack_duplicate_clusters",
     "tighten_options",
     "summarize_results",
@@ -82,4 +92,10 @@ __all__ = [
     "BatchTracker",
     "TrackerOptions",
     "refine_solutions",
+    "PREDICTORS",
+    "Predictor",
+    "PredictorState",
+    "EulerPredictor",
+    "HermitePredictor",
+    "make_predictor",
 ]

@@ -44,6 +44,14 @@ import numpy as np
 from ..telemetry import current_telemetry, maybe_span
 from .interface import BatchHomotopy, HomotopyFunction, as_batch
 from .newton import _solve_batch, batch_newton_correct
+from .predictor import (
+    make_predictor,
+    resolve_fail_fast,
+    resolve_frozen,
+    resolve_loose_tol,
+    resolve_recycle,
+    resolve_update_tol,
+)
 from .result import PathResult, PathStatus, TrackStats
 from .tracker import TrackerOptions
 
@@ -83,10 +91,37 @@ class BatchTracker:
 
     # ------------------------------------------------------------------
     def _tangents(
-        self, homotopy: BatchHomotopy, X: np.ndarray, tt: np.ndarray
+        self,
+        homotopy: BatchHomotopy,
+        X: np.ndarray,
+        tt: np.ndarray,
+        jac: np.ndarray | None = None,
+        jac_ok: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """dx/dt from J_x dx/dt = -J_t per path, plus a per-path ok flag."""
-        jac_x, jac_t = homotopy.jacobians_batch(X, tt)
+        """dx/dt from J_x dx/dt = -J_t per path, plus a per-path ok flag.
+
+        ``jac``/``jac_ok`` hand recycled corrector Jacobians across the
+        step boundary: rows with ``jac_ok`` True reuse their matrix and
+        only evaluate ``J_t`` (an eval-only pass — on the SLP backend
+        one "eval" program instead of the fused "eval_jac"); the rest
+        take the full fused ``jacobians_batch`` route.
+        """
+        if jac is None or jac_ok is None or not jac_ok.any():
+            jac_x, jac_t = homotopy.jacobians_batch(X, tt)
+            return _solve_batch(jac_x, jac_t)
+        if jac_ok.all():
+            return _solve_batch(jac, homotopy.jacobian_t_batch(X, tt))
+        loc_r = np.flatnonzero(jac_ok)
+        loc_f = np.flatnonzero(~jac_ok)
+        jac_x = np.empty((X.shape[0], X.shape[1], X.shape[1]), dtype=complex)
+        jac_t = np.empty_like(X)
+        jac_x[loc_r] = jac[loc_r]
+        jac_t[loc_r] = homotopy.restrict(loc_r).jacobian_t_batch(
+            X[loc_r], tt[loc_r]
+        )
+        jac_x[loc_f], jac_t[loc_f] = homotopy.restrict(loc_f).jacobians_batch(
+            X[loc_f], tt[loc_f]
+        )
         return _solve_batch(jac_x, jac_t)
 
     def track_batch(
@@ -150,11 +185,27 @@ class BatchTracker:
         accepted = np.zeros(n, dtype=np.int64)
         rejected = np.zeros(n, dtype=np.int64)
         newton = np.zeros(n, dtype=np.int64)
+        jac_evals = np.zeros(n, dtype=np.int64)
+        recycled = np.zeros(n, dtype=np.int64)
         state = np.full(n, _RUNNING, dtype=np.int64)
         res_final = np.full(n, np.inf)
         t_reached = np.zeros(n)
         charged = np.zeros(n)
-        x_prev, t_prev = X.copy(), T.copy()
+        pred = make_predictor(opts.predictor)
+        recycle = resolve_recycle(opts, pred)
+        update_tol = resolve_update_tol(opts, pred)
+        loose_tol = resolve_loose_tol(opts, pred)
+        fail_fast = resolve_fail_fast(opts, pred)
+        frozen = resolve_frozen(opts, pred)
+        # per-call predictor history (secant/Hermite memory), seeded with
+        # the uncorrected starts — a requeued/resumed batch (chart-switch
+        # continuation with per-path t_start) begins with *empty* history
+        pstate = pred.make_state(X, T)
+        if recycle:
+            # corrector Jacobians carried across the step boundary; rows
+            # stay valid over rejections (the point did not move)
+            re_jac = np.zeros((n, bh.dim, bh.dim), dtype=complex)
+            re_ok = np.zeros(n, dtype=bool)
 
         mark = time.perf_counter()
 
@@ -175,14 +226,20 @@ class BatchTracker:
         # make sure the start points actually solve H(., t_start)
         with maybe_span(tel, "start_check", "corrector"):
             check = batch_newton_correct(
-                bh, X, T, tol=opts.corrector_tol, max_iterations=opts.corrector_iterations
+                bh, X, T, tol=opts.corrector_tol,
+                max_iterations=opts.corrector_iterations,
+                want_jacobian=recycle,
             )
         newton += check.iterations
+        jac_evals += check.jac_evaluations
         bad = np.flatnonzero(~check.converged)
         classify(bad, PathStatus.FAILED, check.residual[bad])
         # failed paths keep their original start point (as PathTracker does);
         # only converged paths adopt the corrected one
         X[check.converged] = check.x[check.converged]
+        if recycle:
+            re_ok[:] = check.jac_current
+            re_jac[check.jac_current] = check.jacobian[check.jac_current]
         charge(np.arange(n))
 
         # --- main predictor-corrector sweeps over the active front
@@ -190,30 +247,38 @@ class BatchTracker:
             run = np.flatnonzero(state == _RUNNING)
             if run.size == 0:
                 break
-            over = run[accepted[run] + rejected[run] >= opts.max_steps]
-            if over.size:
-                classify(over, PathStatus.FAILED, np.full(over.size, np.inf))
+            exhausted = run[accepted[run] + rejected[run] >= opts.max_steps]
+            if exhausted.size:
+                classify(
+                    exhausted, PathStatus.FAILED, np.full(exhausted.size, np.inf)
+                )
                 run = np.flatnonzero(state == _RUNNING)
                 if run.size == 0:
                     break
             dt = np.minimum(step[run], 1.0 - T[run])
             t_new = T[run] + dt
 
-            # --- predict: batched tangent, secant fallback per failed path
+            # --- predict: batched tangent (recycled J_x where valid),
+            # predictor-strategy point guess with secant fallback
             bh_run = bh.restrict(run)
             with maybe_span(tel, "tangent", "predictor"):
-                tangent, ok = self._tangents(bh_run, X[run], T[run])
-                x_pred = X[run] + dt[:, None] * tangent
-                if not np.all(ok):
-                    fb = ~ok
-                    have_hist = fb & (T[run] > t_prev[run])
-                    ratio = np.zeros(run.size)
-                    span = T[run] - t_prev[run]
-                    ratio[have_hist] = dt[have_hist] / span[have_hist]
-                    secant = X[run] + (X[run] - x_prev[run]) * ratio[:, None]
-                    x_pred[fb] = np.where(
-                        have_hist[fb, None], secant[fb], X[run][fb]
+                if recycle and np.any(re_ok[run]):
+                    hit = re_ok[run]
+                    tangent, ok = self._tangents(
+                        bh_run, X[run], T[run], jac=re_jac[run], jac_ok=hit
                     )
+                    recycled[run[hit]] += 1
+                    jac_evals[run[~hit]] += 1
+                    if tel is not None:
+                        tel.count(
+                            "tracker.tangents_recycled", int(hit.sum())
+                        )
+                else:
+                    tangent, ok = self._tangents(bh_run, X[run], T[run])
+                    jac_evals[run] += 1
+                x_pred = pred.predict(
+                    pstate, run, X[run], T[run], dt, tangent, ok
+                )
 
             # --- correct
             with maybe_span(tel, "newton", "corrector"):
@@ -223,10 +288,33 @@ class BatchTracker:
                     t_new,
                     tol=opts.corrector_tol,
                     max_iterations=opts.corrector_iterations,
+                    want_jacobian=recycle,
+                    update_tol=update_tol,
+                    loose_tol=loose_tol,
+                    fail_fast=fail_fast,
+                    frozen=frozen,
                 )
             newton[run] += corr.iterations
+            jac_evals[run] += corr.jac_evaluations
 
             conv = corr.converged
+            err_all = None
+            if pred.error_model and np.any(conv):
+                # suspected path jump: the corrector converged, but to a
+                # point far beyond what the prediction's error model can
+                # explain — almost certainly a neighboring path's basin.
+                # Rejecting here costs one retry at a smaller step and
+                # saves the whole endpoint-collision retracking rung the
+                # jump would otherwise trigger
+                err_all = np.max(np.abs(corr.x - x_pred), axis=1)
+                jump = conv & (
+                    err_all
+                    > opts.predictor_jump_factor * opts.predictor_target_error
+                )
+                if np.any(jump):
+                    conv = conv & ~jump
+                    if tel is not None:
+                        tel.count("tracker.jump_rejections", int(jump.sum()))
             if tel is not None:
                 for k in range(run.size):
                     tel.instant(
@@ -240,17 +328,47 @@ class BatchTracker:
                     tel.observe("step_size", float(dt[k]))
             acc = run[conv]
             if acc.size:
-                x_prev[acc], t_prev[acc] = X[acc], T[acc]
+                pred.accepted(
+                    pstate, acc, X[acc], T[acc], tangent[conv], ok[conv]
+                )
                 X[acc] = corr.x[conv]
                 T[acc] = t_new[conv]
                 accepted[acc] += 1
-                easy[acc] += 1
-                expand = (easy[acc] >= opts.expand_after) & (
-                    corr.iterations[conv] <= 2
-                )
-                grow = acc[expand]
-                step[grow] = np.minimum(step[grow] * opts.expand, opts.max_step)
-                easy[grow] = 0
+                if recycle:
+                    re_ok[acc] = corr.jac_current[conv]
+                    cur = conv & corr.jac_current
+                    re_jac[run[cur]] = corr.jacobian[cur]
+                if pred.error_model:
+                    # asymptotic error model: err ~ C dt^p per path, so
+                    # the dt that would have hit the target error is
+                    # dt * (target / err)^(1/p), damped by safety and
+                    # capped at max_growth per step
+                    err = err_all[conv]
+                    growth = np.full(acc.size, opts.predictor_max_growth)
+                    pos = err > 0.0
+                    growth[pos] = np.minimum(
+                        opts.predictor_max_growth,
+                        opts.predictor_safety
+                        * (opts.predictor_target_error / err[pos])
+                        ** (1.0 / pred.order),
+                    )
+                    step[acc] = np.minimum(
+                        np.maximum(dt[conv] * growth, opts.min_step),
+                        opts.max_step,
+                    )
+                    if tel is not None:
+                        for e in err:
+                            tel.observe("predictor_error", float(e))
+                else:
+                    easy[acc] += 1
+                    expand = (easy[acc] >= opts.expand_after) & (
+                        corr.iterations[conv] <= 2
+                    )
+                    grow = acc[expand]
+                    step[grow] = np.minimum(
+                        step[grow] * opts.expand, opts.max_step
+                    )
+                    easy[grow] = 0
                 norms = np.max(np.abs(X[acc]), axis=1)
                 div = norms > opts.divergence_bound
                 classify(acc[div], PathStatus.DIVERGED, corr.residual[conv][div])
@@ -282,10 +400,10 @@ class BatchTracker:
                     fail = dead[~blew_up]
                     # stalls inside the endgame's operating radius are
                     # handed to the strategy instead of failing
-                    over = T[fail] > 1.0 - self.endgame.operating_radius
-                    state[fail[over]] = _ENDGAME
+                    in_radius = T[fail] > 1.0 - self.endgame.operating_radius
+                    state[fail[in_radius]] = _ENDGAME
                     if tel is not None:
-                        for p in fail[over]:
+                        for p in fail[in_radius]:
                             tel.instant(
                                 "endgame_handoff",
                                 "tracker",
@@ -294,7 +412,9 @@ class BatchTracker:
                                 t=float(T[p]),
                             )
                     classify(
-                        fail[~over], PathStatus.FAILED, res_dead[~blew_up][~over]
+                        fail[~in_radius],
+                        PathStatus.FAILED,
+                        res_dead[~blew_up][~in_radius],
                     )
 
             charge(run)
@@ -333,6 +453,8 @@ class BatchTracker:
                 newton_iterations=int(newton[i]),
                 t_reached=float(t_reached[i]),
                 seconds=float(charged[i]),
+                jacobian_evaluations=int(jac_evals[i]),
+                tangents_recycled=int(recycled[i]),
             )
             w = int(winding[i])
             results.append(

@@ -1,0 +1,345 @@
+"""Pluggable path predictors: Euler tangent and cubic Hermite.
+
+The predictor is the half of the increment-and-fix loop that guesses
+where a path goes next; the corrector (Newton) pays for every digit the
+guess is short.  Both tracker front-ends (:class:`~repro.tracker.tracker.
+PathTracker` and :class:`~repro.tracker.batch.BatchTracker`) delegate the
+guess to a :class:`Predictor`:
+
+- :class:`EulerPredictor` (``"euler"``, the default) — first-order
+  tangent prediction ``x + dt * dx/dt`` with a secant fallback when the
+  tangent solve fails.  This is bit-identical to the seed arithmetic:
+  the batch form below *is* the seed code, and the scalar tracker calls
+  it with one-row arrays, so the scalar/batch parity suites pin it.
+- :class:`HermitePredictor` (``"hermite"``) — each path remembers its
+  last accepted ``(t, x, dx/dt)``; together with the current point and
+  tangent that determines a cubic, evaluated past the current time
+  (``s > 1`` extrapolation).  Local error is O(dt^4) against Euler's
+  O(dt^2), so steps grow much faster under error-model step control,
+  and the corrector starts closer — fewer Newton sweeps per step.
+
+Predictors operate on *row batches*: ``predict`` takes ``(k, dim)``
+arrays for the active front, and the scalar tracker passes one-row
+arrays, which keeps every arithmetic decision bit-identical between the
+two front-ends (elementwise batching does not change rounding).
+
+Per-path history lives in a :class:`PredictorState` created per
+``track``/``track_batch`` call — a resumed path (chart switch, retry,
+rescue) therefore starts with *empty* history and cannot Hermite-
+extrapolate across coordinates it no longer tracks in.
+
+>>> import numpy as np
+>>> pred = make_predictor("hermite")
+>>> (pred.name, pred.order, pred.error_model)
+('hermite', 4, True)
+>>> state = pred.make_state(np.zeros((1, 1), complex), np.zeros(1))
+>>> rows = np.arange(1)
+>>> # no history yet: the first step falls back to plain Euler
+>>> x = np.array([[1.0 + 0j]]); m = np.array([[2.0 + 0j]])
+>>> pred.predict(state, rows, x, np.zeros(1), np.full(1, 0.1), m,
+...              np.ones(1, bool))
+array([[1.2+0.j]])
+>>> # after an accepted step the cubic reproduces smooth paths closely:
+>>> # x(t) = exp(2t) has x'(t) = 2 x(t)
+>>> pred.accepted(state, rows, x, np.zeros(1), m, np.ones(1, bool))
+>>> x1 = np.exp(np.array([[0.2 + 0j]]))
+>>> guess = pred.predict(state, rows, x1, np.full(1, 0.1),
+...                      np.full(1, 0.1), 2 * x1, np.ones(1, bool))
+>>> bool(abs(guess[0, 0] - np.exp(0.4)) < 5e-4)  # Euler is ~3e-2 off here
+True
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PREDICTORS",
+    "Predictor",
+    "PredictorState",
+    "EulerPredictor",
+    "HermitePredictor",
+    "make_predictor",
+    "resolve_recycle",
+    "resolve_update_tol",
+    "resolve_loose_tol",
+    "resolve_fail_fast",
+    "resolve_frozen",
+]
+
+#: Registered predictor names (the choices ``TrackerOptions.predictor``
+#: and ``solve(predictor=)`` accept).
+PREDICTORS = ("euler", "hermite")
+
+
+@dataclass
+class PredictorState:
+    """Per-path prediction history for one ``track``/``track_batch`` call.
+
+    ``x_prev``/``t_prev`` hold the previously accepted point (seeded
+    with the start point, so a path with no accepted step yet has
+    ``t == t_prev`` and the secant fallback stays disabled — the seed
+    behavior).  ``m_prev``/``has_tangent`` additionally remember the
+    tangent used into the last accepted step; only the Hermite predictor
+    reads them.
+    """
+
+    x_prev: np.ndarray        # (npaths, dim) last accepted point
+    t_prev: np.ndarray        # (npaths,)
+    m_prev: np.ndarray        # (npaths, dim) tangent at (x_prev, t_prev)
+    has_tangent: np.ndarray   # (npaths,) bool — m_prev row is usable
+
+
+class Predictor(abc.ABC):
+    """Strategy protocol for the prediction half of the tracker loop.
+
+    Concrete predictors are stateless; all per-path memory lives in the
+    :class:`PredictorState` the tracker threads through, so one
+    predictor instance can serve any number of concurrent tracks.
+    """
+
+    #: registry/reporting name
+    name: str
+    #: asymptotic order p of the local error model ``err ~ C dt^p``
+    #: (the exponent error-model step control inverts)
+    order: int
+    #: True when the tracker should drive step size from the measured
+    #: predictor error instead of the easy-streak heuristic (and, by
+    #: default, recycle corrector Jacobians into the tangent solve)
+    error_model: bool
+
+    def make_state(self, X: np.ndarray, T: np.ndarray) -> PredictorState:
+        """Fresh history seeded with the (uncorrected) start points."""
+        X = np.asarray(X, dtype=complex)
+        T = np.asarray(T, dtype=float)
+        return PredictorState(
+            x_prev=X.copy(),
+            t_prev=T.copy(),
+            m_prev=np.zeros_like(X),
+            has_tangent=np.zeros(X.shape[0], dtype=bool),
+        )
+
+    @abc.abstractmethod
+    def predict(
+        self,
+        state: PredictorState,
+        rows: np.ndarray,
+        X: np.ndarray,
+        T: np.ndarray,
+        dt: np.ndarray,
+        tangent: np.ndarray,
+        ok: np.ndarray,
+    ) -> np.ndarray:
+        """Predicted points at ``T + dt`` for the active rows.
+
+        ``rows`` are global indices into ``state``; ``X``/``T``/``dt``/
+        ``tangent``/``ok`` are the corresponding row slices.  Rows with
+        ``ok`` False carry no usable tangent (the solve was singular)
+        and must fall back to secant/identity prediction.
+        """
+
+    def accepted(
+        self,
+        state: PredictorState,
+        rows: np.ndarray,
+        x_old: np.ndarray,
+        t_old: np.ndarray,
+        tangent: np.ndarray,
+        ok: np.ndarray,
+    ) -> None:
+        """Record an accepted step: the pre-step point becomes history."""
+        state.x_prev[rows] = x_old
+        state.t_prev[rows] = t_old
+        state.m_prev[rows] = tangent
+        state.has_tangent[rows] = ok
+
+
+def _euler_predict(state, rows, X, T, dt, tangent, ok):
+    """The seed prediction arithmetic, shared by both predictors.
+
+    Tangent rows step ``x + dt * dx/dt``; rows whose tangent solve
+    failed fall back to the secant through the last accepted point, or
+    stay put when there is no history yet.  Bit-identical to the seed
+    tracker loop (the parity suites pin this).
+    """
+    x_pred = X + dt[:, None] * tangent
+    if not np.all(ok):
+        fb = ~ok
+        t_prev = state.t_prev[rows]
+        have_hist = fb & (T > t_prev)
+        ratio = np.zeros(rows.size)
+        span = T - t_prev
+        ratio[have_hist] = dt[have_hist] / span[have_hist]
+        secant = X + (X - state.x_prev[rows]) * ratio[:, None]
+        x_pred[fb] = np.where(have_hist[fb, None], secant[fb], X[fb])
+    return x_pred
+
+
+class EulerPredictor(Predictor):
+    """First-order tangent prediction with secant fallback (the seed)."""
+
+    name = "euler"
+    order = 2
+    error_model = False
+
+    def predict(self, state, rows, X, T, dt, tangent, ok):
+        return _euler_predict(state, rows, X, T, dt, tangent, ok)
+
+
+class HermitePredictor(Predictor):
+    """Cubic Hermite prediction through the last two accepted points.
+
+    With ``(x0, m0)`` at ``t0`` (history) and ``(x1, m1)`` at ``t1``
+    (current), the unique cubic matching both values and tangents is
+    evaluated at ``s = (t1 + dt - t0) / (t1 - t0) > 1``.  Rows lacking
+    history — the first step, or any resumed/requeued path — use the
+    Euler arithmetic unchanged, as do rows whose current tangent solve
+    failed (a cubic without the endpoint tangent is not Hermite).
+    """
+
+    name = "hermite"
+    order = 4
+    error_model = True
+
+    def predict(self, state, rows, X, T, dt, tangent, ok):
+        x_pred = _euler_predict(state, rows, X, T, dt, tangent, ok)
+        h = T - state.t_prev[rows]
+        use = ok & state.has_tangent[rows] & (h > 0.0)
+        if np.any(use):
+            u = np.flatnonzero(use)
+            hu = h[u][:, None]
+            s = ((dt[u] + h[u]) / h[u])[:, None]
+            s2 = s * s
+            s3 = s2 * s
+            h00 = 2.0 * s3 - 3.0 * s2 + 1.0
+            h10 = s3 - 2.0 * s2 + s
+            h01 = -2.0 * s3 + 3.0 * s2
+            h11 = s3 - s2
+            x_pred[u] = (
+                h00 * state.x_prev[rows[u]]
+                + h10 * hu * state.m_prev[rows[u]]
+                + h01 * X[u]
+                + h11 * hu * tangent[u]
+            )
+        return x_pred
+
+
+_REGISTRY = {
+    "euler": EulerPredictor,
+    "hermite": HermitePredictor,
+}
+
+
+def make_predictor(predictor) -> Predictor:
+    """Resolve a predictor name (or pass an instance through).
+
+    >>> make_predictor(None).name
+    'euler'
+    >>> make_predictor("hermite").name
+    'hermite'
+    >>> make_predictor(make_predictor("euler")).name
+    'euler'
+    """
+    if predictor is None:
+        return EulerPredictor()
+    if isinstance(predictor, Predictor):
+        return predictor
+    try:
+        cls = _REGISTRY[predictor]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown predictor {predictor!r}; expected one of "
+            f"{sorted(_REGISTRY)} or a Predictor instance"
+        ) from None
+    return cls()
+
+
+def resolve_recycle(options, predictor: Predictor) -> bool:
+    """Whether this track should recycle corrector Jacobians.
+
+    ``options.recycle_jacobians`` is a tri-state: ``None`` (default)
+    enables recycling exactly when the predictor runs the error model —
+    the seed Euler path stays untouched to the bit — and ``True``/
+    ``False`` force it either way.
+    """
+    if options.recycle_jacobians is None:
+        return predictor.error_model
+    return bool(options.recycle_jacobians)
+
+
+def resolve_update_tol(options, predictor: Predictor) -> float | None:
+    """Update-size acceptance threshold for the step corrector, or None.
+
+    Newton converges quadratically inside its basin, so once an update
+    satisfies ``|dx| <= sqrt(corrector_tol)`` the *next* residual is
+    already below tolerance — the verification sweep that the residual
+    criterion would spend one more fused Jacobian evaluation on is
+    provably redundant.  PHCpack's path corrector accepts on exactly
+    this update-size criterion.  The tri-state mirrors
+    :func:`resolve_recycle`: ``None`` (default) switches it on exactly
+    with the predictor's error model, keeping the seed Euler loop
+    byte-for-byte; a float forces the threshold; 0 disables.
+    """
+    cfg = options.corrector_update_tol
+    if cfg is None:
+        if predictor.error_model:
+            return float(np.sqrt(options.corrector_tol))
+        return None
+    return float(cfg) if cfg > 0.0 else None
+
+
+def resolve_loose_tol(options, predictor: Predictor) -> float | None:
+    """Contraction-gated loose acceptance threshold, or None.
+
+    A bolder exit than :func:`resolve_update_tol`: updates up to
+    ``corrector_tol**(1/3)`` may be accepted, but *only* when the update
+    also contracted to at most ``CONTRACTION`` times the previous one —
+    evidence the iteration is in its quadratic regime, where one more
+    (skipped) sweep would land far below tolerance.  The gate is what
+    makes the looser threshold safe: an unconditional loose exit
+    accepts the slow, barely-shrinking updates of near-singular
+    stretches and strands those paths at the next step.  Tri-state like
+    the others: ``None`` follows the predictor's error model, a float
+    forces the threshold, 0 disables.
+    """
+    cfg = options.corrector_loose_tol
+    if cfg is None:
+        if predictor.error_model:
+            return float(options.corrector_tol ** (1.0 / 3.0))
+        return None
+    return float(cfg) if cfg > 0.0 else None
+
+
+def resolve_fail_fast(options, predictor: Predictor) -> bool:
+    """Whether the step corrector rejects on a growing update.
+
+    A contracting Newton run shrinks its update every sweep; growth
+    means the prediction missed the basin, and burning the remaining
+    ``corrector_iterations - it`` fused evaluations to confirm that is
+    the single largest per-rejection cost in the loop.  Tri-state:
+    ``None`` (default) follows the predictor's error model — the seed
+    Euler corrector keeps its exhaustive sweeps, bit for bit.
+    """
+    if options.corrector_fail_fast is None:
+        return predictor.error_model
+    return bool(options.corrector_fail_fast)
+
+
+def resolve_frozen(options, predictor: Predictor) -> bool:
+    """Whether the step corrector runs frozen-Jacobian (chord) sweeps.
+
+    The chord corrector charges one fused Jacobian evaluation per run
+    but contracts only linearly, at rate ``O(correction distance)``.
+    Benchmarked against full Newton with update-size acceptance it
+    *loses* on these systems — the smaller convergence radius drives
+    step rejections up and the equilibrium step size down, and recycling
+    its entry Jacobian (stale by the whole correction) degrades the
+    Hermite tangents — so the default ``None`` resolves to off for
+    every predictor; it stays available as an explicit experiment knob.
+    """
+    if options.corrector_frozen is None:
+        return False
+    return bool(options.corrector_frozen)

@@ -19,6 +19,7 @@ __all__ = [
     "PathStatus",
     "PathResult",
     "TrackStats",
+    "greedy_cluster_indices",
     "duplicate_path_ids",
     "retrack_duplicate_clusters",
     "tighten_options",
@@ -49,6 +50,13 @@ class TrackStats:
     t_reached: float = 0.0
     seconds: float = 0.0
     rescues: int = 0
+    #: fused J_x evaluations charged to this path (tangent solves that
+    #: could not recycle, plus every corrector sweep the path took part
+    #: in) — the denominator of the predictor pipeline's speedup gates
+    jacobian_evaluations: int = 0
+    #: tangent solves served by a recycled corrector Jacobian (only the
+    #: cheap J_t evaluation was paid)
+    tangents_recycled: int = 0
 
     @property
     def total_steps(self) -> int:
@@ -107,6 +115,41 @@ class PathResult:
         )
 
 
+def greedy_cluster_indices(points, tol: float) -> List[List[int]]:
+    """First-seen greedy clustering of points in the max norm.
+
+    Each point joins the *first* earlier representative within ``tol``
+    and opens a new cluster otherwise — semantically identical to the
+    textbook quadratic double loop, but every membership test is one
+    vectorized reduction against the whole representative matrix.  On a
+    thousand-path result set the double loop costs ~n^2/2 separate
+    numpy calls and dominates the entire post-tracking pipeline; this
+    form is ~n calls and disappears from profiles.
+    """
+    clusters: List[List[int]] = []
+    reps: np.ndarray | None = None
+    nrep = 0
+    for i, x in enumerate(points):
+        x = np.asarray(x, dtype=complex)
+        if nrep:
+            hit = np.flatnonzero(
+                np.max(np.abs(reps[:nrep] - x), axis=1) < tol
+            )
+            if hit.size:
+                clusters[hit[0]].append(i)
+                continue
+        if reps is None:
+            reps = np.empty((4, x.size), dtype=complex)
+        elif nrep == reps.shape[0]:
+            grown = np.empty((2 * nrep, x.size), dtype=complex)
+            grown[:nrep] = reps
+            reps = grown
+        reps[nrep] = x
+        nrep += 1
+        clusters.append([i])
+    return clusters
+
+
 def duplicate_path_ids(results, tol: float = 1e-6) -> List[int]:
     """Path ids of *every* member of an endpoint-collision cluster.
 
@@ -118,19 +161,12 @@ def duplicate_path_ids(results, tol: float = 1e-6) -> List[int]:
     later-arriving ones.  Shared by the blackbox ``solve()`` and the
     polyhedral phase-1 cell tracking.
     """
-    reps: List[np.ndarray] = []
-    clusters: List[List[int]] = []
-    for r in results:
-        if not r.success:
-            continue
-        for k, s in enumerate(reps):
-            if np.max(np.abs(r.solution - s)) < tol:
-                clusters[k].append(r.path_id)
-                break
-        else:
-            reps.append(r.solution)
-            clusters.append([r.path_id])
-    return [pid for cluster in clusters if len(cluster) > 1 for pid in cluster]
+    succ = [r for r in results if r.success]
+    clusters = greedy_cluster_indices([r.solution for r in succ], tol)
+    return [
+        succ[i].path_id for cluster in clusters if len(cluster) > 1
+        for i in cluster
+    ]
 
 
 def tighten_options(options, factor: float = 0.25):
@@ -161,6 +197,7 @@ def retrack_duplicate_clusters(
     options,
     rounds: int = 3,
     tol: float = 1e-6,
+    retrack_batch=None,
 ) -> List[PathResult]:
     """Re-track endpoint-collision clusters until they separate or stall.
 
@@ -188,12 +225,23 @@ def retrack_duplicate_clusters(
     options:
         The options the main tracking pass used; tightened before the
         first re-track round.
+    retrack_batch:
+        Optional ``retrack_batch(path_ids, options) -> List[PathResult]``
+        re-tracking a whole rung's members in one call (results aligned
+        with ``path_ids``).  Tightened re-tracks take 4x the steps of
+        the main pass at a quarter the step size, so a driver with a
+        vectorized tracker should prefer this over ``rounds * len(dups)``
+        scalar loops; ``retrack`` remains the fallback.
     """
     from ..telemetry import current_telemetry
 
     tel = current_telemetry()
+    stable: set = set()
     for rung in range(rounds):
-        dups = duplicate_path_ids(results, tol=tol)
+        dups = [
+            pid for pid in duplicate_path_ids(results, tol=tol)
+            if pid not in stable
+        ]
         if not dups:
             break
         options = tighten(options)
@@ -203,21 +251,31 @@ def retrack_duplicate_clusters(
                 "retry_rung", "tracker", rung=rung + 1, paths=len(dups)
             )
         moved = False
-        for pid in dups:
-            retracked = retrack(pid, options)
+        if retrack_batch is not None:
+            redone = retrack_batch(dups, options)
+        else:
+            redone = (retrack(pid, options) for pid in dups)
+        for pid, retracked in zip(dups, redone):
             old = results[pid]
             if retracked.success or not old.success:
-                if not (
+                if (
                     retracked.success
                     and old.success
                     and np.max(np.abs(retracked.solution - old.solution)) < tol
                 ):
+                    # this path reproduced its endpoint at tighter steps:
+                    # its side of the collision is a genuine root, not a
+                    # predictor jump — exclude it from later rungs so a
+                    # single wandering path elsewhere cannot keep the
+                    # whole stable cluster re-tracking
+                    stable.add(pid)
+                else:
                     moved = True
                 results[pid] = retracked
         if not moved:
             # every re-track reproduced its endpoint: the collision is a
-            # genuine multiple root, not a predictor jump, and tighter
-            # steps will never separate it — stop escalating
+            # genuine multiple root, and tighter steps will never
+            # separate it — stop escalating
             break
     return results
 
@@ -240,4 +298,12 @@ def summarize_results(results: List[PathResult]) -> dict:
         "seconds_mean": float(np.mean(seconds)) if seconds else 0.0,
         "seconds_std": float(np.std(seconds)) if seconds else 0.0,
         "steps_mean": float(np.mean(steps)) if steps else 0.0,
+        # deterministic effort totals for the predictor pipeline gates
+        "newton_total": int(sum(r.stats.newton_iterations for r in results)),
+        "jacobian_evaluations": int(
+            sum(r.stats.jacobian_evaluations for r in results)
+        ),
+        "tangents_recycled": int(
+            sum(r.stats.tangents_recycled for r in results)
+        ),
     }

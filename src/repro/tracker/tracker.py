@@ -33,7 +33,15 @@ import numpy as np
 
 from ..telemetry import current_telemetry, maybe_span
 from .interface import HomotopyFunction
-from .newton import newton_correct, newton_refine_system
+from .newton import _solve, newton_correct, newton_refine_system
+from .predictor import (
+    make_predictor,
+    resolve_frozen,
+    resolve_fail_fast,
+    resolve_loose_tol,
+    resolve_recycle,
+    resolve_update_tol,
+)
 from .result import PathResult, PathStatus, TrackStats
 
 __all__ = ["TrackerOptions", "PathTracker"]
@@ -59,12 +67,76 @@ class TrackerOptions:
     # (see repro.telemetry); off by default so the hot path stays free
     # of per-step allocation.  Never changes tracking decisions.
     trace_paths: bool = False
+    # prediction strategy: "euler" (seed arithmetic, bit-identical) or
+    # "hermite" (cubic through the last two accepted points + tangents);
+    # also accepts a Predictor instance (see repro.tracker.predictor)
+    predictor: object = "euler"
+    # error-model step control (active when the predictor declares
+    # ``error_model``): after an accepted step with measured predictor
+    # error err, the next step is
+    #   dt * min(max_growth, safety * (target / err) ** (1 / order))
+    # clipped into [min_step, max_step] — replacing the streak heuristic.
+    # The target is a *prediction* error the corrector must absorb, not
+    # a solution accuracy; 0.03 keeps predictions inside Newton's basin
+    # (and off neighboring paths — looser targets measurably raise
+    # endpoint collisions) while letting steps grow to what the
+    # corrector actually tolerates
+    predictor_target_error: float = 0.03
+    predictor_safety: float = 0.8
+    predictor_max_growth: float = 2.0
+    # jump rejection (error-model predictors only): a *converged* step
+    # whose measured predictor error exceeds factor * target is treated
+    # as a rejection — Newton converged, but to a point so far from the
+    # prediction that it is almost certainly a neighboring path's basin,
+    # not a continuation of this one.  One retry at a smaller step here
+    # is far cheaper than the endpoint-collision re-tracking rung the
+    # jump would otherwise trigger
+    predictor_jump_factor: float = 10.0
+    # recycle the corrector's final J_x into the next tangent solve so
+    # an accepted step costs one fused evaluation instead of two; the
+    # default None means "exactly when the predictor's error model is
+    # active", keeping the Euler path byte-for-byte the seed loop
+    recycle_jacobians: bool | None = None
+    # corrector update-size acceptance (PHCpack's criterion): accept
+    # once |dx| falls below this, skipping the residual-verification
+    # sweep.  None (default) resolves to sqrt(corrector_tol) when the
+    # error-model predictor is active and stays off otherwise; 0
+    # forces it off, a positive float forces that threshold
+    corrector_update_tol: float | None = None
+    # contraction-gated loose acceptance: updates up to this (larger)
+    # threshold are accepted when they also contracted to at most
+    # CONTRACTION times the previous update — quadratic-regime evidence
+    # that makes the loose exit safe near singular stretches.  None
+    # resolves to corrector_tol**(1/3) under the error-model predictor
+    # and off otherwise; 0 forces it off, a float forces the threshold
+    corrector_loose_tol: float | None = None
+    # reject a step as soon as a Newton update *grows* instead of
+    # burning the remaining corrector sweeps confirming the miss; None
+    # resolves to on exactly under the error-model predictor
+    corrector_fail_fast: bool | None = None
+    # frozen-Jacobian (chord) step corrector: one fused evaluation at
+    # the predicted point, eval-only residual sweeps after.  Measured
+    # slower than full Newton + update acceptance on the benchmark
+    # systems (smaller convergence radius -> more rejections), so the
+    # default None resolves to OFF; True opts in as an experiment
+    corrector_frozen: bool | None = None
 
     def validated(self) -> "TrackerOptions":
         if not (0 < self.min_step <= self.initial_step <= self.max_step):
             raise ValueError("need 0 < min_step <= initial_step <= max_step")
         if not (0 < self.shrink < 1 < self.expand):
             raise ValueError("need 0 < shrink < 1 < expand")
+        if not (self.predictor_target_error > 0 and self.predictor_safety > 0):
+            raise ValueError("need positive predictor target error and safety")
+        if self.corrector_update_tol is not None and self.corrector_update_tol < 0:
+            raise ValueError("corrector_update_tol must be >= 0 (or None)")
+        if self.corrector_loose_tol is not None and self.corrector_loose_tol < 0:
+            raise ValueError("corrector_loose_tol must be >= 0 (or None)")
+        if not self.predictor_max_growth > 1:
+            raise ValueError("need predictor_max_growth > 1")
+        if not self.predictor_jump_factor > 1:
+            raise ValueError("need predictor_jump_factor > 1")
+        make_predictor(self.predictor)  # raises on unknown names
         return self
 
 
@@ -137,7 +209,18 @@ class PathTracker:
         t = float(t_start)
         step = opts.initial_step
         easy_streak = 0
-        x_prev, t_prev = x.copy(), t  # for the secant fallback predictor
+        pred = make_predictor(opts.predictor)
+        recycle = resolve_recycle(opts, pred)
+        update_tol = resolve_update_tol(opts, pred)
+        loose_tol = resolve_loose_tol(opts, pred)
+        fail_fast = resolve_fail_fast(opts, pred)
+        frozen = resolve_frozen(opts, pred)
+        # per-track predictor history (secant/Hermite memory), seeded
+        # with the uncorrected start — resumed paths start with *empty*
+        # history, so a chart switch never extrapolates across charts
+        pstate = pred.make_state(x[None, :], np.array([t]))
+        row = np.zeros(1, dtype=np.intp)
+        re_jac = None  # corrector Jacobian carried across the step boundary
 
         def finish(status: PathStatus, xf: np.ndarray, res: float) -> PathResult:
             stats.t_reached = t
@@ -146,12 +229,17 @@ class PathTracker:
 
         # make sure the start point actually solves H(., t_start)
         check = newton_correct(
-            homotopy, x, t, tol=opts.corrector_tol, max_iterations=opts.corrector_iterations
+            homotopy, x, t, tol=opts.corrector_tol,
+            max_iterations=opts.corrector_iterations,
+            want_jacobian=recycle,
         )
         stats.newton_iterations += check.iterations
+        stats.jacobian_evaluations += check.jac_evaluations
         if not check.converged:
             return finish(PathStatus.FAILED, x, check.residual)
         x = check.x
+        if recycle:
+            re_jac = check.jacobian
 
         while t < 1.0:
             if stats.total_steps >= opts.max_steps:
@@ -161,13 +249,27 @@ class PathTracker:
 
             # --- predict
             with maybe_span(tel, "tangent", "predictor"):
-                tangent = self._tangent(homotopy, x, t)
-                if tangent is not None:
-                    x_pred = x + dt * tangent
-                elif t > t_prev:
-                    x_pred = x + (x - x_prev) * (dt / (t - t_prev))
+                if re_jac is not None:
+                    # recycled tangent solve: J_x is the corrector's
+                    # final matrix at (x, t); only J_t is evaluated —
+                    # the cheap eval-only route (no fused Jacobian pass)
+                    tangent = _solve(re_jac, homotopy.jacobian_t(x, t))
+                    stats.tangents_recycled += 1
+                    if tel is not None:
+                        tel.count("tracker.tangents_recycled")
                 else:
-                    x_pred = x.copy()
+                    tangent = self._tangent(homotopy, x, t)
+                    stats.jacobian_evaluations += 1
+                ok1 = np.array([tangent is not None])
+                tan1 = (
+                    np.zeros((1, x.size), dtype=complex)
+                    if tangent is None
+                    else tangent[None, :]
+                )
+                x_pred = pred.predict(
+                    pstate, row, x[None, :], np.array([t]),
+                    np.array([dt]), tan1, ok1,
+                )[0]
 
             # --- correct
             with maybe_span(tel, "newton", "corrector"):
@@ -177,11 +279,28 @@ class PathTracker:
                     t_new,
                     tol=opts.corrector_tol,
                     max_iterations=opts.corrector_iterations,
+                    want_jacobian=recycle,
+                    update_tol=update_tol,
+                    loose_tol=loose_tol,
+                    fail_fast=fail_fast,
+                    frozen=frozen,
                 )
             stats.newton_iterations += corr.iterations
+            stats.jacobian_evaluations += corr.jac_evaluations
+            accept = corr.converged
+            err = 0.0
+            if accept and pred.error_model:
+                err = float(np.max(np.abs(corr.x - x_pred)))
+                if err > opts.predictor_jump_factor * opts.predictor_target_error:
+                    # suspected path jump: converged far beyond what the
+                    # prediction's error model can explain — reject and
+                    # retry at a smaller step (see BatchTracker)
+                    accept = False
+                    if tel is not None:
+                        tel.count("tracker.jump_rejections")
             if tel is not None:
                 tel.instant(
-                    "step_accept" if corr.converged else "step_reject",
+                    "step_accept" if accept else "step_reject",
                     "tracker",
                     path=int(path_id),
                     t=float(t_new),
@@ -190,14 +309,37 @@ class PathTracker:
                 )
                 tel.observe("step_size", float(dt))
 
-            if corr.converged:
-                x_prev, t_prev = x, t
+            if accept:
+                pred.accepted(pstate, row, x[None, :], np.array([t]), tan1, ok1)
                 x, t = corr.x, t_new
                 stats.steps_accepted += 1
-                easy_streak += 1
-                if easy_streak >= opts.expand_after and corr.iterations <= 2:
-                    step = min(step * opts.expand, opts.max_step)
-                    easy_streak = 0
+                if recycle:
+                    re_jac = corr.jacobian
+                if pred.error_model:
+                    # asymptotic error model: err ~ C dt^p, solve for
+                    # the dt that would have hit the target error
+                    if err > 0.0:
+                        growth = np.minimum(
+                            opts.predictor_max_growth,
+                            opts.predictor_safety
+                            * (opts.predictor_target_error / err)
+                            ** (1.0 / pred.order),
+                        )
+                    else:
+                        growth = np.float64(opts.predictor_max_growth)
+                    step = float(
+                        np.minimum(
+                            np.maximum(dt * growth, opts.min_step),
+                            opts.max_step,
+                        )
+                    )
+                    if tel is not None:
+                        tel.observe("predictor_error", float(err))
+                else:
+                    easy_streak += 1
+                    if easy_streak >= opts.expand_after and corr.iterations <= 2:
+                        step = min(step * opts.expand, opts.max_step)
+                        easy_streak = 0
                 norm = float(np.max(np.abs(x)))
                 if norm > opts.divergence_bound:
                     return finish(PathStatus.DIVERGED, x, corr.residual)

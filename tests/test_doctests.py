@@ -16,6 +16,7 @@ DOCUMENTED_MODULES = [
     "repro.homotopy.counts",
     "repro.tracker",
     "repro.tracker.stacked",
+    "repro.tracker.predictor",
     "repro.linalg.dets",
     "repro.parallel.executors",
     "repro.schubert.solver",

@@ -1,0 +1,641 @@
+"""Predictor pipeline: Hermite prediction, error-model step control,
+Jacobian recycling, and the acceptance/rejection ladder around them.
+
+The contracts under test:
+
+- ``make_predictor`` resolves names/instances; Euler stays the default.
+- Hermite reproduces a cubic path exactly and degrades to the Euler
+  arithmetic whenever history is missing (first step, resumed paths,
+  failed tangent solves) — the chart-switch resume guarantee.
+- Scalar and batch front-ends make the same per-path decisions under
+  the Hermite predictor (statuses, step/Newton counters, endpoints).
+- Jacobian recycling, update-size acceptance, the contraction-gated
+  loose exit, fail-fast rejection, and jump rejection each do what
+  their knob says — and the knobs resolve off unless the error model
+  is active.
+- The solve layer re-tracks Hermite failures with the pinned Euler
+  baseline (``_fallback_retrack``) so the root set never shrinks.
+"""
+
+import dataclasses
+import importlib
+
+import numpy as np
+import pytest
+
+from repro.homotopy import make_homotopy_and_starts
+from repro.systems import katsura_system
+from repro.telemetry import Telemetry, use_telemetry
+from repro.tracker import (
+    BatchTracker,
+    EulerPredictor,
+    HermitePredictor,
+    PathStatus,
+    PathTracker,
+    PREDICTORS,
+    TrackerOptions,
+    as_batch,
+    batch_newton_correct,
+    greedy_cluster_indices,
+    make_predictor,
+    newton_correct,
+)
+from repro.tracker.interface import HomotopyFunction
+from repro.tracker.predictor import (
+    _euler_predict,
+    resolve_fail_fast,
+    resolve_frozen,
+    resolve_loose_tol,
+    resolve_recycle,
+    resolve_update_tol,
+)
+
+solve_module = importlib.import_module("repro.homotopy.solve")
+
+
+class CubicHomotopy(HomotopyFunction):
+    """H(x, t) = x - c(t) with cubic c(t): the path *is* a cubic."""
+
+    COEFFS = (0.3 + 0.1j, -1.2 + 0.4j, 0.7 - 0.2j, 1.1 + 0.05j)
+
+    @property
+    def dim(self):
+        return 1
+
+    def c(self, t):
+        a0, a1, a2, a3 = self.COEFFS
+        return a0 + a1 * t + a2 * t * t + a3 * t**3
+
+    def dc(self, t):
+        _, a1, a2, a3 = self.COEFFS
+        return a1 + 2 * a2 * t + 3 * a3 * t * t
+
+    def evaluate(self, x, t):
+        return np.array([x[0] - self.c(t)])
+
+    def jacobian_x(self, x, t):
+        return np.array([[1.0 + 0j]])
+
+    def jacobian_t(self, x, t):
+        return np.array([-self.dc(t)])
+
+
+def _parity(serial, batch, tol=1e-8):
+    assert len(serial) == len(batch)
+    for a, b in zip(serial, batch):
+        assert a.status == b.status, f"path {a.path_id}"
+        for f in (
+            "steps_accepted",
+            "steps_rejected",
+            "newton_iterations",
+            "jacobian_evaluations",
+            "tangents_recycled",
+        ):
+            assert getattr(a.stats, f) == getattr(b.stats, f), (
+                f"path {a.path_id}: {f}"
+            )
+        if a.success:
+            assert np.max(np.abs(a.solution - b.solution)) < tol
+
+
+class TestPredictorResolution:
+    def test_registry_names(self):
+        assert PREDICTORS == ("euler", "hermite")
+        assert isinstance(make_predictor("euler"), EulerPredictor)
+        assert isinstance(make_predictor("hermite"), HermitePredictor)
+
+    def test_default_is_euler(self):
+        assert make_predictor(None).name == "euler"
+        assert TrackerOptions().predictor == "euler"
+        assert make_predictor(TrackerOptions().predictor).name == "euler"
+
+    def test_instance_passthrough(self):
+        pred = HermitePredictor()
+        assert make_predictor(pred) is pred
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown predictor"):
+            make_predictor("rk4")
+        with pytest.raises(ValueError):
+            TrackerOptions(predictor="rk4").validated()
+
+    def test_orders_and_error_model(self):
+        assert EulerPredictor.order == 2 and not EulerPredictor.error_model
+        assert HermitePredictor.order == 4 and HermitePredictor.error_model
+
+    def test_jump_factor_validated(self):
+        with pytest.raises(ValueError, match="jump_factor"):
+            TrackerOptions(predictor_jump_factor=1.0).validated()
+
+
+class TestKnobResolution:
+    """None-valued knobs activate exactly with the error model."""
+
+    def test_euler_resolves_everything_off(self):
+        opts, pred = TrackerOptions(), make_predictor("euler")
+        assert resolve_recycle(opts, pred) is False
+        assert resolve_update_tol(opts, pred) is None
+        assert resolve_loose_tol(opts, pred) is None
+        assert resolve_fail_fast(opts, pred) is False
+        assert resolve_frozen(opts, pred) is False
+
+    def test_hermite_resolves_error_model_defaults(self):
+        opts, pred = TrackerOptions(predictor="hermite"), make_predictor("hermite")
+        assert resolve_recycle(opts, pred) is True
+        assert resolve_update_tol(opts, pred) == pytest.approx(
+            np.sqrt(opts.corrector_tol)
+        )
+        assert resolve_loose_tol(opts, pred) == pytest.approx(
+            opts.corrector_tol ** (1.0 / 3.0)
+        )
+        assert resolve_fail_fast(opts, pred) is True
+        # frozen is a documented negative result: never on by default
+        assert resolve_frozen(opts, pred) is False
+
+    def test_explicit_values_win(self):
+        opts = TrackerOptions(
+            predictor="hermite",
+            recycle_jacobians=False,
+            corrector_update_tol=0.0,
+            corrector_loose_tol=0.0,
+            corrector_fail_fast=False,
+        )
+        pred = make_predictor("hermite")
+        assert resolve_recycle(opts, pred) is False
+        assert resolve_update_tol(opts, pred) is None
+        assert resolve_loose_tol(opts, pred) is None
+        assert resolve_fail_fast(opts, pred) is False
+
+
+class TestHermiteArithmetic:
+    def _state_rows(self, pred, n=1):
+        X0 = np.zeros((n, 1), dtype=complex)
+        return pred.make_state(X0, np.zeros(n)), np.arange(n)
+
+    def test_exact_on_cubic_path(self):
+        """The cubic-Hermite prediction of a cubic path is the path."""
+        h = CubicHomotopy()
+        pred = HermitePredictor()
+        t0, t1, dt = 0.2, 0.5, 0.25
+        state = pred.make_state(np.array([[h.c(t0)]]), np.array([t0]))
+        # record the accepted step t0 -> t1 with the exact tangent at t0
+        pred.accepted(
+            state,
+            np.array([0]),
+            np.array([[h.c(t0)]]),
+            np.array([t0]),
+            np.array([[h.dc(t0)]]),
+            np.array([True]),
+        )
+        x_pred = pred.predict(
+            state,
+            np.array([0]),
+            np.array([[h.c(t1)]]),
+            np.array([t1]),
+            np.array([dt]),
+            np.array([[h.dc(t1)]]),
+            np.array([True]),
+        )
+        assert abs(x_pred[0, 0] - h.c(t1 + dt)) < 1e-12
+
+    def test_no_history_matches_euler(self):
+        """First step (or a resumed path) must be the Euler arithmetic."""
+        pred = HermitePredictor()
+        state, rows = self._state_rows(pred)
+        X = np.array([[1.0 + 0.5j]])
+        T, dt = np.array([0.3]), np.array([0.1])
+        tangent = np.array([[2.0 - 1.0j]])
+        ok = np.array([True])
+        got = pred.predict(state, rows, X, T, dt, tangent, ok)
+        want = _euler_predict(state, rows, X, T, dt, tangent, ok)
+        np.testing.assert_array_equal(got, want)
+
+    def test_failed_tangent_matches_euler_fallback(self):
+        """ok=False rows fall back even when history exists."""
+        pred = HermitePredictor()
+        state, rows = self._state_rows(pred)
+        pred.accepted(
+            state,
+            rows,
+            np.array([[0.5 + 0j]]),
+            np.array([0.1]),
+            np.array([[1.0 + 0j]]),
+            np.array([True]),
+        )
+        X, T, dt = np.array([[1.0 + 0j]]), np.array([0.4]), np.array([0.1])
+        tangent, ok = np.array([[0.0 + 0j]]), np.array([False])
+        got = pred.predict(state, rows, X, T, dt, tangent, ok)
+        want = _euler_predict(state, rows, X, T, dt, tangent, ok)
+        np.testing.assert_array_equal(got, want)
+
+
+class TestHistoryResetOnResume:
+    """Satellite: a resumed track must not extrapolate stale history."""
+
+    class _Recording(HermitePredictor):
+        def __init__(self):
+            self.first_call_had_history = None
+
+        def predict(self, state, rows, X, T, dt, tangent, ok):
+            if self.first_call_had_history is None:
+                self.first_call_had_history = bool(
+                    np.any(state.has_tangent[rows])
+                )
+            return super().predict(state, rows, X, T, dt, tangent, ok)
+
+    def test_scalar_t_start_resume_starts_euler(self):
+        h = CubicHomotopy()
+        rec = self._Recording()
+        opts = TrackerOptions(predictor=rec)
+        res = PathTracker(opts).track(
+            h, np.array([CubicHomotopy().c(0.5)]), t_start=0.5
+        )
+        assert res.success
+        assert rec.first_call_had_history is False
+
+    def test_batch_per_path_t_start_resume_starts_euler(self):
+        h = CubicHomotopy()
+        rec = self._Recording()
+        opts = TrackerOptions(predictor=rec)
+        t0 = np.array([0.0, 0.25, 0.5])
+        starts = np.array([[h.c(t)] for t in t0])
+        res = BatchTracker(opts).track_batch(h, starts, t_start=t0)
+        assert all(r.success for r in res)
+        assert rec.first_call_had_history is False
+
+    def test_two_tracks_share_no_state(self):
+        """A second track on the same tracker starts with fresh history."""
+        h = CubicHomotopy()
+        rec = self._Recording()
+        tracker = PathTracker(TrackerOptions(predictor=rec))
+        tracker.track(h, np.array([h.c(0.0)]))
+        rec.first_call_had_history = None
+        tracker.track(h, np.array([h.c(0.5)]), t_start=0.5)
+        assert rec.first_call_had_history is False
+
+
+class TestScalarBatchParity:
+    def test_hermite_parity_katsura5(self):
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(5), rng=np.random.default_rng(7)
+        )
+        opts = TrackerOptions(predictor="hermite")
+        serial = [
+            PathTracker(opts).track(homotopy, s, path_id=i)
+            for i, s in enumerate(starts)
+        ]
+        batch = BatchTracker(opts).track_batch(homotopy, starts)
+        _parity(serial, batch)
+
+    def test_hermite_parity_under_tight_jump_factor(self):
+        """Jump rejection fires identically in both front-ends."""
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(4), rng=np.random.default_rng(3)
+        )
+        opts = TrackerOptions(predictor="hermite", predictor_jump_factor=1.5)
+        serial = [
+            PathTracker(opts).track(homotopy, s, path_id=i)
+            for i, s in enumerate(starts)
+        ]
+        batch = BatchTracker(opts).track_batch(homotopy, starts)
+        _parity(serial, batch)
+
+
+class TestRootParityAndEffort:
+    def test_hermite_finds_the_same_roots_cheaper(self):
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(5), rng=np.random.default_rng(5)
+        )
+        by_pred = {}
+        for name in PREDICTORS:
+            res = BatchTracker(TrackerOptions(predictor=name)).track_batch(
+                homotopy, starts
+            )
+            assert all(r.success for r in res)
+            by_pred[name] = res
+        for a, b in zip(by_pred["euler"], by_pred["hermite"]):
+            assert np.max(np.abs(a.solution - b.solution)) < 1e-8
+        effort = {
+            name: sum(
+                r.stats.newton_iterations + r.stats.jacobian_evaluations
+                for r in res
+            )
+            for name, res in by_pred.items()
+        }
+        assert effort["hermite"] < effort["euler"]
+
+    def test_recycling_counts_and_opt_out(self):
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(4), rng=np.random.default_rng(9)
+        )
+        on = BatchTracker(TrackerOptions(predictor="hermite")).track_batch(
+            homotopy, starts
+        )
+        assert sum(r.stats.tangents_recycled for r in on) > 0
+        off = BatchTracker(
+            TrackerOptions(predictor="hermite", recycle_jacobians=False)
+        ).track_batch(homotopy, starts)
+        assert all(r.success for r in off)
+        assert sum(r.stats.tangents_recycled for r in off) == 0
+        # recycling replaces fused tangent evaluations with jac_t-only
+        # ones, so the recycled run charges strictly fewer Jacobians
+        assert sum(r.stats.jacobian_evaluations for r in on) < sum(
+            r.stats.jacobian_evaluations for r in off
+        )
+
+    def test_euler_decisions_bit_identical_to_seed(self):
+        """The default predictor leaves the seed arithmetic untouched:
+        no recycling, no error model, streak step control."""
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(4), rng=np.random.default_rng(2)
+        )
+        res = BatchTracker(TrackerOptions()).track_batch(homotopy, starts)
+        assert sum(r.stats.tangents_recycled for r in res) == 0
+
+
+class TestCorrectorAcceptance:
+    def _homotopy(self):
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(3), rng=np.random.default_rng(1)
+        )
+        return homotopy, starts
+
+    def test_update_tol_accepts_earlier(self):
+        homotopy, starts = self._homotopy()
+        x = starts[0] + 1e-4
+        strict = newton_correct(homotopy, x, 0.0, tol=1e-14)
+        loose = newton_correct(homotopy, x, 0.0, tol=1e-14, update_tol=1e-6)
+        assert loose.converged
+        assert loose.iterations <= strict.iterations
+
+    def test_loose_exit_needs_contraction_evidence(self):
+        """A first-sweep update below loose_tol must NOT exit loose:
+        dx_prev is infinite, so there is no contraction evidence yet."""
+        homotopy, starts = self._homotopy()
+        x = starts[0] + 1e-5
+        res = newton_correct(
+            homotopy, x, 0.0, tol=1e-14, update_tol=1e-12, loose_tol=1e2
+        )
+        assert res.converged
+        assert res.iterations >= 2
+
+    def test_fail_fast_rejects_growing_updates(self):
+        homotopy, starts = self._homotopy()
+        x = starts[0] + 10.0  # far outside the basin
+        patient = newton_correct(homotopy, x, 0.0, tol=1e-14, max_iterations=8)
+        hasty = newton_correct(
+            homotopy, x, 0.0, tol=1e-14, max_iterations=8, fail_fast=True
+        )
+        if not patient.converged:
+            assert not hasty.converged
+            assert hasty.iterations <= patient.iterations
+
+    def test_batch_matches_scalar_acceptance(self):
+        homotopy, starts = self._homotopy()
+        X = np.asarray(starts) + 1e-4
+        kw = dict(tol=1e-14, update_tol=1e-6, loose_tol=1e-4, fail_fast=True)
+        out = batch_newton_correct(as_batch(homotopy), X, 0.0, **kw)
+        for i, x0 in enumerate(X):
+            scalar = newton_correct(homotopy, x0, 0.0, **kw)
+            assert out.converged[i] == scalar.converged
+            assert out.iterations[i] == scalar.iterations
+            np.testing.assert_array_equal(out.x[i], scalar.x)
+
+    def test_frozen_corrector_is_opt_in_and_works(self):
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(3), rng=np.random.default_rng(4)
+        )
+        opts = TrackerOptions(predictor="hermite", corrector_frozen=True)
+        res = BatchTracker(opts).track_batch(homotopy, starts)
+        assert all(r.success for r in res)
+
+
+class _RestrictRecorder:
+    """Wraps a batch homotopy, recording every restrict() index set."""
+
+    def __init__(self, inner, log):
+        self._inner = inner
+        self._log = log
+
+    @property
+    def dim(self):
+        return self._inner.dim
+
+    def restrict(self, rows):
+        rows = np.asarray(rows)
+        self._log.append(rows.size)
+        return _RestrictRecorder(self._inner.restrict(rows), self._log)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestRestrictNeverEmpty:
+    """Satellite: the corrector's mid-sweep re-checks and final
+    residual verification never restrict to an empty index set."""
+
+    def test_mixed_batch(self):
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(3), rng=np.random.default_rng(6)
+        )
+        X = np.asarray(starts, dtype=complex).copy()
+        X[0] += 1e-13   # converges via update underflow
+        X[1] += 1e-3    # ordinary quadratic convergence
+        X[2] += 50.0    # hopeless: burns every sweep
+        log = []
+        wrapped = _RestrictRecorder(as_batch(homotopy), log)
+        batch_newton_correct(
+            wrapped, X, 0.0, tol=1e-14, max_iterations=4, update_tol=1e-7
+        )
+        assert log, "restrict was never exercised"
+        assert min(log) >= 1
+
+    def test_all_converge_immediately(self):
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(3), rng=np.random.default_rng(6)
+        )
+        log = []
+        wrapped = _RestrictRecorder(as_batch(homotopy), log)
+        out = batch_newton_correct(wrapped, np.asarray(starts), 0.0, tol=1e-8)
+        assert out.converged.all()
+        assert not log or min(log) >= 1
+
+
+class _DtRecorder(HermitePredictor):
+    """Hermite predictor that logs every attempted step size."""
+
+    def __init__(self):
+        self.dts = []
+
+    def predict(self, state, rows, X, T, dt, tangent, ok):
+        self.dts.extend(float(d) for d in dt)
+        return super().predict(state, rows, X, T, dt, tangent, ok)
+
+
+class TestErrorModelStepControl:
+    def test_growth_is_capped(self):
+        """Consecutive step attempts never grow faster than max_growth."""
+        h = CubicHomotopy()
+        rec = _DtRecorder()
+        opts = TrackerOptions(
+            predictor=rec, initial_step=1e-3, predictor_max_growth=1.7
+        )
+        res = PathTracker(opts).track(h, np.array([h.c(0.0)]))
+        assert res.success
+        assert len(rec.dts) >= 3
+        for prev, cur in zip(rec.dts, rec.dts[1:]):
+            assert cur <= prev * opts.predictor_max_growth * (1 + 1e-12)
+
+    def test_steps_respect_max_step(self):
+        h = CubicHomotopy()
+        rec = _DtRecorder()
+        opts = TrackerOptions(predictor=rec, max_step=0.05)
+        res = PathTracker(opts).track(h, np.array([h.c(0.0)]))
+        assert res.success
+        assert max(rec.dts) <= opts.max_step + 1e-15
+
+    def test_predictor_error_histogram_recorded(self):
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(3), rng=np.random.default_rng(8)
+        )
+        tel = Telemetry()
+        with use_telemetry(tel):
+            BatchTracker(
+                TrackerOptions(predictor="hermite", trace_paths=True)
+            ).track_batch(homotopy, starts)
+        assert "predictor_error" in tel.histograms
+        assert tel.counters.get("tracker.tangents_recycled", 0) > 0
+
+
+class TestJumpRejection:
+    def test_tight_factor_rejects_and_still_tracks(self):
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(4), rng=np.random.default_rng(3)
+        )
+        tel = Telemetry()
+        opts = TrackerOptions(
+            predictor="hermite", predictor_jump_factor=1.2, trace_paths=True
+        )
+        with use_telemetry(tel):
+            res = BatchTracker(opts).track_batch(homotopy, starts)
+        assert tel.counters.get("tracker.jump_rejections", 0) > 0
+        assert sum(r.success for r in res) == len(starts)
+
+    def test_rejections_count_as_rejected_steps(self):
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(4), rng=np.random.default_rng(3)
+        )
+        loose = BatchTracker(
+            TrackerOptions(predictor="hermite", predictor_jump_factor=1e9)
+        ).track_batch(homotopy, starts)
+        tight = BatchTracker(
+            TrackerOptions(predictor="hermite", predictor_jump_factor=1.2)
+        ).track_batch(homotopy, starts)
+        assert sum(r.stats.steps_rejected for r in tight) > sum(
+            r.stats.steps_rejected for r in loose
+        )
+
+    def test_euler_never_jump_rejects(self):
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(4), rng=np.random.default_rng(3)
+        )
+        tel = Telemetry()
+        with use_telemetry(tel):
+            BatchTracker(
+                TrackerOptions(predictor_jump_factor=1.2, trace_paths=True)
+            ).track_batch(homotopy, starts)
+        assert tel.counters.get("tracker.jump_rejections", 0) == 0
+
+
+class TestFallbackRetrack:
+    def test_failed_hermite_path_is_rescued_by_euler(self):
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(3), rng=np.random.default_rng(1)
+        )
+        opts = TrackerOptions(predictor="hermite")
+        results = BatchTracker(opts).track_batch(homotopy, starts)
+        assert all(r.success for r in results)
+        good = results[2]
+        spent = dataclasses.replace(good.stats)
+        # fabricate a mid-path failure for path 2
+        results[2] = dataclasses.replace(
+            good, status=PathStatus.FAILED, solution=good.start.copy()
+        )
+        n = solve_module._fallback_retrack(
+            results, starts, homotopy, opts, strategy=None
+        )
+        assert n == 1
+        redone = results[2]
+        assert redone.success
+        assert np.max(np.abs(redone.solution - good.solution)) < 1e-8
+        # honest accounting: the failed attempt's effort is not dropped
+        assert redone.stats.newton_iterations > spent.newton_iterations
+
+    def test_no_failures_is_a_no_op(self):
+        homotopy, starts = make_homotopy_and_starts(
+            katsura_system(3), rng=np.random.default_rng(1)
+        )
+        opts = TrackerOptions(predictor="hermite")
+        results = BatchTracker(opts).track_batch(homotopy, starts)
+        before = [r.solution.copy() for r in results]
+        assert (
+            solve_module._fallback_retrack(
+                results, starts, homotopy, opts, strategy=None
+            )
+            == 0
+        )
+        for r, b in zip(results, before):
+            np.testing.assert_array_equal(r.solution, b)
+
+
+class TestGreedyClustering:
+    @staticmethod
+    def _naive(points, tol):
+        clusters = []
+        reps = []
+        for i, x in enumerate(points):
+            x = np.asarray(x, dtype=complex)
+            for c, rep in zip(clusters, reps):
+                if np.max(np.abs(rep - x)) < tol:
+                    c.append(i)
+                    break
+            else:
+                clusters.append([i])
+                reps.append(x)
+        return clusters
+
+    def test_matches_naive_double_loop(self):
+        rng = np.random.default_rng(0)
+        pts = rng.standard_normal((60, 4)) + 1j * rng.standard_normal((60, 4))
+        pts[17] = pts[3] + 1e-9   # planted duplicates
+        pts[41] = pts[3] - 1e-9
+        pts[55] = pts[20]
+        got = greedy_cluster_indices(list(pts), 1e-6)
+        assert got == self._naive(list(pts), 1e-6)
+
+    def test_empty_and_single(self):
+        assert greedy_cluster_indices([], 1e-6) == []
+        assert greedy_cluster_indices([np.array([1 + 0j])], 1e-6) == [[0]]
+
+
+class TestSolveIntegration:
+    def test_solve_predictor_kwarg(self):
+        rep = solve_module.solve(
+            katsura_system(3),
+            rng=np.random.default_rng(0),
+            mode="batch",
+            predictor="hermite",
+        )
+        assert rep.summary["predictor"] == "hermite"
+        base = solve_module.solve(
+            katsura_system(3), rng=np.random.default_rng(0), mode="batch"
+        )
+        assert base.summary["predictor"] == "euler"
+        assert len(rep.solutions) == len(base.solutions)
+        sols = sorted(
+            (tuple(np.round(s, 6)) for s in rep.solutions), key=str
+        )
+        ref = sorted(
+            (tuple(np.round(s, 6)) for s in base.solutions), key=str
+        )
+        assert sols == ref
